@@ -1,0 +1,117 @@
+package srv6bpf
+
+import (
+	"srv6bpf/internal/bpf"
+	"srv6bpf/internal/bpf/asm"
+	"srv6bpf/internal/core"
+)
+
+// This file re-exports the assembler vocabulary so downstream users
+// can author eBPF network functions against the public API alone, in
+// the same style as the bundled programs (internal/nf/progs).
+
+// Registers.
+const (
+	R0  = asm.R0
+	R1  = asm.R1
+	R2  = asm.R2
+	R3  = asm.R3
+	R4  = asm.R4
+	R5  = asm.R5
+	R6  = asm.R6
+	R7  = asm.R7
+	R8  = asm.R8
+	R9  = asm.R9
+	RFP = asm.RFP
+)
+
+// Memory access widths.
+const (
+	Byte  = asm.Byte
+	Half  = asm.Half
+	Word  = asm.Word
+	DWord = asm.DWord
+)
+
+// ALU operations.
+const (
+	Add  = asm.Add
+	Sub  = asm.Sub
+	Mul  = asm.Mul
+	Div  = asm.Div
+	Or   = asm.Or
+	And  = asm.And
+	LSh  = asm.LSh
+	RSh  = asm.RSh
+	Mod  = asm.Mod
+	Xor  = asm.Xor
+	Mov  = asm.Mov
+	ArSh = asm.ArSh
+)
+
+// Jump conditions.
+const (
+	JEq  = asm.JEq
+	JNE  = asm.JNE
+	JGT  = asm.JGT
+	JGE  = asm.JGE
+	JLT  = asm.JLT
+	JLE  = asm.JLE
+	JSet = asm.JSet
+	JSGT = asm.JSGT
+	JSGE = asm.JSGE
+	JSLT = asm.JSLT
+	JSLE = asm.JSLE
+)
+
+// Instruction constructors (see internal/bpf/asm for semantics).
+var (
+	Mov64Imm   = asm.Mov64Imm
+	Mov64Reg   = asm.Mov64Reg
+	Mov32Imm   = asm.Mov32Imm
+	Mov32Reg   = asm.Mov32Reg
+	ALU64Imm   = asm.ALU64Imm
+	ALU64Reg   = asm.ALU64Reg
+	ALU32Imm   = asm.ALU32Imm
+	ALU32Reg   = asm.ALU32Reg
+	Neg64      = asm.Neg64
+	HostToBE   = asm.HostToBE
+	HostToLE   = asm.HostToLE
+	LoadImm64  = asm.LoadImm64
+	LoadMapPtr = asm.LoadMapPtr
+	LoadMem    = asm.LoadMem
+	StoreMem   = asm.StoreMem
+	StoreImm   = asm.StoreImm
+	AtomicAdd  = asm.AtomicAdd
+	JumpTo     = asm.JumpTo
+	JumpImm    = asm.JumpImm
+	JumpReg    = asm.JumpReg
+	CallHelper = asm.CallHelper
+	Return     = asm.Return
+)
+
+// Helper IDs callable from programs (Linux UAPI numbering where the
+// kernel defines them; see internal/bpf for signatures).
+const (
+	HelperMapLookupElem    = bpf.HelperMapLookupElem
+	HelperMapUpdateElem    = bpf.HelperMapUpdateElem
+	HelperMapDeleteElem    = bpf.HelperMapDeleteElem
+	HelperKtimeGetNS       = bpf.HelperKtimeGetNS
+	HelperTracePrintk      = bpf.HelperTracePrintk
+	HelperGetPrandomU32    = bpf.HelperGetPrandomU32
+	HelperPerfEventOutput  = bpf.HelperPerfEventOutput
+	HelperSkbLoadBytes     = bpf.HelperSkbLoadBytes
+	HelperLWTPushEncap     = bpf.HelperLWTPushEncap
+	HelperLWTSeg6StoreByte = bpf.HelperLWTSeg6StoreByte
+	HelperLWTSeg6AdjustSRH = bpf.HelperLWTSeg6AdjustSRH
+	HelperLWTSeg6Action    = bpf.HelperLWTSeg6Action
+	HelperHWTimestamp      = bpf.HelperHWTimestamp
+	HelperSeg6ECMPNexthops = bpf.HelperSeg6ECMPNexthops
+)
+
+// Context field offsets for programs (the simulator's __sk_buff).
+const (
+	CtxOffLen     = core.CtxOffLen
+	CtxOffData    = core.CtxOffData
+	CtxOffDataEnd = core.CtxOffDataEnd
+)

@@ -1,0 +1,158 @@
+// Command sebpf inspects the eBPF network functions bundled with this
+// repository: it lists them, disassembles them, verifies them against
+// their hook, and round-trips them through the wire encoding.
+//
+// Usage:
+//
+//	sebpf list
+//	sebpf dump <program>          disassemble a bundled program
+//	sebpf verify <program>        run the verifier against its hook
+//	sebpf asm <file> [hook]       assemble a text listing and verify it
+//	                              (hook: seg6local [default] or lwt)
+//	sebpf run <program>           execute a bundled program on a
+//	                              synthetic SRv6 probe and show the
+//	                              packet before and after
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"srv6bpf/internal/bpf"
+	"srv6bpf/internal/bpf/asm"
+	"srv6bpf/internal/bpf/verifier"
+	"srv6bpf/internal/core"
+	"srv6bpf/internal/nf/progs"
+)
+
+// entry binds a bundled program to the hook it targets.
+type entry struct {
+	spec *bpf.ProgramSpec
+	hook *bpf.Hook
+	desc string
+}
+
+func registry() map[string]entry {
+	seg6local := core.Seg6LocalHook()
+	lwt := core.LWTOutHook()
+	return map[string]entry{
+		"end":      {progs.EndSpec(), seg6local, "Figure 2: the empty endpoint function"},
+		"end_t":    {progs.EndTSpec(7), seg6local, "Figure 2: End.T via bpf_lwt_seg6_action"},
+		"tag_inc":  {progs.TagIncrementSpec(), seg6local, "Figure 2: Tag++ via bpf_lwt_seg6_store_bytes"},
+		"add_tlv":  {progs.AddTLVSpec(), seg6local, "Figure 2: Add TLV via bpf_lwt_seg6_adjust_srh"},
+		"dm_encap": {progs.DMEncapSpec(), lwt, "§4.1: probabilistic DM encapsulation (transit)"},
+		"end_dm":   {progs.EndDMSpec(), seg6local, "§4.1/§4.2: End.DM delay reporting + decap"},
+		"wrr":      {progs.WRRSpec(), lwt, "§4.2: weighted round-robin scheduler"},
+		"end_oamp": {progs.OAMPSpec(), seg6local, "§4.3: ECMP nexthop query"},
+	}
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	reg := registry()
+	switch os.Args[1] {
+	case "list":
+		names := make([]string, 0, len(reg))
+		for n := range reg {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			e := reg[n]
+			asmd, err := e.spec.Instructions.Assemble()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-10s %-14s %4d insns   %s\n", n, e.hook.Name, asmd.WireLen(), e.desc)
+		}
+	case "asm":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		src, err := os.ReadFile(os.Args[2])
+		if err != nil {
+			fatal(err)
+		}
+		hook := core.Seg6LocalHook()
+		if len(os.Args) > 3 && os.Args[3] == "lwt" {
+			hook = core.LWTOutHook()
+		}
+		insns, err := asm.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		asmd, err := insns.Assemble()
+		if err != nil {
+			fatal(err)
+		}
+		if err := verifier.Verify(asmd, hook.Verifier); err != nil {
+			fatal(err)
+		}
+		wire, err := asmd.Bytes()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: assembled and verified for hook %s: %d wire slots (%d bytes)\n",
+			os.Args[2], hook.Name, asmd.WireLen(), len(wire))
+		fmt.Print(asmd.String())
+	case "run":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		e, ok := reg[os.Args[2]]
+		if !ok {
+			fatal(fmt.Errorf("unknown program %q (try `sebpf list`)", os.Args[2]))
+		}
+		if err := runProgram(os.Args[2], e); err != nil {
+			fatal(err)
+		}
+	case "dump", "verify":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		e, ok := reg[os.Args[2]]
+		if !ok {
+			fatal(fmt.Errorf("unknown program %q (try `sebpf list`)", os.Args[2]))
+		}
+		asmd, err := e.spec.Instructions.Assemble()
+		if err != nil {
+			fatal(err)
+		}
+		if os.Args[1] == "dump" {
+			// Round-trip through the wire format to prove the encoder
+			// and disassembler agree.
+			wire, err := asmd.Bytes()
+			if err != nil {
+				fatal(err)
+			}
+			back, err := asm.Disassemble(wire)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("; %s — hook %s, %d wire slots (%d bytes)\n",
+				e.spec.Name, e.hook.Name, back.WireLen(), len(wire))
+			fmt.Print(asmd.String())
+			return
+		}
+		if err := verifier.Verify(asmd, e.hook.Verifier); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: verification OK for hook %s (%d wire slots)\n",
+			e.spec.Name, e.hook.Name, asmd.WireLen())
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sebpf list | dump <prog> | verify <prog> | asm <file> [seg6local|lwt]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sebpf:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,185 @@
+// Command srv6bench regenerates the tables and figures of the paper's
+// evaluation and prints them in the same form the paper reports:
+// normalized forwarding rates for Figures 2 and 3, the goodput-vs-
+// payload series of Figure 4, the §4.2 TCP goodputs, and the §3.2
+// JIT factor.
+//
+// Usage:
+//
+//	srv6bench [-fig 2|3|4] [-tcp] [-jit] [-all] [-duration 200ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"srv6bpf/internal/experiments"
+	"srv6bpf/internal/netsim"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (2, 3 or 4)")
+	tcp := flag.Bool("tcp", false, "run the §4.2 TCP experiment")
+	jit := flag.Bool("jit", false, "report the §3.2 JIT-off factor")
+	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
+	all := flag.Bool("all", false, "run everything")
+	duration := flag.Duration("duration", 200*time.Millisecond,
+		"virtual measurement window per data point")
+	tcpDuration := flag.Duration("tcp-duration", 60*time.Second,
+		"virtual duration of each TCP transfer")
+	flag.Parse()
+
+	win := duration.Nanoseconds()
+	ran := false
+
+	if *all || *fig == 2 {
+		ran = true
+		runFig2(win)
+	}
+	if *all || *fig == 3 {
+		ran = true
+		runFig3(win)
+	}
+	if *all || *fig == 4 {
+		ran = true
+		runFig4(win)
+	}
+	if *all || *tcp {
+		ran = true
+		runTCP(tcpDuration.Nanoseconds())
+	}
+	if *all || *jit {
+		ran = true
+		runJIT(win)
+	}
+	if *all || *ablation {
+		ran = true
+		runAblations(win)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "srv6bench:", err)
+	os.Exit(1)
+}
+
+func runFig2(win int64) {
+	fmt.Println("== Figure 2: packets forwarded per second, normalized (§3.2) ==")
+	fmt.Println("   paper: End.BPF -3% vs static End; Tag++ -3% vs End.BPF;")
+	fmt.Println("   End.T.BPF -5% vs static End.T; AddTLV -5% vs End.BPF; no-JIT /1.8")
+	rows, err := experiments.Figure2(win)
+	if err != nil {
+		fail(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-16s %9.1f kpps   %5.1f%%\n", r.Name, r.KPPS, r.Normalized*100)
+	}
+	fmt.Println()
+}
+
+func runFig3(win int64) {
+	fmt.Println("== Figure 3: delay monitoring overhead, normalized (§4.1) ==")
+	fmt.Println("   paper: transit encap ≈ -5%; End.DM ≈ no impact")
+	rows, err := experiments.Figure3(win)
+	if err != nil {
+		fail(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-16s %9.1f kpps   %5.1f%%\n", r.Name, r.KPPS, r.Normalized*100)
+	}
+	fmt.Println()
+}
+
+func runFig4(win int64) {
+	fmt.Println("== Figure 4: aggregated UDP goodput through the CPE (§4.2) ==")
+	fmt.Println("   paper: decap ≈ -10%; interpreted WRR lowest, near baseline at 1400B")
+	pts, err := experiments.Figure4(win)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("  %-16s", "payload (B)")
+	for _, p := range experiments.Fig4Payloads {
+		fmt.Printf(" %6d", p)
+	}
+	fmt.Println()
+	last := ""
+	for _, p := range pts {
+		if p.Config != last {
+			if last != "" {
+				fmt.Println()
+			}
+			fmt.Printf("  %-16s", p.Config)
+			last = p.Config
+		}
+		fmt.Printf(" %6.0f", p.GoodputMbps)
+	}
+	fmt.Println("   (Mbps)")
+	fmt.Println()
+}
+
+func runTCP(win int64) {
+	fmt.Println("== §4.2 TCP over the hybrid access network ==")
+	fmt.Println("   paper: 3.8 Mbps uncompensated; 68 Mbps compensated; 70 Mbps with 4 conns")
+	fmt.Printf("   (each transfer runs %s of virtual time)\n", time.Duration(win))
+	res, err := experiments.TCPHybrid(win)
+	if err != nil {
+		fail(err)
+	}
+	for _, r := range res {
+		fmt.Printf("  %-34s %7.1f Mbps\n", r.Name, r.GoodputMbps)
+	}
+	fmt.Println()
+}
+
+func runJIT(win int64) {
+	fmt.Println("== §3.2 JIT factor on Add TLV ==")
+	f, err := experiments.JITFactor(win)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("  whole-router throughput JIT/no-JIT = %.2f (paper: 1.8)\n\n", f)
+}
+
+func runAblations(win int64) {
+	fmt.Println("== Ablation: Figure 4 WRR with a working CPE JIT ==")
+	fmt.Println("   (the paper's hypothesis: the 1.8x JIT speedup would lift the WRR curve)")
+	interp, jit, err := experiments.Fig4JITAblation(win)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("  %-16s", "payload (B)")
+	for _, p := range experiments.Fig4Payloads {
+		fmt.Printf(" %6d", p)
+	}
+	fmt.Println()
+	fmt.Printf("  %-16s", "WRR interp")
+	for _, p := range interp {
+		fmt.Printf(" %6.0f", p.GoodputMbps)
+	}
+	fmt.Println()
+	fmt.Printf("  %-16s", "WRR JIT")
+	for _, p := range jit {
+		fmt.Printf(" %6.0f", p.GoodputMbps)
+	}
+	fmt.Println("   (Mbps)")
+	fmt.Println()
+
+	fmt.Println("== Ablation: WRR weights vs link capacities ==")
+	rows, err := experiments.WRRWeightAblation(win * 4)
+	if err != nil {
+		fail(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-22s %6.1f Mbps delivered of 80 offered, %d link drops\n",
+			r.Name, r.GoodputMbps, r.LinkDrops)
+	}
+	fmt.Println()
+}
+
+var _ = netsim.Second

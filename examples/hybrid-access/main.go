@@ -1,0 +1,104 @@
+// Hybrid access networks (§4.2 of the paper): a per-packet eBPF WRR
+// scheduler aggregates a 50 Mbps link (RTT 30±5 ms) and a 30 Mbps
+// link (RTT 5±2 ms). The example reproduces the paper's finding: UDP
+// aggregates fine, TCP collapses under the reordering the delay skew
+// causes, and the TWD measurement daemon's netem compensation on the
+// fast link restores most of the aggregate.
+//
+// Run with: go run ./examples/hybrid-access
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/nf/hybrid"
+	"srv6bpf/internal/tcpsim"
+	"srv6bpf/internal/trafgen"
+)
+
+func params() hybrid.Params {
+	return hybrid.Params{
+		Link0: hybrid.LinkSpec{RateBps: 50_000_000, OneWayDelay: 15 * netsim.Millisecond, OneWayJitter: 2_500_000, QueueLimit: 300},
+		Link1: hybrid.LinkSpec{RateBps: 30_000_000, OneWayDelay: 2_500_000, OneWayJitter: 1_000_000, QueueLimit: 300},
+	}
+}
+
+func main() {
+	udp := runUDP()
+	fmt.Printf("UDP through the WRR scheduler:        %6.1f Mbps of 80 available\n", udp/1e6)
+
+	tcpRaw := runTCP(false)
+	fmt.Printf("TCP, no compensation (paper: 3.8):    %6.1f Mbps\n", tcpRaw/1e6)
+
+	tcpComp := runTCP(true)
+	fmt.Printf("TCP + TWD compensation (paper: 68):   %6.1f Mbps\n", tcpComp/1e6)
+
+	fmt.Println("\nPer-packet striping over links with a 25 ms RTT skew makes")
+	fmt.Println("TCP's loss detector misread reordering as loss; measuring the")
+	fmt.Println("skew with SRv6 TWD probes and delaying the fast link fixes it.")
+}
+
+// runUDP pushes 80 Mbps of UDP downstream and reports the delivered
+// goodput.
+func runUDP() float64 {
+	sim := netsim.New(21)
+	tb, err := hybrid.NewTestbed(sim, params())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tb.EnableWRRDownstream(); err != nil {
+		log.Fatal(err)
+	}
+	sink := trafgen.NewSink(tb.S2, 9999)
+	gen := &trafgen.UDPGen{
+		Node: tb.S1, Src: hybrid.S1Addr, Dst: hybrid.S2Addr,
+		SrcPort: 1, DstPort: 9999,
+		PayloadLen: 1400,
+		RatePPS:    80e6 / (1448 * 8), // 80 Mbps on the wire
+	}
+	if err := gen.Start(sim.Now() + 10*netsim.Second); err != nil {
+		log.Fatal(err)
+	}
+	sim.RunUntil(11 * netsim.Second)
+	return sink.GoodputBps()
+}
+
+// runTCP runs one bulk transfer for 60 virtual seconds.
+func runTCP(compensate bool) float64 {
+	sim := netsim.New(22)
+	tb, err := hybrid.NewTestbed(sim, params())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tb.EnableWRRDownstream(); err != nil {
+		log.Fatal(err)
+	}
+	if err := tb.EnableWRRUpstream(); err != nil {
+		log.Fatal(err)
+	}
+	var comp *hybrid.Compensator
+	if compensate {
+		if err := tb.DeployEndDM(true); err != nil {
+			log.Fatal(err)
+		}
+		comp = tb.StartCompensator(100 * netsim.Millisecond)
+		sim.RunUntil(2 * netsim.Second) // let the daemon converge
+	}
+
+	s1 := tcpsim.NewStack(tb.S1)
+	s2 := tcpsim.NewStack(tb.S2)
+	snd, rcv, err := tcpsim.NewTransfer(s1, s2, hybrid.S1Addr, hybrid.S2Addr, 41000, 5001, tcpsim.Config{FlowLabel: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	snd.Start()
+	sim.RunUntil(sim.Now() + 60*netsim.Second)
+	snd.Stop()
+	if comp != nil {
+		comp.Stop()
+	}
+	sim.RunUntil(sim.Now() + netsim.Second)
+	return rcv.GoodputBps()
+}

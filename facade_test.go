@@ -1,0 +1,106 @@
+package srv6bpf_test
+
+import (
+	"net/netip"
+	"testing"
+
+	"srv6bpf"
+)
+
+// TestPublicAPIEndToEnd is the quickstart example as a test: a user
+// of the public facade can author a program, load it, build a
+// topology, attach the function to a segment and observe its effect —
+// without touching any internal package.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	src := netip.MustParseAddr("2001:db8:1::1")
+	dst := netip.MustParseAddr("2001:db8:2::1")
+	sid := netip.MustParseAddr("fc00:10::42")
+
+	spec := &srv6bpf.ProgramSpec{
+		Name: "stamp_tag",
+		Instructions: srv6bpf.Instructions{
+			srv6bpf.Mov64Reg(srv6bpf.R6, srv6bpf.R1),
+			srv6bpf.StoreImm(srv6bpf.RFP, -2, 0xbe, srv6bpf.Byte),
+			srv6bpf.StoreImm(srv6bpf.RFP, -1, 0xef, srv6bpf.Byte),
+			srv6bpf.Mov64Reg(srv6bpf.R1, srv6bpf.R6),
+			srv6bpf.Mov64Imm(srv6bpf.R2, 46),
+			srv6bpf.Mov64Reg(srv6bpf.R3, srv6bpf.RFP),
+			srv6bpf.ALU64Imm(srv6bpf.Add, srv6bpf.R3, -2),
+			srv6bpf.Mov64Imm(srv6bpf.R4, 2),
+			srv6bpf.CallHelper(srv6bpf.HelperLWTSeg6StoreByte),
+			srv6bpf.JumpImm(srv6bpf.JNE, srv6bpf.R0, 0, "drop"),
+			srv6bpf.Mov64Imm(srv6bpf.R0, srv6bpf.BPFOK),
+			srv6bpf.Return(),
+			srv6bpf.Mov64Imm(srv6bpf.R0, srv6bpf.BPFDrop).WithSymbol("drop"),
+			srv6bpf.Return(),
+		},
+		License: "Dual MIT/GPL",
+	}
+	prog, err := srv6bpf.LoadProgram(spec, srv6bpf.Seg6LocalHook(), nil, srv6bpf.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	endBPF, err := srv6bpf.AttachEndBPF(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sim := srv6bpf.NewSim(1)
+	snd := sim.AddNode("snd", srv6bpf.HostCostModel())
+	rtr := sim.AddNode("rtr", srv6bpf.ServerCostModel())
+	rcv := sim.AddNode("rcv", srv6bpf.HostCostModel())
+	snd.AddAddress(src)
+	rtr.AddAddress(netip.MustParseAddr("2001:db8:10::1"))
+	rcv.AddAddress(dst)
+
+	link := srv6bpf.LinkConfig{RateBps: 1e10, DelayNs: srv6bpf.Microsecond}
+	sndIf, rtrIn := srv6bpf.ConnectSymmetric(snd, rtr, link)
+	rtrOut, rcvIf := srv6bpf.ConnectSymmetric(rtr, rcv, link)
+	snd.AddRoute(&srv6bpf.Route{Prefix: netip.MustParsePrefix("::/0"), Kind: srv6bpf.RouteForward, Nexthops: []srv6bpf.Nexthop{{Iface: sndIf}}})
+	rcv.AddRoute(&srv6bpf.Route{Prefix: netip.MustParsePrefix("::/0"), Kind: srv6bpf.RouteForward, Nexthops: []srv6bpf.Nexthop{{Iface: rcvIf}}})
+	rtr.AddRoute(&srv6bpf.Route{Prefix: netip.MustParsePrefix("2001:db8:1::/48"), Kind: srv6bpf.RouteForward, Nexthops: []srv6bpf.Nexthop{{Iface: rtrIn}}})
+	rtr.AddRoute(&srv6bpf.Route{Prefix: netip.MustParsePrefix("2001:db8:2::/48"), Kind: srv6bpf.RouteForward, Nexthops: []srv6bpf.Nexthop{{Iface: rtrOut}}})
+	rtr.AddRoute(&srv6bpf.Route{
+		Prefix:    netip.PrefixFrom(sid, 128),
+		Kind:      srv6bpf.RouteSeg6Local,
+		Behaviour: endBPF.Behaviour(),
+	})
+
+	var gotTag uint16
+	rcv.HandleUDP(7777, func(n *srv6bpf.Node, p *srv6bpf.ParsedPacket, meta *srv6bpf.PacketMeta) {
+		if p.SRH != nil {
+			gotTag = p.SRH.Tag
+		}
+	})
+
+	srh := srv6bpf.NewSRH([]netip.Addr{sid, dst})
+	raw, err := srv6bpf.BuildPacket(src, sid,
+		srv6bpf.WithSRH(srh), srv6bpf.WithUDP(1000, 7777),
+		srv6bpf.WithPayload([]byte("hello")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd.Output(raw)
+	sim.Run()
+
+	if gotTag != 0xbeef {
+		t.Fatalf("tag = %#x, want 0xbeef", gotTag)
+	}
+}
+
+// TestFacadeMapAPI exercises the re-exported map types.
+func TestFacadeMapAPI(t *testing.T) {
+	m, err := srv6bpf.NewMap(srv6bpf.MapSpec{
+		Name: "m", Type: srv6bpf.MapTypeHash, KeySize: 4, ValueSize: 8, MaxEntries: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update([]byte{1, 0, 0, 0}, []byte{9, 0, 0, 0, 0, 0, 0, 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.LookupUint64([]byte{1, 0, 0, 0})
+	if err != nil || v != 9 {
+		t.Fatalf("lookup = %d, %v", v, err)
+	}
+}

@@ -1,0 +1,262 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpCodeFields(t *testing.T) {
+	op := MkALU(ClassALU64, Add, RegSource)
+	if op.Class() != ClassALU64 {
+		t.Errorf("class = %v, want alu64", op.Class())
+	}
+	if op.ALUOp() != Add {
+		t.Errorf("aluop = %v, want add", op.ALUOp())
+	}
+	if op.Source() != RegSource {
+		t.Errorf("source = %v, want reg", op.Source())
+	}
+
+	op = MkMem(ClassLdX, DWord)
+	if op.Mode() != ModeMem {
+		t.Errorf("mode = %#x, want mem", op.Mode())
+	}
+	if op.Size() != DWord || op.Size().Bytes() != 8 {
+		t.Errorf("size = %v (%d bytes), want dw (8)", op.Size(), op.Size().Bytes())
+	}
+
+	op = MkJump(ClassJump, JSGT, ImmSource)
+	if op.JumpOp() != JSGT {
+		t.Errorf("jumpop = %v, want jsgt", op.JumpOp())
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	cases := map[Size]int{Byte: 1, Half: 2, Word: 4, DWord: 8}
+	for size, want := range cases {
+		if got := size.Bytes(); got != want {
+			t.Errorf("%v.Bytes() = %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	prog := Instructions{
+		Mov64Imm(R0, 42),
+		Mov64Reg(R6, R1),
+		LoadImm64(R2, 0x1122334455667788),
+		LoadMem(R3, R6, 16, DWord),
+		StoreMem(RFP, -8, R3, DWord),
+		StoreImm(RFP, -16, -1, Word),
+		ALU64Imm(Add, R0, -1),
+		ALU32Reg(Xor, R0, R0),
+		HostToBE(R3, 16),
+		AtomicAdd(RFP, -8, R0, DWord),
+		Return(),
+	}
+	b, err := prog.Bytes()
+	if err != nil {
+		t.Fatalf("Bytes: %v", err)
+	}
+	if want := prog.WireLen() * InstructionSize; len(b) != want {
+		t.Fatalf("wire length = %d, want %d", len(b), want)
+	}
+	back, err := Disassemble(b)
+	if err != nil {
+		t.Fatalf("Disassemble: %v", err)
+	}
+	if len(back) != len(prog) {
+		t.Fatalf("decoded %d instructions, want %d", len(back), len(prog))
+	}
+	for i := range prog {
+		got, want := back[i], prog[i]
+		if got.OpCode != want.OpCode || got.Dst != want.Dst || got.Src != want.Src ||
+			got.Offset != want.Offset || got.Constant != want.Constant {
+			t.Errorf("instruction %d: got %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestMarshalRejectsUnresolvedReference(t *testing.T) {
+	prog := Instructions{JumpImm(JEq, R1, 0, "missing"), Return()}
+	if _, err := prog.Bytes(); err == nil {
+		t.Fatal("Bytes succeeded with unresolved reference")
+	}
+}
+
+func TestAssembleResolvesForwardAndBackward(t *testing.T) {
+	prog := Instructions{
+		Mov64Imm(R0, 0),                      // 0
+		JumpImm(JEq, R1, 0, "out"),           // 1 -> 4, delta +2
+		LoadImm64(R2, 1),                     // 2 (two slots: 2,3)
+		JumpTo("top").WithSymbol("loop-end"), // 4... wait, symbol on jump
+		Return().WithSymbol("out"),
+	}
+	// Rebuild without the bogus backward ref for a precise check.
+	prog = Instructions{
+		Mov64Imm(R0, 0).WithSymbol("top"), // slot 0
+		JumpImm(JEq, R1, 0, "out"),        // slot 1
+		LoadImm64(R2, 1),                  // slots 2,3
+		Return().WithSymbol("out"),        // slot 4
+	}
+	asmd, err := prog.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if got := asmd[1].Offset; got != 2 {
+		t.Errorf("forward jump offset = %d, want 2 (skipping lddw's two slots)", got)
+	}
+	if asmd[1].Reference != "" {
+		t.Error("reference not cleared after assembly")
+	}
+	// Original must be untouched.
+	if prog[1].Offset != 0 || prog[1].Reference != "out" {
+		t.Error("Assemble mutated its receiver")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	t.Run("undefined symbol", func(t *testing.T) {
+		prog := Instructions{JumpTo("nowhere"), Return()}
+		if _, err := prog.Assemble(); err == nil || !strings.Contains(err.Error(), "undefined") {
+			t.Fatalf("want undefined-symbol error, got %v", err)
+		}
+	})
+	t.Run("duplicate symbol", func(t *testing.T) {
+		prog := Instructions{
+			Mov64Imm(R0, 0).WithSymbol("x"),
+			Mov64Imm(R0, 1).WithSymbol("x"),
+			Return(),
+		}
+		if _, err := prog.Assemble(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+			t.Fatalf("want duplicate-symbol error, got %v", err)
+		}
+	})
+	t.Run("reference on non-jump", func(t *testing.T) {
+		ins := Mov64Imm(R0, 0)
+		ins.Reference = "x"
+		prog := Instructions{ins, Return().WithSymbol("x")}
+		if _, err := prog.Assemble(); err == nil {
+			t.Fatal("want error for reference on ALU instruction")
+		}
+	})
+}
+
+func TestLoadMapPtr(t *testing.T) {
+	ins := LoadMapPtr(R1, "counters")
+	if !ins.IsLoadFromMap() {
+		t.Fatal("LoadMapPtr not recognised as map load")
+	}
+	if ins.MapName != "counters" {
+		t.Errorf("MapName = %q", ins.MapName)
+	}
+	if !ins.isLdImm64() {
+		t.Error("map load must be an lddw")
+	}
+}
+
+func TestStringOutput(t *testing.T) {
+	prog := Instructions{
+		Mov64Imm(R0, 7).WithSymbol("entry"),
+		LoadMem(R2, R1, 4, Word),
+		JumpImm(JNE, R2, 0x86dd, "drop"),
+		CallHelper(5),
+		Return().WithSymbol("drop"),
+	}
+	s := prog.String()
+	for _, want := range []string{"entry:", "drop:", "r0", "call #5", "goto drop", "exit"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("listing missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestWireRoundTripQuick checks that encoding and decoding random
+// well-formed instructions is lossless.
+func TestWireRoundTripQuick(t *testing.T) {
+	gen := func(r *rand.Rand) Instruction {
+		mk := []func(*rand.Rand) Instruction{
+			func(r *rand.Rand) Instruction {
+				ops := []ALUOp{Add, Sub, Mul, Div, Or, And, LSh, RSh, Mod, Xor, Mov, ArSh}
+				return ALU64Imm(ops[r.Intn(len(ops))], Register(r.Intn(10)), int32(r.Uint32()))
+			},
+			func(r *rand.Rand) Instruction {
+				ops := []ALUOp{Add, Sub, Or, And, Xor, Mov}
+				return ALU32Reg(ops[r.Intn(len(ops))], Register(r.Intn(10)), Register(r.Intn(10)))
+			},
+			func(r *rand.Rand) Instruction {
+				sizes := []Size{Byte, Half, Word, DWord}
+				return LoadMem(Register(r.Intn(10)), Register(r.Intn(11)), int16(r.Intn(1<<16)-1<<15), sizes[r.Intn(4)])
+			},
+			func(r *rand.Rand) Instruction {
+				sizes := []Size{Byte, Half, Word, DWord}
+				return StoreMem(Register(r.Intn(11)), int16(r.Intn(1<<16)-1<<15), Register(r.Intn(10)), sizes[r.Intn(4)])
+			},
+			func(r *rand.Rand) Instruction {
+				return LoadImm64(Register(r.Intn(10)), int64(r.Uint64()))
+			},
+			func(r *rand.Rand) Instruction {
+				return CallHelper(int32(r.Intn(1 << 10)))
+			},
+		}
+		return mk[r.Intn(len(mk))](r)
+	}
+
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(32)
+		prog := make(Instructions, 0, n)
+		for i := 0; i < n; i++ {
+			prog = append(prog, gen(r))
+		}
+		prog = append(prog, Return())
+		b, err := prog.Bytes()
+		if err != nil {
+			return false
+		}
+		back, err := Disassemble(b)
+		if err != nil || len(back) != len(prog) {
+			return false
+		}
+		for i := range prog {
+			if back[i].OpCode != prog[i].OpCode || back[i].Dst != prog[i].Dst ||
+				back[i].Src != prog[i].Src || back[i].Offset != prog[i].Offset ||
+				back[i].Constant != prog[i].Constant {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassembleTruncated(t *testing.T) {
+	prog := Instructions{LoadImm64(R1, 1), Return()}
+	b, err := prog.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Disassemble(b[:len(b)-4]); err == nil {
+		t.Error("want error for non-multiple-of-8 input")
+	}
+	// Chop the second half of the lddw.
+	if _, err := Disassemble(b[:8]); err == nil {
+		t.Error("want error for truncated lddw pair")
+	}
+}
+
+func TestRegisterString(t *testing.T) {
+	if R10.String() != "rfp" {
+		t.Errorf("R10 = %q, want rfp", R10.String())
+	}
+	if R3.String() != "r3" {
+		t.Errorf("R3 = %q", R3.String())
+	}
+	if Register(12).Valid() {
+		t.Error("register 12 must be invalid")
+	}
+}

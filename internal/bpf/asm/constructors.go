@@ -1,0 +1,149 @@
+package asm
+
+// This file provides typed constructors for every instruction form the
+// dialect supports. Programs in this repository (the paper's network
+// functions) are written by composing these, in the style of
+// cilium/ebpf's asm package.
+
+// Mov64Imm emits dst = imm (sign-extended to 64 bits).
+func Mov64Imm(dst Register, imm int32) Instruction {
+	return Instruction{OpCode: MkALU(ClassALU64, Mov, ImmSource), Dst: dst, Constant: int64(imm)}
+}
+
+// Mov64Reg emits dst = src.
+func Mov64Reg(dst, src Register) Instruction {
+	return Instruction{OpCode: MkALU(ClassALU64, Mov, RegSource), Dst: dst, Src: src}
+}
+
+// Mov32Imm emits dst = imm with the upper 32 bits zeroed.
+func Mov32Imm(dst Register, imm int32) Instruction {
+	return Instruction{OpCode: MkALU(ClassALU, Mov, ImmSource), Dst: dst, Constant: int64(imm)}
+}
+
+// Mov32Reg emits dst = src with the upper 32 bits zeroed.
+func Mov32Reg(dst, src Register) Instruction {
+	return Instruction{OpCode: MkALU(ClassALU, Mov, RegSource), Dst: dst, Src: src}
+}
+
+// ALU64Imm emits dst = dst <op> imm in 64-bit arithmetic.
+func ALU64Imm(op ALUOp, dst Register, imm int32) Instruction {
+	return Instruction{OpCode: MkALU(ClassALU64, op, ImmSource), Dst: dst, Constant: int64(imm)}
+}
+
+// ALU64Reg emits dst = dst <op> src in 64-bit arithmetic.
+func ALU64Reg(op ALUOp, dst, src Register) Instruction {
+	return Instruction{OpCode: MkALU(ClassALU64, op, RegSource), Dst: dst, Src: src}
+}
+
+// ALU32Imm emits dst = dst <op> imm in 32-bit arithmetic.
+func ALU32Imm(op ALUOp, dst Register, imm int32) Instruction {
+	return Instruction{OpCode: MkALU(ClassALU, op, ImmSource), Dst: dst, Constant: int64(imm)}
+}
+
+// ALU32Reg emits dst = dst <op> src in 32-bit arithmetic.
+func ALU32Reg(op ALUOp, dst, src Register) Instruction {
+	return Instruction{OpCode: MkALU(ClassALU, op, RegSource), Dst: dst, Src: src}
+}
+
+// Add64Imm emits dst += imm.
+func Add64Imm(dst Register, imm int32) Instruction { return ALU64Imm(Add, dst, imm) }
+
+// Add64Reg emits dst += src.
+func Add64Reg(dst, src Register) Instruction { return ALU64Reg(Add, dst, src) }
+
+// Neg64 emits dst = -dst.
+func Neg64(dst Register) Instruction {
+	return Instruction{OpCode: MkALU(ClassALU64, Neg, ImmSource), Dst: dst}
+}
+
+// HostToBE emits a byte swap of dst to big-endian with the given
+// width in bits (16, 32 or 64). On a little-endian host this swaps;
+// widths below 64 also truncate.
+func HostToBE(dst Register, bits int) Instruction {
+	return Instruction{OpCode: MkALU(ClassALU, Swap, RegSource), Dst: dst, Constant: int64(bits)}
+}
+
+// HostToLE emits a byte swap of dst to little-endian with the given
+// width in bits (16, 32 or 64). On a little-endian host this
+// truncates only.
+func HostToLE(dst Register, bits int) Instruction {
+	return Instruction{OpCode: MkALU(ClassALU, Swap, ImmSource), Dst: dst, Constant: int64(bits)}
+}
+
+// LoadImm64 emits the 16-byte dst = imm64.
+func LoadImm64(dst Register, imm int64) Instruction {
+	return Instruction{OpCode: opLdImm64, Dst: dst, Constant: imm}
+}
+
+// LoadMapPtr emits an LD_IMM64 map pseudo-load of the named map.
+// The loader resolves the name against the program's map collection.
+func LoadMapPtr(dst Register, name string) Instruction {
+	return Instruction{OpCode: opLdImm64, Dst: dst, Src: PseudoMapFD, MapName: name}
+}
+
+// LoadMem emits dst = *(size*)(src + offset).
+func LoadMem(dst, src Register, offset int16, size Size) Instruction {
+	return Instruction{OpCode: MkMem(ClassLdX, size), Dst: dst, Src: src, Offset: offset}
+}
+
+// StoreMem emits *(size*)(dst + offset) = src.
+func StoreMem(dst Register, offset int16, src Register, size Size) Instruction {
+	return Instruction{OpCode: MkMem(ClassStX, size), Dst: dst, Src: src, Offset: offset}
+}
+
+// StoreImm emits *(size*)(dst + offset) = imm.
+func StoreImm(dst Register, offset int16, imm int32, size Size) Instruction {
+	return Instruction{OpCode: MkMem(ClassSt, size), Dst: dst, Offset: offset, Constant: int64(imm)}
+}
+
+// AtomicAdd emits lock *(size*)(dst + offset) += src for Word or
+// DWord sizes.
+func AtomicAdd(dst Register, offset int16, src Register, size Size) Instruction {
+	return Instruction{
+		OpCode: OpCode(uint8(ClassStX) | uint8(size) | uint8(ModeXadd)),
+		Dst:    dst, Src: src, Offset: offset,
+	}
+}
+
+// JumpTo emits an unconditional jump to the named label.
+func JumpTo(label string) Instruction {
+	return Instruction{OpCode: MkJump(ClassJump, Ja, ImmSource), Reference: label}
+}
+
+// JumpImm emits if dst <op> imm goto label, comparing 64 bits.
+func JumpImm(op JumpOp, dst Register, imm int32, label string) Instruction {
+	return Instruction{OpCode: MkJump(ClassJump, op, ImmSource), Dst: dst, Constant: int64(imm), Reference: label}
+}
+
+// JumpReg emits if dst <op> src goto label, comparing 64 bits.
+func JumpReg(op JumpOp, dst, src Register, label string) Instruction {
+	return Instruction{OpCode: MkJump(ClassJump, op, RegSource), Dst: dst, Src: src, Reference: label}
+}
+
+// Jump32Imm emits if dst <op> imm goto label, comparing 32 bits.
+func Jump32Imm(op JumpOp, dst Register, imm int32, label string) Instruction {
+	return Instruction{OpCode: MkJump(ClassJump32, op, ImmSource), Dst: dst, Constant: int64(imm), Reference: label}
+}
+
+// Jump32Reg emits if dst <op> src goto label, comparing 32 bits.
+func Jump32Reg(op JumpOp, dst, src Register, label string) Instruction {
+	return Instruction{OpCode: MkJump(ClassJump32, op, RegSource), Dst: dst, Src: src, Reference: label}
+}
+
+// CallHelper emits a call to the helper with the given ID.
+func CallHelper(id int32) Instruction {
+	return Instruction{OpCode: MkJump(ClassJump, Call, ImmSource), Constant: int64(id)}
+}
+
+// Return emits exit.
+func Return() Instruction {
+	return Instruction{OpCode: MkJump(ClassJump, Exit, ImmSource)}
+}
+
+// Label returns a no-op marker instruction carrying only a symbol.
+// Prefer WithSymbol on a real instruction; Label exists for places
+// where the target instruction is generated elsewhere. It assembles
+// to a jump of offset 0 (a no-op).
+func Label(sym string) Instruction {
+	return Instruction{OpCode: MkJump(ClassJump, Ja, ImmSource), Offset: 0, Symbol: sym}
+}

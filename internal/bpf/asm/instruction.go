@@ -1,0 +1,354 @@
+package asm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// InstructionSize is the wire size of one instruction in bytes.
+// LD_IMM64 occupies two consecutive slots.
+const InstructionSize = 8
+
+// PseudoMapFD marks the source register field of an LD_IMM64
+// instruction as holding a map reference rather than a plain
+// immediate, exactly as the kernel's BPF_PSEUDO_MAP_FD does.
+const PseudoMapFD = Register(1)
+
+// Instruction is a single eBPF instruction.
+//
+// Jumps may carry a symbolic target in Reference instead of a resolved
+// Offset; map loads carry the map's name in MapName. Both are resolved
+// when the program is assembled (see Instructions.Assemble) or loaded.
+type Instruction struct {
+	OpCode OpCode
+	Dst    Register
+	Src    Register
+	Offset int16
+	// Constant is the immediate operand. Only LD_IMM64 uses more than
+	// the low 32 bits.
+	Constant int64
+
+	// Symbol names this instruction as a jump target.
+	Symbol string
+	// Reference is the symbol this jump targets. Mutually exclusive
+	// with a resolved Offset.
+	Reference string
+	// MapName is the map referenced by an LD_IMM64 map pseudo-load.
+	MapName string
+}
+
+// WithSymbol returns ins marked as a jump target named sym.
+func (ins Instruction) WithSymbol(sym string) Instruction {
+	ins.Symbol = sym
+	return ins
+}
+
+// IsLoadFromMap reports whether the instruction is an LD_IMM64 map
+// pseudo-load.
+func (ins Instruction) IsLoadFromMap() bool {
+	return ins.OpCode == opLdImm64 && ins.Src == PseudoMapFD
+}
+
+// isLdImm64 reports whether the instruction occupies two wire slots.
+func (ins Instruction) isLdImm64() bool { return ins.OpCode == opLdImm64 }
+
+// Append serializes the instruction to w in wire format,
+// little-endian, as the kernel consumes it.
+func (ins Instruction) Append(w io.Writer) error {
+	if ins.Reference != "" {
+		return fmt.Errorf("unresolved reference %q", ins.Reference)
+	}
+	var buf [InstructionSize]byte
+	buf[0] = byte(ins.OpCode)
+	buf[1] = byte(ins.Dst&0x0f) | byte(ins.Src&0x0f)<<4
+	binary.LittleEndian.PutUint16(buf[2:4], uint16(ins.Offset))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(int32(ins.Constant)))
+	if _, err := w.Write(buf[:]); err != nil {
+		return err
+	}
+	if !ins.isLdImm64() {
+		return nil
+	}
+	// Second slot: opcode zero, upper 32 bits of the constant.
+	var buf2 [InstructionSize]byte
+	binary.LittleEndian.PutUint32(buf2[4:8], uint32(uint64(ins.Constant)>>32))
+	_, err := w.Write(buf2[:])
+	return err
+}
+
+// Instructions is an eBPF program as a sequence of instructions.
+type Instructions []Instruction
+
+// Marshal serializes the program to wire format.
+func (insns Instructions) Marshal(w io.Writer) error {
+	for i, ins := range insns {
+		if err := ins.Append(w); err != nil {
+			return fmt.Errorf("instruction %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Bytes returns the wire-format encoding of the program.
+func (insns Instructions) Bytes() ([]byte, error) {
+	var buf sliceWriter
+	if err := insns.Marshal(&buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+type sliceWriter []byte
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	*s = append(*s, p...)
+	return len(p), nil
+}
+
+// WireLen returns the number of 8-byte wire slots the program
+// occupies. LD_IMM64 instructions count twice.
+func (insns Instructions) WireLen() int {
+	n := 0
+	for _, ins := range insns {
+		n++
+		if ins.isLdImm64() {
+			n++
+		}
+	}
+	return n
+}
+
+var errShortRead = errors.New("asm: truncated instruction stream")
+
+// Disassemble decodes a wire-format program. LD_IMM64 pairs are fused
+// back into single Instruction values.
+func Disassemble(b []byte) (Instructions, error) {
+	if len(b)%InstructionSize != 0 {
+		return nil, errShortRead
+	}
+	var out Instructions
+	for off := 0; off < len(b); off += InstructionSize {
+		raw := b[off : off+InstructionSize]
+		ins := Instruction{
+			OpCode:   OpCode(raw[0]),
+			Dst:      Register(raw[1] & 0x0f),
+			Src:      Register(raw[1] >> 4),
+			Offset:   int16(binary.LittleEndian.Uint16(raw[2:4])),
+			Constant: int64(int32(binary.LittleEndian.Uint32(raw[4:8]))),
+		}
+		if ins.isLdImm64() {
+			off += InstructionSize
+			if off >= len(b) {
+				return nil, errShortRead
+			}
+			hi := binary.LittleEndian.Uint32(b[off+4 : off+8])
+			ins.Constant = int64(uint64(uint32(ins.Constant)) | uint64(hi)<<32)
+		}
+		out = append(out, ins)
+	}
+	return out, nil
+}
+
+// Assemble resolves symbolic jump references to PC-relative offsets
+// and validates basic structural properties. It returns a copy;
+// the receiver is not modified.
+//
+// Offsets are measured in wire slots, so LD_IMM64 instructions count
+// as two, matching kernel semantics.
+func (insns Instructions) Assemble() (Instructions, error) {
+	// First pass: record the wire offset of every symbol.
+	symbols := make(map[string]int)
+	wire := 0
+	for i, ins := range insns {
+		if ins.Symbol != "" {
+			if _, dup := symbols[ins.Symbol]; dup {
+				return nil, fmt.Errorf("asm: duplicate symbol %q at instruction %d", ins.Symbol, i)
+			}
+			symbols[ins.Symbol] = wire
+		}
+		wire++
+		if ins.isLdImm64() {
+			wire++
+		}
+	}
+
+	out := make(Instructions, len(insns))
+	copy(out, insns)
+
+	wire = 0
+	for i := range out {
+		ins := &out[i]
+		cur := wire
+		wire++
+		if ins.isLdImm64() {
+			wire++
+		}
+		if ins.Reference == "" {
+			continue
+		}
+		if !ins.OpCode.Class().isJump() || ins.OpCode.JumpOp() == Exit || ins.OpCode.JumpOp() == Call {
+			return nil, fmt.Errorf("asm: instruction %d (%v) cannot carry reference %q", i, ins.OpCode, ins.Reference)
+		}
+		target, ok := symbols[ins.Reference]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined symbol %q at instruction %d", ins.Reference, i)
+		}
+		delta := target - cur - 1
+		if delta < math.MinInt16 || delta > math.MaxInt16 {
+			return nil, fmt.Errorf("asm: jump to %q out of int16 range at instruction %d", ins.Reference, i)
+		}
+		ins.Offset = int16(delta)
+		ins.Reference = ""
+	}
+	return out, nil
+}
+
+// String renders a readable disassembly listing.
+func (insns Instructions) String() string {
+	var buf sliceWriter
+	wire := 0
+	for _, ins := range insns {
+		if ins.Symbol != "" {
+			fmt.Fprintf(&buf, "%s:\n", ins.Symbol)
+		}
+		fmt.Fprintf(&buf, "%4d: %s\n", wire, ins.format())
+		wire++
+		if ins.isLdImm64() {
+			wire++
+		}
+	}
+	return string(buf)
+}
+
+func (ins Instruction) String() string { return ins.format() }
+
+func (ins Instruction) format() string {
+	op := ins.OpCode
+	class := op.Class()
+	switch {
+	case ins.isLdImm64():
+		if ins.IsLoadFromMap() {
+			name := ins.MapName
+			if name == "" {
+				name = fmt.Sprintf("#%d", ins.Constant)
+			}
+			return fmt.Sprintf("%v = map[%s]", ins.Dst, name)
+		}
+		return fmt.Sprintf("%v = %#x ll", ins.Dst, uint64(ins.Constant))
+	case class.isALU():
+		if op.ALUOp() == Swap {
+			dir := "le"
+			if op.Source() == RegSource {
+				dir = "be"
+			}
+			return fmt.Sprintf("%v = %s%d %v", ins.Dst, dir, ins.Constant, ins.Dst)
+		}
+		suffix := ""
+		if class == ClassALU {
+			suffix = " (u32)"
+		}
+		if op.ALUOp() == Neg {
+			return fmt.Sprintf("%v = -%v%s", ins.Dst, ins.Dst, suffix)
+		}
+		if op.Source() == RegSource {
+			return fmt.Sprintf("%v %s= %v%s", ins.Dst, aluSym(op.ALUOp()), ins.Src, suffix)
+		}
+		return fmt.Sprintf("%v %s= %d%s", ins.Dst, aluSym(op.ALUOp()), int32(ins.Constant), suffix)
+	case class.isJump():
+		switch op.JumpOp() {
+		case Exit:
+			return "exit"
+		case Call:
+			return fmt.Sprintf("call #%d", ins.Constant)
+		case Ja:
+			return fmt.Sprintf("goto %s", ins.target())
+		default:
+			operand := fmt.Sprintf("%d", int32(ins.Constant))
+			if op.Source() == RegSource {
+				operand = ins.Src.String()
+			}
+			return fmt.Sprintf("if %v %s %s goto %s", ins.Dst, jumpSym(op.JumpOp()), operand, ins.target())
+		}
+	case class == ClassLdX:
+		return fmt.Sprintf("%v = *(%s *)(%v %+d)", ins.Dst, op.Size(), ins.Src, ins.Offset)
+	case class == ClassSt:
+		return fmt.Sprintf("*(%s *)(%v %+d) = %d", op.Size(), ins.Dst, ins.Offset, int32(ins.Constant))
+	case class == ClassStX:
+		if op.Mode() == ModeXadd {
+			return fmt.Sprintf("lock *(%s *)(%v %+d) += %v", op.Size(), ins.Dst, ins.Offset, ins.Src)
+		}
+		return fmt.Sprintf("*(%s *)(%v %+d) = %v", op.Size(), ins.Dst, ins.Offset, ins.Src)
+	default:
+		return fmt.Sprintf("raw op=%#02x dst=%v src=%v off=%d imm=%d", uint8(op), ins.Dst, ins.Src, ins.Offset, ins.Constant)
+	}
+}
+
+func (ins Instruction) target() string {
+	if ins.Reference != "" {
+		return ins.Reference
+	}
+	return fmt.Sprintf("%+d", ins.Offset)
+}
+
+func aluSym(op ALUOp) string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	case Or:
+		return "|"
+	case And:
+		return "&"
+	case LSh:
+		return "<<"
+	case RSh:
+		return ">>"
+	case Mod:
+		return "%"
+	case Xor:
+		return "^"
+	case Mov:
+		return ""
+	case ArSh:
+		return "s>>"
+	default:
+		return "?"
+	}
+}
+
+func jumpSym(op JumpOp) string {
+	switch op {
+	case JEq:
+		return "=="
+	case JGT:
+		return ">"
+	case JGE:
+		return ">="
+	case JSet:
+		return "&"
+	case JNE:
+		return "!="
+	case JSGT:
+		return "s>"
+	case JSGE:
+		return "s>="
+	case JLT:
+		return "<"
+	case JLE:
+		return "<="
+	case JSLT:
+		return "s<"
+	case JSLE:
+		return "s<="
+	default:
+		return "?"
+	}
+}

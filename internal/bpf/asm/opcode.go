@@ -1,0 +1,319 @@
+package asm
+
+import "fmt"
+
+// Class is the instruction class, stored in the three least
+// significant bits of an opcode.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassLd     Class = 0x00 // non-standard loads (LD_IMM64, legacy ABS/IND)
+	ClassLdX    Class = 0x01 // memory load into register
+	ClassSt     Class = 0x02 // memory store from immediate
+	ClassStX    Class = 0x03 // memory store from register
+	ClassALU    Class = 0x04 // 32-bit arithmetic
+	ClassJump   Class = 0x05 // 64-bit comparisons and control flow
+	ClassJump32 Class = 0x06 // 32-bit comparisons
+	ClassALU64  Class = 0x07 // 64-bit arithmetic
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassLd:
+		return "ld"
+	case ClassLdX:
+		return "ldx"
+	case ClassSt:
+		return "st"
+	case ClassStX:
+		return "stx"
+	case ClassALU:
+		return "alu32"
+	case ClassJump:
+		return "jmp"
+	case ClassJump32:
+		return "jmp32"
+	case ClassALU64:
+		return "alu64"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// isALU reports whether the class performs arithmetic.
+func (c Class) isALU() bool { return c == ClassALU || c == ClassALU64 }
+
+// isJump reports whether the class performs control flow.
+func (c Class) isJump() bool { return c == ClassJump || c == ClassJump32 }
+
+// isLoadStore reports whether the class accesses memory.
+func (c Class) isLoadStore() bool {
+	return c == ClassLdX || c == ClassSt || c == ClassStX
+}
+
+// Size is the width of a memory access.
+type Size uint8
+
+// Memory access widths.
+const (
+	Word     Size = 0x00 // 4 bytes
+	Half     Size = 0x08 // 2 bytes
+	Byte     Size = 0x10 // 1 byte
+	DWord    Size = 0x18 // 8 bytes
+	sizeMask      = 0x18
+)
+
+// Bytes returns the number of bytes the size covers.
+func (s Size) Bytes() int {
+	switch s {
+	case Byte:
+		return 1
+	case Half:
+		return 2
+	case Word:
+		return 4
+	case DWord:
+		return 8
+	default:
+		return 0
+	}
+}
+
+func (s Size) String() string {
+	switch s {
+	case Byte:
+		return "b"
+	case Half:
+		return "h"
+	case Word:
+		return "w"
+	case DWord:
+		return "dw"
+	default:
+		return fmt.Sprintf("size(%d)", uint8(s))
+	}
+}
+
+// Mode is the addressing mode of a load/store opcode.
+type Mode uint8
+
+// Addressing modes.
+const (
+	ModeImm  Mode = 0x00 // 64-bit immediate (LD_IMM64)
+	ModeAbs  Mode = 0x20 // legacy packet access, unsupported
+	ModeInd  Mode = 0x40 // legacy packet access, unsupported
+	ModeMem  Mode = 0x60 // register + offset
+	ModeXadd Mode = 0xc0 // atomic add
+	modeMask      = 0xe0
+)
+
+// ALUOp is an arithmetic operation.
+type ALUOp uint8
+
+// Arithmetic operations, stored in the upper four bits of an opcode.
+const (
+	Add  ALUOp = 0x00
+	Sub  ALUOp = 0x10
+	Mul  ALUOp = 0x20
+	Div  ALUOp = 0x30
+	Or   ALUOp = 0x40
+	And  ALUOp = 0x50
+	LSh  ALUOp = 0x60
+	RSh  ALUOp = 0x70
+	Neg  ALUOp = 0x80
+	Mod  ALUOp = 0x90
+	Xor  ALUOp = 0xa0
+	Mov  ALUOp = 0xb0
+	ArSh ALUOp = 0xc0
+	// Swap encodes the byte-swap instructions. The source bit selects
+	// to-little-endian (0) or to-big-endian (1); the immediate selects
+	// the width (16, 32 or 64).
+	Swap ALUOp = 0xd0
+
+	aluOpMask = 0xf0
+)
+
+func (op ALUOp) String() string {
+	switch op {
+	case Add:
+		return "add"
+	case Sub:
+		return "sub"
+	case Mul:
+		return "mul"
+	case Div:
+		return "div"
+	case Or:
+		return "or"
+	case And:
+		return "and"
+	case LSh:
+		return "lsh"
+	case RSh:
+		return "rsh"
+	case Neg:
+		return "neg"
+	case Mod:
+		return "mod"
+	case Xor:
+		return "xor"
+	case Mov:
+		return "mov"
+	case ArSh:
+		return "arsh"
+	case Swap:
+		return "swap"
+	default:
+		return fmt.Sprintf("aluop(%#x)", uint8(op))
+	}
+}
+
+// JumpOp is a control-flow operation.
+type JumpOp uint8
+
+// Control-flow operations, stored in the upper four bits of an opcode.
+const (
+	Ja   JumpOp = 0x00
+	JEq  JumpOp = 0x10
+	JGT  JumpOp = 0x20
+	JGE  JumpOp = 0x30
+	JSet JumpOp = 0x40
+	JNE  JumpOp = 0x50
+	JSGT JumpOp = 0x60
+	JSGE JumpOp = 0x70
+	Call JumpOp = 0x80
+	Exit JumpOp = 0x90
+	JLT  JumpOp = 0xa0
+	JLE  JumpOp = 0xb0
+	JSLT JumpOp = 0xc0
+	JSLE JumpOp = 0xd0
+
+	jumpOpMask = 0xf0
+)
+
+func (op JumpOp) String() string {
+	switch op {
+	case Ja:
+		return "ja"
+	case JEq:
+		return "jeq"
+	case JGT:
+		return "jgt"
+	case JGE:
+		return "jge"
+	case JSet:
+		return "jset"
+	case JNE:
+		return "jne"
+	case JSGT:
+		return "jsgt"
+	case JSGE:
+		return "jsge"
+	case Call:
+		return "call"
+	case Exit:
+		return "exit"
+	case JLT:
+		return "jlt"
+	case JLE:
+		return "jle"
+	case JSLT:
+		return "jslt"
+	case JSLE:
+		return "jsle"
+	default:
+		return fmt.Sprintf("jumpop(%#x)", uint8(op))
+	}
+}
+
+// Source selects the second operand of ALU and jump instructions:
+// either the 32-bit immediate (K) or a source register (X).
+type Source uint8
+
+// Operand sources.
+const (
+	ImmSource  Source = 0x00
+	RegSource  Source = 0x08
+	sourceMask        = 0x08
+)
+
+// OpCode is a single-byte eBPF opcode. The zero value is invalid
+// (it would decode as a legacy LD with immediate mode and word size,
+// which this dialect rejects).
+type OpCode uint8
+
+// Class extracts the instruction class.
+func (op OpCode) Class() Class { return Class(op & 0x07) }
+
+// Size extracts the access width of a load/store opcode.
+func (op OpCode) Size() Size { return Size(op & sizeMask) }
+
+// Mode extracts the addressing mode of a load/store opcode.
+func (op OpCode) Mode() Mode { return Mode(op & modeMask) }
+
+// ALUOp extracts the arithmetic operation of an ALU opcode.
+func (op OpCode) ALUOp() ALUOp { return ALUOp(op & aluOpMask) }
+
+// JumpOp extracts the control-flow operation of a jump opcode.
+func (op OpCode) JumpOp() JumpOp { return JumpOp(op & jumpOpMask) }
+
+// Source extracts the operand source of an ALU or jump opcode.
+func (op OpCode) Source() Source { return Source(op & sourceMask) }
+
+// MkALU builds an ALU opcode.
+func MkALU(class Class, aluOp ALUOp, src Source) OpCode {
+	return OpCode(uint8(class) | uint8(aluOp) | uint8(src))
+}
+
+// MkJump builds a jump opcode.
+func MkJump(class Class, jumpOp JumpOp, src Source) OpCode {
+	return OpCode(uint8(class) | uint8(jumpOp) | uint8(src))
+}
+
+// MkMem builds a load/store opcode with register+offset addressing.
+func MkMem(class Class, size Size) OpCode {
+	return OpCode(uint8(class) | uint8(size) | uint8(ModeMem))
+}
+
+// opLdImm64 is the first byte of a 16-byte LD_IMM64 instruction.
+const opLdImm64 = OpCode(uint8(ClassLd) | uint8(DWord) | uint8(ModeImm))
+
+func (op OpCode) String() string {
+	class := op.Class()
+	switch {
+	case class.isALU():
+		bits := "64"
+		if class == ClassALU {
+			bits = "32"
+		}
+		s := "imm"
+		if op.Source() == RegSource {
+			s = "reg"
+		}
+		if op.ALUOp() == Swap {
+			return "swap"
+		}
+		return fmt.Sprintf("%s%s %s", op.ALUOp(), bits, s)
+	case class.isJump():
+		j := op.JumpOp()
+		if j == Call || j == Exit || j == Ja {
+			return j.String()
+		}
+		s := "imm"
+		if op.Source() == RegSource {
+			s = "reg"
+		}
+		suffix := ""
+		if class == ClassJump32 {
+			suffix = "32"
+		}
+		return fmt.Sprintf("%s%s %s", j, suffix, s)
+	case class.isLoadStore():
+		return fmt.Sprintf("%s%s", class, op.Size())
+	case op == opLdImm64:
+		return "lddw"
+	default:
+		return fmt.Sprintf("op(%#02x)", uint8(op))
+	}
+}

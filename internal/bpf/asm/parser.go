@@ -1,0 +1,425 @@
+package asm
+
+// A text assembler: the inverse of Instructions.String. It accepts
+// the same listing syntax the disassembler emits, so programs can be
+// dumped, edited and re-assembled with the sebpf tool — no Go
+// toolchain required to author a network function.
+//
+// Grammar (one instruction per line; ';' and '//' start comments):
+//
+//	label:                          ; jump target
+//	rD = IMM                        ; mov64 (also: rD = IMM ll)
+//	rD = rS                         ; mov64 reg
+//	rD += IMM      rD += rS         ; +,-,*,/,%,&,|,^,<<,>>,s>>
+//	rD = -rD                        ; neg
+//	rD = be16 rD / be32 / be64      ; byte swaps (le16/le32/le64)
+//	rD = *(u8 *)(rS + OFF)          ; loads (u8/u16/u32/u64)
+//	*(u8 *)(rD + OFF) = rS          ; stores
+//	*(u8 *)(rD + OFF) = IMM         ; store immediate
+//	lock *(u32 *)(rD + OFF) += rS   ; atomic add (u32/u64)
+//	rD = map[NAME]                  ; map pseudo-load
+//	call ID                         ; helper call
+//	goto LABEL                      ; unconditional jump
+//	if rD == IMM goto LABEL         ; ==,!=,<,<=,>,>=,&,s<,s<=,s>,s>=
+//	if rD == rS goto LABEL
+//	exit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Text string
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("asm: line %d: %s (in %q)", e.Line, e.Msg, e.Text)
+}
+
+// Parse assembles a text listing into instructions. Jump references
+// remain symbolic; run Assemble (or load the program) to resolve them.
+func Parse(src string) (Instructions, error) {
+	var out Instructions
+	pendingLabels := []string{}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(msg string) (Instructions, error) {
+			return nil, &ParseError{Line: lineNo + 1, Text: strings.TrimSpace(raw), Msg: msg}
+		}
+
+		// Leading "N:" listing offsets from the disassembler are noise.
+		if i := strings.IndexByte(line, ':'); i >= 0 && isUint(strings.TrimSpace(line[:i])) {
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				continue
+			}
+		}
+
+		// Label definition.
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSpace(strings.TrimSuffix(line, ":"))
+			if name == "" || strings.ContainsAny(name, " \t") {
+				return fail("bad label")
+			}
+			pendingLabels = append(pendingLabels, name)
+			continue
+		}
+
+		ins, err := parseInstruction(line)
+		if err != nil {
+			return fail(err.Error())
+		}
+		for _, l := range pendingLabels {
+			ins = ins.WithSymbol(l) // last wins; duplicates caught below
+			if len(pendingLabels) > 1 {
+				return fail("multiple labels on one instruction are not supported")
+			}
+		}
+		pendingLabels = pendingLabels[:0]
+		out = append(out, ins)
+	}
+	if len(pendingLabels) > 0 {
+		return nil, &ParseError{Line: 0, Text: pendingLabels[0] + ":", Msg: "label at end of program"}
+	}
+	return out, nil
+}
+
+func stripComment(s string) string {
+	if i := strings.Index(s, ";"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+func isUint(s string) bool {
+	if s == "" {
+		return false
+	}
+	_, err := strconv.ParseUint(s, 10, 32)
+	return err == nil
+}
+
+func parseInstruction(line string) (Instruction, error) {
+	switch {
+	case line == "exit":
+		return Return(), nil
+	case strings.HasPrefix(line, "call "):
+		return parseCall(line)
+	case strings.HasPrefix(line, "goto "):
+		return mkJump(Ja, 0, 0, false, strings.TrimSpace(line[5:]))
+	case strings.HasPrefix(line, "if "):
+		return parseCond(line)
+	case strings.HasPrefix(line, "lock "):
+		return parseAtomic(line)
+	case strings.HasPrefix(line, "*("):
+		return parseStore(line)
+	default:
+		return parseALUOrLoad(line)
+	}
+}
+
+func parseCall(line string) (Instruction, error) {
+	arg := strings.TrimSpace(line[5:])
+	arg = strings.TrimPrefix(arg, "#")
+	id, err := strconv.ParseInt(arg, 0, 32)
+	if err != nil {
+		return Instruction{}, fmt.Errorf("bad helper id %q", arg)
+	}
+	return CallHelper(int32(id)), nil
+}
+
+var condOps = []struct {
+	sym string
+	op  JumpOp
+}{
+	// Longest symbols first so ">=" wins over ">".
+	{"s>=", JSGE}, {"s<=", JSLE}, {"s>", JSGT}, {"s<", JSLT},
+	{"==", JEq}, {"!=", JNE}, {">=", JGE}, {"<=", JLE},
+	{">", JGT}, {"<", JLT}, {"&", JSet},
+}
+
+func parseCond(line string) (Instruction, error) {
+	// if rD <op> OPERAND goto LABEL
+	rest := strings.TrimSpace(line[3:])
+	gotoIdx := strings.Index(rest, " goto ")
+	if gotoIdx < 0 {
+		return Instruction{}, fmt.Errorf("missing goto")
+	}
+	label := strings.TrimSpace(rest[gotoIdx+6:])
+	cond := strings.TrimSpace(rest[:gotoIdx])
+
+	fields := strings.Fields(cond)
+	if len(fields) != 3 {
+		return Instruction{}, fmt.Errorf("bad condition %q", cond)
+	}
+	dst, err := parseReg(fields[0])
+	if err != nil {
+		return Instruction{}, err
+	}
+	var jop JumpOp
+	found := false
+	for _, c := range condOps {
+		if fields[1] == c.sym {
+			jop, found = c.op, true
+			break
+		}
+	}
+	if !found {
+		return Instruction{}, fmt.Errorf("unknown comparison %q", fields[1])
+	}
+	if src, err := parseReg(fields[2]); err == nil {
+		ins, err := mkJump(jop, dst, 0, false, label)
+		ins.OpCode = MkJump(ClassJump, jop, RegSource)
+		ins.Src = src
+		return ins, err
+	}
+	imm, err := parseImm32(fields[2])
+	if err != nil {
+		return Instruction{}, err
+	}
+	return mkJump(jop, dst, imm, true, label)
+}
+
+// mkJump builds a jump towards either a symbolic label or a numeric
+// relative target ("+3"/"-2"), as disassembled listings print them.
+func mkJump(jop JumpOp, dst Register, imm int32, immSrc bool, target string) (Instruction, error) {
+	ins := Instruction{OpCode: MkJump(ClassJump, jop, ImmSource), Dst: dst}
+	if immSrc || jop == Ja {
+		ins.Constant = int64(imm)
+	}
+	if strings.HasPrefix(target, "+") || strings.HasPrefix(target, "-") {
+		off, err := strconv.ParseInt(target, 10, 16)
+		if err != nil {
+			return Instruction{}, fmt.Errorf("bad jump target %q", target)
+		}
+		ins.Offset = int16(off)
+		return ins, nil
+	}
+	ins.Reference = target
+	return ins, nil
+}
+
+func parseAtomic(line string) (Instruction, error) {
+	// lock *(u32 *)(rD + OFF) += rS
+	rest := strings.TrimSpace(line[5:])
+	size, base, off, rhs, isStore, err := parseMemExpr(rest)
+	if err != nil {
+		return Instruction{}, err
+	}
+	if !isStore || !strings.HasPrefix(rhs, "+=") {
+		return Instruction{}, fmt.Errorf("atomic form is `lock *(uN *)(rD + OFF) += rS`")
+	}
+	src, err := parseReg(strings.TrimSpace(strings.TrimPrefix(rhs, "+=")))
+	if err != nil {
+		return Instruction{}, err
+	}
+	if size != Word && size != DWord {
+		return Instruction{}, fmt.Errorf("atomic add needs u32 or u64")
+	}
+	return AtomicAdd(base, off, src, size), nil
+}
+
+func parseStore(line string) (Instruction, error) {
+	size, base, off, rhs, isStore, err := parseMemExpr(line)
+	if err != nil {
+		return Instruction{}, err
+	}
+	if !isStore || !strings.HasPrefix(rhs, "=") {
+		return Instruction{}, fmt.Errorf("bad store")
+	}
+	val := strings.TrimSpace(strings.TrimPrefix(rhs, "="))
+	if src, err := parseReg(val); err == nil {
+		return StoreMem(base, off, src, size), nil
+	}
+	imm, err := parseImm32(val)
+	if err != nil {
+		return Instruction{}, err
+	}
+	return StoreImm(base, off, imm, size), nil
+}
+
+// parseMemExpr handles `*(uN *)(rX + OFF)` plus whatever follows.
+func parseMemExpr(s string) (size Size, base Register, off int16, rest string, isStore bool, err error) {
+	if !strings.HasPrefix(s, "*(") {
+		return 0, 0, 0, "", false, fmt.Errorf("expected memory operand")
+	}
+	closeTy := strings.Index(s, "*)")
+	if closeTy < 0 {
+		return 0, 0, 0, "", false, fmt.Errorf("bad access type")
+	}
+	switch strings.TrimSpace(s[2:closeTy]) {
+	case "u8", "b":
+		size = Byte
+	case "u16", "h":
+		size = Half
+	case "u32", "w":
+		size = Word
+	case "u64", "dw":
+		size = DWord
+	default:
+		return 0, 0, 0, "", false, fmt.Errorf("bad access width %q", s[2:closeTy])
+	}
+	s = strings.TrimSpace(s[closeTy+2:])
+	if !strings.HasPrefix(s, "(") {
+		return 0, 0, 0, "", false, fmt.Errorf("expected (reg + off)")
+	}
+	closeAddr := strings.Index(s, ")")
+	if closeAddr < 0 {
+		return 0, 0, 0, "", false, fmt.Errorf("unterminated address")
+	}
+	addr := s[1:closeAddr]
+	rest = strings.TrimSpace(s[closeAddr+1:])
+
+	// rX, rX + N, rX - N (also the disassembler's "rX +N" form).
+	addr = strings.ReplaceAll(addr, "+", " + ")
+	addr = strings.ReplaceAll(addr, "-", " - ")
+	f := strings.Fields(addr)
+	if len(f) == 0 {
+		return 0, 0, 0, "", false, fmt.Errorf("empty address")
+	}
+	base, err = parseReg(f[0])
+	if err != nil {
+		return 0, 0, 0, "", false, err
+	}
+	switch len(f) {
+	case 1:
+	case 3:
+		n, perr := strconv.ParseInt(f[2], 0, 16)
+		if perr != nil {
+			return 0, 0, 0, "", false, fmt.Errorf("bad offset %q", f[2])
+		}
+		if f[1] == "-" {
+			n = -n
+		}
+		off = int16(n)
+	default:
+		return 0, 0, 0, "", false, fmt.Errorf("bad address %q", addr)
+	}
+	return size, base, off, rest, rest != "" && (rest[0] == '=' || strings.HasPrefix(rest, "+=")), nil
+}
+
+var aluSyms = []struct {
+	sym string
+	op  ALUOp
+}{
+	{"s>>=", ArSh}, {"<<=", LSh}, {">>=", RSh},
+	{"+=", Add}, {"-=", Sub}, {"*=", Mul}, {"/=", Div},
+	{"%=", Mod}, {"&=", And}, {"|=", Or}, {"^=", Xor},
+}
+
+func parseALUOrLoad(line string) (Instruction, error) {
+	// First token must be a register.
+	sp := strings.IndexAny(line, " \t")
+	if sp < 0 {
+		return Instruction{}, fmt.Errorf("unrecognised instruction")
+	}
+	dst, err := parseReg(line[:sp])
+	if err != nil {
+		return Instruction{}, err
+	}
+	rest := strings.TrimSpace(line[sp:])
+
+	for _, a := range aluSyms {
+		if strings.HasPrefix(rest, a.sym) {
+			operand := strings.TrimSpace(rest[len(a.sym):])
+			if src, rerr := parseReg(operand); rerr == nil {
+				return ALU64Reg(a.op, dst, src), nil
+			}
+			imm, ierr := parseImm32(operand)
+			if ierr != nil {
+				return Instruction{}, ierr
+			}
+			return ALU64Imm(a.op, dst, imm), nil
+		}
+	}
+
+	if !strings.HasPrefix(rest, "=") {
+		return Instruction{}, fmt.Errorf("unrecognised instruction")
+	}
+	rhs := strings.TrimSpace(rest[1:])
+	switch {
+	case rhs == "-"+line[:sp]:
+		return Neg64(dst), nil
+	case strings.HasPrefix(rhs, "map["):
+		if !strings.HasSuffix(rhs, "]") {
+			return Instruction{}, fmt.Errorf("bad map reference")
+		}
+		return LoadMapPtr(dst, rhs[4:len(rhs)-1]), nil
+	case strings.HasPrefix(rhs, "*("):
+		size, base, off, tail, _, merr := parseMemExpr(rhs)
+		if merr != nil {
+			return Instruction{}, merr
+		}
+		if tail != "" {
+			return Instruction{}, fmt.Errorf("trailing %q after load", tail)
+		}
+		return LoadMem(dst, base, off, size), nil
+	case strings.HasPrefix(rhs, "be16 "), strings.HasPrefix(rhs, "be32 "), strings.HasPrefix(rhs, "be64 "):
+		bits, _ := strconv.Atoi(rhs[2:4])
+		return HostToBE(dst, bits), nil
+	case strings.HasPrefix(rhs, "le16 "), strings.HasPrefix(rhs, "le32 "), strings.HasPrefix(rhs, "le64 "):
+		bits, _ := strconv.Atoi(rhs[2:4])
+		return HostToLE(dst, bits), nil
+	}
+	if src, rerr := parseReg(rhs); rerr == nil {
+		return Mov64Reg(dst, src), nil
+	}
+	// `rD = IMM` or `rD = IMM ll` (64-bit immediate).
+	wide := false
+	if strings.HasSuffix(rhs, " ll") {
+		wide = true
+		rhs = strings.TrimSpace(strings.TrimSuffix(rhs, " ll"))
+	}
+	v, verr := strconv.ParseInt(rhs, 0, 64)
+	if verr != nil {
+		// Allow large unsigned hex constants.
+		u, uerr := strconv.ParseUint(rhs, 0, 64)
+		if uerr != nil {
+			return Instruction{}, fmt.Errorf("bad operand %q", rhs)
+		}
+		v = int64(u)
+		wide = true
+	}
+	if wide || v > 0x7fffffff || v < -0x80000000 {
+		return LoadImm64(dst, v), nil
+	}
+	return Mov64Imm(dst, int32(v)), nil
+}
+
+func parseReg(s string) (Register, error) {
+	s = strings.TrimSpace(s)
+	if s == "rfp" || s == "r10" || s == "fp" {
+		return RFP, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n <= 10 {
+			return Register(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm32(s string) (int32, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v > 0xffffffff || v < -0x80000000 {
+		return 0, fmt.Errorf("immediate %q exceeds 32 bits", s)
+	}
+	return int32(v), nil
+}

@@ -1,0 +1,189 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) Instructions {
+	t.Helper()
+	insns, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return insns
+}
+
+func TestParseBasicForms(t *testing.T) {
+	src := `
+		; a comment
+		r0 = 0              // trailing comment
+		r1 = r0
+		r2 = 0x1122334455667788 ll
+		r3 = -5
+		r0 += 7
+		r0 -= r1
+		r0 <<= 4
+		r0 s>>= 1
+		r4 = *(u16 *)(r1 + 6)
+		*(u8 *)(rfp - 2) = 9
+		*(u64 *)(rfp - 8) = r4
+		lock *(u64 *)(rfp - 8) += r0
+		r5 = map[counters]
+		call 5
+		r0 = be16 r0
+		exit
+	`
+	insns := mustParse(t, src)
+	if len(insns) != 16 {
+		t.Fatalf("parsed %d instructions:\n%s", len(insns), insns)
+	}
+	if !insns[12].IsLoadFromMap() || insns[12].MapName != "counters" {
+		t.Errorf("map load: %+v", insns[12])
+	}
+	if insns[2].Constant != 0x1122334455667788 {
+		t.Errorf("lddw constant = %#x", insns[2].Constant)
+	}
+	if insns[13].Constant != 5 {
+		t.Errorf("call id = %d", insns[13].Constant)
+	}
+}
+
+func TestParseLabelsAndJumps(t *testing.T) {
+	src := `
+		r0 = 0
+		if r0 == 0 goto out
+		r0 = 1
+	out:
+		exit
+	`
+	insns := mustParse(t, src)
+	if insns[1].Reference != "out" {
+		t.Fatalf("reference = %q", insns[1].Reference)
+	}
+	if insns[3].Symbol != "out" {
+		t.Fatalf("symbol = %q", insns[3].Symbol)
+	}
+	if _, err := insns.Assemble(); err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+}
+
+func TestParseConditionVariants(t *testing.T) {
+	src := `
+		r0 = 0
+		if r0 != 1 goto a
+	a:
+		if r0 > r1 goto b
+	b:
+		if r0 s< -3 goto c
+	c:
+		if r0 & 0x10 goto d
+	d:
+		exit
+	`
+	// r1 is uninitialised but parsing doesn't care (the verifier does).
+	insns := mustParse(t, src)
+	ops := []JumpOp{JNE, JGT, JSLT, JSet}
+	idx := 0
+	for _, ins := range insns {
+		if ins.OpCode.Class().isJump() && ins.OpCode.JumpOp() != Exit {
+			if ins.OpCode.JumpOp() != ops[idx] {
+				t.Errorf("jump %d: got %v, want %v", idx, ins.OpCode.JumpOp(), ops[idx])
+			}
+			idx++
+		}
+	}
+	if idx != len(ops) {
+		t.Fatalf("found %d jumps", idx)
+	}
+}
+
+// TestParseRoundTripsDisassembly feeds every bundled program's
+// listing back through the parser and requires semantic equality.
+func TestParseRoundTripsDisassembly(t *testing.T) {
+	progs := []Instructions{
+		{
+			Mov64Imm(R0, 0),
+			Return(),
+		},
+		{
+			Mov64Reg(R6, R1),
+			LoadMem(R7, R6, 16, DWord),
+			LoadMem(R8, R6, 24, DWord),
+			Mov64Reg(R2, R7),
+			ALU64Imm(Add, R2, 48),
+			JumpReg(JGT, R2, R8, "drop"),
+			LoadMem(R3, R7, 46, Half),
+			HostToBE(R3, 16),
+			ALU64Imm(Add, R3, 1),
+			StoreMem(RFP, -2, R3, Half),
+			LoadMapPtr(R1, "m"),
+			Mov64Imm(R4, 2),
+			CallHelper(74),
+			JumpImm(JNE, R0, 0, "drop"),
+			Mov64Imm(R0, 0),
+			Return(),
+			Mov64Imm(R0, 2).WithSymbol("drop"),
+			Return(),
+		},
+	}
+	for pi, prog := range progs {
+		listing := prog.String()
+		back, err := Parse(listing)
+		if err != nil {
+			t.Fatalf("program %d: parse of own listing failed: %v\n%s", pi, err, listing)
+		}
+		if len(back) != len(prog) {
+			t.Fatalf("program %d: %d -> %d instructions\n%s", pi, len(prog), len(back), listing)
+		}
+		a, err := prog.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.Assemble()
+		if err != nil {
+			t.Fatalf("program %d: reassemble: %v", pi, err)
+		}
+		wa, _ := a.Bytes()
+		wb, _ := b.Bytes()
+		if string(wa) != string(wb) {
+			t.Fatalf("program %d: wire images differ after text round trip\noriginal:\n%s\nreparsed:\n%s",
+				pi, a, b)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"bogus", "unrecognised"},
+		{"r99 = 1", "bad register"},
+		{"r0 = 1\nif r0 == 1 jump x", "missing goto"},
+		{"call nine", "bad helper id"},
+		{"*(u24 *)(r1 + 0) = 1", "bad access width"},
+		{"lock *(u8 *)(r1 + 0) += r2", "atomic add needs"},
+		{"r0 = map[oops", "bad map reference"},
+		{"end:", "label at end"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("%q: no error", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: error %q does not mention %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestParseListingOffsetsIgnored(t *testing.T) {
+	// The disassembler prefixes wire offsets; the parser strips them.
+	src := "   0: r0 = 7\n   1: exit\n"
+	insns := mustParse(t, src)
+	if len(insns) != 2 || insns[0].Constant != 7 {
+		t.Fatalf("parsed: %v", insns)
+	}
+}

@@ -1,0 +1,54 @@
+// Package asm implements the eBPF instruction set used by this
+// repository: instruction encoding and decoding in the 8-byte wire
+// format of the Linux kernel, typed constructors for every opcode
+// class, a label-resolving assembler, and a disassembler.
+//
+// The dialect matches the classic (pre-BTF) eBPF ISA that the paper's
+// Linux 4.18 target supports: ALU/ALU64, JMP/JMP32, LDX/ST/STX with
+// byte/half/word/double-word widths, 16-byte LD_IMM64 (including map
+// pseudo-loads), byte-swap instructions, helper calls and EXIT.
+package asm
+
+import "fmt"
+
+// Register is one of the eleven eBPF registers.
+//
+// The calling convention mirrors the kernel's: R0 holds return values,
+// R1-R5 hold helper-call arguments and are clobbered by calls, R6-R9
+// are callee-saved, and R10 is the read-only frame pointer to the top
+// of the 512-byte stack.
+type Register uint8
+
+// The eBPF register file.
+const (
+	R0 Register = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+
+	// RFP is an alias for the frame pointer.
+	RFP = R10
+)
+
+// MaxRegister is the highest valid register number.
+const MaxRegister = R10
+
+func (r Register) String() string {
+	if r > MaxRegister {
+		return fmt.Sprintf("r?(%d)", uint8(r))
+	}
+	if r == R10 {
+		return "rfp"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Valid reports whether r names an architectural register.
+func (r Register) Valid() bool { return r <= MaxRegister }

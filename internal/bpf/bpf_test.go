@@ -1,0 +1,368 @@
+package bpf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"srv6bpf/internal/bpf/asm"
+	"srv6bpf/internal/bpf/maps"
+	"srv6bpf/internal/bpf/verifier"
+	"srv6bpf/internal/bpf/vm"
+)
+
+// testEnv is a minimal ExecContext.
+type testEnv struct {
+	now    int64
+	rndSeq []uint32
+	rndIdx int
+	logs   []string
+}
+
+func (e *testEnv) Now() int64 { return e.now }
+func (e *testEnv) Random() uint32 {
+	if len(e.rndSeq) == 0 {
+		return 4 // chosen by fair dice roll
+	}
+	v := e.rndSeq[e.rndIdx%len(e.rndSeq)]
+	e.rndIdx++
+	return v
+}
+func (e *testEnv) Printk(msg string) { e.logs = append(e.logs, msg) }
+
+// testHook builds a hook with generic helpers and a 32-byte
+// read-only context.
+func testHook() *Hook {
+	var table vm.HelperTable
+	InstallGenericHelpers(&table, nil)
+	return &Hook{
+		Name: "test",
+		Verifier: verifier.Config{
+			CtxSize: 32,
+			Helpers: GenericHelperSigs(),
+		},
+		Helpers: &table,
+	}
+}
+
+func runProgram(t *testing.T, prog asm.Instructions, avail map[string]*maps.Map, env ExecContext) uint64 {
+	t.Helper()
+	p, err := LoadProgram(&ProgramSpec{
+		Name:         "test-prog",
+		Instructions: prog,
+		License:      "GPL",
+	}, testHook(), avail, LoadOptions{})
+	if err != nil {
+		t.Fatalf("LoadProgram: %v", err)
+	}
+	inst, err := p.NewInstance()
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	ctx := make([]byte, 32)
+	inst.Memory().SetSegment(vm.RegionCtx, &vm.Segment{Data: ctx})
+	inst.Machine().HelperContext = env
+	ret, err := inst.Run(vm.Pointer(vm.RegionCtx, 0))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return ret
+}
+
+func TestMapLookupUpdateFromProgram(t *testing.T) {
+	counter := maps.MustNew(maps.Spec{
+		Name: "counters", Type: maps.Array, KeySize: 4, ValueSize: 8, MaxEntries: 1,
+	})
+	// Program: look up counters[0], increment it, return new value.
+	prog := asm.Instructions{
+		asm.StoreImm(asm.RFP, -4, 0, asm.Word), // key = 0
+		asm.LoadMapPtr(asm.R1, "counters"),
+		asm.Mov64Reg(asm.R2, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R2, -4),
+		asm.CallHelper(HelperMapLookupElem),
+		asm.JumpImm(asm.JEq, asm.R0, 0, "miss"),
+		asm.LoadMem(asm.R1, asm.R0, 0, asm.DWord),
+		asm.ALU64Imm(asm.Add, asm.R1, 1),
+		asm.StoreMem(asm.R0, 0, asm.R1, asm.DWord),
+		asm.Mov64Reg(asm.R0, asm.R1),
+		asm.Return(),
+		asm.Mov64Imm(asm.R0, -1).WithSymbol("miss"),
+		asm.Return(),
+	}
+	avail := map[string]*maps.Map{"counters": counter}
+	env := &testEnv{}
+	if got := runProgram(t, prog, avail, env); got != 1 {
+		t.Errorf("first run = %d, want 1", got)
+	}
+	if got := runProgram(t, prog, avail, env); got != 2 {
+		t.Errorf("second run (fresh instance, shared arena) = %d, want 2", got)
+	}
+	// User space sees the update.
+	v, err := counter.LookupUint64(PutUint32(0))
+	if err != nil || v != 2 {
+		t.Errorf("user-space lookup = %d, %v", v, err)
+	}
+}
+
+func TestMapUpdateHelperFromProgram(t *testing.T) {
+	h := maps.MustNew(maps.Spec{
+		Name: "state", Type: maps.Hash, KeySize: 4, ValueSize: 8, MaxEntries: 2,
+	})
+	prog := asm.Instructions{
+		asm.StoreImm(asm.RFP, -4, 7, asm.Word),    // key = 7
+		asm.StoreImm(asm.RFP, -16, 42, asm.DWord), // value = 42
+		asm.LoadMapPtr(asm.R1, "state"),
+		asm.Mov64Reg(asm.R2, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R2, -4),
+		asm.Mov64Reg(asm.R3, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R3, -16),
+		asm.Mov64Imm(asm.R4, 0), // BPF_ANY
+		asm.CallHelper(HelperMapUpdateElem),
+		asm.Return(),
+	}
+	if got := runProgram(t, prog, map[string]*maps.Map{"state": h}, &testEnv{}); got != 0 {
+		t.Fatalf("update returned %d", int64(got))
+	}
+	v, err := h.LookupUint64(PutUint32(7))
+	if err != nil || v != 42 {
+		t.Errorf("state[7] = %d, %v", v, err)
+	}
+}
+
+func TestKtimeHelper(t *testing.T) {
+	prog := asm.Instructions{
+		asm.CallHelper(HelperKtimeGetNS),
+		asm.Return(),
+	}
+	env := &testEnv{now: 123456789}
+	if got := runProgram(t, prog, nil, env); got != 123456789 {
+		t.Errorf("ktime = %d", got)
+	}
+}
+
+func TestPrandomHelper(t *testing.T) {
+	prog := asm.Instructions{
+		asm.CallHelper(HelperGetPrandomU32),
+		asm.Return(),
+	}
+	env := &testEnv{rndSeq: []uint32{99}}
+	if got := runProgram(t, prog, nil, env); got != 99 {
+		t.Errorf("prandom = %d", got)
+	}
+}
+
+func TestTracePrintk(t *testing.T) {
+	prog := asm.Instructions{
+		// "hi" on the stack.
+		asm.StoreImm(asm.RFP, -2, 'h', asm.Byte),
+		asm.StoreImm(asm.RFP, -1, 'i', asm.Byte),
+		asm.Mov64Reg(asm.R1, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R1, -2),
+		asm.Mov64Imm(asm.R2, 2),
+		asm.CallHelper(HelperTracePrintk),
+		asm.Return(),
+	}
+	env := &testEnv{}
+	runProgram(t, prog, nil, env)
+	if len(env.logs) != 1 || env.logs[0] != "hi" {
+		t.Errorf("logs = %q", env.logs)
+	}
+}
+
+func TestPerfEventOutputFromProgram(t *testing.T) {
+	events := maps.MustNew(maps.Spec{Name: "events", Type: maps.PerfEventArray, MaxEntries: 1})
+	prog := asm.Instructions{
+		asm.StoreImm(asm.RFP, -8, 0x1234, asm.DWord),
+		asm.Mov64Reg(asm.R6, asm.R1), // save ctx
+		asm.Mov64Reg(asm.R1, asm.R6),
+		asm.LoadMapPtr(asm.R2, "events"),
+		asm.LoadImm64(asm.R3, int64(BPFFCurrentCPU)),
+		asm.Mov64Reg(asm.R4, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R4, -8),
+		asm.Mov64Imm(asm.R5, 8),
+		asm.CallHelper(HelperPerfEventOutput),
+		asm.Return(),
+	}
+	if got := runProgram(t, prog, map[string]*maps.Map{"events": events}, &testEnv{}); got != 0 {
+		t.Fatalf("perf_event_output = %d", int64(got))
+	}
+	r, err := maps.NewReader(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	select {
+	case s := <-r.C():
+		if len(s.Data) != 8 || s.Data[0] != 0x34 || s.Data[1] != 0x12 {
+			t.Errorf("sample = %v", s.Data)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no sample")
+	}
+}
+
+func TestLicenseEnforcement(t *testing.T) {
+	prog := &ProgramSpec{
+		Name: "needs-gpl",
+		Instructions: asm.Instructions{
+			asm.CallHelper(HelperKtimeGetNS),
+			asm.Return(),
+		},
+		License: "Proprietary",
+	}
+	_, err := LoadProgram(prog, testHook(), nil, LoadOptions{})
+	if !errors.Is(err, ErrBadLicense) {
+		t.Fatalf("err = %v", err)
+	}
+	// Without helper calls any license is fine.
+	prog2 := &ProgramSpec{
+		Name: "no-helpers",
+		Instructions: asm.Instructions{
+			asm.Mov64Imm(asm.R0, 0),
+			asm.Return(),
+		},
+		License: "Proprietary",
+	}
+	if _, err := LoadProgram(prog2, testHook(), nil, LoadOptions{}); err != nil {
+		t.Fatalf("helper-free program rejected: %v", err)
+	}
+}
+
+func TestUnknownMapRejected(t *testing.T) {
+	prog := &ProgramSpec{
+		Name: "bad-map",
+		Instructions: asm.Instructions{
+			asm.LoadMapPtr(asm.R1, "nonexistent"),
+			asm.Mov64Imm(asm.R0, 0),
+			asm.Return(),
+		},
+		License: "GPL",
+	}
+	_, err := LoadProgram(prog, testHook(), nil, LoadOptions{})
+	if !errors.Is(err, ErrUnknownMap) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifierRunsAtLoad(t *testing.T) {
+	prog := &ProgramSpec{
+		Name: "bad",
+		Instructions: asm.Instructions{
+			asm.Mov64Imm(asm.R0, 10).WithSymbol("top"),
+			asm.JumpTo("top"),
+		},
+		License: "GPL",
+	}
+	_, err := LoadProgram(prog, testHook(), nil, LoadOptions{})
+	if !errors.Is(err, verifier.ErrLoop) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCollection(t *testing.T) {
+	hook := testHook()
+	spec := &CollectionSpec{
+		Maps: map[string]maps.Spec{
+			"shared": {Type: maps.Array, KeySize: 4, ValueSize: 8, MaxEntries: 1},
+		},
+		Programs: map[string]*ProgramSpec{
+			"writer": {
+				Instructions: asm.Instructions{
+					asm.StoreImm(asm.RFP, -4, 0, asm.Word),
+					asm.StoreImm(asm.RFP, -16, 11, asm.DWord),
+					asm.LoadMapPtr(asm.R1, "shared"),
+					asm.Mov64Reg(asm.R2, asm.RFP),
+					asm.ALU64Imm(asm.Add, asm.R2, -4),
+					asm.Mov64Reg(asm.R3, asm.RFP),
+					asm.ALU64Imm(asm.Add, asm.R3, -16),
+					asm.Mov64Imm(asm.R4, 0),
+					asm.CallHelper(HelperMapUpdateElem),
+					asm.Return(),
+				},
+				License: "GPL",
+			},
+			"reader": {
+				Instructions: asm.Instructions{
+					asm.StoreImm(asm.RFP, -4, 0, asm.Word),
+					asm.LoadMapPtr(asm.R1, "shared"),
+					asm.Mov64Reg(asm.R2, asm.RFP),
+					asm.ALU64Imm(asm.Add, asm.R2, -4),
+					asm.CallHelper(HelperMapLookupElem),
+					asm.JumpImm(asm.JEq, asm.R0, 0, "miss"),
+					asm.LoadMem(asm.R0, asm.R0, 0, asm.DWord),
+					asm.Return(),
+					asm.Mov64Imm(asm.R0, -1).WithSymbol("miss"),
+					asm.Return(),
+				},
+				License: "GPL",
+			},
+		},
+		Hooks: map[string]*Hook{"writer": hook, "reader": hook},
+	}
+	coll, err := NewCollection(spec, LoadOptions{})
+	if err != nil {
+		t.Fatalf("NewCollection: %v", err)
+	}
+
+	runInst := func(p *Program) uint64 {
+		inst, err := p.NewInstance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Memory().SetSegment(vm.RegionCtx, &vm.Segment{Data: make([]byte, 32)})
+		inst.Machine().HelperContext = &testEnv{}
+		ret, err := inst.Run(vm.Pointer(vm.RegionCtx, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ret
+	}
+	if ret := runInst(coll.Programs["writer"]); ret != 0 {
+		t.Fatalf("writer = %d", int64(ret))
+	}
+	if ret := runInst(coll.Programs["reader"]); ret != 11 {
+		t.Fatalf("reader = %d, want 11 (map sharing broken)", int64(ret))
+	}
+}
+
+func TestInterpreterOptionDisablesJIT(t *testing.T) {
+	off := false
+	p, err := LoadProgram(&ProgramSpec{
+		Name: "p",
+		Instructions: asm.Instructions{
+			asm.Mov64Imm(asm.R0, 0), asm.Return(),
+		},
+		License: "GPL",
+	}, testHook(), nil, LoadOptions{JIT: &off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := p.NewInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.exec.JIT() {
+		t.Error("JIT enabled despite option")
+	}
+}
+
+func TestCollectionMissingHook(t *testing.T) {
+	spec := &CollectionSpec{
+		Programs: map[string]*ProgramSpec{
+			"p": {Instructions: asm.Instructions{asm.Mov64Imm(asm.R0, 0), asm.Return()}, License: "GPL"},
+		},
+	}
+	if _, err := NewCollection(spec, LoadOptions{}); !errors.Is(err, ErrNoHook) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestErrnoEncoding(t *testing.T) {
+	if got := int64(Errno(ENOENT)); got != -2 {
+		t.Errorf("Errno(ENOENT) = %d", got)
+	}
+	if !strings.Contains(maps.ErrKeyNotExist.Error(), "not exist") {
+		t.Error("sanity")
+	}
+}

@@ -1,0 +1,73 @@
+package bpf
+
+import (
+	"fmt"
+	"sort"
+
+	"srv6bpf/internal/bpf/maps"
+)
+
+// CollectionSpec bundles map and program definitions that belong
+// together, mirroring an ELF object produced by clang in real eBPF
+// workflows.
+type CollectionSpec struct {
+	Maps     map[string]maps.Spec
+	Programs map[string]*ProgramSpec
+	// Hooks assigns a hook to each program by name.
+	Hooks map[string]*Hook
+}
+
+// Collection is the loaded form: created maps and loaded programs.
+type Collection struct {
+	Maps     map[string]*maps.Map
+	Programs map[string]*Program
+}
+
+// NewCollection creates every map, then loads every program against
+// its hook with all collection maps visible.
+func NewCollection(spec *CollectionSpec, opts LoadOptions) (*Collection, error) {
+	coll := &Collection{
+		Maps:     make(map[string]*maps.Map, len(spec.Maps)),
+		Programs: make(map[string]*Program, len(spec.Programs)),
+	}
+
+	// Deterministic creation order for reproducible failures.
+	mapNames := make([]string, 0, len(spec.Maps))
+	for name := range spec.Maps {
+		mapNames = append(mapNames, name)
+	}
+	sort.Strings(mapNames)
+	for _, name := range mapNames {
+		ms := spec.Maps[name]
+		if ms.Name == "" {
+			ms.Name = name
+		}
+		m, err := maps.New(ms)
+		if err != nil {
+			return nil, fmt.Errorf("bpf: creating map %q: %w", name, err)
+		}
+		coll.Maps[name] = m
+	}
+
+	progNames := make([]string, 0, len(spec.Programs))
+	for name := range spec.Programs {
+		progNames = append(progNames, name)
+	}
+	sort.Strings(progNames)
+	for _, name := range progNames {
+		ps := spec.Programs[name]
+		if ps.Name == "" {
+			ps.Name = name
+		}
+		hook := spec.Hooks[name]
+		if hook == nil {
+			return nil, fmt.Errorf("bpf: program %q: %w", name, ErrNoHook)
+		}
+		p, err := LoadProgram(ps, hook, coll.Maps, opts)
+		if err != nil {
+			return nil, err
+		}
+		coll.Programs[name] = p
+	}
+	return coll, nil
+}

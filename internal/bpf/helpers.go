@@ -1,0 +1,269 @@
+package bpf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"srv6bpf/internal/bpf/maps"
+	"srv6bpf/internal/bpf/verifier"
+	"srv6bpf/internal/bpf/vm"
+)
+
+// Helper IDs. Values match the Linux UAPI helper numbering of the
+// kernel the paper extended (4.18), so listings of our programs read
+// like contemporary eBPF.
+const (
+	HelperMapLookupElem   = 1
+	HelperMapUpdateElem   = 2
+	HelperMapDeleteElem   = 3
+	HelperKtimeGetNS      = 5
+	HelperTracePrintk     = 6
+	HelperGetPrandomU32   = 7
+	HelperPerfEventOutput = 25
+	HelperSkbLoadBytes    = 26
+
+	// LWT / SRv6 helpers (Linux 4.18 additions from the paper, §3.1).
+	HelperLWTPushEncap     = 73
+	HelperLWTSeg6StoreByte = 74
+	HelperLWTSeg6AdjustSRH = 75
+	HelperLWTSeg6Action    = 76
+
+	// Helpers this repository adds beyond the UAPI set, in a private
+	// range. HelperHWTimestamp is the "generic helper that we added to
+	// the Linux kernel" for transmission timestamps (§4.1);
+	// HelperSeg6ECMPNexthops is the custom helper of the End.OAMP use
+	// case (§4.3, "50 SLOC in the kernel").
+	HelperHWTimestamp      = 200
+	HelperSeg6ECMPNexthops = 201
+)
+
+// BPFFCurrentCPU is the perf_event_output flag selecting the current
+// CPU's ring (all simulated nodes are single-core, so ring 0).
+const BPFFCurrentCPU = 0xffffffff
+
+// ExecContext is the environment generic helpers run against. The
+// hook layer stores an implementation in Machine.HelperContext before
+// each program invocation.
+type ExecContext interface {
+	// Now returns virtual time in nanoseconds.
+	Now() int64
+	// Random returns a pseudo-random 32-bit value (seeded, for
+	// reproducible experiments).
+	Random() uint32
+	// Printk receives bpf_trace_printk output.
+	Printk(msg string)
+}
+
+func execContext(m *vm.Machine) (ExecContext, error) {
+	ec, ok := m.HelperContext.(ExecContext)
+	if !ok {
+		return nil, fmt.Errorf("bpf: helper context %T does not implement ExecContext", m.HelperContext)
+	}
+	return ec, nil
+}
+
+// GenericHelperSigs returns verifier signatures for the generic
+// helper set shared by all hooks in this repository.
+func GenericHelperSigs() map[int32]verifier.HelperSig {
+	return map[int32]verifier.HelperSig{
+		HelperMapLookupElem: {
+			Name: "map_lookup_elem",
+			Args: []verifier.ArgKind{verifier.ArgMapHandle, verifier.ArgPtr},
+			Ret:  verifier.RetMapValueOrNull,
+		},
+		HelperMapUpdateElem: {
+			Name: "map_update_elem",
+			Args: []verifier.ArgKind{verifier.ArgMapHandle, verifier.ArgPtr, verifier.ArgPtr, verifier.ArgScalar},
+			Ret:  verifier.RetScalar,
+		},
+		HelperMapDeleteElem: {
+			Name: "map_delete_elem",
+			Args: []verifier.ArgKind{verifier.ArgMapHandle, verifier.ArgPtr},
+			Ret:  verifier.RetScalar,
+		},
+		HelperKtimeGetNS:    {Name: "ktime_get_ns", Ret: verifier.RetScalar},
+		HelperGetPrandomU32: {Name: "get_prandom_u32", Ret: verifier.RetScalar},
+		HelperTracePrintk: {
+			Name: "trace_printk",
+			Args: []verifier.ArgKind{verifier.ArgPtr, verifier.ArgScalar},
+			Ret:  verifier.RetScalar,
+		},
+		HelperPerfEventOutput: {
+			Name: "perf_event_output",
+			Args: []verifier.ArgKind{verifier.ArgCtx, verifier.ArgMapHandle, verifier.ArgScalar, verifier.ArgPtr, verifier.ArgScalar},
+			Ret:  verifier.RetScalar,
+		},
+		HelperSkbLoadBytes: {
+			Name: "skb_load_bytes",
+			Args: []verifier.ArgKind{verifier.ArgCtx, verifier.ArgScalar, verifier.ArgPtr, verifier.ArgScalar},
+			Ret:  verifier.RetScalar,
+		},
+		HelperHWTimestamp: {Name: "hw_timestamp", Ret: verifier.RetScalar},
+	}
+}
+
+// InstallGenericHelpers fills table with the generic helper
+// implementations. skbBytes resolves the raw packet bytes for
+// skb_load_bytes; it may be nil for hooks without packet access.
+func InstallGenericHelpers(table *vm.HelperTable, skbBytes func(m *vm.Machine) []byte) {
+	table[HelperMapLookupElem] = helperMapLookup
+	table[HelperMapUpdateElem] = helperMapUpdate
+	table[HelperMapDeleteElem] = helperMapDelete
+
+	table[HelperKtimeGetNS] = func(m *vm.Machine, _, _, _, _, _ uint64) (uint64, error) {
+		ec, err := execContext(m)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(ec.Now()), nil
+	}
+	// hw_timestamp returns the same clock: in the simulator the NIC
+	// timestamp and the kernel clock agree (the paper's helper exposes
+	// the driver RX/TX timestamp).
+	table[HelperHWTimestamp] = table[HelperKtimeGetNS]
+
+	table[HelperGetPrandomU32] = func(m *vm.Machine, _, _, _, _, _ uint64) (uint64, error) {
+		ec, err := execContext(m)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(ec.Random()), nil
+	}
+
+	table[HelperTracePrintk] = func(m *vm.Machine, r1, r2, _, _, _ uint64) (uint64, error) {
+		ec, err := execContext(m)
+		if err != nil {
+			return 0, err
+		}
+		n := int(r2)
+		if n < 0 || n > 512 {
+			return Errno(EINVAL), nil
+		}
+		msg, err := m.Mem.ReadBytes(r1, n)
+		if err != nil {
+			return 0, err
+		}
+		ec.Printk(string(msg))
+		return uint64(n), nil
+	}
+
+	table[HelperPerfEventOutput] = func(m *vm.Machine, r1, r2, r3, r4, r5 uint64) (uint64, error) {
+		binding, ok := ResolveBinding(m, r2)
+		if !ok {
+			return Errno(EINVAL), nil
+		}
+		if binding.Map.Spec().Type != maps.PerfEventArray {
+			return Errno(EINVAL), nil
+		}
+		size := int(r5)
+		if size <= 0 || size > 4096 {
+			return Errno(E2BIG), nil
+		}
+		data, err := m.Mem.ReadBytes(r4, size)
+		if err != nil {
+			return 0, err
+		}
+		cpu := int(uint32(r3))
+		if uint32(r3) == BPFFCurrentCPU {
+			cpu = 0 // single-core nodes
+		}
+		if !binding.Map.Output(cpu, data) {
+			return Errno(ENOENT), nil
+		}
+		return 0, nil
+	}
+
+	if skbBytes != nil {
+		table[HelperSkbLoadBytes] = func(m *vm.Machine, r1, r2, r3, r4, r5 uint64) (uint64, error) {
+			pkt := skbBytes(m)
+			off, n := int(r2), int(r4)
+			if pkt == nil || off < 0 || n <= 0 || off+n > len(pkt) {
+				return Errno(EINVAL), nil
+			}
+			if err := m.Mem.WriteBytes(r3, pkt[off:off+n]); err != nil {
+				return 0, err
+			}
+			return 0, nil
+		}
+	}
+}
+
+func helperMapLookup(m *vm.Machine, r1, r2, _, _, _ uint64) (uint64, error) {
+	binding, ok := ResolveBinding(m, r1)
+	if !ok {
+		return 0, fmt.Errorf("bpf: map_lookup_elem: bad map handle %#x", r1)
+	}
+	spec := binding.Map.Spec()
+	key, err := m.Mem.ReadBytes(r2, int(spec.KeySize))
+	if err != nil {
+		return 0, err
+	}
+	off, ok := binding.Map.LookupSlot(key)
+	if !ok {
+		return 0, nil // NULL
+	}
+	return vm.Pointer(binding.Arena, uint64(off)), nil
+}
+
+func helperMapUpdate(m *vm.Machine, r1, r2, r3, r4, _ uint64) (uint64, error) {
+	binding, ok := ResolveBinding(m, r1)
+	if !ok {
+		return 0, fmt.Errorf("bpf: map_update_elem: bad map handle %#x", r1)
+	}
+	spec := binding.Map.Spec()
+	key, err := m.Mem.ReadBytes(r2, int(spec.KeySize))
+	if err != nil {
+		return 0, err
+	}
+	val, err := m.Mem.ReadBytes(r3, int(spec.ValueSize))
+	if err != nil {
+		return 0, err
+	}
+	switch err := binding.Map.Update(key, val, r4); err {
+	case nil:
+		return 0, nil
+	case maps.ErrKeyExist:
+		return Errno(EEXIST), nil
+	case maps.ErrKeyNotExist:
+		return Errno(ENOENT), nil
+	case maps.ErrFull:
+		return Errno(E2BIG), nil
+	default:
+		return Errno(EINVAL), nil
+	}
+}
+
+func helperMapDelete(m *vm.Machine, r1, r2, _, _, _ uint64) (uint64, error) {
+	binding, ok := ResolveBinding(m, r1)
+	if !ok {
+		return 0, fmt.Errorf("bpf: map_delete_elem: bad map handle %#x", r1)
+	}
+	spec := binding.Map.Spec()
+	key, err := m.Mem.ReadBytes(r2, int(spec.KeySize))
+	if err != nil {
+		return 0, err
+	}
+	switch err := binding.Map.Delete(key); err {
+	case nil:
+		return 0, nil
+	case maps.ErrKeyNotExist:
+		return Errno(ENOENT), nil
+	default:
+		return Errno(EINVAL), nil
+	}
+}
+
+// PutUint64 and ReadUint64 are small conveniences for building map
+// keys/values in user-space code and tests.
+func PutUint64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+// PutUint32 encodes a little-endian 4-byte key.
+func PutUint32(v uint32) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, v)
+	return b
+}

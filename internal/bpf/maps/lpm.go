@@ -1,0 +1,162 @@
+package maps
+
+import "encoding/binary"
+
+// LPM trie implementation. Keys have the kernel's bpf_lpm_trie_key
+// layout: a 4-byte little-endian prefix length (in bits) followed by
+// the key data. Lookup finds the entry with the longest prefix that
+// matches the query key (whose prefix length field is ignored, as in
+// the kernel where lookups pass the full data length).
+
+// trieNode is a binary trie over key bits.
+type trieNode struct {
+	children [2]*trieNode
+	// slot >= 0 when a prefix terminates here.
+	slot    int
+	present bool
+}
+
+// lpmPrefixLen extracts the prefix length field.
+func lpmPrefixLen(key []byte) uint32 {
+	return binary.LittleEndian.Uint32(key[:4])
+}
+
+// lpmData extracts the key data following the prefix length.
+func lpmData(key []byte) []byte { return key[4:] }
+
+// bitAt returns bit i of data, most significant bit of byte 0 first
+// (network order, as needed for IP prefixes).
+func bitAt(data []byte, i uint32) int {
+	return int(data[i/8]>>(7-i%8)) & 1
+}
+
+func (m *Map) lpmCheckKey(key []byte) error {
+	if uint32(len(key)) != m.spec.KeySize {
+		return ErrKeySize
+	}
+	maxBits := (m.spec.KeySize - 4) * 8
+	if lpmPrefixLen(key) > maxBits {
+		return ErrBadPrefixLen
+	}
+	return nil
+}
+
+func (m *Map) lpmUpdateLocked(key, value []byte, flags uint64) error {
+	if err := m.lpmCheckKey(key); err != nil {
+		return err
+	}
+	plen := lpmPrefixLen(key)
+	data := lpmData(key)
+
+	// Canonical key: zero bits beyond the prefix so that equivalent
+	// prefixes collide in the index.
+	canon := canonicalLPMKey(plen, data, int(m.spec.KeySize))
+
+	slot, exists := m.index[string(canon)]
+	switch {
+	case exists && flags == UpdateNoExist:
+		return ErrKeyExist
+	case !exists && flags == UpdateExist:
+		return ErrKeyNotExist
+	}
+	if !exists {
+		var err error
+		slot, err = m.allocSlotLocked()
+		if err != nil {
+			return err
+		}
+		m.index[string(canon)] = slot
+		m.keys[slot] = string(canon)
+		// Insert into trie.
+		n := m.trie
+		for i := uint32(0); i < plen; i++ {
+			b := bitAt(data, i)
+			if n.children[b] == nil {
+				n.children[b] = &trieNode{}
+			}
+			n = n.children[b]
+		}
+		n.slot = slot
+		n.present = true
+	}
+	copy(m.slotBytes(slot), value)
+	return nil
+}
+
+func (m *Map) lpmDeleteLocked(key []byte) error {
+	if err := m.lpmCheckKey(key); err != nil {
+		return err
+	}
+	plen := lpmPrefixLen(key)
+	data := lpmData(key)
+	canon := canonicalLPMKey(plen, data, int(m.spec.KeySize))
+	slot, ok := m.index[string(canon)]
+	if !ok {
+		return ErrKeyNotExist
+	}
+	delete(m.index, string(canon))
+	m.keys[slot] = ""
+	m.free = append(m.free, slot)
+	clearBytes(m.slotBytes(slot))
+
+	// Unmark in the trie; prune empty branches.
+	m.lpmPrune(m.trie, data, plen, 0)
+	return nil
+}
+
+// lpmPrune clears the terminal flag for the prefix and removes nodes
+// that no longer carry entries or children. Returns whether the node
+// became empty.
+func (m *Map) lpmPrune(n *trieNode, data []byte, plen, depth uint32) bool {
+	if n == nil {
+		return true
+	}
+	if depth == plen {
+		n.present = false
+	} else {
+		b := bitAt(data, depth)
+		if m.lpmPrune(n.children[b], data, plen, depth+1) {
+			n.children[b] = nil
+		}
+	}
+	return !n.present && n.children[0] == nil && n.children[1] == nil && depth > 0
+}
+
+// lpmLookupLocked finds the longest matching prefix for the query.
+func (m *Map) lpmLookupLocked(key []byte) (int, bool) {
+	if uint32(len(key)) != m.spec.KeySize {
+		return 0, false
+	}
+	data := lpmData(key)
+	maxBits := (m.spec.KeySize - 4) * 8
+
+	best, found := 0, false
+	n := m.trie
+	for i := uint32(0); ; i++ {
+		if n.present {
+			best, found = n.slot, true
+		}
+		if i >= maxBits {
+			break
+		}
+		next := n.children[bitAt(data, i)]
+		if next == nil {
+			break
+		}
+		n = next
+	}
+	return best, found
+}
+
+// canonicalLPMKey rebuilds the key with bits past the prefix zeroed.
+func canonicalLPMKey(plen uint32, data []byte, keySize int) []byte {
+	out := make([]byte, keySize)
+	binary.LittleEndian.PutUint32(out[:4], plen)
+	fullBytes := int(plen / 8)
+	copy(out[4:4+fullBytes], data[:fullBytes])
+	if rem := plen % 8; rem != 0 {
+		mask := byte(0xff) << (8 - rem)
+		out[4+fullBytes] = data[fullBytes] & mask
+	}
+	return out
+}

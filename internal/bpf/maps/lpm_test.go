@@ -1,0 +1,219 @@
+package maps
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// lpmKey builds a bpf_lpm_trie_key for an IPv6-sized (16-byte) prefix.
+func lpmKey(plen uint32, addr [16]byte) []byte {
+	k := make([]byte, 20)
+	binary.LittleEndian.PutUint32(k[:4], plen)
+	copy(k[4:], addr[:])
+	return k
+}
+
+func addrFromBytes(bs ...byte) [16]byte {
+	var a [16]byte
+	copy(a[:], bs)
+	return a
+}
+
+func TestLPMBasicMatch(t *testing.T) {
+	m := MustNew(Spec{Name: "fib", Type: LPMTrie, KeySize: 20, ValueSize: 4, MaxEntries: 16})
+
+	val := func(v uint32) []byte {
+		b := make([]byte, 4)
+		binary.LittleEndian.PutUint32(b, v)
+		return b
+	}
+
+	// 2000::/8 -> 1, 2001:db8::/32 -> 2, 2001:db8::/64 with next byte -> 3
+	if err := m.Update(lpmKey(8, addrFromBytes(0x20)), val(1), UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(lpmKey(32, addrFromBytes(0x20, 0x01, 0x0d, 0xb8)), val(2), UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(lpmKey(48, addrFromBytes(0x20, 0x01, 0x0d, 0xb8, 0x00, 0x01)), val(3), UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+
+	lookup := func(addr [16]byte) (uint32, bool) {
+		v, err := m.Lookup(lpmKey(128, addr))
+		if err != nil {
+			return 0, false
+		}
+		return binary.LittleEndian.Uint32(v), true
+	}
+
+	if v, ok := lookup(addrFromBytes(0x20, 0x01, 0x0d, 0xb8, 0x00, 0x01, 0xff)); !ok || v != 3 {
+		t.Errorf("most specific match = %d, %v; want 3", v, ok)
+	}
+	if v, ok := lookup(addrFromBytes(0x20, 0x01, 0x0d, 0xb8, 0x00, 0x02)); !ok || v != 2 {
+		t.Errorf("/32 match = %d, %v; want 2", v, ok)
+	}
+	if v, ok := lookup(addrFromBytes(0x20, 0xff)); !ok || v != 1 {
+		t.Errorf("/8 match = %d, %v; want 1", v, ok)
+	}
+	if _, ok := lookup(addrFromBytes(0x30)); ok {
+		t.Error("unexpected match outside 2000::/8")
+	}
+}
+
+func TestLPMDefaultRoute(t *testing.T) {
+	m := MustNew(Spec{Name: "fib", Type: LPMTrie, KeySize: 20, ValueSize: 4, MaxEntries: 4})
+	if err := m.Update(lpmKey(0, [16]byte{}), []byte{9, 0, 0, 0}, UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Lookup(lpmKey(128, addrFromBytes(0xfe, 0x80)))
+	if err != nil {
+		t.Fatalf("default route missed: %v", err)
+	}
+	if v[0] != 9 {
+		t.Errorf("default value = %v", v)
+	}
+}
+
+func TestLPMDeleteAndPrune(t *testing.T) {
+	m := MustNew(Spec{Name: "fib", Type: LPMTrie, KeySize: 20, ValueSize: 4, MaxEntries: 4})
+	k32 := lpmKey(32, addrFromBytes(0x20, 0x01, 0x0d, 0xb8))
+	k16 := lpmKey(16, addrFromBytes(0x20, 0x01))
+	if err := m.Update(k32, []byte{2, 0, 0, 0}, UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(k16, []byte{1, 0, 0, 0}, UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(k32); err != nil {
+		t.Fatalf("delete /32: %v", err)
+	}
+	v, err := m.Lookup(lpmKey(128, addrFromBytes(0x20, 0x01, 0x0d, 0xb8, 0xaa)))
+	if err != nil {
+		t.Fatalf("fallback to /16 after delete failed: %v", err)
+	}
+	if v[0] != 1 {
+		t.Errorf("fallback value = %v", v)
+	}
+	if err := m.Delete(k32); !errors.Is(err, ErrKeyNotExist) {
+		t.Errorf("double delete = %v", err)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestLPMBadPrefixLen(t *testing.T) {
+	m := MustNew(Spec{Name: "fib", Type: LPMTrie, KeySize: 20, ValueSize: 4, MaxEntries: 4})
+	if err := m.Update(lpmKey(129, [16]byte{}), []byte{1, 0, 0, 0}, UpdateAny); !errors.Is(err, ErrBadPrefixLen) {
+		t.Errorf("prefix 129 error = %v", err)
+	}
+}
+
+func TestLPMCanonicalization(t *testing.T) {
+	m := MustNew(Spec{Name: "fib", Type: LPMTrie, KeySize: 20, ValueSize: 4, MaxEntries: 4})
+	// Same /16 prefix written with different garbage beyond the prefix
+	// must refer to the same entry.
+	a := lpmKey(16, addrFromBytes(0x20, 0x01, 0xde, 0xad))
+	b := lpmKey(16, addrFromBytes(0x20, 0x01, 0xbe, 0xef))
+	if err := m.Update(a, []byte{1, 0, 0, 0}, UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(b, []byte{2, 0, 0, 0}, UpdateNoExist); !errors.Is(err, ErrKeyExist) {
+		t.Fatalf("same canonical prefix not deduplicated: %v", err)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+}
+
+// naiveLPM is the reference model: linear scan over prefixes.
+type naiveLPM struct {
+	plens []uint32
+	datas [][16]byte
+	vals  []uint32
+}
+
+func (n *naiveLPM) insert(plen uint32, addr [16]byte, v uint32) {
+	masked := maskAddr(addr, plen)
+	for i := range n.plens {
+		if n.plens[i] == plen && n.datas[i] == masked {
+			n.vals[i] = v
+			return
+		}
+	}
+	n.plens = append(n.plens, plen)
+	n.datas = append(n.datas, masked)
+	n.vals = append(n.vals, v)
+}
+
+func (n *naiveLPM) lookup(addr [16]byte) (uint32, bool) {
+	bestLen := int32(-1)
+	var best uint32
+	for i := range n.plens {
+		if maskAddr(addr, n.plens[i]) == n.datas[i] && int32(n.plens[i]) > bestLen {
+			bestLen = int32(n.plens[i])
+			best = n.vals[i]
+		}
+	}
+	return best, bestLen >= 0
+}
+
+func maskAddr(addr [16]byte, plen uint32) [16]byte {
+	var out [16]byte
+	full := plen / 8
+	copy(out[:full], addr[:full])
+	if rem := plen % 8; rem != 0 {
+		out[full] = addr[full] & (byte(0xff) << (8 - rem))
+	}
+	return out
+}
+
+// TestLPMAgainstNaiveModel inserts random prefixes into both the trie
+// and a linear-scan model and checks that random lookups agree.
+func TestLPMAgainstNaiveModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := MustNew(Spec{Name: "fib", Type: LPMTrie, KeySize: 20, ValueSize: 4, MaxEntries: 64})
+		ref := &naiveLPM{}
+		for i := 0; i < 32; i++ {
+			var addr [16]byte
+			// Cluster prefixes in a narrow space to force overlaps.
+			addr[0] = byte(r.Intn(2)) + 0x20
+			addr[1] = byte(r.Intn(4))
+			addr[2] = byte(r.Intn(4))
+			r.Read(addr[3:6])
+			plen := uint32(r.Intn(49)) // 0..48
+			v := uint32(i + 1)
+			val := make([]byte, 4)
+			binary.LittleEndian.PutUint32(val, v)
+			if err := m.Update(lpmKey(plen, addr), val, UpdateAny); err != nil {
+				return false
+			}
+			ref.insert(plen, addr, v)
+		}
+		for i := 0; i < 64; i++ {
+			var q [16]byte
+			q[0] = byte(r.Intn(2)) + 0x20
+			q[1] = byte(r.Intn(4))
+			q[2] = byte(r.Intn(4))
+			r.Read(q[3:6])
+			wantV, wantOK := ref.lookup(q)
+			got, err := m.Lookup(lpmKey(128, q))
+			gotOK := err == nil
+			if gotOK != wantOK {
+				return false
+			}
+			if gotOK && binary.LittleEndian.Uint32(got) != wantV {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

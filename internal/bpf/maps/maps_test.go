@@ -1,0 +1,240 @@
+package maps
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func u32key(v uint32) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, v)
+	return b
+}
+
+func u64val(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"array ok", Spec{Type: Array, KeySize: 4, ValueSize: 8, MaxEntries: 1}, true},
+		{"array bad key", Spec{Type: Array, KeySize: 8, ValueSize: 8, MaxEntries: 1}, false},
+		{"zero entries", Spec{Type: Array, KeySize: 4, ValueSize: 8}, false},
+		{"hash ok", Spec{Type: Hash, KeySize: 16, ValueSize: 4, MaxEntries: 8}, true},
+		{"hash no key", Spec{Type: Hash, ValueSize: 4, MaxEntries: 8}, false},
+		{"lpm too small", Spec{Type: LPMTrie, KeySize: 4, ValueSize: 4, MaxEntries: 8}, false},
+		{"lpm ok", Spec{Type: LPMTrie, KeySize: 20, ValueSize: 4, MaxEntries: 8}, true},
+		{"perf ok", Spec{Type: PerfEventArray, MaxEntries: 2}, true},
+		{"unknown", Spec{Type: Type(99), KeySize: 4, ValueSize: 4, MaxEntries: 1}, false},
+		{"zero value", Spec{Type: Hash, KeySize: 4, MaxEntries: 8}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.spec)
+			if (err == nil) != tc.ok {
+				t.Fatalf("New(%+v) error = %v, want ok=%v", tc.spec, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestArraySemantics(t *testing.T) {
+	m := MustNew(Spec{Name: "arr", Type: Array, KeySize: 4, ValueSize: 8, MaxEntries: 4})
+
+	// Elements pre-exist and read as zero.
+	v, err := m.Lookup(u32key(3))
+	if err != nil {
+		t.Fatalf("Lookup fresh: %v", err)
+	}
+	if binary.LittleEndian.Uint64(v) != 0 {
+		t.Error("fresh array element not zero")
+	}
+
+	if err := m.Update(u32key(2), u64val(99), UpdateAny); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	got, err := m.LookupUint64(u32key(2))
+	if err != nil || got != 99 {
+		t.Fatalf("LookupUint64 = %d, %v; want 99", got, err)
+	}
+
+	// Out-of-range key.
+	if err := m.Update(u32key(4), u64val(1), UpdateAny); !errors.Is(err, ErrKeyNotExist) {
+		t.Errorf("out-of-range update error = %v", err)
+	}
+	if _, err := m.Lookup(u32key(100)); !errors.Is(err, ErrKeyNotExist) {
+		t.Errorf("out-of-range lookup error = %v", err)
+	}
+
+	// NOEXIST is invalid for arrays.
+	if err := m.Update(u32key(0), u64val(1), UpdateNoExist); !errors.Is(err, ErrKeyExist) {
+		t.Errorf("NOEXIST on array error = %v", err)
+	}
+	// Delete unsupported.
+	if err := m.Delete(u32key(0)); !errors.Is(err, ErrNotSupported) {
+		t.Errorf("array delete error = %v", err)
+	}
+	if m.Len() != 4 {
+		t.Errorf("array Len = %d, want 4", m.Len())
+	}
+}
+
+func TestHashSemantics(t *testing.T) {
+	m := MustNew(Spec{Name: "h", Type: Hash, KeySize: 4, ValueSize: 8, MaxEntries: 2})
+
+	if _, err := m.Lookup(u32key(1)); !errors.Is(err, ErrKeyNotExist) {
+		t.Fatalf("lookup missing = %v", err)
+	}
+	if err := m.Update(u32key(1), u64val(10), UpdateExist); !errors.Is(err, ErrKeyNotExist) {
+		t.Fatalf("EXIST on missing = %v", err)
+	}
+	if err := m.Update(u32key(1), u64val(10), UpdateNoExist); err != nil {
+		t.Fatalf("NOEXIST insert: %v", err)
+	}
+	if err := m.Update(u32key(1), u64val(11), UpdateNoExist); !errors.Is(err, ErrKeyExist) {
+		t.Fatalf("NOEXIST on present = %v", err)
+	}
+	if err := m.Update(u32key(2), u64val(20), UpdateAny); err != nil {
+		t.Fatalf("second insert: %v", err)
+	}
+	if err := m.Update(u32key(3), u64val(30), UpdateAny); !errors.Is(err, ErrFull) {
+		t.Fatalf("overflow = %v, want ErrFull", err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if err := m.Delete(u32key(1)); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := m.Delete(u32key(1)); !errors.Is(err, ErrKeyNotExist) {
+		t.Fatalf("double delete = %v", err)
+	}
+	// Slot is reusable.
+	if err := m.Update(u32key(9), u64val(90), UpdateAny); err != nil {
+		t.Fatalf("insert after delete: %v", err)
+	}
+	got, _ := m.LookupUint64(u32key(9))
+	if got != 90 {
+		t.Fatalf("value after slot reuse = %d", got)
+	}
+
+	// Wrong key size.
+	if err := m.Update([]byte{1}, u64val(1), UpdateAny); !errors.Is(err, ErrKeySize) {
+		t.Errorf("short key = %v", err)
+	}
+	if err := m.Update(u32key(9), []byte{1}, UpdateAny); !errors.Is(err, ErrValueSize) {
+		t.Errorf("short value = %v", err)
+	}
+	if err := m.Update(u32key(9), u64val(1), 7); !errors.Is(err, ErrBadFlags) {
+		t.Errorf("bad flags = %v", err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	m := MustNew(Spec{Name: "lru", Type: LRUHash, KeySize: 4, ValueSize: 8, MaxEntries: 3})
+	for i := uint32(1); i <= 3; i++ {
+		if err := m.Update(u32key(i), u64val(uint64(i)), UpdateAny); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	// Touch 1 so 2 becomes LRU.
+	if _, err := m.Lookup(u32key(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Insert 4: should evict 2.
+	if err := m.Update(u32key(4), u64val(4), UpdateAny); err != nil {
+		t.Fatalf("evicting insert: %v", err)
+	}
+	if _, err := m.Lookup(u32key(2)); !errors.Is(err, ErrKeyNotExist) {
+		t.Errorf("key 2 should have been evicted, err = %v", err)
+	}
+	for _, k := range []uint32{1, 3, 4} {
+		if _, err := m.Lookup(u32key(k)); err != nil {
+			t.Errorf("key %d unexpectedly gone: %v", k, err)
+		}
+	}
+	if m.Len() != 3 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestLRUUpdateTouches(t *testing.T) {
+	m := MustNew(Spec{Name: "lru", Type: LRUHash, KeySize: 4, ValueSize: 8, MaxEntries: 2})
+	m.Update(u32key(1), u64val(1), UpdateAny)
+	m.Update(u32key(2), u64val(2), UpdateAny)
+	// Rewrite 1; now 2 is LRU.
+	m.Update(u32key(1), u64val(11), UpdateAny)
+	m.Update(u32key(3), u64val(3), UpdateAny)
+	if _, err := m.Lookup(u32key(2)); !errors.Is(err, ErrKeyNotExist) {
+		t.Errorf("expected 2 evicted, err = %v", err)
+	}
+	if v, _ := m.LookupUint64(u32key(1)); v != 11 {
+		t.Errorf("key 1 = %d", v)
+	}
+}
+
+func TestLookupSlotStability(t *testing.T) {
+	m := MustNew(Spec{Name: "h", Type: Hash, KeySize: 4, ValueSize: 8, MaxEntries: 4})
+	m.Update(u32key(7), u64val(70), UpdateAny)
+	off1, ok := m.LookupSlot(u32key(7))
+	if !ok {
+		t.Fatal("LookupSlot missed")
+	}
+	// Writing through the arena must be visible to Lookup.
+	binary.LittleEndian.PutUint64(m.Arena()[off1:off1+8], 71)
+	got, _ := m.LookupUint64(u32key(7))
+	if got != 71 {
+		t.Fatalf("arena write invisible, got %d", got)
+	}
+	// Slot must be stable across unrelated inserts.
+	m.Update(u32key(8), u64val(80), UpdateAny)
+	off2, _ := m.LookupSlot(u32key(7))
+	if off1 != off2 {
+		t.Fatalf("slot moved: %d -> %d", off1, off2)
+	}
+}
+
+func TestIterate(t *testing.T) {
+	m := MustNew(Spec{Name: "h", Type: Hash, KeySize: 4, ValueSize: 8, MaxEntries: 8})
+	want := map[uint32]uint64{1: 10, 2: 20, 3: 30}
+	for k, v := range want {
+		m.Update(u32key(k), u64val(v), UpdateAny)
+	}
+	got := map[uint32]uint64{}
+	m.Iterate(func(k, v []byte) bool {
+		got[binary.LittleEndian.Uint32(k)] = binary.LittleEndian.Uint64(v)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %d = %d, want %d", k, got[k], v)
+		}
+	}
+	// Early stop.
+	n := 0
+	m.Iterate(func(k, v []byte) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestPerCPUArrayIsArrayLike(t *testing.T) {
+	m := MustNew(Spec{Name: "pc", Type: PerCPUArray, KeySize: 4, ValueSize: 8, MaxEntries: 2})
+	if err := m.Update(u32key(1), u64val(5), UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.LookupUint64(u32key(1))
+	if err != nil || v != 5 {
+		t.Fatalf("percpu lookup = %d, %v", v, err)
+	}
+}

@@ -1,0 +1,202 @@
+package maps
+
+import (
+	"errors"
+	"sync"
+)
+
+// defaultRingCapacity is the number of samples one perf ring buffers
+// before new samples are counted as lost, mirroring a fixed-size
+// mmap'd perf ring.
+const defaultRingCapacity = 4096
+
+// ErrRingClosed is returned by Reader operations after Close.
+var ErrRingClosed = errors.New("maps: perf ring closed")
+
+// Sample is one record pushed by bpf_perf_event_output.
+type Sample struct {
+	// CPU is the index (map key) the program targeted.
+	CPU int
+	// Data is the raw bytes the program emitted.
+	Data []byte
+}
+
+// perfRing is a bounded FIFO of samples with lost-sample accounting.
+type perfRing struct {
+	mu       sync.Mutex
+	buf      []Sample
+	capacity int
+	lost     uint64
+}
+
+func newPerfRing(capacity int) *perfRing {
+	return &perfRing{capacity: capacity}
+}
+
+func (r *perfRing) push(s Sample) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) >= r.capacity {
+		r.lost++
+		return false
+	}
+	r.buf = append(r.buf, s)
+	return true
+}
+
+func (r *perfRing) pop() (Sample, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) == 0 {
+		return Sample{}, false
+	}
+	s := r.buf[0]
+	r.buf = r.buf[1:]
+	return s, true
+}
+
+// Output pushes a sample into ring cpu. It reports false when the
+// sample was dropped (ring full or bad index); drops increment the
+// lost-sample counter, which user space can observe via LostSamples.
+func (m *Map) Output(cpu int, data []byte) bool {
+	if m.spec.Type != PerfEventArray {
+		return false
+	}
+	if cpu < 0 || cpu >= len(m.rings) {
+		return false
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	ok := m.rings[cpu].push(Sample{CPU: cpu, Data: cp})
+	if ok {
+		m.notifyReaders()
+	}
+	return ok
+}
+
+func (m *Map) notifyReaders() {
+	m.mu.RLock()
+	subs := m.subscribers
+	m.mu.RUnlock()
+	for _, ch := range subs {
+		select {
+		case ch <- struct{}{}:
+		default: // Reader already has a pending wakeup.
+		}
+	}
+}
+
+// DrainSamples synchronously pops up to max buffered samples across
+// all rings (max <= 0 means all). Virtual-time daemons in the
+// simulator use this instead of the goroutine-based Reader so that
+// sample consumption happens at deterministic simulation times.
+func (m *Map) DrainSamples(max int) []Sample {
+	if m.spec.Type != PerfEventArray {
+		return nil
+	}
+	var out []Sample
+	for _, r := range m.rings {
+		for max <= 0 || len(out) < max {
+			s, ok := r.pop()
+			if !ok {
+				break
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// LostSamples returns the total number of samples dropped across all
+// rings because a ring was full.
+func (m *Map) LostSamples() uint64 {
+	if m.spec.Type != PerfEventArray {
+		return 0
+	}
+	var total uint64
+	for _, r := range m.rings {
+		r.mu.Lock()
+		total += r.lost
+		r.mu.Unlock()
+	}
+	return total
+}
+
+// Reader drains samples from a PerfEventArray, in the style of
+// cilium/ebpf's perf.Reader. It multiplexes all rings into one
+// channel.
+type Reader struct {
+	m      *Map
+	ch     chan Sample
+	notify chan struct{}
+	stop   chan struct{}
+	once   sync.Once
+}
+
+// NewReader attaches a reader to a PerfEventArray map. A pump
+// goroutine forwards samples to C() as they are produced.
+func NewReader(m *Map) (*Reader, error) {
+	if m.spec.Type != PerfEventArray {
+		return nil, ErrNotSupported
+	}
+	r := &Reader{
+		m:      m,
+		ch:     make(chan Sample, 256),
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	m.mu.Lock()
+	m.subscribers = append(m.subscribers, r.notify)
+	m.mu.Unlock()
+	go r.pump()
+	return r, nil
+}
+
+func (r *Reader) pump() {
+	defer close(r.ch)
+	for {
+		drained := false
+		for _, ring := range r.m.rings {
+			for {
+				s, ok := ring.pop()
+				if !ok {
+					break
+				}
+				drained = true
+				select {
+				case r.ch <- s:
+				case <-r.stop:
+					return
+				}
+			}
+		}
+		if drained {
+			continue
+		}
+		select {
+		case <-r.notify:
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// C returns the sample channel. It is closed when the reader closes.
+func (r *Reader) C() <-chan Sample { return r.ch }
+
+// Close stops the reader. Pending samples may be discarded.
+func (r *Reader) Close() error {
+	r.once.Do(func() {
+		r.m.mu.Lock()
+		subs := r.m.subscribers
+		for i, ch := range subs {
+			if ch == r.notify {
+				r.m.subscribers = append(subs[:i:i], subs[i+1:]...)
+				break
+			}
+		}
+		r.m.mu.Unlock()
+		close(r.stop)
+	})
+	return nil
+}

@@ -1,0 +1,121 @@
+package maps
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPerfOutputAndRead(t *testing.T) {
+	m := MustNew(Spec{Name: "events", Type: PerfEventArray, MaxEntries: 2})
+	r, err := NewReader(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if !m.Output(0, []byte("hello")) {
+		t.Fatal("Output failed")
+	}
+	if !m.Output(1, []byte("world")) {
+		t.Fatal("Output to cpu 1 failed")
+	}
+
+	got := map[string]int{}
+	for i := 0; i < 2; i++ {
+		select {
+		case s := <-r.C():
+			got[string(s.Data)] = s.CPU
+		case <-time.After(2 * time.Second):
+			t.Fatal("timed out waiting for samples")
+		}
+	}
+	if got["hello"] != 0 || got["world"] != 1 {
+		t.Errorf("samples = %v", got)
+	}
+}
+
+func TestPerfOutputCopiesData(t *testing.T) {
+	m := MustNew(Spec{Name: "events", Type: PerfEventArray, MaxEntries: 1})
+	r, err := NewReader(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	buf := []byte{1, 2, 3}
+	m.Output(0, buf)
+	buf[0] = 9 // mutate after output
+	select {
+	case s := <-r.C():
+		if s.Data[0] != 1 {
+			t.Error("sample aliases caller buffer")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestPerfBadIndex(t *testing.T) {
+	m := MustNew(Spec{Name: "events", Type: PerfEventArray, MaxEntries: 1})
+	if m.Output(5, []byte("x")) {
+		t.Error("Output to bad index succeeded")
+	}
+	if m.Output(-1, []byte("x")) {
+		t.Error("Output to negative index succeeded")
+	}
+}
+
+func TestPerfLostSamples(t *testing.T) {
+	m := MustNew(Spec{Name: "events", Type: PerfEventArray, MaxEntries: 1})
+	// No reader: fill the ring to capacity, then overflow.
+	for i := 0; i < defaultRingCapacity; i++ {
+		if !m.Output(0, []byte{byte(i)}) {
+			t.Fatalf("ring filled early at %d", i)
+		}
+	}
+	if m.Output(0, []byte("overflow")) {
+		t.Error("overflow push succeeded")
+	}
+	if m.LostSamples() != 1 {
+		t.Errorf("LostSamples = %d, want 1", m.LostSamples())
+	}
+}
+
+func TestPerfReaderClose(t *testing.T) {
+	m := MustNew(Spec{Name: "events", Type: PerfEventArray, MaxEntries: 1})
+	r, err := NewReader(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Channel must eventually close.
+	select {
+	case _, ok := <-r.C():
+		if ok {
+			// Drain anything buffered; the close must follow.
+			for range r.C() {
+			}
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader channel did not close")
+	}
+	// Double close is fine.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfReaderOnWrongType(t *testing.T) {
+	m := MustNew(Spec{Name: "arr", Type: Array, KeySize: 4, ValueSize: 4, MaxEntries: 1})
+	if _, err := NewReader(m); err == nil {
+		t.Error("NewReader on array succeeded")
+	}
+	if m.Output(0, []byte("x")) {
+		t.Error("Output on array succeeded")
+	}
+	if m.LostSamples() != 0 {
+		t.Error("LostSamples on array non-zero")
+	}
+}

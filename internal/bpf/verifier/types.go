@@ -1,0 +1,388 @@
+package verifier
+
+import (
+	"fmt"
+
+	"srv6bpf/internal/bpf/asm"
+)
+
+func isJumpClass(c asm.Class) bool { return c == asm.ClassJump || c == asm.ClassJump32 }
+
+// vstate is the abstract machine state at one program point: the
+// kind held by each register plus, for stack and context pointers,
+// the statically-known offset from the region base (the kernel's
+// "fixed offset" tracking). Stack contents are not tracked (pointers
+// spilled to the stack come back as scalars, which is conservative:
+// the type system then refuses to dereference them).
+type vstate struct {
+	regs [11]RegKind
+	// offs is the known constant displacement for KindPtrStack
+	// (relative to the frame pointer) and KindPtrCtx (relative to the
+	// context base). Meaningless for other kinds.
+	offs [11]int32
+}
+
+func entryState() vstate {
+	var s vstate
+	s.regs[1] = KindPtrCtx    // R1 = context
+	s.regs[10] = KindPtrStack // R10 = frame pointer
+	return s
+}
+
+// hasFixedOffset reports whether offset tracking applies to kind.
+func hasFixedOffset(kind RegKind) bool {
+	return kind == KindPtrStack || kind == KindPtrCtx
+}
+
+// exploreTypes walks every path through the (acyclic) CFG tracking
+// register kinds, pruning states already seen at a program point.
+func exploreTypes(slots []slotView, cfg Config) error {
+	type workItem struct {
+		pc int
+		st vstate
+	}
+	seen := make(map[int][]vstate)
+	work := []workItem{{pc: 0, st: entryState()}}
+	explored := 0
+
+	push := func(pc int, st vstate) {
+		for _, old := range seen[pc] {
+			if old == st {
+				return
+			}
+		}
+		seen[pc] = append(seen[pc], st)
+		work = append(work, workItem{pc, st})
+	}
+
+	for len(work) > 0 {
+		explored++
+		if explored > maxStatesExplored {
+			return fmt.Errorf("verifier: %w", ErrStateExplosion)
+		}
+		item := work[len(work)-1]
+		work = work[:len(work)-1]
+		pc, st := item.pc, item.st
+
+		if pc < 0 || pc >= len(slots) || slots[pc].pad {
+			return errAt(pc, "control reaches an invalid slot")
+		}
+		ins := slots[pc].ins
+		op := ins.OpCode
+		class := op.Class()
+
+		switch {
+		case class == asm.ClassALU || class == asm.ClassALU64:
+			next, err := stepALU(&st, ins, pc, class)
+			if err != nil {
+				return err
+			}
+			_ = next
+			push(pc+1, st)
+
+		case isJumpClass(class):
+			jop := op.JumpOp()
+			switch jop {
+			case asm.Exit:
+				if st.regs[0] == KindUninit {
+					return errAt(pc, "R0 is not initialised at exit")
+				}
+				continue
+			case asm.Call:
+				if err := stepCall(&st, ins, pc, cfg); err != nil {
+					return err
+				}
+				push(pc+1, st)
+			case asm.Ja:
+				push(pc+1+int(ins.Offset), st)
+			default:
+				if err := checkReadable(&st, ins.Dst, pc); err != nil {
+					return err
+				}
+				if op.Source() == asm.RegSource {
+					if err := checkReadable(&st, ins.Src, pc); err != nil {
+						return err
+					}
+				}
+				taken, fallthru := st, st
+				// Null-check refinement: `if rX == 0` proves rX non-null
+				// on the not-taken edge; `if rX != 0` on the taken edge.
+				if op.Source() == asm.ImmSource && ins.Constant == 0 &&
+					st.regs[ins.Dst] == KindMapValueOrNull {
+					switch jop {
+					case asm.JEq:
+						taken.regs[ins.Dst] = KindScalar // is null
+						fallthru.regs[ins.Dst] = KindPtrMapValue
+					case asm.JNE:
+						taken.regs[ins.Dst] = KindPtrMapValue
+						fallthru.regs[ins.Dst] = KindScalar
+					}
+				}
+				push(pc+1, fallthru)
+				push(pc+1+int(ins.Offset), taken)
+			}
+
+		case class == asm.ClassLdX:
+			if err := checkMemAccess(&st, ins.Src, int(ins.Offset), op.Size().Bytes(), false, pc, cfg); err != nil {
+				return err
+			}
+			if ins.Dst == asm.R10 {
+				return errAt(pc, "write to frame pointer R10")
+			}
+			st.regs[ins.Dst] = KindScalar
+			if st.regs[ins.Src] == KindPtrCtx && op.Size() == asm.DWord {
+				fieldOff := int(st.offs[ins.Src]) + int(ins.Offset)
+				if kind, ok := cfg.CtxPointerFields[fieldOff]; ok {
+					st.regs[ins.Dst] = kind
+				}
+			}
+			st.offs[ins.Dst] = 0
+			push(pc+1, st)
+
+		case class == asm.ClassSt:
+			if err := checkMemAccess(&st, ins.Dst, int(ins.Offset), op.Size().Bytes(), true, pc, cfg); err != nil {
+				return err
+			}
+			push(pc+1, st)
+
+		case class == asm.ClassStX:
+			if err := checkReadable(&st, ins.Src, pc); err != nil {
+				return err
+			}
+			if st.regs[ins.Src].isPointer() && st.regs[ins.Dst] == KindPtrCtx {
+				return errAt(pc, "leaking pointer into context")
+			}
+			if err := checkMemAccess(&st, ins.Dst, int(ins.Offset), op.Size().Bytes(), true, pc, cfg); err != nil {
+				return err
+			}
+			push(pc+1, st)
+
+		case class == asm.ClassLd:
+			// lddw; map pseudo-loads yield handles.
+			if ins.Dst == asm.R10 {
+				return errAt(pc, "write to frame pointer R10")
+			}
+			if ins.IsLoadFromMap() {
+				st.regs[ins.Dst] = KindMapHandle
+			} else {
+				st.regs[ins.Dst] = KindScalar
+			}
+			st.offs[ins.Dst] = 0
+			push(pc+2, st)
+
+		default:
+			return errAt(pc, "invalid class %v", class)
+		}
+	}
+	return nil
+}
+
+func checkReadable(st *vstate, r asm.Register, pc int) error {
+	if !r.Valid() {
+		return errAt(pc, "invalid register r%d", r)
+	}
+	if st.regs[r] == KindUninit {
+		return errAt(pc, "read of uninitialised register %v", r)
+	}
+	return nil
+}
+
+// stepALU applies the type transfer function for arithmetic.
+func stepALU(st *vstate, ins asm.Instruction, pc int, class asm.Class) (RegKind, error) {
+	op := ins.OpCode
+	aop := op.ALUOp()
+	dst := ins.Dst
+	if dst == asm.R10 {
+		return 0, errAt(pc, "write to frame pointer R10")
+	}
+
+	if aop == asm.Neg || aop == asm.Swap {
+		if err := checkReadable(st, dst, pc); err != nil {
+			return 0, err
+		}
+		if st.regs[dst] != KindScalar {
+			return 0, errAt(pc, "%v on non-scalar %v register", aop, st.regs[dst])
+		}
+		return KindScalar, nil
+	}
+
+	var srcKind RegKind = KindScalar
+	if op.Source() == asm.RegSource {
+		if err := checkReadable(st, ins.Src, pc); err != nil {
+			return 0, err
+		}
+		srcKind = st.regs[ins.Src]
+	}
+
+	if aop == asm.Mov {
+		if class == asm.ClassALU && srcKind != KindScalar && op.Source() == asm.RegSource {
+			// mov32 truncates: a truncated pointer is a scalar.
+			st.regs[dst] = KindScalar
+			st.offs[dst] = 0
+			return KindScalar, nil
+		}
+		st.regs[dst] = srcKind
+		if op.Source() == asm.RegSource {
+			st.offs[dst] = st.offs[ins.Src]
+		} else {
+			st.offs[dst] = 0
+		}
+		return srcKind, nil
+	}
+
+	if err := checkReadable(st, dst, pc); err != nil {
+		return 0, err
+	}
+	dstKind := st.regs[dst]
+
+	// Pointer arithmetic: ptr ± scalar stays a pointer (64-bit only).
+	if dstKind.isPointer() {
+		if class != asm.ClassALU64 {
+			return 0, errAt(pc, "32-bit arithmetic on %v pointer", dstKind)
+		}
+		if aop != asm.Add && aop != asm.Sub {
+			return 0, errAt(pc, "%v on %v pointer", aop, dstKind)
+		}
+		if srcKind != KindScalar {
+			return 0, errAt(pc, "pointer %v pointer arithmetic", aop)
+		}
+		if hasFixedOffset(dstKind) {
+			if op.Source() == asm.RegSource {
+				// The scalar's value is unknown; a variable stack or
+				// context offset cannot be proven safe.
+				return 0, errAt(pc, "variable offset arithmetic on %v pointer", dstKind)
+			}
+			delta := int32(ins.Constant)
+			if aop == asm.Sub {
+				delta = -delta
+			}
+			st.offs[dst] += delta
+		}
+		return dstKind, nil
+	}
+	if srcKind.isPointer() {
+		if aop == asm.Add && class == asm.ClassALU64 && dstKind == KindScalar {
+			// scalar + ptr commutes; the scalar's value is unknown, so
+			// fixed-offset regions cannot accept it.
+			if hasFixedOffset(srcKind) {
+				return 0, errAt(pc, "variable offset arithmetic on %v pointer", srcKind)
+			}
+			st.regs[dst] = srcKind
+			st.offs[dst] = 0
+			return srcKind, nil
+		}
+		return 0, errAt(pc, "arithmetic with %v pointer operand", srcKind)
+	}
+	if dstKind == KindMapValueOrNull || srcKind == KindMapValueOrNull ||
+		dstKind == KindMapHandle || srcKind == KindMapHandle {
+		return 0, errAt(pc, "arithmetic on %v", dstKind)
+	}
+	st.regs[dst] = KindScalar
+	st.offs[dst] = 0
+	return KindScalar, nil
+}
+
+// checkMemAccess validates a load/store against the base register's
+// region.
+func checkMemAccess(st *vstate, base asm.Register, off, size int, write bool, pc int, cfg Config) error {
+	if err := checkReadable(st, base, pc); err != nil {
+		return err
+	}
+	kind := st.regs[base]
+	switch kind {
+	case KindPtrStack:
+		// Offsets are relative to the frame pointer, which points to
+		// the top of the stack; valid range is [-stack, 0). The
+		// register may itself carry a known displacement.
+		lo := int(st.offs[base]) + off
+		hi := lo + size
+		if lo < -cfg.stackSize() || hi > 0 {
+			return errAt(pc, "stack access [%d,%d) outside [-%d,0)", lo, hi, cfg.stackSize())
+		}
+		return nil
+	case KindPtrCtx:
+		if cfg.CtxSize == 0 {
+			return errAt(pc, "context access not permitted for this hook")
+		}
+		lo := int(st.offs[base]) + off
+		if lo < 0 || lo+size > cfg.CtxSize {
+			return errAt(pc, "context access [%d,%d) outside [0,%d)", lo, lo+size, cfg.CtxSize)
+		}
+		if write && !cfg.CtxWritable {
+			return errAt(pc, "context is read-only for this hook")
+		}
+		return nil
+	case KindPtrPacket:
+		// Packet bounds are enforced at runtime by the VM (the packet
+		// length is not a compile-time constant). Negative offsets are
+		// still rejected statically.
+		if off < 0 {
+			return errAt(pc, "negative packet offset %d", off)
+		}
+		return nil
+	case KindPtrMapValue:
+		if off < 0 {
+			return errAt(pc, "negative map value offset %d", off)
+		}
+		return nil
+	case KindMapValueOrNull:
+		return errAt(pc, "dereference of possibly-null map value (compare against 0 first)")
+	case KindScalar:
+		return errAt(pc, "dereference of scalar %v", base)
+	case KindMapHandle:
+		return errAt(pc, "dereference of map handle %v", base)
+	default:
+		return errAt(pc, "dereference of %v register %v", kind, base)
+	}
+}
+
+// stepCall validates a helper call and applies its effects: r1-r5
+// become scratch, r0 receives the declared return kind.
+func stepCall(st *vstate, ins asm.Instruction, pc int, cfg Config) error {
+	id := int32(ins.Constant)
+	sig, ok := cfg.Helpers[id]
+	if !ok {
+		return errAt(pc, "helper %d not allowed for this hook", id)
+	}
+	if len(sig.Args) > 5 {
+		return errAt(pc, "helper %q declares %d arguments", sig.Name, len(sig.Args))
+	}
+	for i, kind := range sig.Args {
+		reg := asm.Register(i + 1)
+		got := st.regs[reg]
+		if got == KindUninit {
+			return errAt(pc, "helper %q argument %d (%v) uninitialised", sig.Name, i+1, reg)
+		}
+		switch kind {
+		case ArgAny:
+		case ArgScalar:
+			if got != KindScalar {
+				return errAt(pc, "helper %q argument %d must be scalar, got %v", sig.Name, i+1, got)
+			}
+		case ArgPtr, ArgPtrToMem:
+			if !got.isPointer() {
+				return errAt(pc, "helper %q argument %d must be a pointer, got %v", sig.Name, i+1, got)
+			}
+		case ArgCtx:
+			if got != KindPtrCtx {
+				return errAt(pc, "helper %q argument %d must be the context, got %v", sig.Name, i+1, got)
+			}
+		case ArgMapHandle:
+			if got != KindMapHandle {
+				return errAt(pc, "helper %q argument %d must be a map handle, got %v", sig.Name, i+1, got)
+			}
+		}
+	}
+	for r := asm.R1; r <= asm.R5; r++ {
+		st.regs[r] = KindUninit
+		st.offs[r] = 0
+	}
+	switch sig.Ret {
+	case RetMapValueOrNull:
+		st.regs[0] = KindMapValueOrNull
+	default:
+		st.regs[0] = KindScalar
+	}
+	st.offs[0] = 0
+	return nil
+}

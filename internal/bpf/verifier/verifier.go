@@ -1,0 +1,400 @@
+// Package verifier statically checks eBPF programs before they are
+// allowed to run, mirroring the safety model the paper relies on
+// (§2.1: "a verifier first ensures that it cannot threaten the
+// stability and security of the kernel").
+//
+// The checks implemented here match the pre-5.3 kernel the paper
+// targets (Linux 4.18):
+//
+//   - structural: program size limit, valid opcodes, jump targets that
+//     land on instruction boundaries, no fall-through past the end,
+//     no unreachable instructions;
+//   - termination: the control-flow graph must be acyclic (loops are
+//     rejected; bounded loops must be unrolled at build time, exactly
+//     as contemporary eBPF C did with #pragma unroll);
+//   - type safety: path-sensitive tracking of register contents
+//     (uninitialised, scalar, pointers to stack/context/packet/map
+//     values, map handles), rejecting reads of uninitialised
+//     registers, writes to the frame pointer, dereferences of
+//     scalars, and stack/context accesses out of bounds;
+//   - map-value null checking: the value returned by map_lookup_elem
+//     is pointer-or-null and must be compared against zero before it
+//     may be dereferenced;
+//   - helper discipline: only helpers white-listed for the hook may
+//     be called, and argument registers must carry the kinds the
+//     helper signature declares.
+//
+// The VM performs dynamic bounds checks as a second line of defence,
+// so the verifier's job is to reject structurally unsafe programs and
+// enforce the kernel's programming model rather than to prove every
+// access in-range.
+package verifier
+
+import (
+	"errors"
+	"fmt"
+
+	"srv6bpf/internal/bpf/asm"
+)
+
+// DefaultMaxInstructions matches the classic 4096-instruction kernel
+// limit for unprivileged programs.
+const DefaultMaxInstructions = 4096
+
+// maxStatesExplored caps the path-sensitive exploration.
+const maxStatesExplored = 65536
+
+// RegKind classifies what a register holds on some execution path.
+type RegKind uint8
+
+// Register content kinds.
+const (
+	KindUninit RegKind = iota
+	KindScalar
+	KindPtrStack
+	KindPtrCtx
+	KindPtrPacket
+	KindPtrMapValue
+	KindMapValueOrNull
+	KindMapHandle
+)
+
+func (k RegKind) String() string {
+	switch k {
+	case KindUninit:
+		return "uninit"
+	case KindScalar:
+		return "scalar"
+	case KindPtrStack:
+		return "fp"
+	case KindPtrCtx:
+		return "ctx"
+	case KindPtrPacket:
+		return "pkt"
+	case KindPtrMapValue:
+		return "map_value"
+	case KindMapValueOrNull:
+		return "map_value_or_null"
+	case KindMapHandle:
+		return "map_handle"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+func (k RegKind) isPointer() bool {
+	switch k {
+	case KindPtrStack, KindPtrCtx, KindPtrPacket, KindPtrMapValue:
+		return true
+	default:
+		return false
+	}
+}
+
+// ArgKind constrains one helper argument.
+type ArgKind uint8
+
+// Helper argument kinds.
+const (
+	ArgAny       ArgKind = iota // unchecked (but must be initialised)
+	ArgScalar                   // plain number
+	ArgPtr                      // any dereferenceable pointer
+	ArgPtrToMem                 // pointer to stack/map/packet memory
+	ArgCtx                      // the context pointer
+	ArgMapHandle                // a map reference
+)
+
+// RetKind describes a helper's return value.
+type RetKind uint8
+
+// Helper return kinds.
+const (
+	RetScalar RetKind = iota
+	RetMapValueOrNull
+	RetVoid // returns 0; treated as scalar
+)
+
+// HelperSig declares the contract of one helper for verification.
+type HelperSig struct {
+	Name string
+	Args []ArgKind
+	Ret  RetKind
+}
+
+// Config parameterises verification for a given hook.
+type Config struct {
+	// MaxInstructions limits program size in wire slots.
+	// 0 means DefaultMaxInstructions.
+	MaxInstructions int
+	// Helpers whitelists callable helpers by ID.
+	Helpers map[int32]HelperSig
+	// CtxSize is the size of the context structure; context loads and
+	// stores must stay within it. 0 forbids context access.
+	CtxSize int
+	// CtxWritable permits stores through the context pointer.
+	CtxWritable bool
+	// CtxPointerFields types 8-byte context loads at specific offsets
+	// as pointers rather than scalars — how the kernel types
+	// __sk_buff's data and data_end fields.
+	CtxPointerFields map[int]RegKind
+	// StackSize overrides the 512-byte stack bound (tests only).
+	StackSize int
+}
+
+func (c Config) stackSize() int {
+	if c.StackSize != 0 {
+		return c.StackSize
+	}
+	return 512
+}
+
+func (c Config) maxInsns() int {
+	if c.MaxInstructions != 0 {
+		return c.MaxInstructions
+	}
+	return DefaultMaxInstructions
+}
+
+// Error is a verification failure tied to an instruction.
+type Error struct {
+	PC     int // wire slot index
+	Detail string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("verifier: pc %d: %s", e.PC, e.Detail)
+}
+
+var (
+	// ErrLoop is wrapped by errors for back edges in the CFG.
+	ErrLoop = errors.New("back-edge (loop) detected")
+	// ErrTooLarge is wrapped when the program exceeds the size limit.
+	ErrTooLarge = errors.New("program too large")
+	// ErrStateExplosion is wrapped when exploration exceeds its budget.
+	ErrStateExplosion = errors.New("too many states to explore")
+)
+
+func errAt(pc int, format string, args ...any) error {
+	return &Error{PC: pc, Detail: fmt.Sprintf(format, args...)}
+}
+
+// slotView is the decoded wire image used for verification.
+type slotView struct {
+	ins asm.Instruction
+	pad bool // second half of lddw
+}
+
+// Verify checks the assembled program against cfg.
+func Verify(insns asm.Instructions, cfg Config) error {
+	slots, err := toSlots(insns)
+	if err != nil {
+		return err
+	}
+	if len(slots) == 0 {
+		return errAt(0, "empty program")
+	}
+	if len(slots) > cfg.maxInsns() {
+		return fmt.Errorf("verifier: %w: %d slots > %d", ErrTooLarge, len(slots), cfg.maxInsns())
+	}
+	if err := checkStructure(slots); err != nil {
+		return err
+	}
+	if err := checkAcyclic(slots); err != nil {
+		return err
+	}
+	if err := checkReachability(slots); err != nil {
+		return err
+	}
+	return exploreTypes(slots, cfg)
+}
+
+func toSlots(insns asm.Instructions) ([]slotView, error) {
+	out := make([]slotView, 0, len(insns))
+	for i, ins := range insns {
+		if ins.Reference != "" {
+			return nil, errAt(i, "unresolved reference %q (assemble first)", ins.Reference)
+		}
+		out = append(out, slotView{ins: ins})
+		if ins.OpCode == asm.LoadImm64(0, 0).OpCode {
+			out = append(out, slotView{pad: true})
+		}
+	}
+	return out, nil
+}
+
+// successors lists the wire slots control may reach from pc.
+func successors(slots []slotView, pc int) []int {
+	s := slots[pc].ins
+	op := s.OpCode
+	class := op.Class()
+	if !isJumpClass(class) {
+		if op == asm.LoadImm64(0, 0).OpCode {
+			return []int{pc + 2}
+		}
+		return []int{pc + 1}
+	}
+	switch op.JumpOp() {
+	case asm.Exit:
+		return nil
+	case asm.Call:
+		return []int{pc + 1}
+	case asm.Ja:
+		return []int{pc + 1 + int(s.Offset)}
+	default:
+		return []int{pc + 1, pc + 1 + int(s.Offset)}
+	}
+}
+
+// checkStructure validates opcodes and jump targets.
+func checkStructure(slots []slotView) error {
+	for pc := range slots {
+		if slots[pc].pad {
+			continue
+		}
+		ins := slots[pc].ins
+		op := ins.OpCode
+		class := op.Class()
+		switch class {
+		case asm.ClassALU, asm.ClassALU64:
+			switch op.ALUOp() {
+			case asm.Add, asm.Sub, asm.Mul, asm.Div, asm.Or, asm.And, asm.LSh,
+				asm.RSh, asm.Neg, asm.Mod, asm.Xor, asm.Mov, asm.ArSh:
+			case asm.Swap:
+				if class != asm.ClassALU {
+					return errAt(pc, "byte swap must use the 32-bit ALU class")
+				}
+				if c := ins.Constant; c != 16 && c != 32 && c != 64 {
+					return errAt(pc, "byte swap width %d", c)
+				}
+			default:
+				return errAt(pc, "invalid ALU op %#x", uint8(op.ALUOp()))
+			}
+			if !ins.Dst.Valid() || !ins.Src.Valid() {
+				return errAt(pc, "invalid register")
+			}
+		case asm.ClassJump, asm.ClassJump32:
+			jop := op.JumpOp()
+			switch jop {
+			case asm.Ja, asm.JEq, asm.JGT, asm.JGE, asm.JSet, asm.JNE, asm.JSGT,
+				asm.JSGE, asm.JLT, asm.JLE, asm.JSLT, asm.JSLE:
+				target := pc + 1 + int(ins.Offset)
+				if target < 0 || target >= len(slots) {
+					return errAt(pc, "jump target %d out of range", target)
+				}
+				if slots[target].pad {
+					return errAt(pc, "jump target %d splits an lddw", target)
+				}
+				if class == asm.ClassJump32 && jop == asm.Ja {
+					return errAt(pc, "ja is not valid in the jmp32 class")
+				}
+			case asm.Call:
+				if class != asm.ClassJump {
+					return errAt(pc, "call must use the 64-bit jump class")
+				}
+			case asm.Exit:
+				if class != asm.ClassJump {
+					return errAt(pc, "exit must use the 64-bit jump class")
+				}
+			default:
+				return errAt(pc, "invalid jump op %#x", uint8(jop))
+			}
+		case asm.ClassLdX, asm.ClassSt, asm.ClassStX:
+			if op.Mode() != asm.ModeMem && !(class == asm.ClassStX && op.Mode() == asm.ModeXadd) {
+				return errAt(pc, "unsupported addressing mode %#x", uint8(op.Mode()))
+			}
+			if op.Mode() == asm.ModeXadd {
+				if sz := op.Size(); sz != asm.Word && sz != asm.DWord {
+					return errAt(pc, "atomic add requires word or dword size")
+				}
+			}
+			if !ins.Dst.Valid() || !ins.Src.Valid() {
+				return errAt(pc, "invalid register")
+			}
+		case asm.ClassLd:
+			if op != asm.LoadImm64(0, 0).OpCode {
+				return errAt(pc, "legacy load opcode %#x unsupported", uint8(op))
+			}
+			if pc+1 >= len(slots) {
+				return errAt(pc, "lddw truncated")
+			}
+		default:
+			return errAt(pc, "invalid opcode %#x", uint8(op))
+		}
+	}
+	// The last slot must not fall through.
+	last := len(slots) - 1
+	for last >= 0 && slots[last].pad {
+		last--
+	}
+	ins := slots[last].ins
+	if !(ins.OpCode.Class() == asm.ClassJump && (ins.OpCode.JumpOp() == asm.Exit || ins.OpCode.JumpOp() == asm.Ja)) {
+		return errAt(last, "program may fall off the end (last reachable instruction is not exit or ja)")
+	}
+	return nil
+}
+
+// checkAcyclic rejects any cycle in the CFG with an iterative
+// three-colour DFS.
+func checkAcyclic(slots []slotView) error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]uint8, len(slots))
+	type frame struct {
+		pc   int
+		next int // successor index to process next
+	}
+	stack := []frame{{pc: 0}}
+	color[0] = grey
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succ := successors(slots, f.pc)
+		if f.next >= len(succ) {
+			color[f.pc] = black
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		next := succ[f.next]
+		f.next++
+		if next < 0 || next >= len(slots) {
+			return errAt(f.pc, "control flows out of the program")
+		}
+		switch color[next] {
+		case grey:
+			return fmt.Errorf("verifier: pc %d: %w (to pc %d)", f.pc, ErrLoop, next)
+		case white:
+			color[next] = grey
+			stack = append(stack, frame{pc: next})
+		}
+	}
+	return nil
+}
+
+// checkReachability requires every non-pad instruction to be
+// reachable from entry, as the kernel does.
+func checkReachability(slots []slotView) error {
+	seen := make([]bool, len(slots))
+	queue := []int{0}
+	seen[0] = true
+	for len(queue) > 0 {
+		pc := queue[0]
+		queue = queue[1:]
+		if slots[pc].ins.OpCode == asm.LoadImm64(0, 0).OpCode {
+			seen[pc+1] = true // pad slot belongs to the lddw
+		}
+		for _, next := range successors(slots, pc) {
+			if next >= 0 && next < len(slots) && !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	for pc, ok := range seen {
+		if !ok && !slots[pc].pad {
+			return errAt(pc, "unreachable instruction")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package vm
+
+import (
+	"fmt"
+
+	"srv6bpf/internal/bpf/asm"
+)
+
+// runInterp is the fetch-decode-execute engine. Every step decodes
+// the opcode fields again, which is exactly the overhead the JIT
+// removes.
+func (m *Machine) runInterp(ex *Executable) (uint64, error) {
+	slots := ex.slots
+	budget := m.budget()
+	var steps uint64
+	pc := 0
+
+	for {
+		if pc < 0 || pc >= len(slots) {
+			m.Executed += steps
+			return 0, ErrFellOff
+		}
+		s := &slots[pc]
+		if s.pad {
+			m.Executed += steps
+			return 0, ErrBadJumpTarget
+		}
+		steps++
+		if steps > budget {
+			m.Executed += steps
+			return 0, ErrMaxInstructions
+		}
+
+		op := s.op
+		class := op.Class()
+		switch class {
+		case asm.ClassALU64, asm.ClassALU:
+			aop := op.ALUOp()
+			switch aop {
+			case asm.Neg:
+				if class == asm.ClassALU64 {
+					m.Regs[s.dst] = -m.Regs[s.dst]
+				} else {
+					m.Regs[s.dst] = uint64(-uint32(m.Regs[s.dst]))
+				}
+			case asm.Swap:
+				m.Regs[s.dst] = swapBytes(m.Regs[s.dst], s.imm, op.Source() == asm.RegSource)
+			default:
+				var operand uint64
+				if op.Source() == asm.RegSource {
+					operand = m.Regs[s.src]
+				} else {
+					operand = uint64(int64(int32(s.imm))) // sign-extend imm
+				}
+				if class == asm.ClassALU64 {
+					m.Regs[s.dst] = alu64(aop, m.Regs[s.dst], operand)
+				} else {
+					m.Regs[s.dst] = alu32(aop, m.Regs[s.dst], operand)
+				}
+			}
+			pc++
+
+		case asm.ClassJump, asm.ClassJump32:
+			jop := op.JumpOp()
+			switch jop {
+			case asm.Exit:
+				m.Executed += steps
+				return m.Regs[0], nil
+			case asm.Call:
+				if err := m.callHelper(s.imm); err != nil {
+					m.Executed += steps
+					return 0, err
+				}
+				pc++
+			case asm.Ja:
+				pc += 1 + int(s.off)
+			default:
+				var operand uint64
+				if op.Source() == asm.RegSource {
+					operand = m.Regs[s.src]
+				} else {
+					operand = uint64(int64(int32(s.imm)))
+				}
+				if jumpTaken(jop, m.Regs[s.dst], operand, class == asm.ClassJump) {
+					pc += 1 + int(s.off)
+				} else {
+					pc++
+				}
+			}
+
+		case asm.ClassLdX:
+			v, err := m.Mem.Load(m.Regs[s.src]+uint64(int64(s.off)), op.Size().Bytes())
+			if err != nil {
+				m.Executed += steps
+				return 0, err
+			}
+			m.Regs[s.dst] = v
+			pc++
+
+		case asm.ClassStX:
+			addr := m.Regs[s.dst] + uint64(int64(s.off))
+			if op.Mode() == asm.ModeXadd {
+				sz := op.Size().Bytes()
+				if sz != 4 && sz != 8 {
+					m.Executed += steps
+					return 0, fmt.Errorf("%w: atomic add size %d", ErrBadOpcode, sz)
+				}
+				cur, err := m.Mem.Load(addr, sz)
+				if err != nil {
+					m.Executed += steps
+					return 0, err
+				}
+				if err := m.Mem.Store(addr, sz, cur+m.Regs[s.src]); err != nil {
+					m.Executed += steps
+					return 0, err
+				}
+			} else {
+				if err := m.Mem.Store(addr, op.Size().Bytes(), m.Regs[s.src]); err != nil {
+					m.Executed += steps
+					return 0, err
+				}
+			}
+			pc++
+
+		case asm.ClassSt:
+			addr := m.Regs[s.dst] + uint64(int64(s.off))
+			if err := m.Mem.Store(addr, op.Size().Bytes(), uint64(int64(int32(s.imm)))); err != nil {
+				m.Executed += steps
+				return 0, err
+			}
+			pc++
+
+		case asm.ClassLd:
+			if op != asm.LoadImm64(0, 0).OpCode {
+				m.Executed += steps
+				return 0, fmt.Errorf("%w: %#02x", ErrBadOpcode, uint8(op))
+			}
+			m.Regs[s.dst] = uint64(s.imm)
+			pc += 2 // skip the pad slot
+
+		default:
+			m.Executed += steps
+			return 0, fmt.Errorf("%w: %#02x", ErrBadOpcode, uint8(op))
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package vm
+
+import (
+	"fmt"
+
+	"srv6bpf/internal/bpf/asm"
+)
+
+// The JIT engine pre-compiles every wire slot into a closure that
+// performs the operation directly and returns the next pc. All
+// operand decoding, sign extension and jump-target arithmetic happens
+// once, at compile time; execution is a tight trampoline loop.
+//
+// Sentinel pcs returned by compiled ops:
+//
+//	pcExit — clean program exit, result in r0
+//	pcTrap — runtime fault, error in m.trap
+
+const (
+	pcExit = -1
+	pcTrap = -2
+)
+
+type compiledOp func(m *Machine) int
+
+// compile translates decoded slots into closures. It validates static
+// jump targets so the trampoline never range-checks.
+func compile(slots []slot) ([]compiledOp, error) {
+	code := make([]compiledOp, len(slots))
+
+	checkTarget := func(pc, target int) error {
+		if target < 0 || target >= len(slots) {
+			return fmt.Errorf("vm: jit: jump from %d to %d out of range", pc, target)
+		}
+		if slots[target].pad {
+			return fmt.Errorf("vm: jit: jump from %d into lddw pad at %d", pc, target)
+		}
+		return nil
+	}
+
+	for pc := range slots {
+		s := &slots[pc]
+		if s.pad {
+			// Never executed; trap defensively if reached.
+			code[pc] = func(m *Machine) int {
+				m.trap = ErrBadJumpTarget
+				return pcTrap
+			}
+			continue
+		}
+		next := pc + 1
+		op := s.op
+		class := op.Class()
+
+		switch class {
+		case asm.ClassALU64, asm.ClassALU:
+			c, err := compileALU(s, class, next)
+			if err != nil {
+				return nil, fmt.Errorf("vm: jit: pc %d: %w", pc, err)
+			}
+			code[pc] = c
+
+		case asm.ClassJump, asm.ClassJump32:
+			c, err := compileJump(s, class, pc, next, checkTarget)
+			if err != nil {
+				return nil, fmt.Errorf("vm: jit: pc %d: %w", pc, err)
+			}
+			code[pc] = c
+
+		case asm.ClassLdX:
+			dst, src, off := s.dst, s.src, int64(s.off)
+			size := op.Size().Bytes()
+			code[pc] = func(m *Machine) int {
+				v, err := m.Mem.Load(m.Regs[src]+uint64(off), size)
+				if err != nil {
+					m.trap = err
+					return pcTrap
+				}
+				m.Regs[dst] = v
+				return next
+			}
+
+		case asm.ClassStX:
+			dst, src, off := s.dst, s.src, int64(s.off)
+			size := op.Size().Bytes()
+			if op.Mode() == asm.ModeXadd {
+				if size != 4 && size != 8 {
+					return nil, fmt.Errorf("vm: jit: pc %d: atomic add size %d", pc, size)
+				}
+				code[pc] = func(m *Machine) int {
+					addr := m.Regs[dst] + uint64(off)
+					cur, err := m.Mem.Load(addr, size)
+					if err != nil {
+						m.trap = err
+						return pcTrap
+					}
+					if err := m.Mem.Store(addr, size, cur+m.Regs[src]); err != nil {
+						m.trap = err
+						return pcTrap
+					}
+					return next
+				}
+			} else {
+				code[pc] = func(m *Machine) int {
+					if err := m.Mem.Store(m.Regs[dst]+uint64(off), size, m.Regs[src]); err != nil {
+						m.trap = err
+						return pcTrap
+					}
+					return next
+				}
+			}
+
+		case asm.ClassSt:
+			dst, off := s.dst, int64(s.off)
+			size := op.Size().Bytes()
+			val := uint64(int64(int32(s.imm)))
+			code[pc] = func(m *Machine) int {
+				if err := m.Mem.Store(m.Regs[dst]+uint64(off), size, val); err != nil {
+					m.trap = err
+					return pcTrap
+				}
+				return next
+			}
+
+		case asm.ClassLd:
+			if op != asm.LoadImm64(0, 0).OpCode {
+				return nil, fmt.Errorf("vm: jit: pc %d: %w: %#02x", pc, ErrBadOpcode, uint8(op))
+			}
+			dst, imm := s.dst, uint64(s.imm)
+			skip := pc + 2
+			code[pc] = func(m *Machine) int {
+				m.Regs[dst] = imm
+				return skip
+			}
+
+		default:
+			return nil, fmt.Errorf("vm: jit: pc %d: %w: %#02x", pc, ErrBadOpcode, uint8(op))
+		}
+	}
+	return code, nil
+}
+
+func compileALU(s *slot, class asm.Class, next int) (compiledOp, error) {
+	op := s.op
+	dst := s.dst
+	wide := class == asm.ClassALU64
+
+	switch op.ALUOp() {
+	case asm.Neg:
+		if wide {
+			return func(m *Machine) int { m.Regs[dst] = -m.Regs[dst]; return next }, nil
+		}
+		return func(m *Machine) int { m.Regs[dst] = uint64(-uint32(m.Regs[dst])); return next }, nil
+
+	case asm.Swap:
+		bits := s.imm
+		if bits != 16 && bits != 32 && bits != 64 {
+			return nil, fmt.Errorf("swap width %d", bits)
+		}
+		toBE := op.Source() == asm.RegSource
+		return func(m *Machine) int {
+			m.Regs[dst] = swapBytes(m.Regs[dst], bits, toBE)
+			return next
+		}, nil
+
+	case asm.Mov:
+		// Mov is the most common op; specialize fully.
+		if op.Source() == asm.RegSource {
+			src := s.src
+			if wide {
+				return func(m *Machine) int { m.Regs[dst] = m.Regs[src]; return next }, nil
+			}
+			return func(m *Machine) int { m.Regs[dst] = uint64(uint32(m.Regs[src])); return next }, nil
+		}
+		imm := uint64(int64(int32(s.imm)))
+		if !wide {
+			imm = uint64(uint32(imm))
+		}
+		return func(m *Machine) int { m.Regs[dst] = imm; return next }, nil
+
+	case asm.Add:
+		if op.Source() == asm.RegSource {
+			src := s.src
+			if wide {
+				return func(m *Machine) int { m.Regs[dst] += m.Regs[src]; return next }, nil
+			}
+			return func(m *Machine) int {
+				m.Regs[dst] = uint64(uint32(m.Regs[dst]) + uint32(m.Regs[src]))
+				return next
+			}, nil
+		}
+		imm := uint64(int64(int32(s.imm)))
+		if wide {
+			return func(m *Machine) int { m.Regs[dst] += imm; return next }, nil
+		}
+		return func(m *Machine) int {
+			m.Regs[dst] = uint64(uint32(m.Regs[dst]) + uint32(imm))
+			return next
+		}, nil
+	}
+
+	// Remaining ops share a pre-selected operation function.
+	aop := op.ALUOp()
+	switch aop {
+	case asm.Sub, asm.Mul, asm.Div, asm.Or, asm.And, asm.LSh, asm.RSh, asm.Mod, asm.Xor, asm.ArSh:
+	default:
+		return nil, fmt.Errorf("%w: alu op %v", ErrBadOpcode, aop)
+	}
+	if op.Source() == asm.RegSource {
+		src := s.src
+		if wide {
+			return func(m *Machine) int {
+				m.Regs[dst] = alu64(aop, m.Regs[dst], m.Regs[src])
+				return next
+			}, nil
+		}
+		return func(m *Machine) int {
+			m.Regs[dst] = alu32(aop, m.Regs[dst], m.Regs[src])
+			return next
+		}, nil
+	}
+	imm := uint64(int64(int32(s.imm)))
+	if wide {
+		return func(m *Machine) int {
+			m.Regs[dst] = alu64(aop, m.Regs[dst], imm)
+			return next
+		}, nil
+	}
+	return func(m *Machine) int {
+		m.Regs[dst] = alu32(aop, m.Regs[dst], imm)
+		return next
+	}, nil
+}
+
+func compileJump(s *slot, class asm.Class, pc, next int, checkTarget func(int, int) error) (compiledOp, error) {
+	op := s.op
+	jop := op.JumpOp()
+
+	switch jop {
+	case asm.Exit:
+		return func(m *Machine) int { return pcExit }, nil
+
+	case asm.Call:
+		id := s.imm
+		return func(m *Machine) int {
+			if err := m.callHelper(id); err != nil {
+				m.trap = err
+				return pcTrap
+			}
+			return next
+		}, nil
+
+	case asm.Ja:
+		target := pc + 1 + int(s.off)
+		if err := checkTarget(pc, target); err != nil {
+			return nil, err
+		}
+		return func(m *Machine) int { return target }, nil
+	}
+
+	target := pc + 1 + int(s.off)
+	if err := checkTarget(pc, target); err != nil {
+		return nil, err
+	}
+	wide := class == asm.ClassJump
+	dst := s.dst
+
+	switch jop {
+	case asm.JEq, asm.JNE, asm.JGT, asm.JGE, asm.JLT, asm.JLE,
+		asm.JSet, asm.JSGT, asm.JSGE, asm.JSLT, asm.JSLE:
+	default:
+		return nil, fmt.Errorf("%w: jump op %v", ErrBadOpcode, jop)
+	}
+
+	if op.Source() == asm.RegSource {
+		src := s.src
+		// Specialize the hottest comparison.
+		if jop == asm.JEq && wide {
+			return func(m *Machine) int {
+				if m.Regs[dst] == m.Regs[src] {
+					return target
+				}
+				return next
+			}, nil
+		}
+		return func(m *Machine) int {
+			if jumpTaken(jop, m.Regs[dst], m.Regs[src], wide) {
+				return target
+			}
+			return next
+		}, nil
+	}
+
+	imm := uint64(int64(int32(s.imm)))
+	if jop == asm.JEq && wide {
+		return func(m *Machine) int {
+			if m.Regs[dst] == imm {
+				return target
+			}
+			return next
+		}, nil
+	}
+	return func(m *Machine) int {
+		if jumpTaken(jop, m.Regs[dst], imm, wide) {
+			return target
+		}
+		return next
+	}, nil
+}
+
+// runJIT drives the compiled code through a trampoline loop.
+func (m *Machine) runJIT(ex *Executable) (uint64, error) {
+	code := ex.code
+	budget := m.budget()
+	var steps uint64
+	pc := 0
+	for {
+		steps++
+		if steps > budget {
+			m.Executed += steps
+			return 0, ErrMaxInstructions
+		}
+		pc = code[pc](m)
+		if pc < 0 {
+			m.Executed += steps
+			if pc == pcExit {
+				return m.Regs[0], nil
+			}
+			err := m.trap
+			m.trap = nil
+			return 0, err
+		}
+	}
+}

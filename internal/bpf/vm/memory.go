@@ -1,0 +1,151 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Segment is one addressable memory region.
+type Segment struct {
+	// Data is the backing storage. A segment with nil Data is an
+	// opaque handle (e.g. a map object) that cannot be dereferenced.
+	Data []byte
+	// Writable permits stores.
+	Writable bool
+	// Object carries an opaque value for handle segments; helpers
+	// type-assert it (for example to *maps.Map).
+	Object any
+}
+
+// Memory is the address space of one program execution: a table of
+// segments indexed by RegionID.
+type Memory struct {
+	segs map[RegionID]*Segment
+	next RegionID
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory {
+	return &Memory{segs: make(map[RegionID]*Segment), next: RegionDynamicBase}
+}
+
+// SetSegment installs seg at a fixed well-known region.
+func (m *Memory) SetSegment(id RegionID, seg *Segment) {
+	m.segs[id] = seg
+}
+
+// AddSegment installs seg at a fresh dynamic region and returns its ID.
+func (m *Memory) AddSegment(seg *Segment) RegionID {
+	id := m.next
+	m.next++
+	m.segs[id] = seg
+	return id
+}
+
+// Segment returns the segment for id, or nil.
+func (m *Memory) Segment(id RegionID) *Segment { return m.segs[id] }
+
+// Fault describes an invalid memory access.
+type Fault struct {
+	Addr  uint64
+	Size  int
+	Write bool
+	Cause string
+}
+
+func (f *Fault) Error() string {
+	kind := "read"
+	if f.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("vm: invalid %d-byte %s at region %d offset %#x: %s",
+		f.Size, kind, Region(f.Addr), Offset(f.Addr), f.Cause)
+}
+
+// bytesAt resolves addr to size bytes of backing storage, enforcing
+// region validity, bounds and writability.
+func (m *Memory) bytesAt(addr uint64, size int, write bool) ([]byte, error) {
+	r := Region(addr)
+	if r == RegionScalar {
+		return nil, &Fault{Addr: addr, Size: size, Write: write, Cause: "not a pointer (NULL dereference?)"}
+	}
+	seg := m.segs[r]
+	if seg == nil {
+		return nil, &Fault{Addr: addr, Size: size, Write: write, Cause: "no such region"}
+	}
+	if seg.Data == nil {
+		return nil, &Fault{Addr: addr, Size: size, Write: write, Cause: "opaque handle region"}
+	}
+	if write && !seg.Writable {
+		return nil, &Fault{Addr: addr, Size: size, Write: write, Cause: "region is read-only"}
+	}
+	off := Offset(addr)
+	if off+uint64(size) > uint64(len(seg.Data)) || size <= 0 {
+		return nil, &Fault{Addr: addr, Size: size, Write: write, Cause: "out of bounds"}
+	}
+	return seg.Data[off : off+uint64(size)], nil
+}
+
+// Load reads size bytes (1, 2, 4 or 8) at addr, little-endian, and
+// zero-extends to 64 bits.
+func (m *Memory) Load(addr uint64, size int) (uint64, error) {
+	b, err := m.bytesAt(addr, size, false)
+	if err != nil {
+		return 0, err
+	}
+	switch size {
+	case 1:
+		return uint64(b[0]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b)), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b)), nil
+	case 8:
+		return binary.LittleEndian.Uint64(b), nil
+	default:
+		return 0, &Fault{Addr: addr, Size: size, Cause: "bad access size"}
+	}
+}
+
+// Store writes the low size bytes of val at addr, little-endian.
+func (m *Memory) Store(addr uint64, size int, val uint64) error {
+	b, err := m.bytesAt(addr, size, true)
+	if err != nil {
+		return err
+	}
+	switch size {
+	case 1:
+		b[0] = byte(val)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(val))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(val))
+	case 8:
+		binary.LittleEndian.PutUint64(b, val)
+	default:
+		return &Fault{Addr: addr, Size: size, Write: true, Cause: "bad access size"}
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr. Helpers use it to pull
+// buffers (keys, values, headers) out of program memory.
+func (m *Memory) ReadBytes(addr uint64, n int) ([]byte, error) {
+	b, err := m.bytesAt(addr, n, false)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out, nil
+}
+
+// WriteBytes copies buf into program memory at addr.
+func (m *Memory) WriteBytes(addr uint64, buf []byte) error {
+	b, err := m.bytesAt(addr, len(buf), true)
+	if err != nil {
+		return err
+	}
+	copy(b, buf)
+	return nil
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"srv6bpf/internal/bpf"
+	"srv6bpf/internal/bpf/vm"
+	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/packet"
+	"srv6bpf/internal/seg6"
+)
+
+// Attachment errors.
+var (
+	ErrWrongHook      = errors.New("core: program was loaded for a different hook")
+	ErrNoSRH          = errors.New("core: End.BPF requires an SRv6 packet with segments left")
+	ErrBadReturn      = errors.New("core: program returned an unknown code")
+	ErrNoPendingState = errors.New("core: BPF_REDIRECT without a prior bpf_lwt_seg6_action")
+	ErrSRHIntegrity   = errors.New("core: SRH failed revalidation after program writes")
+)
+
+// EndBPF is a loaded End.BPF attachment: bind it to a SID with a
+// RouteSeg6Local whose Behaviour is seg6.ActionEndBPF and BPF set to
+// this value. Instances are single-threaded, like one softirq context
+// per simulated node.
+type EndBPF struct {
+	inst *bpf.Instance
+	name string
+	ctx  [CtxSize]byte
+}
+
+// AttachEndBPF instantiates prog (loaded against Seg6LocalHook) as a
+// seg6local End.BPF action.
+func AttachEndBPF(prog *bpf.Program) (*EndBPF, error) {
+	if prog.Hook().Name != "lwt_seg6local" {
+		return nil, fmt.Errorf("%w: %q is for hook %q", ErrWrongHook, prog.Name(), prog.Hook().Name)
+	}
+	inst, err := prog.NewInstance()
+	if err != nil {
+		return nil, err
+	}
+	return &EndBPF{inst: inst, name: prog.Name()}, nil
+}
+
+// Behaviour builds the seg6local behaviour entry for this attachment.
+func (e *EndBPF) Behaviour() *seg6.Behaviour {
+	return &seg6.Behaviour{Action: seg6.ActionEndBPF, BPF: e}
+}
+
+// refresh re-installs the packet region and fixes the ctx len and
+// data_end after helpers replaced the packet.
+func (e *EndBPF) refresh(env *execEnv) {
+	installPacket(e.inst, e.ctx[:], env.pkt)
+}
+
+func installPacket(inst *bpf.Instance, ctx []byte, pkt []byte) {
+	inst.Memory().SetSegment(vm.RegionPacket, &vm.Segment{Data: pkt, Writable: false})
+	// Keep ctx len/data_end coherent with the new packet.
+	fillCtxLen(ctx, len(pkt))
+}
+
+func fillCtxLen(ctx []byte, pktLen int) {
+	ctx[CtxOffLen] = byte(pktLen)
+	ctx[CtxOffLen+1] = byte(pktLen >> 8)
+	ctx[CtxOffLen+2] = byte(pktLen >> 16)
+	ctx[CtxOffLen+3] = byte(pktLen >> 24)
+	end := vm.Pointer(vm.RegionPacket, uint64(pktLen))
+	for i := 0; i < 8; i++ {
+		ctx[CtxOffDataEnd+i] = byte(end >> (8 * i))
+	}
+}
+
+// RunSeg6Local implements netsim.Seg6LocalProgram: the End.BPF
+// datapath of §3.
+func (e *EndBPF) RunSeg6Local(n *netsim.Node, raw []byte, meta *netsim.PacketMeta) (seg6.Result, int64, error) {
+	// End.BPF behaves as an endpoint: it only accepts SRv6 packets
+	// with a current segment, and advances the SRH before the program
+	// runs (§3).
+	p, err := packet.Parse(raw)
+	if err != nil {
+		return seg6.Result{Verdict: seg6.VerdictDrop}, 0, err
+	}
+	if p.SRH == nil || p.SRH.SegmentsLeft == 0 {
+		return seg6.Result{Verdict: seg6.VerdictDrop}, 0, ErrNoSRH
+	}
+	if err := seg6.Advance(raw); err != nil {
+		return seg6.Result{Verdict: seg6.VerdictDrop}, 0, err
+	}
+
+	env := &execEnv{
+		node:         n,
+		meta:         meta,
+		pkt:          raw,
+		srhOff:       p.SRHOff,
+		printkPrefix: e.name,
+	}
+	env.refreshRegions = func(ev *execEnv) { e.refresh(ev) }
+
+	machine := e.inst.Machine()
+	machine.HelperContext = env
+	fillCtx(e.ctx[:], len(raw), p.IPv6.FlowLabel)
+	e.inst.Memory().SetSegment(vm.RegionCtx, &vm.Segment{Data: e.ctx[:], Writable: false})
+	installPacket(e.inst, e.ctx[:], raw)
+
+	startInsns, startHelpers := machine.Executed, machine.HelperCalls
+	ret, runErr := e.inst.Run(vm.Pointer(vm.RegionCtx, 0))
+	cost := n.Cost.BPFCost(machine.Executed-startInsns, machine.HelperCalls-startHelpers, e.inst.JIT())
+
+	if runErr != nil {
+		// A faulting program drops the packet, like a kernel-side
+		// bpf program error path.
+		return seg6.Result{Verdict: seg6.VerdictDrop}, cost, runErr
+	}
+
+	// §3.1: if the SRH was altered, a quick verification ensures it
+	// is still valid; otherwise the packet is dropped.
+	if env.srhModified {
+		if err := e.validateSRH(env); err != nil {
+			return seg6.Result{Verdict: seg6.VerdictDrop}, cost, err
+		}
+	}
+
+	switch ret {
+	case BPFOK:
+		return seg6.Result{Verdict: seg6.VerdictForward, Pkt: env.pkt}, cost, nil
+	case BPFDrop:
+		return seg6.Result{Verdict: seg6.VerdictDrop}, cost, nil
+	case BPFRedirect:
+		if env.pending == nil {
+			return seg6.Result{Verdict: seg6.VerdictDrop}, cost, ErrNoPendingState
+		}
+		res := *env.pending
+		res.Pkt = env.pkt
+		return res, cost, nil
+	default:
+		return seg6.Result{Verdict: seg6.VerdictDrop}, cost, fmt.Errorf("%w: %d", ErrBadReturn, ret)
+	}
+}
+
+func (e *EndBPF) validateSRH(env *execEnv) error {
+	start, end, err := env.srhBounds()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrSRHIntegrity, err)
+	}
+	if err := packet.ValidateSRHBytes(env.pkt[start:end]); err != nil {
+		return fmt.Errorf("%w: %v", ErrSRHIntegrity, err)
+	}
+	return nil
+}
+
+// LWT is a loaded transit attachment (BPF LWT out hook): bind it to a
+// route with Kind RouteLWTBPF.
+type LWT struct {
+	inst *bpf.Instance
+	name string
+	ctx  [CtxSize]byte
+}
+
+// AttachLWT instantiates prog (loaded against LWTOutHook) as a
+// transit program.
+func AttachLWT(prog *bpf.Program) (*LWT, error) {
+	if prog.Hook().Name != "lwt_out" {
+		return nil, fmt.Errorf("%w: %q is for hook %q", ErrWrongHook, prog.Name(), prog.Hook().Name)
+	}
+	inst, err := prog.NewInstance()
+	if err != nil {
+		return nil, err
+	}
+	return &LWT{inst: inst, name: prog.Name()}, nil
+}
+
+// RunLWTOut implements netsim.LWTProgram.
+func (l *LWT) RunLWTOut(n *netsim.Node, raw []byte, meta *netsim.PacketMeta) ([]byte, netsim.LWTVerdict, int64, error) {
+	env := &execEnv{
+		node:         n,
+		meta:         meta,
+		pkt:          raw,
+		srhOff:       -1,
+		printkPrefix: l.name,
+	}
+	if p, err := packet.Parse(raw); err == nil && p.SRH != nil {
+		env.srhOff = p.SRHOff
+	}
+	env.refreshRegions = func(ev *execEnv) {
+		installPacket(l.inst, l.ctx[:], ev.pkt)
+	}
+
+	machine := l.inst.Machine()
+	machine.HelperContext = env
+	var flowHash uint32
+	if h, err := packet.DecodeIPv6(raw); err == nil {
+		flowHash = h.FlowLabel
+	}
+	fillCtx(l.ctx[:], len(raw), flowHash)
+	l.inst.Memory().SetSegment(vm.RegionCtx, &vm.Segment{Data: l.ctx[:], Writable: false})
+	installPacket(l.inst, l.ctx[:], raw)
+
+	startInsns, startHelpers := machine.Executed, machine.HelperCalls
+	ret, runErr := l.inst.Run(vm.Pointer(vm.RegionCtx, 0))
+	cost := n.Cost.BPFCost(machine.Executed-startInsns, machine.HelperCalls-startHelpers, l.inst.JIT())
+
+	if runErr != nil {
+		return nil, netsim.LWTDrop, cost, runErr
+	}
+	switch ret {
+	case BPFOK:
+		return env.pkt, netsim.LWTOK, cost, nil
+	case BPFDrop:
+		return nil, netsim.LWTDrop, cost, nil
+	default:
+		return nil, netsim.LWTDrop, cost, fmt.Errorf("%w: %d", ErrBadReturn, ret)
+	}
+}

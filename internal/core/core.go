@@ -1,0 +1,181 @@
+// Package core implements the paper's contribution: the SRv6 eBPF
+// interface of "Leveraging eBPF for programmable network functions
+// with IPv6 Segment Routing" (CoNEXT'18), released in Linux 4.18.
+//
+// Two attachment points are provided, mirroring §3:
+//
+//   - End.BPF, a seg6local action bound to an eBPF program. It accepts
+//     only SRv6 packets whose current segment is the local SID,
+//     advances the SRH to the next segment, and runs the program. The
+//     program's return value decides further processing: BPF_OK (a
+//     regular FIB lookup on the next segment), BPF_DROP, or
+//     BPF_REDIRECT (use the destination already set in the packet
+//     metadata by a previous bpf_lwt_seg6_action call).
+//
+//   - The BPF LWT transit hook (lwt_out), which runs a program for
+//     every packet matching a route, typically to push SRv6
+//     encapsulation with bpf_lwt_push_encap.
+//
+// Design principles from the paper (§3): (i) eBPF code cannot
+// compromise the stability of the kernel — programs get read-only
+// packet access and can modify only the SRH's flags, tag and TLVs,
+// through checked helpers, with the SRH revalidated after any
+// modification; (ii) eBPF code can leverage the full SRv6 data plane
+// through bpf_lwt_seg6_action.
+package core
+
+import (
+	"encoding/binary"
+
+	"srv6bpf/internal/bpf"
+	"srv6bpf/internal/bpf/verifier"
+	"srv6bpf/internal/bpf/vm"
+)
+
+// Program return codes (Linux UAPI: BPF_OK, BPF_DROP, BPF_REDIRECT).
+const (
+	BPFOK       = 0
+	BPFDrop     = 2
+	BPFRedirect = 7
+)
+
+// Encap modes for bpf_lwt_push_encap (BPF_LWT_ENCAP_*).
+const (
+	EncapSeg6       = 0 // outer IPv6 header + SRH
+	EncapSeg6Inline = 1 // SRH spliced into the existing packet
+)
+
+// Context layout. This is the simulator's __sk_buff analogue: the
+// flat structure programs receive in R1. Offsets are part of the
+// program ABI.
+//
+//	off  size  field
+//	  0     4  len        packet length in bytes
+//	  4     4  protocol   0x86dd (IPv6)
+//	  8     4  mark
+//	 12     4  hash       flow hash (IPv6 flow label)
+//	 16     8  data       pointer to the first byte of the packet
+//	 24     8  data_end   pointer one past the last byte
+//	 32    32  cb         scratch (zeroed per invocation)
+const (
+	CtxOffLen      = 0
+	CtxOffProtocol = 4
+	CtxOffMark     = 8
+	CtxOffHash     = 12
+	CtxOffData     = 16
+	CtxOffDataEnd  = 24
+	CtxOffCB       = 32
+	CtxSize        = 64
+)
+
+// EtherTypeIPv6 is the protocol value in the context.
+const EtherTypeIPv6 = 0x86dd
+
+// fillCtx writes the context structure for a packet.
+func fillCtx(ctx []byte, pktLen int, flowHash uint32) {
+	for i := range ctx {
+		ctx[i] = 0
+	}
+	binary.LittleEndian.PutUint32(ctx[CtxOffLen:], uint32(pktLen))
+	binary.LittleEndian.PutUint32(ctx[CtxOffProtocol:], EtherTypeIPv6)
+	binary.LittleEndian.PutUint32(ctx[CtxOffHash:], flowHash)
+	binary.LittleEndian.PutUint64(ctx[CtxOffData:], vm.Pointer(vm.RegionPacket, 0))
+	binary.LittleEndian.PutUint64(ctx[CtxOffDataEnd:], vm.Pointer(vm.RegionPacket, uint64(pktLen)))
+}
+
+// Seg6LocalHook returns the hook definition for End.BPF programs:
+// generic helpers plus the three SRv6 helpers, the hardware timestamp
+// helper (§4.1) and the ECMP nexthop query helper (§4.3).
+func Seg6LocalHook() *bpf.Hook {
+	sigs := bpf.GenericHelperSigs()
+	sigs[bpf.HelperLWTSeg6StoreByte] = verifier.HelperSig{
+		Name: "lwt_seg6_store_bytes",
+		Args: []verifier.ArgKind{verifier.ArgCtx, verifier.ArgScalar, verifier.ArgPtr, verifier.ArgScalar},
+		Ret:  verifier.RetScalar,
+	}
+	sigs[bpf.HelperLWTSeg6AdjustSRH] = verifier.HelperSig{
+		Name: "lwt_seg6_adjust_srh",
+		Args: []verifier.ArgKind{verifier.ArgCtx, verifier.ArgScalar, verifier.ArgScalar},
+		Ret:  verifier.RetScalar,
+	}
+	sigs[bpf.HelperLWTSeg6Action] = verifier.HelperSig{
+		Name: "lwt_seg6_action",
+		Args: []verifier.ArgKind{verifier.ArgCtx, verifier.ArgScalar, verifier.ArgPtr, verifier.ArgScalar},
+		Ret:  verifier.RetScalar,
+	}
+	sigs[bpf.HelperSeg6ECMPNexthops] = verifier.HelperSig{
+		Name: "seg6_ecmp_nexthops",
+		Args: []verifier.ArgKind{verifier.ArgCtx, verifier.ArgPtr, verifier.ArgPtr, verifier.ArgScalar},
+		Ret:  verifier.RetScalar,
+	}
+
+	var table vm.HelperTable
+	bpf.InstallGenericHelpers(&table, packetBytes)
+	table[bpf.HelperLWTSeg6StoreByte] = helperSeg6StoreBytes
+	table[bpf.HelperLWTSeg6AdjustSRH] = helperSeg6AdjustSRH
+	table[bpf.HelperLWTSeg6Action] = helperSeg6Action
+	table[bpf.HelperSeg6ECMPNexthops] = helperSeg6ECMPNexthops
+	// For seg6local programs the timestamp helper returns the RX
+	// software timestamp — "the time the packet left the NIC driver
+	// and entered the kernel" that End.DM reads (§4.1) — not the
+	// current clock, which is later by the CPU queueing delay.
+	table[bpf.HelperHWTimestamp] = func(m *vm.Machine, _, _, _, _, _ uint64) (uint64, error) {
+		e, err := env(m)
+		if err != nil {
+			return 0, err
+		}
+		if e.meta != nil {
+			return uint64(e.meta.RxTimestamp), nil
+		}
+		return uint64(e.Now()), nil
+	}
+
+	return &bpf.Hook{
+		Name: "lwt_seg6local",
+		Verifier: verifier.Config{
+			CtxSize: CtxSize,
+			Helpers: sigs,
+			CtxPointerFields: map[int]verifier.RegKind{
+				CtxOffData:    verifier.KindPtrPacket,
+				CtxOffDataEnd: verifier.KindPtrPacket,
+			},
+		},
+		Helpers: &table,
+	}
+}
+
+// LWTOutHook returns the hook definition for transit programs:
+// generic helpers plus bpf_lwt_push_encap.
+func LWTOutHook() *bpf.Hook {
+	sigs := bpf.GenericHelperSigs()
+	sigs[bpf.HelperLWTPushEncap] = verifier.HelperSig{
+		Name: "lwt_push_encap",
+		Args: []verifier.ArgKind{verifier.ArgCtx, verifier.ArgScalar, verifier.ArgPtr, verifier.ArgScalar},
+		Ret:  verifier.RetScalar,
+	}
+
+	var table vm.HelperTable
+	bpf.InstallGenericHelpers(&table, packetBytes)
+	table[bpf.HelperLWTPushEncap] = helperLWTPushEncap
+
+	return &bpf.Hook{
+		Name: "lwt_out",
+		Verifier: verifier.Config{
+			CtxSize: CtxSize,
+			Helpers: sigs,
+			CtxPointerFields: map[int]verifier.RegKind{
+				CtxOffData:    verifier.KindPtrPacket,
+				CtxOffDataEnd: verifier.KindPtrPacket,
+			},
+		},
+		Helpers: &table,
+	}
+}
+
+// packetBytes lets bpf_skb_load_bytes find the current packet.
+func packetBytes(m *vm.Machine) []byte {
+	if env, ok := m.HelperContext.(*execEnv); ok {
+		return env.pkt
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/packet"
+	"srv6bpf/internal/seg6"
+)
+
+// execEnv is the per-invocation environment behind the helpers: the
+// node executing the program, the packet being processed, and the
+// SRv6 state the kernel keeps in seg6_bpf_srh_state.
+type execEnv struct {
+	node *netsim.Node
+	meta *netsim.PacketMeta
+
+	// pkt is the working packet. Helpers may replace it (push_encap,
+	// seg6_action End.B6/DT6); setPacket keeps the VM's packet region
+	// and the ctx in sync.
+	pkt []byte
+
+	// srhOff is the byte offset of the outermost SRH, or -1.
+	srhOff int
+
+	// srhModified is set by store_bytes/adjust_srh: the SRH must be
+	// revalidated after the program returns (§3.1).
+	srhModified bool
+
+	// pending is the verdict prepared by bpf_lwt_seg6_action for
+	// BPF_REDIRECT ("the default endpoint lookup must not be
+	// performed, and the packet must be forwarded to the destination
+	// already set in the packet metadata").
+	pending *seg6.Result
+
+	// refreshRegions re-installs packet memory after pkt replacement.
+	refreshRegions func(env *execEnv)
+
+	// printkPrefix tags trace output with the program name.
+	printkPrefix string
+}
+
+// Now implements bpf.ExecContext against virtual time.
+func (e *execEnv) Now() int64 { return e.node.Sim.Now() }
+
+// Random implements bpf.ExecContext with the simulation's seeded RNG.
+func (e *execEnv) Random() uint32 { return e.node.Sim.Rand().Uint32() }
+
+// Printk implements bpf.ExecContext.
+func (e *execEnv) Printk(msg string) {
+	if e.node.Trace != nil {
+		e.node.Trace("%s: bpf_trace_printk: %s", e.printkPrefix, msg)
+	}
+}
+
+// setPacket replaces the working packet and refreshes derived state.
+func (e *execEnv) setPacket(pkt []byte) error {
+	e.pkt = pkt
+	e.srhOff = -1
+	if p, err := packet.Parse(pkt); err == nil && p.SRH != nil {
+		e.srhOff = p.SRHOff
+	}
+	if e.refreshRegions != nil {
+		e.refreshRegions(e)
+	}
+	return nil
+}
+
+// srhBounds returns the SRH byte range within the packet.
+func (e *execEnv) srhBounds() (start, end int, err error) {
+	if e.srhOff < 0 {
+		return 0, 0, seg6.ErrNoSRH
+	}
+	start = e.srhOff
+	if start+packet.SRHFixedLen > len(e.pkt) {
+		return 0, 0, packet.ErrTruncated
+	}
+	end = start + (int(e.pkt[start+packet.SRHOffHdrExtLen])+1)*8
+	if end > len(e.pkt) {
+		return 0, 0, packet.ErrTruncated
+	}
+	return start, end, nil
+}
+
+// tlvAreaStart returns the first byte after the segment list.
+func (e *execEnv) tlvAreaStart() (int, error) {
+	start, end, err := e.srhBounds()
+	if err != nil {
+		return 0, err
+	}
+	nSegs := int(e.pkt[start+packet.SRHOffLastEntry]) + 1
+	tlv := start + packet.SRHFixedLen + 16*nSegs
+	if tlv > end {
+		return 0, packet.ErrBadSRH
+	}
+	return tlv, nil
+}
+
+// errWritableRange rejects store_bytes outside the fields §3.1
+// permits: "the flags, the tag, and the TLVs".
+var errWritableRange = errors.New("core: seg6_store_bytes outside flags/tag/TLV area")
+
+// checkWritable validates a [off, off+n) write range against the
+// permitted SRH fields.
+func (e *execEnv) checkWritable(off, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("core: non-positive store length %d", n)
+	}
+	start, end, err := e.srhBounds()
+	if err != nil {
+		return err
+	}
+	tlv, err := e.tlvAreaStart()
+	if err != nil {
+		return err
+	}
+	lo, hi := off, off+n
+	flagsOff := start + packet.SRHOffFlags
+	tagOff := start + packet.SRHOffTag
+	switch {
+	case lo >= flagsOff && hi <= tagOff+2:
+		// flags (1 byte) and tag (2 bytes) are contiguous: [5,8).
+		return nil
+	case lo >= tlv && hi <= end:
+		return nil
+	default:
+		return fmt.Errorf("%w: [%d,%d) (flags/tag [%d,%d), TLVs [%d,%d))",
+			errWritableRange, lo, hi, flagsOff, tagOff+2, tlv, end)
+	}
+}
+
+// resolveECMPNexthops performs the FIB query of the paper's custom
+// helper (§4.3): the ECMP nexthop addresses for dst on this node.
+func (e *execEnv) resolveECMPNexthops(dst netip.Addr, max int) []netip.Addr {
+	r := e.node.Lookup(dst, netsim.MainTable)
+	if r == nil {
+		return nil
+	}
+	var out []netip.Addr
+	for _, nh := range r.Nexthops {
+		if len(out) >= max {
+			break
+		}
+		addr := nh.Gateway
+		if !addr.IsValid() && nh.Iface != nil && nh.Iface.Peer() != nil {
+			addr = nh.Iface.Peer().Node.PrimaryAddress()
+		}
+		if addr.IsValid() {
+			out = append(out, addr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+
+	"srv6bpf/internal/bpf"
+	"srv6bpf/internal/bpf/vm"
+	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/packet"
+	"srv6bpf/internal/seg6"
+)
+
+// env extracts the execution environment, failing the program run on
+// misuse (a harness bug, not a program bug).
+func env(m *vm.Machine) (*execEnv, error) {
+	e, ok := m.HelperContext.(*execEnv)
+	if !ok {
+		return nil, fmt.Errorf("core: helper context is %T, not *execEnv", m.HelperContext)
+	}
+	return e, nil
+}
+
+// helperSeg6StoreBytes implements bpf_lwt_seg6_store_bytes: an
+// indirect write into the SRH limited to the flags, tag and TLV
+// fields (§3.1). Violations return -EPERM to the program; the packet
+// is untouched.
+func helperSeg6StoreBytes(m *vm.Machine, r1, r2, r3, r4, _ uint64) (uint64, error) {
+	e, err := env(m)
+	if err != nil {
+		return 0, err
+	}
+	off, n := int(int64(r2)), int(int64(r4))
+	if n <= 0 || n > packet.IPv6HeaderLen+4096 {
+		return bpf.Errno(bpf.EINVAL), nil
+	}
+	if err := e.checkWritable(off, n); err != nil {
+		return bpf.Errno(bpf.EINVAL), nil
+	}
+	data, err := m.Mem.ReadBytes(r3, n)
+	if err != nil {
+		return 0, err // invalid program memory: abort the program
+	}
+	copy(e.pkt[off:off+n], data)
+	e.srhModified = true
+	return 0, nil
+}
+
+// helperSeg6AdjustSRH implements bpf_lwt_seg6_adjust_srh: grow or
+// shrink the TLV area by delta bytes at offset. The SRH length field
+// and the IPv6 payload length are maintained here, as the kernel
+// does; the program must then fill grown space with valid TLVs or the
+// post-run validation drops the packet.
+func helperSeg6AdjustSRH(m *vm.Machine, r1, r2, r3, _, _ uint64) (uint64, error) {
+	e, err := env(m)
+	if err != nil {
+		return 0, err
+	}
+	off := int(int64(r2))
+	delta := int(int32(uint32(r3)))
+	if delta == 0 {
+		return 0, nil
+	}
+	if delta%8 != 0 {
+		// The SRH length is counted in 8-byte units.
+		return bpf.Errno(bpf.EINVAL), nil
+	}
+	start, end, err := e.srhBounds()
+	if err != nil {
+		return bpf.Errno(bpf.EINVAL), nil
+	}
+	tlv, err := e.tlvAreaStart()
+	if err != nil {
+		return bpf.Errno(bpf.EINVAL), nil
+	}
+	if off < tlv || off > end {
+		return bpf.Errno(bpf.EINVAL), nil
+	}
+	hdrLen := int(e.pkt[start+packet.SRHOffHdrExtLen])
+	newHdrLen := hdrLen + delta/8
+	if newHdrLen < 0 || newHdrLen > 255 {
+		return bpf.Errno(bpf.EINVAL), nil
+	}
+
+	var out []byte
+	if delta > 0 {
+		out = make([]byte, 0, len(e.pkt)+delta)
+		out = append(out, e.pkt[:off]...)
+		out = append(out, make([]byte, delta)...)
+		out = append(out, e.pkt[off:]...)
+	} else {
+		if off-delta > end {
+			return bpf.Errno(bpf.EINVAL), nil
+		}
+		out = make([]byte, 0, len(e.pkt)+delta)
+		out = append(out, e.pkt[:off]...)
+		out = append(out, e.pkt[off-delta:]...)
+	}
+	out[start+packet.SRHOffHdrExtLen] = uint8(newHdrLen)
+	if err := packet.SetIPv6PayloadLen(out, len(out)-packet.IPv6HeaderLen); err != nil {
+		return bpf.Errno(bpf.EINVAL), nil
+	}
+	e.srhModified = true
+	if err := e.setPacket(out); err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
+// helperSeg6Action implements bpf_lwt_seg6_action: apply a static
+// SRv6 behaviour from inside the program (§3.1: End.X, End.T, End.B6,
+// End.B6.Encaps, End.DT6). Behaviours that decide the next hop store
+// their result as the pending redirect; the program should return
+// BPF_REDIRECT so the default lookup does not overwrite it.
+func helperSeg6Action(m *vm.Machine, r1, r2, r3, r4, _ uint64) (uint64, error) {
+	e, err := env(m)
+	if err != nil {
+		return 0, err
+	}
+	action := seg6.Action(r2)
+	plen := int(int64(r4))
+	if plen < 0 || plen > 4096 {
+		return bpf.Errno(bpf.EINVAL), nil
+	}
+	param, err := m.Mem.ReadBytes(r3, plen)
+	if err != nil {
+		return 0, err
+	}
+
+	switch action {
+	case seg6.ActionEndX:
+		if plen != 16 {
+			return bpf.Errno(bpf.EINVAL), nil
+		}
+		nh := netip.AddrFrom16([16]byte(param))
+		e.pending = &seg6.Result{Verdict: seg6.VerdictForwardNexthop, Nexthop: nh}
+		return 0, nil
+
+	case seg6.ActionEndT:
+		if plen != 4 {
+			return bpf.Errno(bpf.EINVAL), nil
+		}
+		table := int(binary.LittleEndian.Uint32(param))
+		e.pending = &seg6.Result{Verdict: seg6.VerdictForwardTable, Table: table}
+		return 0, nil
+
+	case seg6.ActionEndB6:
+		srh, n, err := packet.DecodeSRH(param)
+		if err != nil || n != plen {
+			return bpf.Errno(bpf.EINVAL), nil
+		}
+		out, err := seg6.InsertSRH(e.pkt, &srh)
+		if err != nil {
+			return bpf.Errno(bpf.EINVAL), nil
+		}
+		if err := e.setPacket(out); err != nil {
+			return 0, err
+		}
+		e.pending = &seg6.Result{Verdict: seg6.VerdictForward}
+		return 0, nil
+
+	case seg6.ActionEndB6Encap:
+		srh, n, err := packet.DecodeSRH(param)
+		if err != nil || n != plen {
+			return bpf.Errno(bpf.EINVAL), nil
+		}
+		// The SRH was already advanced by End.BPF; encapsulate the
+		// updated packet.
+		out, err := seg6.Encap(e.pkt, e.node.PrimaryAddress(), &srh)
+		if err != nil {
+			return bpf.Errno(bpf.EINVAL), nil
+		}
+		if err := e.setPacket(out); err != nil {
+			return 0, err
+		}
+		e.pending = &seg6.Result{Verdict: seg6.VerdictForward}
+		return 0, nil
+
+	case seg6.ActionEndDT6:
+		if plen != 4 {
+			return bpf.Errno(bpf.EINVAL), nil
+		}
+		table := int(binary.LittleEndian.Uint32(param))
+		inner, err := seg6.DecapInner(e.pkt)
+		if err != nil {
+			return bpf.Errno(bpf.EINVAL), nil
+		}
+		if err := e.setPacket(inner); err != nil {
+			return 0, err
+		}
+		e.pending = &seg6.Result{Verdict: seg6.VerdictForwardTable, Table: table}
+		return 0, nil
+
+	default:
+		return bpf.Errno(bpf.EINVAL), nil
+	}
+}
+
+// helperLWTPushEncap implements bpf_lwt_push_encap for the transit
+// hook: the program builds an SRH in its own memory and the helper
+// encapsulates (or inlines) it onto the packet.
+func helperLWTPushEncap(m *vm.Machine, r1, r2, r3, r4, _ uint64) (uint64, error) {
+	e, err := env(m)
+	if err != nil {
+		return 0, err
+	}
+	mode := uint32(r2)
+	n := int(int64(r4))
+	if n <= 0 || n > 4096 {
+		return bpf.Errno(bpf.EINVAL), nil
+	}
+	hdr, err := m.Mem.ReadBytes(r3, n)
+	if err != nil {
+		return 0, err
+	}
+	srh, decoded, err := packet.DecodeSRH(hdr)
+	if err != nil || decoded != n {
+		return bpf.Errno(bpf.EINVAL), nil
+	}
+
+	var out []byte
+	switch mode {
+	case EncapSeg6:
+		out, err = seg6.Encap(e.pkt, e.node.PrimaryAddress(), &srh)
+	case EncapSeg6Inline:
+		out, err = seg6.InsertSRH(e.pkt, &srh)
+	default:
+		return bpf.Errno(bpf.EINVAL), nil
+	}
+	if err != nil {
+		return bpf.Errno(bpf.EINVAL), nil
+	}
+	if err := e.setPacket(out); err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
+// helperSeg6ECMPNexthops implements the custom helper of §4.3: query
+// the FIB for the ECMP nexthops of a destination address ("our custom
+// helper returning the ECMP nexthops for a given address required
+// only 50 SLOC in the kernel"). r2 points at the 16-byte destination,
+// r3/r4 at an output buffer; the return value is the nexthop count.
+func helperSeg6ECMPNexthops(m *vm.Machine, r1, r2, r3, r4, _ uint64) (uint64, error) {
+	e, err := env(m)
+	if err != nil {
+		return 0, err
+	}
+	daddr, err := m.Mem.ReadBytes(r2, 16)
+	if err != nil {
+		return 0, err
+	}
+	outLen := int(int64(r4))
+	if outLen < 16 {
+		return bpf.Errno(bpf.EINVAL), nil
+	}
+	max := outLen / 16
+	nhs := e.resolveECMPNexthops(netip.AddrFrom16([16]byte(daddr)), max)
+	buf := make([]byte, 16*len(nhs))
+	for i, nh := range nhs {
+		a := nh.As16()
+		copy(buf[16*i:], a[:])
+	}
+	if len(buf) > 0 {
+		if err := m.Mem.WriteBytes(r3, buf); err != nil {
+			return 0, err
+		}
+	}
+	return uint64(len(nhs)), nil
+}
+
+// Compile-time assertion that execEnv satisfies the generic helper
+// environment.
+var _ bpf.ExecContext = (*execEnv)(nil)
+
+// Compile-time assertions for the attachment interfaces.
+var (
+	_ netsim.Seg6LocalProgram = (*EndBPF)(nil)
+	_ netsim.LWTProgram       = (*LWT)(nil)
+)

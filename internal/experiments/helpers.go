@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"encoding/binary"
+
+	"srv6bpf/internal/bpf"
+	"srv6bpf/internal/bpf/maps"
+	"srv6bpf/internal/nf/progs"
+)
+
+// mustDMConf builds the dm_conf map for the Figure 3 encapsulation
+// program: probe one packet in ratio, End.DM SID on S2, collector on
+// the router itself.
+func mustDMConf(ratio uint32) *maps.Map {
+	conf := maps.MustNew(maps.Spec{
+		Name: progs.DMConfMap, Type: maps.Array,
+		KeySize: 4, ValueSize: progs.DMConfSize, MaxEntries: 1,
+	})
+	v := make([]byte, progs.DMConfSize)
+	binary.LittleEndian.PutUint32(v[0:], ratio)
+	binary.BigEndian.PutUint16(v[4:], 7788)
+	ctrl := rAddr.As16()
+	copy(v[8:24], ctrl[:])
+	sid := dmSID.As16()
+	copy(v[24:40], sid[:])
+	if err := conf.Update(bpf.PutUint32(0), v, maps.UpdateAny); err != nil {
+		panic(err)
+	}
+	return conf
+}
+
+// mustDMEvents builds the perf event array End.DM reports into.
+func mustDMEvents() *maps.Map {
+	return maps.MustNew(maps.Spec{
+		Name: progs.DMEventsMap, Type: maps.PerfEventArray, MaxEntries: 1,
+	})
+}
+
+// mapsOf assembles the availability set for program loading.
+func mapsOf(conf, events *maps.Map) map[string]*maps.Map {
+	m := make(map[string]*maps.Map)
+	if conf != nil {
+		m[progs.DMConfMap] = conf
+	}
+	if events != nil {
+		m[progs.DMEventsMap] = events
+	}
+	return m
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+
+	"srv6bpf/internal/netsim"
+)
+
+func TestQuickFig2(t *testing.T) {
+	rows, err := Figure2(50 * netsim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%-16s %8.1f kpps  %.3f", r.Name, r.KPPS, r.Normalized)
+	}
+}
+
+func TestQuickFig3(t *testing.T) {
+	rows, err := Figure3(50 * netsim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%-16s %8.1f kpps  %.3f", r.Name, r.KPPS, r.Normalized)
+	}
+}
+
+func TestQuickFig4(t *testing.T) {
+	pts, err := Figure4(50 * netsim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		t.Logf("%-14s payload=%4d  %7.1f Mbps", p.Config, p.Payload, p.GoodputMbps)
+	}
+}
+
+func TestQuickAblations(t *testing.T) {
+	interp, jit, err := Fig4JITAblation(50 * netsim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range interp {
+		t.Logf("payload=%4d  interp %7.1f Mbps   jit %7.1f Mbps", interp[i].Payload, interp[i].GoodputMbps, jit[i].GoodputMbps)
+		if jit[i].GoodputMbps < interp[i].GoodputMbps {
+			t.Errorf("JIT slower than interpreter at %dB", interp[i].Payload)
+		}
+	}
+	rows, err := WRRWeightAblation(200 * netsim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%-22s goodput %6.1f Mbps  drops %d", r.Name, r.GoodputMbps, r.LinkDrops)
+	}
+	if rows[0].GoodputMbps <= rows[1].GoodputMbps {
+		t.Errorf("capacity-matched weights should beat equal split: %+v", rows)
+	}
+}

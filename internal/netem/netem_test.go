@@ -1,0 +1,171 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"srv6bpf/internal/stats"
+)
+
+func TestSerializationRate(t *testing.T) {
+	// 50 Mbps, 1250-byte packets -> 200 µs each.
+	q := New(Config{RateBps: 50_000_000})
+	if got := q.SerializationNs(1250); got != 200_000 {
+		t.Errorf("serialization = %d ns, want 200000", got)
+	}
+	// Unlimited rate serialises instantly.
+	q2 := New(Config{})
+	if got := q2.SerializationNs(1500); got != 0 {
+		t.Errorf("unlimited serialization = %d", got)
+	}
+}
+
+func TestBackToBackPacketsQueueBehindEachOther(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := New(Config{RateBps: 8_000_000, DelayNs: 1_000_000}) // 1 µs/byte
+	d1, ok1 := q.Admit(0, 1000, rng)
+	d2, ok2 := q.Admit(0, 1000, rng)
+	if !ok1 || !ok2 {
+		t.Fatal("admission failed")
+	}
+	// First: 1 ms serialization + 1 ms delay. Second starts after the
+	// first finishes serialising.
+	if d1 != 2_000_000 {
+		t.Errorf("d1 = %d", d1)
+	}
+	if d2 != 3_000_000 {
+		t.Errorf("d2 = %d (must queue behind first)", d2)
+	}
+}
+
+func TestThroughputMatchesRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const rate = 30_000_000 // 30 Mbps
+	q := New(Config{RateBps: rate, QueueLimit: 1 << 20})
+	const pkt = 1250
+	const n = 3000
+	var last int64
+	for i := 0; i < n; i++ {
+		d, ok := q.Admit(0, pkt, rng)
+		if !ok {
+			t.Fatal("drop")
+		}
+		last = d
+	}
+	gotBps := stats.BitsPerSecond(uint64(n*pkt), last)
+	if math.Abs(gotBps-rate)/rate > 0.01 {
+		t.Errorf("achieved %.0f bps, want ~%d", gotBps, rate)
+	}
+}
+
+func TestQueueLimitTailDrop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := New(Config{RateBps: 1_000_000, QueueLimit: 10})
+	drops := 0
+	for i := 0; i < 100; i++ {
+		if _, ok := q.Admit(0, 1000, rng); !ok {
+			drops++
+		}
+	}
+	if drops != 90 {
+		t.Errorf("drops = %d, want 90", drops)
+	}
+	if q.Dropped != 90 || q.Admitted != 10 {
+		t.Errorf("counters: admitted=%d dropped=%d", q.Admitted, q.Dropped)
+	}
+	// After the queue drains, admission resumes.
+	if _, ok := q.Admit(1e12, 1000, rng); !ok {
+		t.Error("admission did not resume after drain")
+	}
+}
+
+func TestJitterDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const mean = 30_000_000 // 30 ms
+	const std = 5_000_000   // 5 ms
+	q := New(Config{DelayNs: mean, JitterNs: std, QueueLimit: 1 << 20})
+	var w stats.Welford
+	// Space arrivals far apart so FIFO clamping doesn't bias samples.
+	for i := 0; i < 4000; i++ {
+		now := int64(i) * 100_000_000
+		d, ok := q.Admit(now, 100, rng)
+		if !ok {
+			t.Fatal("drop")
+		}
+		w.Add(float64(d - now))
+	}
+	if math.Abs(w.Mean()-mean)/mean > 0.02 {
+		t.Errorf("mean delay = %.0f, want ~%d", w.Mean(), mean)
+	}
+	if math.Abs(w.Stddev()-std)/std > 0.10 {
+		t.Errorf("stddev = %.0f, want ~%d", w.Stddev(), std)
+	}
+}
+
+func TestFIFOOrderPreservedDespiteJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := New(Config{DelayNs: 10_000_000, JitterNs: 8_000_000, QueueLimit: 1 << 20})
+	var prev int64
+	for i := 0; i < 2000; i++ {
+		now := int64(i) * 10_000 // closely spaced
+		d, ok := q.Admit(now, 100, rng)
+		if !ok {
+			t.Fatal("drop")
+		}
+		if d < prev {
+			t.Fatalf("reorder within one direction: %d after %d", d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	q := New(Config{Loss: 0.25, QueueLimit: 1 << 20})
+	lost := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if _, ok := q.Admit(int64(i)*1000, 100, rng); !ok {
+			lost++
+		}
+	}
+	rate := float64(lost) / n
+	if math.Abs(rate-0.25) > 0.02 {
+		t.Errorf("loss rate = %.3f, want ~0.25", rate)
+	}
+	if q.LossDrops != uint64(lost) {
+		t.Errorf("LossDrops = %d, lost = %d", q.LossDrops, lost)
+	}
+}
+
+func TestExtraDelayKnob(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := New(Config{DelayNs: 5_000_000})
+	d1, _ := q.Admit(0, 100, rng)
+	q.ExtraDelayNs = 25_000_000 // the TWD daemon's compensation
+	d2, _ := q.Admit(0, 100, rng)
+	if d2-d1 != 25_000_000 {
+		t.Errorf("extra delay shifted delivery by %d", d2-d1)
+	}
+	q.SetDelay(1_000_000)
+	q.SetRate(1000)
+	if q.Config().DelayNs != 1_000_000 || q.Config().RateBps != 1000 {
+		t.Error("runtime setters")
+	}
+}
+
+func TestQueueDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	q := New(Config{RateBps: 8_000, QueueLimit: 100}) // 1 ms/byte: slow
+	for i := 0; i < 5; i++ {
+		q.Admit(0, 1000, rng)
+	}
+	if d := q.QueueDepth(0); d != 5 {
+		t.Errorf("depth = %d", d)
+	}
+	// After everything serialised, the queue is empty.
+	if d := q.QueueDepth(1e15); d != 0 {
+		t.Errorf("depth after drain = %d", d)
+	}
+}

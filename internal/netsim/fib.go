@@ -1,0 +1,173 @@
+package netsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"sort"
+
+	"srv6bpf/internal/packet"
+	"srv6bpf/internal/seg6"
+)
+
+// RouteKind tells the forwarding engine how to treat a match.
+type RouteKind int
+
+// Route kinds.
+const (
+	// RouteForward sends the packet to one of the nexthops (ECMP over
+	// several).
+	RouteForward RouteKind = iota
+	// RouteLocal delivers to the node's transport layer.
+	RouteLocal
+	// RouteSeg6Local executes an SRv6 behaviour (the seg6local
+	// lightweight tunnel).
+	RouteSeg6Local
+	// RouteSeg6Encap applies a static transit behaviour (T.Encaps or
+	// T.Insert with a fixed SRH — the seg6 lightweight tunnel).
+	RouteSeg6Encap
+	// RouteLWTBPF runs a BPF program on egress (the BPF LWT hook,
+	// §2.1 "a lightweight tunnel infrastructure named BPF LWT"),
+	// then forwards to the route's nexthops.
+	RouteLWTBPF
+)
+
+func (k RouteKind) String() string {
+	switch k {
+	case RouteForward:
+		return "forward"
+	case RouteLocal:
+		return "local"
+	case RouteSeg6Local:
+		return "seg6local"
+	case RouteSeg6Encap:
+		return "seg6"
+	case RouteLWTBPF:
+		return "lwt-bpf"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// EncapMode selects the seg6 transit flavour.
+type EncapMode int
+
+// Transit encapsulation modes (kernel: SEG6_IPTUN_MODE_*).
+const (
+	EncapModeEncap  EncapMode = iota // outer IPv6 + SRH
+	EncapModeInline                  // SRH spliced into the packet
+)
+
+// Nexthop is one forwarding target: the egress interface, plus an
+// optional gateway address (informational on point-to-point links).
+type Nexthop struct {
+	Iface   *Iface
+	Gateway netip.Addr
+}
+
+// Route is one FIB entry.
+type Route struct {
+	Prefix netip.Prefix
+	Kind   RouteKind
+
+	// Nexthops is the ECMP set for RouteForward / RouteLWTBPF /
+	// RouteSeg6Encap.
+	Nexthops []Nexthop
+
+	// Behaviour configures RouteSeg6Local.
+	Behaviour *seg6.Behaviour
+
+	// SRH and Mode configure RouteSeg6Encap.
+	SRH  *packet.SRH
+	Mode EncapMode
+
+	// BPF is the program attachment for RouteLWTBPF; the concrete
+	// type is internal/core.LWTProgram (kept opaque here to avoid an
+	// import cycle).
+	BPF any
+
+	// PerPacketRR selects nexthops round-robin per packet instead of
+	// per flow — the naive striping that commercial hybrid-access
+	// gear performs in hardware, and the baseline the BPF WRR
+	// scheduler is compared against.
+	PerPacketRR bool
+	rrCounter   uint64
+}
+
+// Table is one routing table: longest-prefix match over routes.
+// Tables in the experiments hold tens of entries, so matching is a
+// scan over routes pre-sorted by descending prefix length — obviously
+// correct, and never the bottleneck (node CPU cost is modelled
+// separately).
+type Table struct {
+	routes []*Route
+}
+
+// Add inserts a route, keeping longest-prefix-first order. Adding a
+// second route with an identical prefix replaces the first.
+func (t *Table) Add(r *Route) {
+	for i, old := range t.routes {
+		if old.Prefix == r.Prefix {
+			t.routes[i] = r
+			return
+		}
+	}
+	t.routes = append(t.routes, r)
+	sort.SliceStable(t.routes, func(i, j int) bool {
+		return t.routes[i].Prefix.Bits() > t.routes[j].Prefix.Bits()
+	})
+}
+
+// Lookup returns the longest-prefix match for addr.
+func (t *Table) Lookup(addr netip.Addr) *Route {
+	if t == nil {
+		return nil
+	}
+	for _, r := range t.routes {
+		if r.Prefix.Contains(addr) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Routes lists entries (diagnostics, End.OAMP's nexthop query).
+func (t *Table) Routes() []*Route { return t.routes }
+
+// MainTable is the default routing table ID.
+const MainTable = 0
+
+// ecmpHash computes the flow hash that selects among ECMP nexthops.
+// Like the kernel's flowlabel-based multipath hash, it covers source,
+// destination and flow label, so one flow sticks to one path while
+// different flows spread (RFC 2992 / the paper's reference [30]).
+func ecmpHash(src, dst netip.Addr, flowLabel uint32) uint32 {
+	h := fnv.New32a()
+	a := src.As16()
+	b := dst.As16()
+	h.Write(a[:])
+	h.Write(b[:])
+	var fl [4]byte
+	fl[0] = byte(flowLabel >> 16)
+	fl[1] = byte(flowLabel >> 8)
+	fl[2] = byte(flowLabel)
+	h.Write(fl[:])
+	return h.Sum32()
+}
+
+// SelectNexthop picks the ECMP member for a packet.
+func (r *Route) SelectNexthop(src, dst netip.Addr, flowLabel uint32) *Nexthop {
+	if len(r.Nexthops) == 0 {
+		return nil
+	}
+	if len(r.Nexthops) == 1 {
+		return &r.Nexthops[0]
+	}
+	if r.PerPacketRR {
+		idx := r.rrCounter % uint64(len(r.Nexthops))
+		r.rrCounter++
+		return &r.Nexthops[idx]
+	}
+	idx := ecmpHash(src, dst, flowLabel) % uint32(len(r.Nexthops))
+	return &r.Nexthops[idx]
+}

@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"fmt"
+
+	"srv6bpf/internal/netem"
+)
+
+// Iface is one end of a point-to-point link.
+type Iface struct {
+	Name string
+	Node *Node
+	peer *Iface
+	q    *netem.Qdisc
+
+	// Tap, when set, observes every packet accepted for transmission
+	// (tests and tcpdump-style tracing).
+	Tap func(raw []byte)
+
+	TxPackets uint64
+	TxBytes   uint64
+	TxDrops   uint64
+}
+
+// Peer returns the interface at the other end.
+func (i *Iface) Peer() *Iface { return i.peer }
+
+// Qdisc exposes the shaping discipline (the TWD daemon adjusts
+// ExtraDelayNs through it).
+func (i *Iface) Qdisc() *netem.Qdisc { return i.q }
+
+// Transmit serialises raw onto the link; the peer node receives it
+// after serialisation, delay and jitter. Drops (queue overflow, loss)
+// are counted on the interface.
+func (i *Iface) Transmit(raw []byte) {
+	sim := i.Node.Sim
+	deliverAt, ok := i.q.Admit(sim.Now(), len(raw), sim.Rand())
+	if !ok {
+		i.TxDrops++
+		return
+	}
+	i.TxPackets++
+	i.TxBytes += uint64(len(raw))
+	if i.Tap != nil {
+		i.Tap(raw)
+	}
+	peer := i.peer
+	sim.Schedule(deliverAt, func() {
+		peer.Node.deliver(raw, peer)
+	})
+}
+
+func (i *Iface) String() string {
+	return fmt.Sprintf("%s/%s", i.Node.Name, i.Name)
+}
+
+// Connect joins two nodes with a bidirectional link; each direction
+// gets its own qdisc built from its config. It returns a's and b's
+// interfaces.
+func Connect(a, b *Node, ab, ba netem.Config) (*Iface, *Iface) {
+	ia := &Iface{
+		Name: fmt.Sprintf("eth%d", len(a.ifaces)),
+		Node: a,
+		q:    netem.New(ab),
+	}
+	ib := &Iface{
+		Name: fmt.Sprintf("eth%d", len(b.ifaces)),
+		Node: b,
+		q:    netem.New(ba),
+	}
+	ia.peer, ib.peer = ib, ia
+	a.ifaces = append(a.ifaces, ia)
+	b.ifaces = append(b.ifaces, ib)
+	return ia, ib
+}
+
+// ConnectSymmetric joins two nodes with the same shaping in both
+// directions.
+func ConnectSymmetric(a, b *Node, cfg netem.Config) (*Iface, *Iface) {
+	return Connect(a, b, cfg, cfg)
+}

@@ -1,0 +1,506 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+
+	"srv6bpf/internal/packet"
+	"srv6bpf/internal/seg6"
+)
+
+// PacketMeta travels with a packet through one node.
+type PacketMeta struct {
+	// RxTimestamp is when the packet arrived at the node (the "RX
+	// software timestamp" End.DM reads, §4.1).
+	RxTimestamp int64
+	// InIface is the receiving interface (nil for local output).
+	InIface *Iface
+	// Local marks locally-originated packets, which are exempt from
+	// hop-limit decrement.
+	Local bool
+}
+
+// Seg6LocalProgram is implemented by internal/core's End.BPF
+// attachment. It runs the program against raw and reports the
+// resulting seg6 verdict plus the virtual CPU cost of the BPF
+// execution.
+type Seg6LocalProgram interface {
+	RunSeg6Local(n *Node, raw []byte, meta *PacketMeta) (seg6.Result, int64, error)
+}
+
+// LWTVerdict is the outcome of a transit (BPF LWT) program.
+type LWTVerdict int
+
+// LWT program verdicts (subset of BPF_OK/BPF_DROP relevant to the
+// lwt_out hook; redirect semantics only exist for seg6local).
+const (
+	LWTOK LWTVerdict = iota
+	LWTDrop
+)
+
+// LWTProgram is implemented by internal/core's LWT BPF attachment
+// (the transit hook used for encapsulation, §2.1/§4.1/§4.2). It may
+// return a rewritten packet.
+type LWTProgram interface {
+	RunLWTOut(n *Node, raw []byte, meta *PacketMeta) ([]byte, LWTVerdict, int64, error)
+}
+
+// UDPHandler receives locally-delivered UDP packets.
+type UDPHandler func(n *Node, p *packet.Packet, meta *PacketMeta)
+
+// rxItem is one packet waiting in the receive ring.
+type rxItem struct {
+	raw  []byte
+	meta PacketMeta
+}
+
+// maxRouteDepth bounds recursive route resolution (behaviour chains,
+// encapsulation re-lookups).
+const maxRouteDepth = 6
+
+// Node is a simulated host or router: interfaces, routing tables, a
+// single-core CPU with a receive ring, and a local transport layer.
+type Node struct {
+	Name string
+	Sim  *Sim
+	Cost CostModel
+
+	ifaces []*Iface
+	tables map[int]*Table
+	local  map[netip.Addr]bool
+	// primary is the address used as source for generated ICMP.
+	primary netip.Addr
+
+	udpHandlers map[uint16]UDPHandler
+	tcpHandler  func(n *Node, p *packet.Packet, meta *PacketMeta)
+	icmpHandler func(n *Node, p *packet.Packet, meta *PacketMeta)
+
+	rxq  []rxItem
+	busy bool
+
+	// Counters is free-form event accounting ("drop_no_route",
+	// "rx_ring_full", ...). Read it in tests and reports.
+	Counters map[string]uint64
+
+	// Trace, when set, receives a line per interesting event.
+	Trace func(format string, args ...any)
+}
+
+// AddNode creates a node in s with the given cost model.
+func (s *Sim) AddNode(name string, cost CostModel) *Node {
+	n := &Node{
+		Name:        name,
+		Sim:         s,
+		Cost:        cost,
+		tables:      map[int]*Table{MainTable: {}},
+		local:       make(map[netip.Addr]bool),
+		udpHandlers: make(map[uint16]UDPHandler),
+		Counters:    make(map[string]uint64),
+	}
+	s.nodes = append(s.nodes, n)
+	return n
+}
+
+// Count bumps a named counter.
+func (n *Node) Count(what string) { n.Counters[what]++ }
+
+// Ifaces returns the node's interfaces.
+func (n *Node) Ifaces() []*Iface { return n.ifaces }
+
+// AddAddress assigns a local address: the node delivers packets for
+// it locally.
+func (n *Node) AddAddress(addr netip.Addr) {
+	n.local[addr] = true
+	if !n.primary.IsValid() {
+		n.primary = addr
+	}
+	n.Table(MainTable).Add(&Route{
+		Prefix: netip.PrefixFrom(addr, 128),
+		Kind:   RouteLocal,
+	})
+}
+
+// PrimaryAddress returns the node's first assigned address.
+func (n *Node) PrimaryAddress() netip.Addr { return n.primary }
+
+// IsLocal reports whether addr is assigned to this node.
+func (n *Node) IsLocal(addr netip.Addr) bool { return n.local[addr] }
+
+// Table returns (creating if needed) the routing table with id.
+func (n *Node) Table(id int) *Table {
+	t, ok := n.tables[id]
+	if !ok {
+		t = &Table{}
+		n.tables[id] = t
+	}
+	return t
+}
+
+// AddRoute inserts r into the main table.
+func (n *Node) AddRoute(r *Route) { n.Table(MainTable).Add(r) }
+
+// Lookup performs a FIB lookup in the given table.
+func (n *Node) Lookup(dst netip.Addr, table int) *Route {
+	return n.tables[table].Lookup(dst)
+}
+
+// HandleUDP registers a UDP listener on port.
+func (n *Node) HandleUDP(port uint16, h UDPHandler) { n.udpHandlers[port] = h }
+
+// HandleTCP registers the node's TCP input (internal/tcpsim).
+func (n *Node) HandleTCP(h func(n *Node, p *packet.Packet, meta *PacketMeta)) {
+	n.tcpHandler = h
+}
+
+// HandleICMP registers the node's ICMPv6 input (traceroute clients).
+func (n *Node) HandleICMP(h func(n *Node, p *packet.Packet, meta *PacketMeta)) {
+	n.icmpHandler = h
+}
+
+// deliver is called by the link layer when a packet arrives. It
+// models the NIC ring: if the CPU is still busy and the ring is full,
+// the packet is dropped — this is how offered load beyond the node's
+// packet rate disappears, exactly like the paper's router receiving 3
+// Mpps but forwarding 610 kpps.
+func (n *Node) deliver(raw []byte, in *Iface) {
+	if len(n.rxq) >= n.Cost.RxRingPackets {
+		n.Count("rx_ring_full")
+		return
+	}
+	n.rxq = append(n.rxq, rxItem{
+		raw:  raw,
+		meta: PacketMeta{RxTimestamp: n.Sim.Now(), InIface: in},
+	})
+	if !n.busy {
+		n.busy = true
+		n.Sim.Schedule(n.Sim.Now(), n.drain)
+	}
+}
+
+// drain is the CPU loop: take one packet, process it (computing its
+// cost), apply its effects at completion time, continue.
+func (n *Node) drain() {
+	if len(n.rxq) == 0 {
+		n.busy = false
+		return
+	}
+	item := n.rxq[0]
+	n.rxq = n.rxq[1:]
+
+	cost := n.Cost.PacketCost(len(item.raw))
+	commit, extra := n.routePacket(item.raw, &item.meta, 0)
+	cost += extra
+
+	n.Sim.After(cost, func() {
+		if commit != nil {
+			commit()
+		}
+		n.drain()
+	})
+}
+
+// Output injects a locally-generated packet into the routing path.
+// Generation cost is the caller's concern (traffic generators pace
+// themselves), so no CPU time is charged here.
+func (n *Node) Output(raw []byte) {
+	meta := &PacketMeta{RxTimestamp: n.Sim.Now(), Local: true}
+	commit, _ := n.routePacket(raw, meta, 0)
+	if commit != nil {
+		commit()
+	}
+}
+
+// routePacket resolves raw against the main table and returns the
+// effect to apply at processing-completion time plus any extra cost
+// beyond the base packet cost.
+func (n *Node) routePacket(raw []byte, meta *PacketMeta, depth int) (func(), int64) {
+	dst, err := packet.IPv6Dst(raw)
+	if err != nil {
+		n.Count("drop_malformed")
+		return nil, 0
+	}
+	r := n.Lookup(dst, MainTable)
+	return n.applyRoute(r, raw, meta, depth)
+}
+
+func (n *Node) applyRoute(r *Route, raw []byte, meta *PacketMeta, depth int) (func(), int64) {
+	if depth > maxRouteDepth {
+		n.Count("drop_route_loop")
+		return nil, 0
+	}
+	if r == nil {
+		n.Count("drop_no_route")
+		return n.icmpError(raw, meta, packet.ICMPv6DstUnreachable, 0), n.Cost.ICMPGenNs
+	}
+
+	switch r.Kind {
+	case RouteLocal:
+		return func() { n.deliverLocal(raw, meta) }, n.Cost.LocalDeliverNs
+
+	case RouteForward:
+		return n.forward(r, raw, meta)
+
+	case RouteSeg6Local:
+		return n.applySeg6Local(r, raw, meta, depth)
+
+	case RouteSeg6Encap:
+		return n.applySeg6Encap(r, raw, meta, depth)
+
+	case RouteLWTBPF:
+		prog, ok := r.BPF.(LWTProgram)
+		if !ok {
+			n.Count("drop_bad_lwt_attachment")
+			return nil, 0
+		}
+		out, verdict, cost, err := prog.RunLWTOut(n, raw, meta)
+		if err != nil {
+			n.Count("drop_lwt_bpf_error")
+			if n.Trace != nil {
+				n.Trace("%s: lwt bpf error: %v", n.Name, err)
+			}
+			return nil, cost
+		}
+		if verdict == LWTDrop {
+			n.Count("drop_lwt_bpf")
+			return nil, cost
+		}
+		if len(r.Nexthops) > 0 {
+			// The route supplies the egress directly.
+			commit, fcost := n.forward(r, out, meta)
+			return commit, cost + fcost
+		}
+		// Otherwise the (possibly re-encapsulated) packet is routed
+		// again, e.g. towards the SID the program steered it to.
+		commit, rcost := n.routePacket(out, meta, depth+1)
+		return commit, cost + rcost
+
+	default:
+		n.Count("drop_bad_route")
+		return nil, 0
+	}
+}
+
+// forward handles hop limit and ECMP, committing the transmission.
+func (n *Node) forward(r *Route, raw []byte, meta *PacketMeta) (func(), int64) {
+	src, _ := packet.IPv6Src(raw)
+	dst, _ := packet.IPv6Dst(raw)
+	hdr, err := packet.DecodeIPv6(raw)
+	if err != nil {
+		n.Count("drop_malformed")
+		return nil, 0
+	}
+	if !meta.Local {
+		if hdr.HopLimit <= 1 {
+			n.Count("drop_hop_limit")
+			return n.icmpError(raw, meta, packet.ICMPv6TimeExceeded, 0), n.Cost.ICMPGenNs
+		}
+	}
+	nh := r.SelectNexthop(src, dst, hdr.FlowLabel)
+	if nh == nil || nh.Iface == nil {
+		n.Count("drop_no_nexthop")
+		return nil, 0
+	}
+	out := raw
+	return func() {
+		if !meta.Local {
+			packet.SetIPv6HopLimit(out, hdr.HopLimit-1)
+		}
+		nh.Iface.Transmit(out)
+	}, 0
+}
+
+// applySeg6Local runs a seg6local behaviour (static or End.BPF) and
+// acts on its verdict.
+func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int) (func(), int64) {
+	b := r.Behaviour
+	if b == nil {
+		n.Count("drop_bad_route")
+		return nil, 0
+	}
+
+	var res seg6.Result
+	var cost int64
+	var err error
+
+	if b.Action == seg6.ActionEndBPF {
+		prog, ok := b.BPF.(Seg6LocalProgram)
+		if !ok {
+			n.Count("drop_bad_seg6local_attachment")
+			return nil, 0
+		}
+		res, cost, err = prog.RunSeg6Local(n, raw, meta)
+		cost += n.Cost.Behaviour[seg6.ActionEnd] // the endpoint part of End.BPF
+	} else {
+		res, err = seg6.ApplyStatic(b, raw)
+		cost = n.Cost.Behaviour[b.Action]
+	}
+	if err != nil {
+		n.Count("drop_seg6local_error")
+		if n.Trace != nil {
+			n.Trace("%s: seg6local %v error: %v", n.Name, b.Action, err)
+		}
+		return nil, cost
+	}
+
+	switch res.Verdict {
+	case seg6.VerdictDrop:
+		n.Count("drop_seg6local")
+		return nil, cost
+
+	case seg6.VerdictForward:
+		commit, extra := n.routePacket(res.Pkt, meta, depth+1)
+		return commit, cost + extra
+
+	case seg6.VerdictForwardTable:
+		dst, err := packet.IPv6Dst(res.Pkt)
+		if err != nil {
+			n.Count("drop_malformed")
+			return nil, cost
+		}
+		route := n.Lookup(dst, res.Table)
+		commit, extra := n.applyRoute(route, res.Pkt, meta, depth+1)
+		return commit, cost + extra
+
+	case seg6.VerdictForwardNexthop:
+		iface := n.ResolveNexthop(res.Nexthop)
+		if iface == nil {
+			n.Count("drop_no_nexthop")
+			return nil, cost
+		}
+		out := res.Pkt
+		hdr, err := packet.DecodeIPv6(out)
+		if err != nil {
+			n.Count("drop_malformed")
+			return nil, cost
+		}
+		if !meta.Local && hdr.HopLimit <= 1 {
+			n.Count("drop_hop_limit")
+			return n.icmpError(out, meta, packet.ICMPv6TimeExceeded, 0), cost + n.Cost.ICMPGenNs
+		}
+		return func() {
+			if !meta.Local {
+				packet.SetIPv6HopLimit(out, hdr.HopLimit-1)
+			}
+			iface.Transmit(out)
+		}, cost
+
+	default:
+		n.Count("drop_bad_verdict")
+		return nil, cost
+	}
+}
+
+// applySeg6Encap performs the static transit behaviours.
+func (n *Node) applySeg6Encap(r *Route, raw []byte, meta *PacketMeta, depth int) (func(), int64) {
+	if r.SRH == nil {
+		n.Count("drop_bad_route")
+		return nil, 0
+	}
+	var out []byte
+	var err error
+	switch r.Mode {
+	case EncapModeInline:
+		out, err = seg6.InsertSRH(raw, r.SRH)
+	default:
+		src := n.primary
+		out, err = seg6.Encap(raw, src, r.SRH)
+	}
+	if err != nil {
+		n.Count("drop_encap_error")
+		return nil, n.Cost.EncapNs
+	}
+	if len(r.Nexthops) > 0 {
+		commit, fcost := n.forward(r, out, meta)
+		return commit, n.Cost.EncapNs + fcost
+	}
+	commit, extra := n.routePacket(out, meta, depth+1)
+	return commit, n.Cost.EncapNs + extra
+}
+
+// ResolveNexthop finds the interface whose peer owns addr (the
+// simulator's stand-in for neighbour discovery on point-to-point
+// links).
+func (n *Node) ResolveNexthop(addr netip.Addr) *Iface {
+	for _, i := range n.ifaces {
+		if i.peer != nil && i.peer.Node.IsLocal(addr) {
+			return i
+		}
+	}
+	return nil
+}
+
+// deliverLocal dispatches a packet addressed to this node.
+func (n *Node) deliverLocal(raw []byte, meta *PacketMeta) {
+	p, err := packet.Parse(raw)
+	if err != nil {
+		n.Count("drop_malformed_local")
+		return
+	}
+	switch p.L4Proto {
+	case packet.ProtoUDP:
+		udp, err := packet.DecodeUDP(raw[p.L4Off:])
+		if err != nil {
+			n.Count("drop_malformed_local")
+			return
+		}
+		if h, ok := n.udpHandlers[udp.DstPort]; ok {
+			n.Count("udp_delivered")
+			h(n, p, meta)
+			return
+		}
+		n.Count("udp_no_listener")
+		// Port unreachable (RFC 4443 type 1 code 4) — what traceroute
+		// uses to detect arrival at the destination.
+		if commit := n.icmpError(raw, meta, packet.ICMPv6DstUnreachable, 4); commit != nil {
+			commit()
+		}
+	case packet.ProtoTCP:
+		if n.tcpHandler != nil {
+			n.Count("tcp_delivered")
+			n.tcpHandler(n, p, meta)
+			return
+		}
+		n.Count("tcp_no_listener")
+	case packet.ProtoICMPv6:
+		if n.icmpHandler != nil {
+			n.Count("icmp_delivered")
+			n.icmpHandler(n, p, meta)
+			return
+		}
+		n.Count("icmp_unhandled")
+	default:
+		n.Count("local_unknown_proto")
+	}
+}
+
+// icmpError builds the commit that sends an ICMPv6 error about raw
+// back to its source. Errors about ICMPv6 errors are suppressed
+// (RFC 4443 §2.4) to avoid storms.
+func (n *Node) icmpError(raw []byte, meta *PacketMeta, icmpType, code uint8) func() {
+	if meta.Local {
+		return nil // local senders learn through counters
+	}
+	if p, err := packet.Parse(raw); err == nil && p.L4Proto == packet.ProtoICMPv6 {
+		if m, err := packet.DecodeICMPv6(raw[p.L4Off:]); err == nil && m.Type < 128 {
+			return nil
+		}
+	}
+	src, err := packet.IPv6Src(raw)
+	if err != nil || !n.primary.IsValid() {
+		return nil
+	}
+	// Quote as much of the invoking packet as fits in 1232 bytes.
+	quote := raw
+	if len(quote) > 1232 {
+		quote = quote[:1232]
+	}
+	body := make([]byte, 4+len(quote)) // 4 unused bytes, then the packet
+	copy(body[4:], quote)
+	reply, err := packet.BuildPacket(n.primary, src,
+		packet.WithICMPv6(packet.ICMPv6{Type: icmpType, Code: code, Body: body}))
+	if err != nil {
+		return nil
+	}
+	n.Count(fmt.Sprintf("icmp_sent_type%d", icmpType))
+	return func() { n.Output(reply) }
+}

@@ -1,0 +1,117 @@
+// Package netsim is the discrete-event network simulator that stands
+// in for the paper's physical lab (three Xeon servers with 10 Gbps
+// NICs, a Turris Omnia CPE, and tc-netem-shaped links; Figure 1 of
+// the paper).
+//
+// Everything runs in virtual time: links serialise and delay packets
+// through netem qdiscs, and each node charges per-packet CPU time
+// from a calibrated cost model, reproducing the receive-limited
+// behaviour the paper measures (a single core pinned to the NIC
+// interrupt, 610 kpps of raw IPv6 forwarding). Determinism is total:
+// the same seed yields the same packet-by-packet schedule.
+package netsim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Event is one scheduled callback.
+type event struct {
+	at  int64
+	seq uint64 // tie-breaker preserving schedule order
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the simulation kernel: a virtual clock, an event queue and a
+// seeded random source shared by every stochastic component (jitter,
+// loss, sampling, ECMP tie-breaking in tests).
+type Sim struct {
+	now  int64
+	heap eventHeap
+	seq  uint64
+	rng  *rand.Rand
+
+	nodes []*Node
+}
+
+// New creates a simulation with the given random seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (s *Sim) Now() int64 { return s.now }
+
+// Rand returns the simulation's random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Schedule runs fn at absolute virtual time at (clamped to now).
+func (s *Sim) Schedule(at int64, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.heap, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// After runs fn d nanoseconds from now.
+func (s *Sim) After(d int64, fn func()) { s.Schedule(s.now+d, fn) }
+
+// Step executes the next event; it reports false when none remain.
+func (s *Sim) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.heap).(*event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the
+// clock to t.
+func (s *Sim) RunUntil(t int64) {
+	for len(s.heap) > 0 && s.heap[0].at <= t {
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Nodes returns all nodes added to the simulation.
+func (s *Sim) Nodes() []*Node { return s.nodes }
+
+// Millisecond and friends make topology code readable.
+const (
+	Microsecond int64 = 1_000
+	Millisecond int64 = 1_000_000
+	Second      int64 = 1_000_000_000
+)

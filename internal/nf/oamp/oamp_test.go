@@ -1,0 +1,184 @@
+package oamp
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"srv6bpf/internal/netem"
+	"srv6bpf/internal/netsim"
+)
+
+var (
+	probAddr = netip.MustParseAddr("2001:db8:0::1")
+	r1Addr   = netip.MustParseAddr("2001:db8:101::1")
+	r2aAddr  = netip.MustParseAddr("2001:db8:102::1")
+	r2bAddr  = netip.MustParseAddr("2001:db8:103::1")
+	tgtAddr  = netip.MustParseAddr("2001:db8:fff::1")
+
+	r1SID = netip.MustParseAddr("fc00:101::aa")
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+// diamond builds P -- R1 ==(ECMP: R2a | R2b)== T. R1 runs End.OAMP.
+func diamond(t *testing.T) (*netsim.Sim, *netsim.Node, map[netip.Addr]netip.Addr) {
+	t.Helper()
+	s := netsim.New(9)
+	p := s.AddNode("P", netsim.HostCostModel())
+	r1 := s.AddNode("R1", netsim.ServerCostModel())
+	r2a := s.AddNode("R2a", netsim.ServerCostModel())
+	r2b := s.AddNode("R2b", netsim.ServerCostModel())
+	tgt := s.AddNode("T", netsim.HostCostModel())
+
+	p.AddAddress(probAddr)
+	r1.AddAddress(r1Addr)
+	r2a.AddAddress(r2aAddr)
+	r2b.AddAddress(r2bAddr)
+	tgt.AddAddress(tgtAddr)
+
+	fast := netem.Config{RateBps: 10_000_000_000, DelayNs: 100 * netsim.Microsecond}
+	pIf, r1pIf := netsim.ConnectSymmetric(p, r1, fast)
+	r1aIf, r2ar1 := netsim.ConnectSymmetric(r1, r2a, fast)
+	r1bIf, r2br1 := netsim.ConnectSymmetric(r1, r2b, fast)
+	r2aT, tAIf := netsim.ConnectSymmetric(r2a, tgt, fast)
+	r2bT, tBIf := netsim.ConnectSymmetric(r2b, tgt, fast)
+
+	p.AddRoute(&netsim.Route{Prefix: pfx("::/0"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: pIf}}})
+	tgt.AddRoute(&netsim.Route{Prefix: pfx("::/0"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: tAIf}, {Iface: tBIf}}})
+
+	// R1: ECMP towards the target over both R2s.
+	r1.AddRoute(&netsim.Route{
+		Prefix: pfx("2001:db8:fff::/48"), Kind: netsim.RouteForward,
+		Nexthops: []netsim.Nexthop{{Iface: r1aIf}, {Iface: r1bIf}},
+	})
+	r1.AddRoute(&netsim.Route{Prefix: pfx("2001:db8:0::/48"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: r1pIf}}})
+
+	for _, pair := range []struct {
+		n      *netsim.Node
+		upIf   *netsim.Iface
+		downIf *netsim.Iface
+	}{{r2a, r2ar1, r2aT}, {r2b, r2br1, r2bT}} {
+		pair.n.AddRoute(&netsim.Route{Prefix: pfx("2001:db8:fff::/48"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: pair.downIf}}})
+		pair.n.AddRoute(&netsim.Route{Prefix: pfx("::/0"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: pair.upIf}}})
+	}
+
+	if err := Deploy(r1, r1SID, true); err != nil {
+		t.Fatal(err)
+	}
+	sids := map[netip.Addr]netip.Addr{r1Addr: r1SID}
+	return s, p, sids
+}
+
+func TestTracerouteECMPDiscovery(t *testing.T) {
+	sim, prober, sids := diamond(t)
+
+	var result []Hop
+	Trace(prober, tgtAddr, Options{SIDs: sids, FlowLabel: 7}, func(h []Hop) { result = h })
+	sim.RunUntil(10 * netsim.Second)
+
+	if result == nil {
+		t.Fatal("trace did not complete")
+	}
+	if len(result) < 3 {
+		t.Fatalf("hops: %+v", result)
+	}
+
+	// Hop 1: R1 via OAMP with both ECMP nexthops.
+	h1 := result[0]
+	if h1.Addr != r1Addr || !h1.ViaOAMP {
+		t.Fatalf("hop1 = %+v", h1)
+	}
+	if len(h1.Nexthops) != 2 {
+		t.Fatalf("hop1 nexthops = %v, want 2 (ECMP fan-out)", h1.Nexthops)
+	}
+	found := map[netip.Addr]bool{}
+	for _, nh := range h1.Nexthops {
+		found[nh] = true
+	}
+	if !found[r2aAddr] || !found[r2bAddr] {
+		t.Errorf("nexthops = %v, want both R2a and R2b", h1.Nexthops)
+	}
+
+	// Hop 2: one of the R2s, via legacy ICMP (no SID published).
+	h2 := result[1]
+	if h2.ViaOAMP || (h2.Addr != r2aAddr && h2.Addr != r2bAddr) {
+		t.Errorf("hop2 = %+v", h2)
+	}
+
+	// Final hop: destination reached.
+	last := result[len(result)-1]
+	if !last.Reached || last.Addr != tgtAddr {
+		t.Errorf("last hop = %+v", last)
+	}
+
+	s := Format(result)
+	for _, want := range []string{"OAMP ecmp=2", "[icmp]", "(destination)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestParisStyleFlowPinning: the same flow label always discovers the
+// same R2, different labels can discover the other branch.
+func TestParisStyleFlowPinning(t *testing.T) {
+	seen := map[netip.Addr]bool{}
+	for fl := uint32(0); fl < 8; fl++ {
+		sim, prober, sids := diamond(t)
+		var result []Hop
+		Trace(prober, tgtAddr, Options{SIDs: sids, FlowLabel: fl}, func(h []Hop) { result = h })
+		sim.RunUntil(10 * netsim.Second)
+		if result == nil || len(result) < 2 {
+			t.Fatalf("fl=%d: no result", fl)
+		}
+		seen[result[1].Addr] = true
+	}
+	if !seen[r2aAddr] || !seen[r2bAddr] {
+		t.Errorf("varying flow labels explored only %v", seen)
+	}
+}
+
+func TestTracerouteWithoutOAMPFallsBack(t *testing.T) {
+	sim, prober, _ := diamond(t)
+	var result []Hop
+	// No SIDs published: every hop must use ICMP.
+	Trace(prober, tgtAddr, Options{FlowLabel: 3}, func(h []Hop) { result = h })
+	sim.RunUntil(10 * netsim.Second)
+	if result == nil {
+		t.Fatal("trace did not complete")
+	}
+	for _, h := range result {
+		if h.ViaOAMP {
+			t.Errorf("hop %d used OAMP without a published SID", h.TTL)
+		}
+	}
+	if !result[len(result)-1].Reached {
+		t.Errorf("destination not reached: %+v", result)
+	}
+}
+
+func TestTracerouteTimeout(t *testing.T) {
+	// Target behind a black hole: R1 has no route -> unreachable; use
+	// an address outside every prefix so probes die quietly...
+	// Instead, point at a prefix R2s route upstream forever? Simplest:
+	// trace a bogus target with a tiny TTL budget and expect ICMP
+	// unreachable or timeouts rather than a hang.
+	sim, prober, sids := diamond(t)
+	var result []Hop
+	Trace(prober, netip.MustParseAddr("2001:db8:dead::1"), Options{SIDs: sids, MaxTTL: 3}, func(h []Hop) { result = h })
+	sim.RunUntil(10 * netsim.Second)
+	if result == nil {
+		t.Fatal("trace did not complete")
+	}
+	// R1 generates "no route" unreachable (code 0), which the tracer
+	// ignores; the hops should be timeouts, and the trace must end.
+	if len(result) != 3 {
+		t.Fatalf("hops = %+v", result)
+	}
+	for _, h := range result {
+		if !h.Timeout {
+			t.Errorf("expected timeout hop, got %+v", h)
+		}
+	}
+}

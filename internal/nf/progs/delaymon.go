@@ -1,0 +1,237 @@
+package progs
+
+import (
+	"srv6bpf/internal/bpf"
+	"srv6bpf/internal/bpf/asm"
+	"srv6bpf/internal/core"
+	"srv6bpf/internal/packet"
+	"srv6bpf/internal/seg6"
+)
+
+// §4.1 — passive monitoring of network delays.
+//
+// Two programs cooperate. A BPF LWT transit program on the router at
+// the head of the monitored path encapsulates a configured fraction
+// of packets with an SRH carrying a DM (delay measurement) TLV — the
+// TX timestamp — and a controller TLV naming the collector. At the
+// tail, the End.DM function (an End.BPF program) reads the RX
+// timestamp, pushes both timestamps to user space through a perf
+// event, decapsulates with End.DT6 and lets the inner packet continue.
+//
+// The paper reports the encapsulation program at 130 SLOC of C and
+// the user-space daemon at 100 SLOC of Python on bcc.
+
+// Map names the delay-monitoring programs expect.
+const (
+	DMConfMap   = "dm_conf"   // array[1] of DMConf (see nf/delaymon)
+	DMEventsMap = "dm_events" // perf event array
+)
+
+// DMConf value layout (little-endian scalars, addresses in wire
+// order), 40 bytes:
+//
+//	off  size  field
+//	  0     4  ratio      sample 1 packet out of ratio (0 disables)
+//	  4     2  port       collector UDP port, big-endian (wire order)
+//	  6     2  pad
+//	  8    16  controller collector IPv6 address
+//	 24    16  sid        the End.DM SID at the path tail
+const (
+	dmConfOffRatio      = 0
+	dmConfOffPort       = 4
+	dmConfOffController = 8
+	dmConfOffSID        = 24
+	DMConfSize          = 40
+)
+
+// Probe SRH layout built on the program stack (72 bytes):
+//
+//	fp-72: fixed header (8)       nh=0 hdrlen=8 type=4 sl=1 le=1
+//	fp-64: segments[0] = final destination (copied from the packet)
+//	fp-48: segments[1] = End.DM SID (from dm_conf)
+//	fp-32: DM TLV (10)            type 0x80, len 8, TX timestamp BE
+//	fp-22: controller TLV (20)    type 0x81, len 18, addr, port
+//	fp-2:  PadN (2)               8-byte alignment
+const dmSRHSize = 72
+
+// DM probe field offsets within the packet seen by End.DM, after the
+// outer IPv6 header (40) and the 2-segment SRH: segments end at 80.
+const (
+	DMProbeTLVOff     = 80  // DM TLV type byte
+	DMProbeTxTsOff    = 82  // 8-byte big-endian TX timestamp
+	DMProbeCtrlTLVOff = 90  // controller TLV type byte
+	DMProbeCtrlAddr   = 92  // 16-byte collector address
+	DMProbeCtrlPort   = 108 // 2-byte big-endian collector port
+	dmProbeParsedLen  = 112
+)
+
+// DMRecord is the perf sample End.DM emits (see nf/delaymon for the
+// Go-side decoder), 40 bytes:
+//
+//	 0  u64 LE  TX timestamp (ns)
+//	 8  u64 LE  RX timestamp (ns)
+//	16  16B     collector address (wire order)
+//	32  u16 LE  collector port (host order)
+//	34  6B      pad
+const DMRecordSize = 40
+
+// DMEncapSpec builds the head-end transit program.
+func DMEncapSpec() *bpf.ProgramSpec {
+	insns := prologue(packet.IPv6HeaderLen)
+	insns = append(insns,
+		// r9 = &dm_conf[0]; missing config -> pass through.
+		asm.StoreImm(asm.RFP, -80, 0, asm.Word),
+		asm.LoadMapPtr(asm.R1, DMConfMap),
+		asm.Mov64Reg(asm.R2, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R2, -80),
+		asm.CallHelper(bpf.HelperMapLookupElem),
+		asm.JumpImm(asm.JEq, asm.R0, 0, "out"),
+		asm.Mov64Reg(asm.R9, asm.R0),
+
+		// Sampling: if prandom % ratio != 0, pass through. ratio==0
+		// disables probing entirely.
+		asm.LoadMem(asm.R7, asm.R9, dmConfOffRatio, asm.Word),
+		asm.JumpImm(asm.JEq, asm.R7, 0, "out"),
+		asm.CallHelper(bpf.HelperGetPrandomU32),
+		asm.ALU64Reg(asm.Mod, asm.R0, asm.R7),
+		asm.JumpImm(asm.JNE, asm.R0, 0, "out"),
+
+		// Reload packet pointers (clobbered as scratch by calls).
+		asm.LoadMem(asm.R7, asm.R6, core.CtxOffData, asm.DWord),
+		asm.LoadMem(asm.R8, asm.R6, core.CtxOffDataEnd, asm.DWord),
+		asm.Mov64Reg(asm.R1, asm.R7),
+		asm.ALU64Imm(asm.Add, asm.R1, packet.IPv6HeaderLen),
+		asm.JumpReg(asm.JGT, asm.R1, asm.R8, "drop"),
+
+		// --- SRH fixed header ---
+		asm.StoreImm(asm.RFP, -72, 0, asm.Byte),                     // next header (filled on encap)
+		asm.StoreImm(asm.RFP, -71, dmSRHSize/8-1, asm.Byte),         // hdr ext len
+		asm.StoreImm(asm.RFP, -70, packet.SRHRoutingType, asm.Byte), // routing type 4
+		asm.StoreImm(asm.RFP, -69, 1, asm.Byte),                     // segments left
+		asm.StoreImm(asm.RFP, -68, 1, asm.Byte),                     // last entry
+		asm.StoreImm(asm.RFP, -67, 0, asm.Byte),                     // flags
+		asm.StoreImm(asm.RFP, -66, 0, asm.Half),                     // tag
+
+		// segments[0] = original destination (packet bytes 24..40).
+		asm.LoadMem(asm.R1, asm.R7, 24, asm.DWord),
+		asm.StoreMem(asm.RFP, -64, asm.R1, asm.DWord),
+		asm.LoadMem(asm.R1, asm.R7, 32, asm.DWord),
+		asm.StoreMem(asm.RFP, -56, asm.R1, asm.DWord),
+
+		// segments[1] = End.DM SID from the config.
+		asm.LoadMem(asm.R1, asm.R9, dmConfOffSID, asm.DWord),
+		asm.StoreMem(asm.RFP, -48, asm.R1, asm.DWord),
+		asm.LoadMem(asm.R1, asm.R9, dmConfOffSID+8, asm.DWord),
+		asm.StoreMem(asm.RFP, -40, asm.R1, asm.DWord),
+
+		// --- DM TLV: type, len, TX timestamp (big-endian) ---
+		asm.StoreImm(asm.RFP, -32, packet.TLVTypeDM, asm.Byte),
+		asm.StoreImm(asm.RFP, -31, 8, asm.Byte),
+		asm.CallHelper(bpf.HelperHWTimestamp),
+		asm.HostToBE(asm.R0, 64),
+		asm.StoreMem(asm.RFP, -30, asm.R0, asm.DWord),
+
+		// --- Controller TLV: type, len, address, port ---
+		asm.StoreImm(asm.RFP, -22, packet.TLVTypeController, asm.Byte),
+		asm.StoreImm(asm.RFP, -21, 18, asm.Byte),
+		asm.LoadMem(asm.R1, asm.R9, dmConfOffController, asm.DWord),
+		asm.StoreMem(asm.RFP, -20, asm.R1, asm.DWord),
+		asm.LoadMem(asm.R1, asm.R9, dmConfOffController+8, asm.DWord),
+		asm.StoreMem(asm.RFP, -12, asm.R1, asm.DWord),
+		asm.LoadMem(asm.R1, asm.R9, dmConfOffPort, asm.Half), // already big-endian
+		asm.StoreMem(asm.RFP, -4, asm.R1, asm.Half),
+
+		// --- PadN(0): 2 bytes to keep the SRH 8-byte aligned ---
+		asm.StoreImm(asm.RFP, -2, packet.TLVTypePadN, asm.Byte),
+		asm.StoreImm(asm.RFP, -1, 0, asm.Byte),
+
+		// bpf_lwt_push_encap(ctx, BPF_LWT_ENCAP_SEG6, fp-72, 72)
+		asm.Mov64Reg(asm.R1, asm.R6),
+		asm.Mov64Imm(asm.R2, core.EncapSeg6),
+		asm.Mov64Reg(asm.R3, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R3, -dmSRHSize),
+		asm.Mov64Imm(asm.R4, dmSRHSize),
+		asm.CallHelper(bpf.HelperLWTPushEncap),
+		asm.JumpImm(asm.JNE, asm.R0, 0, "drop"),
+		asm.JumpTo("out"),
+	)
+	insns = append(insns, epilogue(core.BPFOK)...)
+	return &bpf.ProgramSpec{
+		Name:         "dm_encap",
+		Instructions: insns,
+		License:      "Dual MIT/GPL",
+	}
+}
+
+// EndDMSpec builds the tail-end End.DM program, §4.1, extended for
+// two-way delay probes as in §4.2: if segments remain after the
+// endpoint advance, the probe is on its way back to the querier and
+// is simply forwarded (TWD); otherwise the timestamps are reported
+// via perf and the packet decapsulated with End.DT6 (OWD).
+func EndDMSpec() *bpf.ProgramSpec {
+	insns := prologue(dmProbeParsedLen)
+	insns = append(insns,
+		// Sanity: routing header present with the expected TLVs.
+		asm.LoadMem(asm.R2, asm.R7, offNextHeader, asm.Byte),
+		asm.JumpImm(asm.JNE, asm.R2, packet.ProtoRouting, "drop"),
+		asm.LoadMem(asm.R2, asm.R7, DMProbeTLVOff, asm.Byte),
+		asm.JumpImm(asm.JNE, asm.R2, packet.TLVTypeDM, "drop"),
+		asm.LoadMem(asm.R2, asm.R7, DMProbeCtrlTLVOff, asm.Byte),
+		asm.JumpImm(asm.JNE, asm.R2, packet.TLVTypeController, "drop"),
+
+		// --- Perf record on the stack ---
+		// TX timestamp: big-endian in the TLV -> host order.
+		asm.LoadMem(asm.R2, asm.R7, DMProbeTxTsOff, asm.DWord),
+		asm.HostToBE(asm.R2, 64),
+		asm.StoreMem(asm.RFP, -40, asm.R2, asm.DWord),
+		// RX software timestamp via the added helper.
+		asm.CallHelper(bpf.HelperHWTimestamp),
+		asm.StoreMem(asm.RFP, -32, asm.R0, asm.DWord),
+		// Collector address (16 bytes, wire order) and port.
+		asm.LoadMem(asm.R7, asm.R6, core.CtxOffData, asm.DWord), // reload after call
+		asm.LoadMem(asm.R2, asm.R7, DMProbeCtrlAddr, asm.DWord),
+		asm.StoreMem(asm.RFP, -24, asm.R2, asm.DWord),
+		asm.LoadMem(asm.R2, asm.R7, DMProbeCtrlAddr+8, asm.DWord),
+		asm.StoreMem(asm.RFP, -16, asm.R2, asm.DWord),
+		asm.LoadMem(asm.R2, asm.R7, DMProbeCtrlPort, asm.Half),
+		asm.HostToBE(asm.R2, 16), // wire -> host order
+		asm.StoreMem(asm.RFP, -8, asm.R2, asm.Half),
+		asm.StoreImm(asm.RFP, -6, 0, asm.Half),
+		asm.StoreImm(asm.RFP, -4, 0, asm.Word),
+
+		// bpf_perf_event_output(ctx, dm_events, CURRENT_CPU, fp-40, 40)
+		asm.Mov64Reg(asm.R1, asm.R6),
+		asm.LoadMapPtr(asm.R2, DMEventsMap),
+		asm.LoadImm64(asm.R3, int64(bpf.BPFFCurrentCPU)),
+		asm.Mov64Reg(asm.R4, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R4, -DMRecordSize),
+		asm.Mov64Imm(asm.R5, DMRecordSize),
+		asm.CallHelper(bpf.HelperPerfEventOutput),
+
+		// TWD probes (§4.2) are bare UDP probes, not encapsulated
+		// traffic: no inner IPv6 behind the SRH. They are forwarded on
+		// towards the querier (the next segment) instead of being
+		// decapsulated.
+		asm.LoadMem(asm.R7, asm.R6, core.CtxOffData, asm.DWord),
+		asm.LoadMem(asm.R2, asm.R7, offSRH+packet.SRHOffNextHeader, asm.Byte),
+		asm.JumpImm(asm.JNE, asm.R2, packet.ProtoIPv6, "out"),
+
+		// OWD probes are decapsulated: bpf_lwt_seg6_action(End.DT6).
+		asm.StoreImm(asm.RFP, -44, 0, asm.Word), // table 0 (main)
+		asm.Mov64Reg(asm.R1, asm.R6),
+		asm.Mov64Imm(asm.R2, int32(seg6.ActionEndDT6)),
+		asm.Mov64Reg(asm.R3, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R3, -44),
+		asm.Mov64Imm(asm.R4, 4),
+		asm.CallHelper(bpf.HelperLWTSeg6Action),
+		asm.JumpImm(asm.JNE, asm.R0, 0, "drop"),
+		asm.Mov64Imm(asm.R0, core.BPFRedirect),
+		asm.Return(),
+	)
+	insns = append(insns, epilogue(core.BPFOK)...)
+	return &bpf.ProgramSpec{
+		Name:         "end_dm",
+		Instructions: insns,
+		License:      "Dual MIT/GPL",
+	}
+}

@@ -1,0 +1,39 @@
+package progs
+
+import (
+	"srv6bpf/internal/bpf"
+	"srv6bpf/internal/bpf/asm"
+	"srv6bpf/internal/core"
+)
+
+// forbiddenWriteSpec tries to overwrite the first segment address in
+// the SRH (offset 48) through bpf_lwt_seg6_store_bytes. The helper
+// must refuse (§3.1 allows only flags, tag and TLVs); the program
+// then returns BPF_OK so the unchanged packet travels on.
+func forbiddenWriteSpec() *bpf.ProgramSpec {
+	return &bpf.ProgramSpec{
+		Name: "forbidden_write",
+		Instructions: asm.Instructions{
+			asm.Mov64Reg(asm.R6, asm.R1),
+			// 16 bytes of 0xff on the stack.
+			asm.LoadImm64(asm.R2, -1),
+			asm.StoreMem(asm.RFP, -16, asm.R2, asm.DWord),
+			asm.StoreMem(asm.RFP, -8, asm.R2, asm.DWord),
+			// store_bytes(ctx, 48 /* first segment */, fp-16, 16)
+			asm.Mov64Reg(asm.R1, asm.R6),
+			asm.Mov64Imm(asm.R2, 48),
+			asm.Mov64Reg(asm.R3, asm.RFP),
+			asm.ALU64Imm(asm.Add, asm.R3, -16),
+			asm.Mov64Imm(asm.R4, 16),
+			asm.CallHelper(bpf.HelperLWTSeg6StoreByte),
+			// The helper must have failed; require a non-zero return
+			// or drop the packet to make the test fail loudly.
+			asm.JumpImm(asm.JEq, asm.R0, 0, "bad"),
+			asm.Mov64Imm(asm.R0, core.BPFOK),
+			asm.Return(),
+			asm.Mov64Imm(asm.R0, core.BPFDrop).WithSymbol("bad"),
+			asm.Return(),
+		},
+		License: "Dual MIT/GPL",
+	}
+}

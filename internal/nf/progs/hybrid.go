@@ -1,0 +1,133 @@
+package progs
+
+import (
+	"srv6bpf/internal/bpf"
+	"srv6bpf/internal/bpf/asm"
+	"srv6bpf/internal/core"
+	"srv6bpf/internal/packet"
+)
+
+// §4.2 — hybrid access networks.
+//
+// The aggregation box and the CPE run the same LWT transit program:
+// a per-packet Weighted Round-Robin scheduler that encapsulates each
+// packet with a single-segment SRH steering it over one of the two
+// access links (xDSL or LTE). Weights match the link capacities; the
+// scheduler state (current link, remaining credit) lives in a map, as
+// the paper describes ("We use maps to store the scheduler state,
+// i.e. the weights and the last chosen path"). 120 SLOC of C in the
+// paper.
+
+// Map names for the WRR scheduler.
+const (
+	WRRConfMap  = "wrr_conf"  // array[1]: weights and SIDs
+	WRRStateMap = "wrr_state" // array[1]: current link and credit
+)
+
+// WRRConf value layout (40 bytes):
+//
+//	off  size  field
+//	  0     4  weight0 (packets per round on link 0)
+//	  4     4  weight1
+//	  8    16  sid0    (decap SID reachable over link 0, wire order)
+//	 24    16  sid1    (decap SID reachable over link 1)
+const (
+	wrrConfOffW0   = 0
+	wrrConfOffW1   = 4
+	wrrConfOffSID0 = 8
+	WRRConfSize    = 40
+)
+
+// WRRState value layout (8 bytes): u32 current link index, u32
+// remaining credit on that link.
+const (
+	wrrStateOffIdx    = 0
+	wrrStateOffCredit = 4
+	WRRStateSize      = 8
+)
+
+// wrrSRHSize is the single-segment SRH the scheduler pushes.
+const wrrSRHSize = 24
+
+// WRRSpec builds the scheduler program.
+func WRRSpec() *bpf.ProgramSpec {
+	insns := asm.Instructions{
+		asm.Mov64Reg(asm.R6, asm.R1),
+
+		// r9 = &wrr_conf[0]
+		asm.StoreImm(asm.RFP, -4, 0, asm.Word),
+		asm.LoadMapPtr(asm.R1, WRRConfMap),
+		asm.Mov64Reg(asm.R2, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R2, -4),
+		asm.CallHelper(bpf.HelperMapLookupElem),
+		asm.JumpImm(asm.JEq, asm.R0, 0, "out"), // unconfigured: pass
+		asm.Mov64Reg(asm.R9, asm.R0),
+
+		// r8 = &wrr_state[0]
+		asm.StoreImm(asm.RFP, -4, 0, asm.Word),
+		asm.LoadMapPtr(asm.R1, WRRStateMap),
+		asm.Mov64Reg(asm.R2, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R2, -4),
+		asm.CallHelper(bpf.HelperMapLookupElem),
+		asm.JumpImm(asm.JEq, asm.R0, 0, "out"),
+		asm.Mov64Reg(asm.R8, asm.R0),
+
+		// r2 = idx, r3 = credit
+		asm.LoadMem(asm.R2, asm.R8, wrrStateOffIdx, asm.Word),
+		asm.LoadMem(asm.R3, asm.R8, wrrStateOffCredit, asm.Word),
+
+		// if credit == 0 { idx ^= 1; credit = weight[idx] }
+		asm.JumpImm(asm.JNE, asm.R3, 0, "have-credit"),
+		asm.ALU64Imm(asm.Xor, asm.R2, 1),
+		asm.ALU64Imm(asm.And, asm.R2, 1),
+		// credit = conf->weight[idx]  (weights at offsets 0 and 4)
+		asm.Mov64Reg(asm.R4, asm.R2),
+		asm.ALU64Imm(asm.LSh, asm.R4, 2),
+		asm.Mov64Reg(asm.R5, asm.R9),
+		asm.ALU64Reg(asm.Add, asm.R5, asm.R4),
+		asm.LoadMem(asm.R3, asm.R5, wrrConfOffW0, asm.Word),
+		asm.JumpImm(asm.JNE, asm.R3, 0, "have-credit"),
+		// Degenerate zero weight: force one packet so we never loop.
+		asm.Mov64Imm(asm.R3, 1),
+
+		// credit--; writeback state (direct map-value stores).
+		asm.ALU64Imm(asm.Sub, asm.R3, 1).WithSymbol("have-credit"),
+		asm.StoreMem(asm.R8, wrrStateOffIdx, asm.R2, asm.Word),
+		asm.StoreMem(asm.R8, wrrStateOffCredit, asm.R3, asm.Word),
+
+		// --- Single-segment SRH on the stack ---
+		asm.StoreImm(asm.RFP, -24, 0, asm.Byte),                     // next header
+		asm.StoreImm(asm.RFP, -23, wrrSRHSize/8-1, asm.Byte),        // hdr ext len = 2
+		asm.StoreImm(asm.RFP, -22, packet.SRHRoutingType, asm.Byte), // type 4
+		asm.StoreImm(asm.RFP, -21, 0, asm.Byte),                     // segments left
+		asm.StoreImm(asm.RFP, -20, 0, asm.Byte),                     // last entry
+		asm.StoreImm(asm.RFP, -19, 0, asm.Byte),                     // flags
+		asm.StoreImm(asm.RFP, -18, 0, asm.Half),                     // tag
+
+		// segment[0] = conf->sid[idx]: sid0 at +8, sid1 at +24.
+		asm.ALU64Imm(asm.LSh, asm.R2, 4), // idx * 16
+		asm.ALU64Imm(asm.Add, asm.R2, wrrConfOffSID0),
+		asm.Mov64Reg(asm.R5, asm.R9),
+		asm.ALU64Reg(asm.Add, asm.R5, asm.R2),
+		asm.LoadMem(asm.R4, asm.R5, 0, asm.DWord),
+		asm.StoreMem(asm.RFP, -16, asm.R4, asm.DWord),
+		asm.LoadMem(asm.R4, asm.R5, 8, asm.DWord),
+		asm.StoreMem(asm.RFP, -8, asm.R4, asm.DWord),
+
+		// bpf_lwt_push_encap(ctx, BPF_LWT_ENCAP_SEG6, fp-24, 24)
+		asm.Mov64Reg(asm.R1, asm.R6),
+		asm.Mov64Imm(asm.R2, core.EncapSeg6),
+		asm.Mov64Reg(asm.R3, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R3, -wrrSRHSize),
+		asm.Mov64Imm(asm.R4, wrrSRHSize),
+		asm.CallHelper(bpf.HelperLWTPushEncap),
+		asm.JumpImm(asm.JNE, asm.R0, 0, "drop"),
+		asm.JumpTo("out"),
+	}
+	insns = append(insns, epilogue(core.BPFOK)...)
+	return &bpf.ProgramSpec{
+		Name:         "wrr_sched",
+		Instructions: insns,
+		License:      "Dual MIT/GPL",
+	}
+}

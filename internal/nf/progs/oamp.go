@@ -1,0 +1,105 @@
+package progs
+
+import (
+	"srv6bpf/internal/bpf"
+	"srv6bpf/internal/bpf/asm"
+	"srv6bpf/internal/core"
+	"srv6bpf/internal/packet"
+)
+
+// §4.3 — querying ECMP nexthops.
+//
+// End.OAMP is an End.BPF function that, when triggered by a probe,
+// performs a FIB lookup for a target address carried in a TLV and
+// writes the ECMP nexthop set into a second (reply) TLV. The probe's
+// segment list routes it back to the prober, which reads the answer
+// from the returned packet — 60 SLOC of eBPF C in the paper, plus a
+// 50-SLOC kernel helper (here bpf.HelperSeg6ECMPNexthops).
+//
+// Probe layout after the outer IPv6 header (offset 40):
+//
+//	40: SRH fixed header (8)   2 segments: [End.OAMP SID, prober]
+//	48: segment list (32)
+//	80: OAMP query TLV (20)    type 0x83, len 18, target, 2 pad
+//	100: nexthops TLV (68)     type 0x82, len 66, count, pad, 4 addrs
+//
+// Total SRH: 128 bytes (hdr ext len 15).
+const (
+	OAMPQueryTLVOff  = 80
+	OAMPTargetOff    = 82
+	OAMPReplyTLVOff  = 100
+	OAMPCountOff     = 102
+	OAMPNexthopsOff  = 104
+	oampProbeMinimum = 168
+)
+
+// OAMPSpec builds the End.OAMP program.
+func OAMPSpec() *bpf.ProgramSpec {
+	insns := prologue(oampProbeMinimum)
+	insns = append(insns,
+		// Validate the probe shape.
+		asm.LoadMem(asm.R2, asm.R7, offNextHeader, asm.Byte),
+		asm.JumpImm(asm.JNE, asm.R2, packet.ProtoRouting, "drop"),
+		asm.LoadMem(asm.R2, asm.R7, OAMPQueryTLVOff, asm.Byte),
+		asm.JumpImm(asm.JNE, asm.R2, packet.TLVTypeOAMPQuery, "drop"),
+		asm.LoadMem(asm.R2, asm.R7, OAMPReplyTLVOff, asm.Byte),
+		asm.JumpImm(asm.JNE, asm.R2, packet.TLVTypeNexthops, "drop"),
+
+		// Copy the target address to the stack (fp-96..fp-80).
+		asm.LoadMem(asm.R2, asm.R7, OAMPTargetOff, asm.DWord),
+		asm.StoreMem(asm.RFP, -96, asm.R2, asm.DWord),
+		asm.LoadMem(asm.R2, asm.R7, OAMPTargetOff+8, asm.DWord),
+		asm.StoreMem(asm.RFP, -88, asm.R2, asm.DWord),
+
+		// Zero the 64-byte output buffer (fp-80..fp-16) so unused
+		// slots read as :: in the reply.
+		asm.Mov64Imm(asm.R2, 0),
+		asm.StoreMem(asm.RFP, -80, asm.R2, asm.DWord),
+		asm.StoreMem(asm.RFP, -72, asm.R2, asm.DWord),
+		asm.StoreMem(asm.RFP, -64, asm.R2, asm.DWord),
+		asm.StoreMem(asm.RFP, -56, asm.R2, asm.DWord),
+		asm.StoreMem(asm.RFP, -48, asm.R2, asm.DWord),
+		asm.StoreMem(asm.RFP, -40, asm.R2, asm.DWord),
+		asm.StoreMem(asm.RFP, -32, asm.R2, asm.DWord),
+		asm.StoreMem(asm.RFP, -24, asm.R2, asm.DWord),
+
+		// count = seg6_ecmp_nexthops(ctx, &target, out, 64)
+		asm.Mov64Reg(asm.R1, asm.R6),
+		asm.Mov64Reg(asm.R2, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R2, -96),
+		asm.Mov64Reg(asm.R3, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R3, -80),
+		asm.Mov64Imm(asm.R4, 64),
+		asm.CallHelper(bpf.HelperSeg6ECMPNexthops),
+		asm.JumpImm(asm.JSLT, asm.R0, 0, "drop"),
+		asm.StoreMem(asm.RFP, -8, asm.R0, asm.Byte),
+
+		// Fill the reply TLV through the checked write helper:
+		// first the count, then the nexthop addresses.
+		asm.Mov64Reg(asm.R1, asm.R6),
+		asm.Mov64Imm(asm.R2, OAMPCountOff),
+		asm.Mov64Reg(asm.R3, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R3, -8),
+		asm.Mov64Imm(asm.R4, 1),
+		asm.CallHelper(bpf.HelperLWTSeg6StoreByte),
+		asm.JumpImm(asm.JNE, asm.R0, 0, "drop"),
+
+		asm.Mov64Reg(asm.R1, asm.R6),
+		asm.Mov64Imm(asm.R2, OAMPNexthopsOff),
+		asm.Mov64Reg(asm.R3, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R3, -80),
+		asm.Mov64Imm(asm.R4, 64),
+		asm.CallHelper(bpf.HelperLWTSeg6StoreByte),
+		asm.JumpImm(asm.JNE, asm.R0, 0, "drop"),
+
+		// The SRH was already advanced towards the prober: a plain
+		// FIB forward returns the answer.
+		asm.JumpTo("out"),
+	)
+	insns = append(insns, epilogue(core.BPFOK)...)
+	return &bpf.ProgramSpec{
+		Name:         "end_oamp",
+		Instructions: insns,
+		License:      "Dual MIT/GPL",
+	}
+}

@@ -1,0 +1,193 @@
+// Package progs contains the eBPF programs of the paper, written in
+// this repository's assembler dialect — the moral equivalent of the
+// eBPF C sources the authors released (github.com/Zashas/Thesis-SRv6-BPF),
+// compiled by hand instead of by clang.
+//
+// Figure 2 programs (§3.2):
+//
+//	End        — the empty endpoint function (1 SLOC in C)
+//	End.T      — bpf_lwt_seg6_action(End.T) + BPF_REDIRECT (4 SLOC)
+//	Tag++      — fetch the SRH tag, increment it via
+//	             bpf_lwt_seg6_store_bytes (50 SLOC)
+//	Add TLV    — bpf_lwt_seg6_adjust_srh + store_bytes (60 SLOC)
+//
+// Use-case programs (§4): the DM encapsulation transit program and
+// End.DM (§4.1), the WRR scheduler (§4.2) and End.OAMP (§4.3) live in
+// their own files of this package.
+package progs
+
+import (
+	"srv6bpf/internal/bpf"
+	"srv6bpf/internal/bpf/asm"
+	"srv6bpf/internal/core"
+	"srv6bpf/internal/packet"
+	"srv6bpf/internal/seg6"
+)
+
+// Offsets shared by programs that parse the packet directly. After
+// End.BPF advanced the SRH, the outermost headers of every packet in
+// the experiments are IPv6 (40 bytes) followed by the SRH.
+const (
+	offNextHeader = 6 // IPv6 next header
+	offSRH        = packet.IPv6HeaderLen
+	offSRHLen     = offSRH + packet.SRHOffHdrExtLen
+	offSRHType    = offSRH + packet.SRHOffRoutingType
+	offSRHTag     = offSRH + packet.SRHOffTag
+)
+
+// prologue loads the context into r6 and the packet pointers into
+// r7 (data) and r8 (data_end), then bounds-checks that at least n
+// bytes of packet are readable, branching to "drop" otherwise.
+//
+// The explicit data_end comparison mirrors what the kernel verifier
+// forces real programs to do before direct packet access.
+func prologue(n int32) asm.Instructions {
+	return asm.Instructions{
+		asm.Mov64Reg(asm.R6, asm.R1),
+		asm.LoadMem(asm.R7, asm.R6, core.CtxOffData, asm.DWord),
+		asm.LoadMem(asm.R8, asm.R6, core.CtxOffDataEnd, asm.DWord),
+		asm.Mov64Reg(asm.R2, asm.R7),
+		asm.ALU64Imm(asm.Add, asm.R2, n),
+		asm.JumpReg(asm.JGT, asm.R2, asm.R8, "drop"),
+	}
+}
+
+// epilogue emits the shared exit paths: "out" returns code okCode,
+// "drop" returns BPF_DROP.
+func epilogue(okCode int32) asm.Instructions {
+	return asm.Instructions{
+		asm.Mov64Imm(asm.R0, okCode).WithSymbol("out"),
+		asm.Return(),
+		asm.Mov64Imm(asm.R0, core.BPFDrop).WithSymbol("drop"),
+		asm.Return(),
+	}
+}
+
+// EndSpec is the BPF counterpart of the static End behaviour: the
+// endpoint processing already happened in the hook, so the program
+// does nothing ("1 source line of code in its body").
+func EndSpec() *bpf.ProgramSpec {
+	return &bpf.ProgramSpec{
+		Name: "end_bpf",
+		Instructions: asm.Instructions{
+			asm.Mov64Imm(asm.R0, core.BPFOK),
+			asm.Return(),
+		},
+		License: "Dual MIT/GPL",
+	}
+}
+
+// EndTSpec is the BPF counterpart of End.T: delegate to the static
+// behaviour through bpf_lwt_seg6_action, then BPF_REDIRECT so the
+// default lookup does not overwrite the action's FIB result (§3.1).
+// Four source lines in the paper's C.
+func EndTSpec(table int32) *bpf.ProgramSpec {
+	return &bpf.ProgramSpec{
+		Name: "end_t_bpf",
+		Instructions: asm.Instructions{
+			// u32 table on the stack; r1 = ctx, r2 = action,
+			// r3 = &table, r4 = sizeof(table).
+			asm.StoreImm(asm.RFP, -4, table, asm.Word),
+			asm.Mov64Imm(asm.R2, int32(seg6.ActionEndT)),
+			asm.Mov64Reg(asm.R3, asm.RFP),
+			asm.ALU64Imm(asm.Add, asm.R3, -4),
+			asm.Mov64Imm(asm.R4, 4),
+			asm.CallHelper(bpf.HelperLWTSeg6Action),
+			asm.JumpImm(asm.JNE, asm.R0, 0, "drop"),
+			asm.Mov64Imm(asm.R0, core.BPFRedirect),
+			asm.Return(),
+			asm.Mov64Imm(asm.R0, core.BPFDrop).WithSymbol("drop"),
+			asm.Return(),
+		},
+		License: "Dual MIT/GPL",
+	}
+}
+
+// TagIncrementSpec is the paper's Tag++ program (50 SLOC): read the
+// SRH tag, increment it, and write it back through
+// bpf_lwt_seg6_store_bytes — the indirect-write discipline of §3.1.
+func TagIncrementSpec() *bpf.ProgramSpec {
+	insns := prologue(offSRH + packet.SRHFixedLen)
+	insns = append(insns,
+		// Confirm the next header chains to a type-4 routing header,
+		// as the C source does before touching SRH fields.
+		asm.LoadMem(asm.R2, asm.R7, offNextHeader, asm.Byte),
+		asm.JumpImm(asm.JNE, asm.R2, packet.ProtoRouting, "drop"),
+		asm.LoadMem(asm.R2, asm.R7, offSRHType, asm.Byte),
+		asm.JumpImm(asm.JNE, asm.R2, packet.SRHRoutingType, "drop"),
+
+		// tag is big-endian on the wire: load, swap, increment, swap.
+		asm.LoadMem(asm.R3, asm.R7, offSRHTag, asm.Half),
+		asm.HostToBE(asm.R3, 16), // wire -> host
+		asm.ALU64Imm(asm.Add, asm.R3, 1),
+		asm.ALU64Imm(asm.And, asm.R3, 0xffff),
+		asm.HostToBE(asm.R3, 16), // host -> wire
+		asm.StoreMem(asm.RFP, -2, asm.R3, asm.Half),
+
+		// bpf_lwt_seg6_store_bytes(ctx, offSRHTag, fp-2, 2)
+		asm.Mov64Reg(asm.R1, asm.R6),
+		asm.Mov64Imm(asm.R2, offSRHTag),
+		asm.Mov64Reg(asm.R3, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R3, -2),
+		asm.Mov64Imm(asm.R4, 2),
+		asm.CallHelper(bpf.HelperLWTSeg6StoreByte),
+		asm.JumpImm(asm.JNE, asm.R0, 0, "drop"),
+		asm.JumpTo("out"),
+	)
+	insns = append(insns, epilogue(core.BPFOK)...)
+	return &bpf.ProgramSpec{
+		Name:         "tag_inc",
+		Instructions: insns,
+		License:      "Dual MIT/GPL",
+	}
+}
+
+// AddTLVTLVType is the experimental TLV the Add TLV program appends.
+const AddTLVTLVType = 0x42
+
+// AddTLVSpec is the paper's Add TLV program (60 SLOC): grow the TLV
+// area by 8 bytes with bpf_lwt_seg6_adjust_srh, then fill the new
+// space with one 8-byte TLV via bpf_lwt_seg6_store_bytes. Leaving the
+// space unfilled would fail the post-run SRH validation.
+func AddTLVSpec() *bpf.ProgramSpec {
+	insns := prologue(offSRH + packet.SRHFixedLen)
+	insns = append(insns,
+		asm.LoadMem(asm.R2, asm.R7, offNextHeader, asm.Byte),
+		asm.JumpImm(asm.JNE, asm.R2, packet.ProtoRouting, "drop"),
+
+		// r9 = byte offset one past the SRH = 40 + (hdrlen+1)*8.
+		asm.LoadMem(asm.R9, asm.R7, offSRHLen, asm.Byte),
+		asm.ALU64Imm(asm.Add, asm.R9, 1),
+		asm.ALU64Imm(asm.LSh, asm.R9, 3),
+		asm.ALU64Imm(asm.Add, asm.R9, offSRH),
+
+		// bpf_lwt_seg6_adjust_srh(ctx, end, +8)
+		asm.Mov64Reg(asm.R1, asm.R6),
+		asm.Mov64Reg(asm.R2, asm.R9),
+		asm.Mov64Imm(asm.R3, 8),
+		asm.CallHelper(bpf.HelperLWTSeg6AdjustSRH),
+		asm.JumpImm(asm.JNE, asm.R0, 0, "drop"),
+
+		// TLV on the stack: type 0x42, length 6, six bytes of zeros.
+		asm.StoreImm(asm.RFP, -8, AddTLVTLVType, asm.Byte),
+		asm.StoreImm(asm.RFP, -7, 6, asm.Byte),
+		asm.StoreImm(asm.RFP, -6, 0, asm.Half),
+		asm.StoreImm(asm.RFP, -4, 0, asm.Word),
+
+		// bpf_lwt_seg6_store_bytes(ctx, end, fp-8, 8)
+		asm.Mov64Reg(asm.R1, asm.R6),
+		asm.Mov64Reg(asm.R2, asm.R9),
+		asm.Mov64Reg(asm.R3, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R3, -8),
+		asm.Mov64Imm(asm.R4, 8),
+		asm.CallHelper(bpf.HelperLWTSeg6StoreByte),
+		asm.JumpImm(asm.JNE, asm.R0, 0, "drop"),
+		asm.JumpTo("out"),
+	)
+	insns = append(insns, epilogue(core.BPFOK)...)
+	return &bpf.ProgramSpec{
+		Name:         "add_tlv",
+		Instructions: insns,
+		License:      "Dual MIT/GPL",
+	}
+}

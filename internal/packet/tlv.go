@@ -1,0 +1,249 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// TLV type codes. Pad1/PadN are standard; the DM (delay measurement)
+// TLV models draft-ali-spring-srv6-pm (the paper's §4.1 reference
+// [8]); Controller and Nexthops live in the experimental range.
+const (
+	TLVTypePad1       = 0x00
+	TLVTypePadN       = 0x04
+	TLVTypeDM         = 0x80 // delay measurement: 64-bit TX timestamp
+	TLVTypeController = 0x81 // controller address + UDP port
+	TLVTypeNexthops   = 0x82 // ECMP nexthop report (End.OAMP)
+	TLVTypeOAMPQuery  = 0x83 // ECMP nexthop query: target address
+)
+
+// TLV is one SRH type-length-value option.
+type TLV interface {
+	TLVType() uint8
+	wireLen() int
+	encode(dst []byte) []byte
+	summary() string
+}
+
+// Pad1 is the single-byte padding TLV.
+type Pad1 struct{}
+
+// TLVType implements TLV.
+func (Pad1) TLVType() uint8           { return TLVTypePad1 }
+func (Pad1) wireLen() int             { return 1 }
+func (Pad1) encode(dst []byte) []byte { return append(dst, TLVTypePad1) }
+func (Pad1) summary() string          { return "pad1" }
+
+// PadN pads with n+2 bytes total (type, length, n zeros).
+type PadN struct{ N uint8 }
+
+// TLVType implements TLV.
+func (p PadN) TLVType() uint8 { return TLVTypePadN }
+func (p PadN) wireLen() int   { return 2 + int(p.N) }
+func (p PadN) encode(dst []byte) []byte {
+	dst = append(dst, TLVTypePadN, p.N)
+	return append(dst, make([]byte, p.N)...)
+}
+func (p PadN) summary() string { return fmt.Sprintf("padN(%d)", p.N) }
+
+// DMTLV carries the sender-side transmission timestamp for one-way
+// delay measurement (§4.1). Its 8-byte payload (10 bytes with
+// type+len) plus a PadN keeps the SRH 8-byte aligned; the encap
+// program and End.DM both know this layout.
+type DMTLV struct {
+	TxTimestampNS uint64
+}
+
+// DMTLVLen is the wire length of the DM TLV.
+const DMTLVLen = 10
+
+// TLVType implements TLV.
+func (DMTLV) TLVType() uint8 { return TLVTypeDM }
+func (DMTLV) wireLen() int   { return DMTLVLen }
+func (d DMTLV) encode(dst []byte) []byte {
+	dst = append(dst, TLVTypeDM, 8)
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], d.TxTimestampNS)
+	return append(dst, b[:]...)
+}
+func (d DMTLV) summary() string { return fmt.Sprintf("dm(tx=%d)", d.TxTimestampNS) }
+
+// ControllerTLV names the collector that should receive measurement
+// reports: an IPv6 address and a UDP port (§4.1).
+type ControllerTLV struct {
+	Addr netip.Addr
+	Port uint16
+}
+
+// ControllerTLVLen is the wire length of the controller TLV.
+const ControllerTLVLen = 20
+
+// TLVType implements TLV.
+func (ControllerTLV) TLVType() uint8 { return TLVTypeController }
+func (ControllerTLV) wireLen() int   { return ControllerTLVLen }
+func (c ControllerTLV) encode(dst []byte) []byte {
+	dst = append(dst, TLVTypeController, 18)
+	a := c.Addr.As16()
+	dst = append(dst, a[:]...)
+	return append(dst, byte(c.Port>>8), byte(c.Port))
+}
+func (c ControllerTLV) summary() string {
+	return fmt.Sprintf("ctrl(%s:%d)", c.Addr, c.Port)
+}
+
+// NexthopsTLV carries up to 4 ECMP nexthop addresses plus a count,
+// filled in by End.OAMP (§4.3). The prober allocates it zeroed.
+type NexthopsTLV struct {
+	Count    uint8
+	Nexthops [4]netip.Addr
+}
+
+// NexthopsTLVLen is the wire length of the nexthops TLV:
+// type + len + count + pad + 4*16.
+const NexthopsTLVLen = 68
+
+// TLVType implements TLV.
+func (NexthopsTLV) TLVType() uint8 { return TLVTypeNexthops }
+func (NexthopsTLV) wireLen() int   { return NexthopsTLVLen }
+func (n NexthopsTLV) encode(dst []byte) []byte {
+	dst = append(dst, TLVTypeNexthops, NexthopsTLVLen-2, n.Count, 0)
+	for _, nh := range n.Nexthops {
+		var a [16]byte
+		if nh.IsValid() {
+			a = nh.As16()
+		}
+		dst = append(dst, a[:]...)
+	}
+	return dst
+}
+func (n NexthopsTLV) summary() string {
+	return fmt.Sprintf("nexthops(%d)", n.Count)
+}
+
+// OAMPQueryTLV carries the destination whose ECMP nexthops the prober
+// wants End.OAMP to report (§4.3).
+type OAMPQueryTLV struct {
+	Target netip.Addr
+}
+
+// OAMPQueryTLVLen is the wire length: type + len + target + 2 pad.
+const OAMPQueryTLVLen = 20
+
+// TLVType implements TLV.
+func (OAMPQueryTLV) TLVType() uint8 { return TLVTypeOAMPQuery }
+func (OAMPQueryTLV) wireLen() int   { return OAMPQueryTLVLen }
+func (q OAMPQueryTLV) encode(dst []byte) []byte {
+	dst = append(dst, TLVTypeOAMPQuery, OAMPQueryTLVLen-2)
+	a := q.Target.As16()
+	dst = append(dst, a[:]...)
+	return append(dst, 0, 0)
+}
+func (q OAMPQueryTLV) summary() string { return fmt.Sprintf("oamp-query(%s)", q.Target) }
+
+// OpaqueTLV preserves unknown TLVs through decode/encode round trips.
+type OpaqueTLV struct {
+	Type uint8
+	Data []byte
+}
+
+// TLVType implements TLV.
+func (o OpaqueTLV) TLVType() uint8 { return o.Type }
+func (o OpaqueTLV) wireLen() int   { return 2 + len(o.Data) }
+func (o OpaqueTLV) encode(dst []byte) []byte {
+	dst = append(dst, o.Type, uint8(len(o.Data)))
+	return append(dst, o.Data...)
+}
+func (o OpaqueTLV) summary() string {
+	return fmt.Sprintf("tlv(%#x,%d)", o.Type, len(o.Data))
+}
+
+// decodeTLVs parses the TLV area of an SRH.
+func decodeTLVs(b []byte) ([]TLV, error) {
+	var out []TLV
+	for len(b) > 0 {
+		t := b[0]
+		if t == TLVTypePad1 {
+			out = append(out, Pad1{})
+			b = b[1:]
+			continue
+		}
+		if len(b) < 2 {
+			return nil, fmt.Errorf("%w: TLV header", ErrTruncated)
+		}
+		l := int(b[1])
+		if len(b) < 2+l {
+			return nil, fmt.Errorf("%w: TLV %#x claims %d bytes, have %d", ErrBadTLV, t, l, len(b)-2)
+		}
+		body := b[2 : 2+l]
+		switch t {
+		case TLVTypePadN:
+			out = append(out, PadN{N: uint8(l)})
+		case TLVTypeDM:
+			if l != 8 {
+				return nil, fmt.Errorf("%w: DM TLV length %d", ErrBadTLV, l)
+			}
+			out = append(out, DMTLV{TxTimestampNS: binary.BigEndian.Uint64(body)})
+		case TLVTypeController:
+			if l != 18 {
+				return nil, fmt.Errorf("%w: controller TLV length %d", ErrBadTLV, l)
+			}
+			out = append(out, ControllerTLV{
+				Addr: netip.AddrFrom16([16]byte(body[:16])),
+				Port: uint16(body[16])<<8 | uint16(body[17]),
+			})
+		case TLVTypeOAMPQuery:
+			if l != OAMPQueryTLVLen-2 {
+				return nil, fmt.Errorf("%w: OAMP query TLV length %d", ErrBadTLV, l)
+			}
+			out = append(out, OAMPQueryTLV{Target: netip.AddrFrom16([16]byte(body[:16]))})
+		case TLVTypeNexthops:
+			if l != NexthopsTLVLen-2 {
+				return nil, fmt.Errorf("%w: nexthops TLV length %d", ErrBadTLV, l)
+			}
+			n := NexthopsTLV{Count: body[0]}
+			if n.Count > 4 {
+				return nil, fmt.Errorf("%w: nexthop count %d", ErrBadTLV, n.Count)
+			}
+			for i := 0; i < 4; i++ {
+				n.Nexthops[i] = netip.AddrFrom16([16]byte(body[2+16*i : 2+16*i+16]))
+			}
+			out = append(out, n)
+		default:
+			out = append(out, OpaqueTLV{Type: t, Data: append([]byte(nil), body...)})
+		}
+		b = b[2+l:]
+	}
+	return out, nil
+}
+
+// FindTLV locates the first TLV with the given type in an encoded
+// SRH, returning the byte offset of its type byte relative to the
+// SRH start. Used by user-space tooling; BPF programs do the same
+// walk in bytecode.
+func FindTLV(srh []byte, tlvType uint8) (int, bool) {
+	if len(srh) < SRHFixedLen {
+		return 0, false
+	}
+	total := (int(srh[SRHOffHdrExtLen]) + 1) * 8
+	if total > len(srh) {
+		return 0, false
+	}
+	nSegs := int(srh[SRHOffLastEntry]) + 1
+	off := SRHFixedLen + 16*nSegs
+	for off < total {
+		t := srh[off]
+		if t == tlvType {
+			return off, true
+		}
+		if t == TLVTypePad1 {
+			off++
+			continue
+		}
+		if off+1 >= total {
+			return 0, false
+		}
+		off += 2 + int(srh[off+1])
+	}
+	return 0, false
+}

@@ -1,0 +1,354 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// UDPHeaderLen is the fixed UDP header size.
+const UDPHeaderLen = 8
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16 // header + payload
+	Checksum         uint16
+}
+
+// DecodeUDP parses a UDP header.
+func DecodeUDP(b []byte) (UDP, error) {
+	var u UDP
+	if len(b) < UDPHeaderLen {
+		return u, fmt.Errorf("%w: UDP header", ErrTruncated)
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b[0:])
+	u.DstPort = binary.BigEndian.Uint16(b[2:])
+	u.Length = binary.BigEndian.Uint16(b[4:])
+	u.Checksum = binary.BigEndian.Uint16(b[6:])
+	return u, nil
+}
+
+// Encode appends the header to dst.
+func (u UDP) Encode(dst []byte) []byte {
+	var b [UDPHeaderLen]byte
+	binary.BigEndian.PutUint16(b[0:], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:], u.Length)
+	binary.BigEndian.PutUint16(b[6:], u.Checksum)
+	return append(dst, b[:]...)
+}
+
+// TCP flag bits.
+const (
+	TCPFlagFIN = 1 << 0
+	TCPFlagSYN = 1 << 1
+	TCPFlagRST = 1 << 2
+	TCPFlagPSH = 1 << 3
+	TCPFlagACK = 1 << 4
+)
+
+// TCPHeaderLen is the option-less header size.
+const TCPHeaderLen = 20
+
+// tcpSACKOptionLen is the size of one encoded SACK block option:
+// kind (5), length, left edge, right edge, plus two NOPs for 4-byte
+// alignment.
+const tcpSACKOptionLen = 12
+
+// TCP is a TCP header, optionally carrying one SACK block (RFC 2018)
+// — enough selective-acknowledgement information for RACK-style loss
+// detection, which the §4.2 experiment depends on.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOff          uint8 // header length in bytes (filled on decode)
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+	// SACKLeft/SACKRight delimit one SACK block; both zero = absent.
+	SACKLeft, SACKRight uint32
+}
+
+// HasSACK reports whether a SACK block is present.
+func (t TCP) HasSACK() bool { return t.SACKLeft != 0 || t.SACKRight != 0 }
+
+// DecodeTCP parses a TCP header including a single SACK option.
+func DecodeTCP(b []byte) (TCP, error) {
+	var t TCP
+	if len(b) < TCPHeaderLen {
+		return t, fmt.Errorf("%w: TCP header", ErrTruncated)
+	}
+	t.SrcPort = binary.BigEndian.Uint16(b[0:])
+	t.DstPort = binary.BigEndian.Uint16(b[2:])
+	t.Seq = binary.BigEndian.Uint32(b[4:])
+	t.Ack = binary.BigEndian.Uint32(b[8:])
+	t.DataOff = (b[12] >> 4) * 4
+	t.Flags = b[13]
+	t.Window = binary.BigEndian.Uint16(b[14:])
+	t.Checksum = binary.BigEndian.Uint16(b[16:])
+	if int(t.DataOff) < TCPHeaderLen || len(b) < int(t.DataOff) {
+		return t, fmt.Errorf("%w: TCP data offset %d", ErrTruncated, t.DataOff)
+	}
+	// Walk options for the first SACK block.
+	opts := b[TCPHeaderLen:t.DataOff]
+	for len(opts) > 0 {
+		switch opts[0] {
+		case 0: // end of options
+			opts = nil
+		case 1: // NOP
+			opts = opts[1:]
+		case 5: // SACK
+			if len(opts) < 10 || opts[1] < 10 || int(opts[1]) > len(opts) {
+				return t, fmt.Errorf("%w: SACK option", ErrTruncated)
+			}
+			t.SACKLeft = binary.BigEndian.Uint32(opts[2:])
+			t.SACKRight = binary.BigEndian.Uint32(opts[6:])
+			opts = opts[opts[1]:]
+		default:
+			if len(opts) < 2 || opts[1] < 2 || int(opts[1]) > len(opts) {
+				opts = nil
+				break
+			}
+			opts = opts[opts[1]:]
+		}
+	}
+	return t, nil
+}
+
+// Encode appends the header (and SACK option when present) to dst.
+func (t TCP) Encode(dst []byte) []byte {
+	words := 5
+	if t.HasSACK() {
+		words = 5 + tcpSACKOptionLen/4
+	}
+	var b [TCPHeaderLen]byte
+	binary.BigEndian.PutUint16(b[0:], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:], t.Seq)
+	binary.BigEndian.PutUint32(b[8:], t.Ack)
+	b[12] = uint8(words) << 4
+	b[13] = t.Flags
+	binary.BigEndian.PutUint16(b[14:], t.Window)
+	binary.BigEndian.PutUint16(b[16:], t.Checksum)
+	dst = append(dst, b[:]...)
+	if t.HasSACK() {
+		var o [tcpSACKOptionLen]byte
+		o[0], o[1] = 1, 1 // NOP padding
+		o[2], o[3] = 5, 10
+		binary.BigEndian.PutUint32(o[4:], t.SACKLeft)
+		binary.BigEndian.PutUint32(o[8:], t.SACKRight)
+		dst = append(dst, o[:]...)
+	}
+	return dst
+}
+
+// ICMPv6 types used by the simulator.
+const (
+	ICMPv6DstUnreachable = 1
+	ICMPv6TimeExceeded   = 3
+	ICMPv6EchoRequest    = 128
+	ICMPv6EchoReply      = 129
+)
+
+// ICMPv6HeaderLen is type+code+checksum+4 reserved bytes.
+const ICMPv6HeaderLen = 8
+
+// ICMPv6 is a generic ICMPv6 message; Body carries the remainder
+// (for errors: the invoking packet).
+type ICMPv6 struct {
+	Type, Code uint8
+	Checksum   uint16
+	Body       []byte
+}
+
+// DecodeICMPv6 parses an ICMPv6 message.
+func DecodeICMPv6(b []byte) (ICMPv6, error) {
+	var m ICMPv6
+	if len(b) < ICMPv6HeaderLen {
+		return m, fmt.Errorf("%w: ICMPv6 header", ErrTruncated)
+	}
+	m.Type = b[0]
+	m.Code = b[1]
+	m.Checksum = binary.BigEndian.Uint16(b[2:])
+	m.Body = append([]byte(nil), b[ICMPv6HeaderLen:]...)
+	return m, nil
+}
+
+// Encode appends the message to dst.
+func (m ICMPv6) Encode(dst []byte) []byte {
+	var h [ICMPv6HeaderLen]byte
+	h[0] = m.Type
+	h[1] = m.Code
+	binary.BigEndian.PutUint16(h[2:], m.Checksum)
+	dst = append(dst, h[:]...)
+	return append(dst, m.Body...)
+}
+
+// Checksum computes the Internet checksum over the IPv6 pseudo-header
+// and the upper-layer payload, per RFC 8200 §8.1.
+func Checksum(src, dst netip.Addr, proto uint8, upper []byte) uint16 {
+	var sum uint32
+	a, b := src.As16(), dst.As16()
+	for i := 0; i < 16; i += 2 {
+		sum += uint32(a[i])<<8 | uint32(a[i+1])
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	l := uint32(len(upper))
+	sum += l >> 16
+	sum += l & 0xffff
+	sum += uint32(proto)
+	for i := 0; i+1 < len(upper); i += 2 {
+		sum += uint32(upper[i])<<8 | uint32(upper[i+1])
+	}
+	if len(upper)%2 == 1 {
+		sum += uint32(upper[len(upper)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	ck := ^uint16(sum)
+	return ck
+}
+
+// buildSpec collects the pieces of a packet under construction.
+type buildSpec struct {
+	ip       IPv6
+	srh      *SRH
+	udp      *UDP
+	tcp      *TCP
+	icmp     *ICMPv6
+	innerPkt []byte
+	payload  []byte
+}
+
+// BuildOption configures BuildPacket.
+type BuildOption func(*buildSpec)
+
+// WithSRH attaches a segment routing header.
+func WithSRH(s *SRH) BuildOption { return func(b *buildSpec) { b.srh = s } }
+
+// WithUDP attaches a UDP header (length and checksum are computed).
+func WithUDP(src, dst uint16) BuildOption {
+	return func(b *buildSpec) { b.udp = &UDP{SrcPort: src, DstPort: dst} }
+}
+
+// WithTCP attaches a TCP header (checksum is computed).
+func WithTCP(t TCP) BuildOption { return func(b *buildSpec) { b.tcp = &t } }
+
+// WithICMPv6 attaches an ICMPv6 message (checksum is computed).
+func WithICMPv6(m ICMPv6) BuildOption { return func(b *buildSpec) { b.icmp = &m } }
+
+// WithInnerPacket nests a full IPv6 packet (IPv6-in-IPv6 encap).
+func WithInnerPacket(raw []byte) BuildOption {
+	return func(b *buildSpec) { b.innerPkt = raw }
+}
+
+// WithPayload sets the application payload.
+func WithPayload(p []byte) BuildOption { return func(b *buildSpec) { b.payload = p } }
+
+// WithFlowLabel sets the IPv6 flow label.
+func WithFlowLabel(fl uint32) BuildOption {
+	return func(b *buildSpec) { b.ip.FlowLabel = fl & 0xfffff }
+}
+
+// WithHopLimit overrides the default hop limit of 64.
+func WithHopLimit(hl uint8) BuildOption {
+	return func(b *buildSpec) { b.ip.HopLimit = hl }
+}
+
+// WithTrafficClass sets the IPv6 traffic class.
+func WithTrafficClass(tc uint8) BuildOption {
+	return func(b *buildSpec) { b.ip.TrafficClass = tc }
+}
+
+// BuildPacket assembles a complete IPv6 packet with correct lengths,
+// next-header chaining and transport checksums.
+func BuildPacket(src, dst netip.Addr, opts ...BuildOption) ([]byte, error) {
+	spec := buildSpec{ip: IPv6{Src: src, Dst: dst, HopLimit: 64}}
+	for _, o := range opts {
+		o(&spec)
+	}
+
+	// Assemble from the innermost layer outward.
+	var upper []byte
+	var upperProto uint8
+	switch {
+	case spec.udp != nil:
+		u := *spec.udp
+		u.Length = uint16(UDPHeaderLen + len(spec.payload))
+		raw := u.Encode(nil)
+		raw = append(raw, spec.payload...)
+		binary.BigEndian.PutUint16(raw[6:], 0)
+		ck := Checksum(spec.ip.Src, spec.ip.Dst, ProtoUDP, raw)
+		if ck == 0 {
+			ck = 0xffff
+		}
+		binary.BigEndian.PutUint16(raw[6:], ck)
+		upper, upperProto = raw, ProtoUDP
+	case spec.tcp != nil:
+		raw := spec.tcp.Encode(nil)
+		raw = append(raw, spec.payload...)
+		binary.BigEndian.PutUint16(raw[16:], 0)
+		ck := Checksum(spec.ip.Src, spec.ip.Dst, ProtoTCP, raw)
+		binary.BigEndian.PutUint16(raw[16:], ck)
+		upper, upperProto = raw, ProtoTCP
+	case spec.icmp != nil:
+		raw := spec.icmp.Encode(nil)
+		binary.BigEndian.PutUint16(raw[2:], 0)
+		ck := Checksum(spec.ip.Src, spec.ip.Dst, ProtoICMPv6, raw)
+		binary.BigEndian.PutUint16(raw[2:], ck)
+		upper, upperProto = raw, ProtoICMPv6
+	case spec.innerPkt != nil:
+		upper, upperProto = spec.innerPkt, ProtoIPv6
+	default:
+		upper, upperProto = spec.payload, ProtoNoNext
+	}
+
+	var mid []byte
+	if spec.srh != nil {
+		srh := *spec.srh
+		srh.NextHeader = upperProto
+		enc, err := srh.Encode(nil)
+		if err != nil {
+			return nil, err
+		}
+		mid = append(enc, upper...)
+		spec.ip.NextHeader = ProtoRouting
+	} else {
+		mid = upper
+		spec.ip.NextHeader = upperProto
+	}
+
+	if len(mid) > 0xffff {
+		return nil, fmt.Errorf("packet: payload %d exceeds IPv6 payload length", len(mid))
+	}
+	spec.ip.PayloadLen = uint16(len(mid))
+	out := spec.ip.Encode(nil)
+	return append(out, mid...), nil
+}
+
+// NewSRH builds an SRH for a path of segments given in travel order
+// (first hop first). On the wire segments are reversed and
+// SegmentsLeft starts at len(path)-1... i.e. pointing at the first
+// hop. TLVs are appended in the given order, padded to 8-byte
+// alignment automatically.
+func NewSRH(path []netip.Addr, tlvs ...TLV) *SRH {
+	s := &SRH{
+		SegmentsLeft: uint8(len(path) - 1),
+		LastEntry:    uint8(len(path) - 1),
+		TLVs:         tlvs,
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		s.Segments = append(s.Segments, path[i])
+	}
+	if pad := s.WireLen() % 8; pad != 0 {
+		need := 8 - pad
+		if need == 1 {
+			s.TLVs = append(s.TLVs, Pad1{})
+		} else {
+			s.TLVs = append(s.TLVs, PadN{N: uint8(need - 2)})
+		}
+	}
+	return s
+}

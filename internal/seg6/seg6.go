@@ -1,0 +1,301 @@
+// Package seg6 implements the SRv6 data-plane operations of the Linux
+// kernel's seg6 and seg6local lightweight tunnels: advancing the SRH,
+// IPv6-in-IPv6 encapsulation and decapsulation, inline SRH insertion,
+// and the static endpoint behaviours (End, End.X, End.T, End.DX6,
+// End.DT6, End.B6, End.B6.Encaps) that the paper's Figure 2 uses as
+// baselines for the eBPF variants.
+//
+// All operations work on raw packet bytes, exactly as the kernel does
+// on skbs; the routing decision that follows a behaviour is expressed
+// as a Verdict for the caller (the simulator's forwarding engine) to
+// act on, keeping this package independent of FIB internals.
+package seg6
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"srv6bpf/internal/packet"
+)
+
+// Action enumerates seg6local behaviours. Values match the kernel's
+// SEG6_LOCAL_ACTION_* UAPI numbering, which the bpf_lwt_seg6_action
+// helper also uses.
+type Action int
+
+// seg6local actions.
+const (
+	ActionUnspec     Action = 0
+	ActionEnd        Action = 1
+	ActionEndX       Action = 2
+	ActionEndT       Action = 3
+	ActionEndDX6     Action = 5
+	ActionEndDT6     Action = 7
+	ActionEndB6      Action = 9
+	ActionEndB6Encap Action = 10
+	ActionEndBPF     Action = 15
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionEnd:
+		return "End"
+	case ActionEndX:
+		return "End.X"
+	case ActionEndT:
+		return "End.T"
+	case ActionEndDX6:
+		return "End.DX6"
+	case ActionEndDT6:
+		return "End.DT6"
+	case ActionEndB6:
+		return "End.B6"
+	case ActionEndB6Encap:
+		return "End.B6.Encaps"
+	case ActionEndBPF:
+		return "End.BPF"
+	default:
+		return fmt.Sprintf("seg6local(%d)", int(a))
+	}
+}
+
+// Verdict tells the forwarding engine what to do after a behaviour.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictForward re-runs the FIB lookup on the (possibly updated)
+	// destination address in the main table.
+	VerdictForward Verdict = iota
+	// VerdictForwardNexthop forwards to Result.Nexthop directly.
+	VerdictForwardNexthop
+	// VerdictForwardTable looks the destination up in Result.Table.
+	VerdictForwardTable
+	// VerdictDrop discards the packet.
+	VerdictDrop
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictForward:
+		return "forward"
+	case VerdictForwardNexthop:
+		return "forward-nexthop"
+	case VerdictForwardTable:
+		return "forward-table"
+	case VerdictDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Behaviour is one configured seg6local entry: an action plus its
+// parameters (kernel: "End.X requires an IPv6 nexthop, End.T a table",
+// and so on). BPF carries the loaded program for End.BPF; it is typed
+// any so this package does not depend on the hook layer.
+type Behaviour struct {
+	Action  Action
+	Nexthop netip.Addr  // End.X, End.DX6
+	Table   int         // End.T, End.DT6
+	SRH     *packet.SRH // End.B6, End.B6.Encaps
+	BPF     any         // End.BPF: managed by internal/core
+	// Src is the outer source address for behaviours that encapsulate
+	// (End.B6.Encaps).
+	Src netip.Addr
+}
+
+// Result of applying a behaviour.
+type Result struct {
+	Verdict Verdict
+	// Pkt is the packet after the behaviour (it may be a new slice
+	// after encap/decap/insert).
+	Pkt     []byte
+	Nexthop netip.Addr
+	Table   int
+}
+
+// Errors.
+var (
+	ErrNoSRH           = errors.New("seg6: packet has no SRH")
+	ErrZeroSegsLeft    = errors.New("seg6: segments_left is zero")
+	ErrNotEncapsulated = errors.New("seg6: no inner IPv6 packet to decapsulate")
+	ErrBadBehaviour    = errors.New("seg6: invalid behaviour parameters")
+)
+
+// drop returns a drop result (the kernel frees the skb and counts the
+// error; we surface the cause to the caller's statistics).
+func drop() Result { return Result{Verdict: VerdictDrop} }
+
+// Advance implements the core endpoint step shared by End-style
+// behaviours: decrement SegmentsLeft and rewrite the IPv6 destination
+// to the new active segment, in place.
+func Advance(raw []byte) error {
+	p, err := packet.Parse(raw)
+	if err != nil {
+		return err
+	}
+	if p.SRH == nil {
+		return ErrNoSRH
+	}
+	if p.SRH.SegmentsLeft == 0 {
+		return ErrZeroSegsLeft
+	}
+	sl := p.SRH.SegmentsLeft - 1
+	raw[p.SRHOff+packet.SRHOffSegmentsLeft] = sl
+	seg := p.SRH.Segments[sl]
+	return packet.SetIPv6Dst(raw, seg)
+}
+
+// DecapInner strips the outer IPv6 header and all its extension
+// headers, returning the inner IPv6 packet (End.DT6 / End.DX6 /
+// "SRv6 decapsulation is natively performed by the kernel", §4.2).
+func DecapInner(raw []byte) ([]byte, error) {
+	p, err := packet.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	if p.L4Proto != packet.ProtoIPv6 || p.InnerOff == 0 {
+		return nil, ErrNotEncapsulated
+	}
+	inner := packet.Clone(raw[p.InnerOff:])
+	if _, err := packet.DecodeIPv6(inner); err != nil {
+		return nil, err
+	}
+	return inner, nil
+}
+
+// InsertSRH splices an SRH between the IPv6 header and the rest of
+// the packet (the seg6 "inline" transit behaviour and End.B6). The
+// IPv6 destination is rewritten to the SRH's active segment and the
+// payload length fixed up.
+func InsertSRH(raw []byte, srh *packet.SRH) ([]byte, error) {
+	if len(raw) < packet.IPv6HeaderLen {
+		return nil, packet.ErrTruncated
+	}
+	h, err := packet.DecodeIPv6(raw)
+	if err != nil {
+		return nil, err
+	}
+	s := *srh
+	s.NextHeader = h.NextHeader
+	enc, err := s.Encode(nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(raw)+len(enc))
+	out = append(out, raw[:packet.IPv6HeaderLen]...)
+	out = append(out, enc...)
+	out = append(out, raw[packet.IPv6HeaderLen:]...)
+	out[6] = packet.ProtoRouting // outer next header
+	if err := packet.SetIPv6PayloadLen(out, len(out)-packet.IPv6HeaderLen); err != nil {
+		return nil, err
+	}
+	active, err := s.ActiveSegment()
+	if err != nil {
+		return nil, err
+	}
+	if err := packet.SetIPv6Dst(out, active); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Encap wraps raw in a new outer IPv6 header carrying srh (the seg6
+// "encap" transit behaviour, T.Encaps). The outer destination is the
+// SRH's active segment; hop limit is copied from the inner packet as
+// the kernel does.
+func Encap(raw []byte, outerSrc netip.Addr, srh *packet.SRH) ([]byte, error) {
+	inner, err := packet.DecodeIPv6(raw)
+	if err != nil {
+		return nil, err
+	}
+	active, err := srh.ActiveSegment()
+	if err != nil {
+		return nil, err
+	}
+	return packet.BuildPacket(outerSrc, active,
+		packet.WithSRH(srh),
+		packet.WithInnerPacket(raw),
+		packet.WithHopLimit(inner.HopLimit),
+		packet.WithFlowLabel(inner.FlowLabel),
+	)
+}
+
+// ApplyStatic executes a non-BPF behaviour on raw. End.BPF must be
+// handled by the hook layer (internal/core); passing it here returns
+// an error.
+func ApplyStatic(b *Behaviour, raw []byte) (Result, error) {
+	switch b.Action {
+	case ActionEnd:
+		return applyEnd(raw, VerdictForward, netip.Addr{}, 0)
+	case ActionEndX:
+		if !b.Nexthop.IsValid() {
+			return drop(), fmt.Errorf("%w: End.X needs a nexthop", ErrBadBehaviour)
+		}
+		return applyEnd(raw, VerdictForwardNexthop, b.Nexthop, 0)
+	case ActionEndT:
+		return applyEnd(raw, VerdictForwardTable, netip.Addr{}, b.Table)
+
+	case ActionEndDX6:
+		inner, err := DecapInner(raw)
+		if err != nil {
+			return drop(), err
+		}
+		if !b.Nexthop.IsValid() {
+			return drop(), fmt.Errorf("%w: End.DX6 needs a nexthop", ErrBadBehaviour)
+		}
+		return Result{Verdict: VerdictForwardNexthop, Pkt: inner, Nexthop: b.Nexthop}, nil
+
+	case ActionEndDT6:
+		inner, err := DecapInner(raw)
+		if err != nil {
+			return drop(), err
+		}
+		return Result{Verdict: VerdictForwardTable, Pkt: inner, Table: b.Table}, nil
+
+	case ActionEndB6:
+		if b.SRH == nil {
+			return drop(), fmt.Errorf("%w: End.B6 needs an SRH", ErrBadBehaviour)
+		}
+		// End.B6 inserts a new SRH on top of the existing one without
+		// consuming a segment of the original.
+		out, err := InsertSRH(raw, b.SRH)
+		if err != nil {
+			return drop(), err
+		}
+		return Result{Verdict: VerdictForward, Pkt: out}, nil
+
+	case ActionEndB6Encap:
+		if b.SRH == nil || !b.Src.IsValid() {
+			return drop(), fmt.Errorf("%w: End.B6.Encaps needs an SRH and source", ErrBadBehaviour)
+		}
+		// Advance the inner SRH first, then encapsulate.
+		work := packet.Clone(raw)
+		if err := Advance(work); err != nil {
+			return drop(), err
+		}
+		out, err := Encap(work, b.Src, b.SRH)
+		if err != nil {
+			return drop(), err
+		}
+		return Result{Verdict: VerdictForward, Pkt: out}, nil
+
+	case ActionEndBPF:
+		return drop(), fmt.Errorf("%w: End.BPF is handled by the hook layer", ErrBadBehaviour)
+
+	default:
+		return drop(), fmt.Errorf("%w: %v", ErrBadBehaviour, b.Action)
+	}
+}
+
+// applyEnd advances the SRH and emits the requested verdict. Packets
+// whose SRH is exhausted (SegmentsLeft == 0) are dropped, as the
+// kernel's End behaviours do.
+func applyEnd(raw []byte, v Verdict, nh netip.Addr, table int) (Result, error) {
+	if err := Advance(raw); err != nil {
+		return drop(), err
+	}
+	return Result{Verdict: v, Pkt: raw, Nexthop: nh, Table: table}, nil
+}

@@ -1,0 +1,121 @@
+package trafgen
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+
+	"srv6bpf/internal/netem"
+	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/packet"
+)
+
+var (
+	genAddr  = netip.MustParseAddr("2001:db8:1::1")
+	sinkAddr = netip.MustParseAddr("2001:db8:2::1")
+)
+
+func pipe() (*netsim.Sim, *netsim.Node, *netsim.Node) {
+	s := netsim.New(5)
+	a := s.AddNode("gen", netsim.HostCostModel())
+	b := s.AddNode("sink", netsim.HostCostModel())
+	a.AddAddress(genAddr)
+	b.AddAddress(sinkAddr)
+	aIf, bIf := netsim.ConnectSymmetric(a, b, netem.Config{RateBps: 10_000_000_000})
+	a.AddRoute(&netsim.Route{Prefix: netip.MustParsePrefix("::/0"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: aIf}}})
+	b.AddRoute(&netsim.Route{Prefix: netip.MustParsePrefix("::/0"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: bIf}}})
+	return s, a, b
+}
+
+func TestGeneratorRateAndSink(t *testing.T) {
+	s, a, b := pipe()
+	sink := NewSink(b, 9000)
+	gen := &UDPGen{
+		Node: a, Src: genAddr, Dst: sinkAddr,
+		SrcPort: 1, DstPort: 9000,
+		PayloadLen: 64,
+		RatePPS:    100_000,
+	}
+	if err := gen.Start(100 * netsim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	// 100 kpps over 100 ms = 10k packets.
+	if math.Abs(float64(gen.Sent())-10_000) > 10 {
+		t.Errorf("sent %d, want ≈10000", gen.Sent())
+	}
+	if sink.Packets != gen.Sent() {
+		t.Errorf("sink got %d of %d", sink.Packets, gen.Sent())
+	}
+	if r := sink.RatePPS(); math.Abs(r-100_000)/100_000 > 0.01 {
+		t.Errorf("sink rate = %.0f pps", r)
+	}
+	// Goodput counts payload only: 64 bytes per packet.
+	wantBps := 64 * 8 * 100_000.0
+	if g := sink.GoodputBps(); math.Abs(g-wantBps)/wantBps > 0.01 {
+		t.Errorf("goodput = %.0f bps, want ≈%.0f", g, wantBps)
+	}
+}
+
+func TestGeneratorWithSRH(t *testing.T) {
+	s, a, b := pipe()
+	var sawSRH bool
+	b.HandleUDP(9001, func(n *netsim.Node, p *packet.Packet, meta *netsim.PacketMeta) {
+		sawSRH = p.SRH != nil && p.SRH.SegmentsLeft == 0
+	})
+	gen := &UDPGen{
+		Node: a, Src: genAddr, Dst: sinkAddr,
+		SrcPort: 1, DstPort: 9001, PayloadLen: 64,
+		SRH:     packet.NewSRH([]netip.Addr{sinkAddr}),
+		RatePPS: 1000,
+	}
+	if err := gen.Start(5 * netsim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if !sawSRH {
+		t.Error("SRH missing at sink")
+	}
+	// 64B payload + UDP 8 + SRH 24 + IPv6 40 = 136.
+	if gen.WireSize() != 136 {
+		t.Errorf("wire size = %d", gen.WireSize())
+	}
+}
+
+func TestFlowLabelVariation(t *testing.T) {
+	s, a, b := pipe()
+	labels := map[uint32]bool{}
+	b.HandleUDP(9002, func(n *netsim.Node, p *packet.Packet, meta *netsim.PacketMeta) {
+		labels[p.IPv6.FlowLabel] = true
+	})
+	gen := &UDPGen{
+		Node: a, Src: genAddr, Dst: sinkAddr,
+		SrcPort: 1, DstPort: 9002, PayloadLen: 16,
+		RatePPS:   10_000,
+		FlowLabel: func(i uint64) uint32 { return uint32(i % 7) },
+	}
+	if err := gen.Start(10 * netsim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if len(labels) != 7 {
+		t.Errorf("distinct labels = %d, want 7", len(labels))
+	}
+}
+
+func TestSinkReset(t *testing.T) {
+	s, a, b := pipe()
+	sink := NewSink(b, 9003)
+	gen := &UDPGen{Node: a, Src: genAddr, Dst: sinkAddr, SrcPort: 1, DstPort: 9003, PayloadLen: 8, RatePPS: 1000}
+	if err := gen.Start(10 * netsim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if sink.Packets == 0 {
+		t.Fatal("no packets")
+	}
+	sink.Reset()
+	if sink.Packets != 0 || sink.Window() != 0 {
+		t.Error("reset incomplete")
+	}
+}

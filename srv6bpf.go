@@ -1,0 +1,219 @@
+// Package srv6bpf is a faithful reimplementation, as a self-contained
+// Go library, of "Leveraging eBPF for programmable network functions
+// with IPv6 Segment Routing" (Xhonneux, Duchene, Bonaventure,
+// CoNEXT 2018) — the work that added the End.BPF seg6local action and
+// the SRv6 eBPF helpers to Linux 4.18.
+//
+// The package is a facade over the implementation packages:
+//
+//   - a complete eBPF toolchain (assembler, verifier, interpreter and
+//     JIT, maps, perf events) — internal/bpf/...;
+//   - the SRv6 data plane (SRH, TLVs, seg6/seg6local behaviours) —
+//     internal/seg6 and internal/packet;
+//   - a deterministic discrete-event network simulator standing in
+//     for the paper's lab (links with netem shaping, routers with
+//     calibrated CPU cost models) — internal/netsim, internal/netem;
+//   - the paper's contribution: the End.BPF hook, the LWT transit
+//     hook and the four SRv6 helpers — internal/core;
+//   - the paper's three use cases as ready-made network functions —
+//     internal/nf/{progs,delaymon,hybrid,oamp}.
+//
+// See the examples directory for runnable end-to-end scenarios and
+// EXPERIMENTS.md for the reproduction of every figure in the paper's
+// evaluation.
+package srv6bpf
+
+import (
+	"srv6bpf/internal/bpf"
+	"srv6bpf/internal/bpf/asm"
+	"srv6bpf/internal/bpf/maps"
+	"srv6bpf/internal/core"
+	"srv6bpf/internal/netem"
+	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/packet"
+	"srv6bpf/internal/seg6"
+)
+
+// --- Simulation substrate ---
+
+// Sim is the discrete-event simulation kernel.
+type Sim = netsim.Sim
+
+// NewSim creates a simulation with a deterministic seed.
+func NewSim(seed int64) *Sim { return netsim.New(seed) }
+
+// Node is a simulated host or router.
+type Node = netsim.Node
+
+// Iface is one end of a point-to-point link.
+type Iface = netsim.Iface
+
+// Route is a FIB entry.
+type Route = netsim.Route
+
+// Nexthop is one ECMP member of a route.
+type Nexthop = netsim.Nexthop
+
+// PacketMeta accompanies a packet through a node.
+type PacketMeta = netsim.PacketMeta
+
+// CostModel charges virtual CPU time per packet.
+type CostModel = netsim.CostModel
+
+// Route kinds.
+const (
+	RouteForward   = netsim.RouteForward
+	RouteLocal     = netsim.RouteLocal
+	RouteSeg6Local = netsim.RouteSeg6Local
+	RouteSeg6Encap = netsim.RouteSeg6Encap
+	RouteLWTBPF    = netsim.RouteLWTBPF
+)
+
+// Main routing table ID.
+const MainTable = netsim.MainTable
+
+// Virtual time units.
+const (
+	Microsecond = netsim.Microsecond
+	Millisecond = netsim.Millisecond
+	Second      = netsim.Second
+)
+
+// Cost model presets: the paper's lab servers (Xeon X3440), the
+// Turris Omnia CPE, and an infinitely fast traffic host.
+var (
+	ServerCostModel = netsim.ServerCostModel
+	CPECostModel    = netsim.CPECostModel
+	HostCostModel   = netsim.HostCostModel
+)
+
+// Connect joins two nodes with per-direction netem shaping.
+var (
+	Connect          = netsim.Connect
+	ConnectSymmetric = netsim.ConnectSymmetric
+)
+
+// LinkConfig shapes one link direction (tc-netem style).
+type LinkConfig = netem.Config
+
+// --- Packets and the SRv6 data plane ---
+
+// SRH is a segment routing header.
+type SRH = packet.SRH
+
+// NewSRH builds an SRH for a path given in travel order.
+var NewSRH = packet.NewSRH
+
+// BuildPacket assembles an IPv6 packet (see packet.BuildOption).
+var BuildPacket = packet.BuildPacket
+
+// Packet build options.
+var (
+	WithSRH       = packet.WithSRH
+	WithUDP       = packet.WithUDP
+	WithTCP       = packet.WithTCP
+	WithPayload   = packet.WithPayload
+	WithFlowLabel = packet.WithFlowLabel
+	WithHopLimit  = packet.WithHopLimit
+)
+
+// ParsePacket decodes the header chain of a raw IPv6 packet.
+var ParsePacket = packet.Parse
+
+// ParsedPacket is the decoded view over raw packet bytes that UDP
+// handlers receive.
+type ParsedPacket = packet.Packet
+
+// Behaviour is one seg6local entry (End, End.X, ..., End.BPF).
+type Behaviour = seg6.Behaviour
+
+// seg6local actions.
+const (
+	ActionEnd        = seg6.ActionEnd
+	ActionEndX       = seg6.ActionEndX
+	ActionEndT       = seg6.ActionEndT
+	ActionEndDX6     = seg6.ActionEndDX6
+	ActionEndDT6     = seg6.ActionEndDT6
+	ActionEndB6      = seg6.ActionEndB6
+	ActionEndB6Encap = seg6.ActionEndB6Encap
+	ActionEndBPF     = seg6.ActionEndBPF
+)
+
+// --- The eBPF toolchain ---
+
+// Instruction and Instructions form eBPF programs; build them with
+// the constructors re-exported below (the asm dialect of the paper's
+// eBPF C sources).
+type (
+	// Instruction is one eBPF instruction.
+	Instruction = asm.Instruction
+	// Instructions is a program under construction.
+	Instructions = asm.Instructions
+	// Register is an eBPF register (R0..R10).
+	Register = asm.Register
+)
+
+// ProgramSpec describes an eBPF program before loading; Program is
+// the loaded, verified form.
+type (
+	// ProgramSpec is a program definition.
+	ProgramSpec = bpf.ProgramSpec
+	// Program is a loaded program.
+	Program = bpf.Program
+	// LoadOptions tunes loading (JIT on/off, runtime bounds).
+	LoadOptions = bpf.LoadOptions
+	// Hook is a program attachment type.
+	Hook = bpf.Hook
+	// MapSpec describes an eBPF map.
+	MapSpec = maps.Spec
+	// Map is a created eBPF map.
+	Map = maps.Map
+)
+
+// Map types.
+const (
+	MapTypeHash           = maps.Hash
+	MapTypeArray          = maps.Array
+	MapTypePerfEventArray = maps.PerfEventArray
+	MapTypeLRUHash        = maps.LRUHash
+	MapTypeLPMTrie        = maps.LPMTrie
+)
+
+// NewMap creates a map from a spec.
+var NewMap = maps.New
+
+// LoadProgram assembles, verifies and loads a program for a hook.
+var LoadProgram = bpf.LoadProgram
+
+// --- The paper's contribution (internal/core) ---
+
+// Seg6LocalHook is the End.BPF attachment type (§3): programs receive
+// SRv6 packets after the endpoint advance and may call the
+// lwt_seg6_* helpers.
+var Seg6LocalHook = core.Seg6LocalHook
+
+// LWTOutHook is the transit attachment type: programs run for every
+// packet matching a route and may call lwt_push_encap.
+var LWTOutHook = core.LWTOutHook
+
+// AttachEndBPF instantiates a loaded program as a seg6local End.BPF
+// action; install it with a RouteSeg6Local whose Behaviour comes from
+// EndBPF.Behaviour().
+var AttachEndBPF = core.AttachEndBPF
+
+// AttachLWT instantiates a loaded program as a transit attachment for
+// a RouteLWTBPF route.
+var AttachLWT = core.AttachLWT
+
+// EndBPF is a loaded End.BPF attachment.
+type EndBPF = core.EndBPF
+
+// LWT is a loaded transit attachment.
+type LWT = core.LWT
+
+// Program return codes (§3.1).
+const (
+	BPFOK       = core.BPFOK
+	BPFDrop     = core.BPFDrop
+	BPFRedirect = core.BPFRedirect
+)
