@@ -1,0 +1,32 @@
+# Tier-1 verification and benchmark entry points.
+#
+#   make check   — build + vet + full test suite (the tier-1 gate)
+#   make bench   — wall-clock datapath + figure benchmarks (-benchmem)
+#   make bench-json [BENCH_JSON=path] — machine-readable perf report
+#   make fmt     — gofmt the tree
+
+GO ?= go
+BENCH_JSON ?= BENCH.json
+BENCH_WINDOW ?= 50ms
+
+.PHONY: check build vet test bench bench-json fmt
+
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkDatapath -benchmem .
+
+bench-json:
+	$(GO) run ./cmd/srv6bench -bench-json $(BENCH_JSON) -duration $(BENCH_WINDOW)
+
+fmt:
+	gofmt -w .

@@ -1,0 +1,77 @@
+package srv6bpf
+
+// Regression locks for the zero-allocation End.BPF datapath. The
+// numbers behind BenchmarkDatapath are an acceptance surface, not
+// just telemetry: the steady-state End.BPF path (ParseInfo walk,
+// in-place SRH advance, pooled execEnv, rebound packet segment,
+// pre-decoded VM dispatch) must stay allocation-free. Timing is
+// machine-dependent and is not asserted; allocation counts are exact
+// and are.
+
+import (
+	"testing"
+
+	"srv6bpf/internal/experiments"
+	"srv6bpf/internal/netsim"
+)
+
+// TestDatapathAllocRegression runs the canonical datapath benchmark
+// (the same experiments.DatapathBench that srv6bench -bench-json
+// publishes, measured via testing.Benchmark — the -benchmem figures)
+// and requires 0 allocs/op on every row that must be allocation-free
+// in the steady state. Add TLV legitimately allocates: the program
+// grows the packet, which cannot be done in place.
+func TestDatapathAllocRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed regression test skipped in -short mode")
+	}
+	rows, err := experiments.DatapathBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroAlloc := map[string]bool{
+		"End-static-go": true,
+		"EndBPF-jit":    true,
+		"EndBPF-interp": true,
+		"TagInc-jit":    true,
+		"TagInc-interp": true,
+	}
+	seen := 0
+	for _, r := range rows {
+		t.Logf("%-15s %6.0f ns/op  %d allocs/op  %d B/op", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		if !zeroAlloc[r.Name] {
+			continue
+		}
+		seen++
+		if r.AllocsPerOp != 0 {
+			t.Errorf("%s: %d allocs/op (%d B/op), want 0", r.Name, r.AllocsPerOp, r.BytesPerOp)
+		}
+	}
+	if seen != len(zeroAlloc) {
+		t.Fatalf("datapath bench reported %d of %d zero-alloc rows", seen, len(zeroAlloc))
+	}
+}
+
+// TestSimSteadyStateAllocs guards the netsim-side pooling: scheduling
+// and draining events must not allocate per event beyond the commit
+// closure itself (heap entries are stored by value and reused).
+func TestSimSteadyStateAllocs(t *testing.T) {
+	sim := netsim.New(7)
+	sim.AddNode("solo", netsim.HostCostModel())
+
+	// Warm the event heap so slice growth is done.
+	for i := 0; i < 64; i++ {
+		sim.After(int64(i), func() {})
+	}
+	sim.Run()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		sim.After(10, func() {})
+		sim.Run()
+	})
+	// One closure per After is expected; the event itself must not be
+	// a second heap object (container/heap boxed one per push).
+	if allocs > 1 {
+		t.Fatalf("sim schedule/drain allocates %.1f objects per event, want <= 1 (the closure)", allocs)
+	}
+}

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"srv6bpf/internal/experiments"
@@ -25,6 +27,8 @@ func main() {
 	jit := flag.Bool("jit", false, "report the §3.2 JIT-off factor")
 	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
 	all := flag.Bool("all", false, "run everything")
+	benchJSON := flag.String("bench-json", "",
+		"write the figure rows plus the wall-clock datapath ns/op + allocs/op numbers as one JSON object to this path (standalone mode: combining it with -all/-fig recomputes the figures for stdout)")
 	duration := flag.Duration("duration", 200*time.Millisecond,
 		"virtual measurement window per data point")
 	tcpDuration := flag.Duration("tcp-duration", 60*time.Second,
@@ -34,6 +38,10 @@ func main() {
 	win := duration.Nanoseconds()
 	ran := false
 
+	if *benchJSON != "" {
+		ran = true
+		writeBenchJSON(*benchJSON, win)
+	}
 	if *all || *fig == 2 {
 		ran = true
 		runFig2(win)
@@ -180,6 +188,53 @@ func runAblations(win int64) {
 			r.Name, r.GoodputMbps, r.LinkDrops)
 	}
 	fmt.Println()
+}
+
+// benchReport is the machine-readable performance trajectory: the
+// simulated figure rows plus the real (wall-clock) datapath numbers,
+// in the shape future PRs diff against (BENCH_*.json).
+type benchReport struct {
+	Schema    string                    `json:"schema"`
+	GoVersion string                    `json:"go_version"`
+	WindowNs  int64                     `json:"window_ns"`
+	Fig2      []experiments.Row         `json:"fig2"`
+	Fig3      []experiments.Row         `json:"fig3"`
+	Fig4      []experiments.Fig4Point   `json:"fig4"`
+	JITFactor float64                   `json:"jit_factor"`
+	Datapath  []experiments.DatapathRow `json:"datapath"`
+}
+
+func writeBenchJSON(path string, win int64) {
+	rep := benchReport{
+		Schema:    "srv6bpf-bench/1",
+		GoVersion: runtime.Version(),
+		WindowNs:  win,
+	}
+	var err error
+	if rep.Fig2, err = experiments.Figure2(win); err != nil {
+		fail(err)
+	}
+	if rep.Fig3, err = experiments.Figure3(win); err != nil {
+		fail(err)
+	}
+	if rep.Fig4, err = experiments.Figure4(win); err != nil {
+		fail(err)
+	}
+	if rep.JITFactor, err = experiments.JITFactor(win); err != nil {
+		fail(err)
+	}
+	if rep.Datapath, err = experiments.DatapathBench(); err != nil {
+		fail(err)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote benchmark report to %s\n", path)
 }
 
 var _ = netsim.Second

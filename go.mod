@@ -1,0 +1,3 @@
+module srv6bpf
+
+go 1.22

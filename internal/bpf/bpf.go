@@ -163,6 +163,10 @@ type Instance struct {
 	machine *vm.Machine
 	exec    *vm.Executable
 	mem     *vm.Memory
+	// ctxSeg and pktSeg are installed once; the hook layer rebinds
+	// their Data per packet instead of allocating fresh segments.
+	ctxSeg *vm.Segment
+	pktSeg *vm.Segment
 	// bindings indexes map handle regions.
 	bindings map[vm.RegionID]MapBinding
 }
@@ -175,8 +179,12 @@ func (p *Program) NewInstance() (*Instance, error) {
 	inst := &Instance{
 		prog:     p,
 		mem:      mem,
+		ctxSeg:   &vm.Segment{},
+		pktSeg:   &vm.Segment{},
 		bindings: make(map[vm.RegionID]MapBinding),
 	}
+	mem.SetSegment(vm.RegionCtx, inst.ctxSeg)
+	mem.SetSegment(vm.RegionPacket, inst.pktSeg)
 
 	handles := make(map[string]uint64)
 	for name, m := range p.maps {
@@ -211,6 +219,16 @@ func (p *Program) NewInstance() (*Instance, error) {
 // Memory exposes the instance address space so the hook layer can
 // install context and packet segments before each run.
 func (i *Instance) Memory() *vm.Memory { return i.mem }
+
+// BindCtx points the context region at data without allocating: the
+// segment installed by NewInstance is rebound in place. The context
+// is read-only to programs, like __sk_buff fields behind the
+// verifier's ctx access checks.
+func (i *Instance) BindCtx(data []byte) { i.ctxSeg.Data = data }
+
+// BindPacket points the packet region at data without allocating.
+// This is the per-packet fast path: install once, rebind every run.
+func (i *Instance) BindPacket(data []byte) { i.pktSeg.Data = data }
 
 // Machine exposes the underlying VM (the hook layer sets
 // HelperContext on it per invocation).

@@ -139,7 +139,7 @@ func InstallGenericHelpers(table *vm.HelperTable, skbBytes func(m *vm.Machine) [
 		if n < 0 || n > 512 {
 			return Errno(EINVAL), nil
 		}
-		msg, err := m.Mem.ReadBytes(r1, n)
+		msg, err := m.Mem.Bytes(r1, n)
 		if err != nil {
 			return 0, err
 		}
@@ -159,7 +159,7 @@ func InstallGenericHelpers(table *vm.HelperTable, skbBytes func(m *vm.Machine) [
 		if size <= 0 || size > 4096 {
 			return Errno(E2BIG), nil
 		}
-		data, err := m.Mem.ReadBytes(r4, size)
+		data, err := m.Mem.Bytes(r4, size)
 		if err != nil {
 			return 0, err
 		}
@@ -194,7 +194,7 @@ func helperMapLookup(m *vm.Machine, r1, r2, _, _, _ uint64) (uint64, error) {
 		return 0, fmt.Errorf("bpf: map_lookup_elem: bad map handle %#x", r1)
 	}
 	spec := binding.Map.Spec()
-	key, err := m.Mem.ReadBytes(r2, int(spec.KeySize))
+	key, err := m.Mem.Bytes(r2, int(spec.KeySize))
 	if err != nil {
 		return 0, err
 	}
@@ -211,11 +211,11 @@ func helperMapUpdate(m *vm.Machine, r1, r2, r3, r4, _ uint64) (uint64, error) {
 		return 0, fmt.Errorf("bpf: map_update_elem: bad map handle %#x", r1)
 	}
 	spec := binding.Map.Spec()
-	key, err := m.Mem.ReadBytes(r2, int(spec.KeySize))
+	key, err := m.Mem.Bytes(r2, int(spec.KeySize))
 	if err != nil {
 		return 0, err
 	}
-	val, err := m.Mem.ReadBytes(r3, int(spec.ValueSize))
+	val, err := m.Mem.Bytes(r3, int(spec.ValueSize))
 	if err != nil {
 		return 0, err
 	}
@@ -239,7 +239,7 @@ func helperMapDelete(m *vm.Machine, r1, r2, _, _, _ uint64) (uint64, error) {
 		return 0, fmt.Errorf("bpf: map_delete_elem: bad map handle %#x", r1)
 	}
 	spec := binding.Map.Spec()
-	key, err := m.Mem.ReadBytes(r2, int(spec.KeySize))
+	key, err := m.Mem.Bytes(r2, int(spec.KeySize))
 	if err != nil {
 		return 0, err
 	}

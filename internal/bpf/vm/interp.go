@@ -2,13 +2,13 @@ package vm
 
 import (
 	"fmt"
-
-	"srv6bpf/internal/bpf/asm"
 )
 
-// runInterp is the fetch-decode-execute engine. Every step decodes
-// the opcode fields again, which is exactly the overhead the JIT
-// removes.
+// runInterp is the fetch-execute engine. Decoding happened once in
+// expand: each slot is a flat micro-op, so one step is a single-byte
+// dispatch plus the operation itself. The remaining gap to the JIT is
+// the switch itself, which the compiled closures replace with direct
+// calls.
 func (m *Machine) runInterp(ex *Executable) (uint64, error) {
 	slots := ex.slots
 	budget := m.budget()
@@ -21,75 +21,73 @@ func (m *Machine) runInterp(ex *Executable) (uint64, error) {
 			return 0, ErrFellOff
 		}
 		s := &slots[pc]
-		if s.pad {
-			m.Executed += steps
-			return 0, ErrBadJumpTarget
-		}
 		steps++
 		if steps > budget {
 			m.Executed += steps
 			return 0, ErrMaxInstructions
 		}
 
-		op := s.op
-		class := op.Class()
-		switch class {
-		case asm.ClassALU64, asm.ClassALU:
-			aop := op.ALUOp()
-			switch aop {
-			case asm.Neg:
-				if class == asm.ClassALU64 {
-					m.Regs[s.dst] = -m.Regs[s.dst]
-				} else {
-					m.Regs[s.dst] = uint64(-uint32(m.Regs[s.dst]))
-				}
-			case asm.Swap:
-				m.Regs[s.dst] = swapBytes(m.Regs[s.dst], s.imm, op.Source() == asm.RegSource)
-			default:
-				var operand uint64
-				if op.Source() == asm.RegSource {
-					operand = m.Regs[s.src]
-				} else {
-					operand = uint64(int64(int32(s.imm))) // sign-extend imm
-				}
-				if class == asm.ClassALU64 {
-					m.Regs[s.dst] = alu64(aop, m.Regs[s.dst], operand)
-				} else {
-					m.Regs[s.dst] = alu32(aop, m.Regs[s.dst], operand)
-				}
-			}
+		switch s.kind {
+		case uALU64Reg:
+			m.Regs[s.dst] = alu64(s.aluop, m.Regs[s.dst], m.Regs[s.src])
+			pc++
+		case uALU64Imm:
+			m.Regs[s.dst] = alu64(s.aluop, m.Regs[s.dst], s.operand)
+			pc++
+		case uALU32Reg:
+			m.Regs[s.dst] = alu32(s.aluop, m.Regs[s.dst], m.Regs[s.src])
+			pc++
+		case uALU32Imm:
+			m.Regs[s.dst] = alu32(s.aluop, m.Regs[s.dst], s.operand)
+			pc++
+		case uNeg64:
+			m.Regs[s.dst] = -m.Regs[s.dst]
+			pc++
+		case uNeg32:
+			m.Regs[s.dst] = uint64(-uint32(m.Regs[s.dst]))
+			pc++
+		case uSwap:
+			m.Regs[s.dst] = swapBytes(m.Regs[s.dst], s.imm, s.src != 0)
 			pc++
 
-		case asm.ClassJump, asm.ClassJump32:
-			jop := op.JumpOp()
-			switch jop {
-			case asm.Exit:
+		case uExit:
+			m.Executed += steps
+			return m.Regs[0], nil
+		case uCall:
+			if err := m.callHelper(s.imm); err != nil {
 				m.Executed += steps
-				return m.Regs[0], nil
-			case asm.Call:
-				if err := m.callHelper(s.imm); err != nil {
-					m.Executed += steps
-					return 0, err
-				}
+				return 0, err
+			}
+			pc++
+		case uJa:
+			pc = int(s.target)
+		case uJmpReg:
+			if jumpTaken(s.jumpop, m.Regs[s.dst], m.Regs[s.src], true) {
+				pc = int(s.target)
+			} else {
 				pc++
-			case asm.Ja:
-				pc += 1 + int(s.off)
-			default:
-				var operand uint64
-				if op.Source() == asm.RegSource {
-					operand = m.Regs[s.src]
-				} else {
-					operand = uint64(int64(int32(s.imm)))
-				}
-				if jumpTaken(jop, m.Regs[s.dst], operand, class == asm.ClassJump) {
-					pc += 1 + int(s.off)
-				} else {
-					pc++
-				}
+			}
+		case uJmpImm:
+			if jumpTaken(s.jumpop, m.Regs[s.dst], s.operand, true) {
+				pc = int(s.target)
+			} else {
+				pc++
+			}
+		case uJmp32Reg:
+			if jumpTaken(s.jumpop, m.Regs[s.dst], m.Regs[s.src], false) {
+				pc = int(s.target)
+			} else {
+				pc++
+			}
+		case uJmp32Imm:
+			if jumpTaken(s.jumpop, m.Regs[s.dst], s.operand, false) {
+				pc = int(s.target)
+			} else {
+				pc++
 			}
 
-		case asm.ClassLdX:
-			v, err := m.Mem.Load(m.Regs[s.src]+uint64(int64(s.off)), op.Size().Bytes())
+		case uLoad:
+			v, err := m.Mem.Load(m.Regs[s.src]+uint64(int64(s.off)), int(s.size))
 			if err != nil {
 				m.Executed += steps
 				return 0, err
@@ -97,50 +95,48 @@ func (m *Machine) runInterp(ex *Executable) (uint64, error) {
 			m.Regs[s.dst] = v
 			pc++
 
-		case asm.ClassStX:
-			addr := m.Regs[s.dst] + uint64(int64(s.off))
-			if op.Mode() == asm.ModeXadd {
-				sz := op.Size().Bytes()
-				if sz != 4 && sz != 8 {
-					m.Executed += steps
-					return 0, fmt.Errorf("%w: atomic add size %d", ErrBadOpcode, sz)
-				}
-				cur, err := m.Mem.Load(addr, sz)
-				if err != nil {
-					m.Executed += steps
-					return 0, err
-				}
-				if err := m.Mem.Store(addr, sz, cur+m.Regs[s.src]); err != nil {
-					m.Executed += steps
-					return 0, err
-				}
-			} else {
-				if err := m.Mem.Store(addr, op.Size().Bytes(), m.Regs[s.src]); err != nil {
-					m.Executed += steps
-					return 0, err
-				}
-			}
-			pc++
-
-		case asm.ClassSt:
-			addr := m.Regs[s.dst] + uint64(int64(s.off))
-			if err := m.Mem.Store(addr, op.Size().Bytes(), uint64(int64(int32(s.imm)))); err != nil {
+		case uStoreReg:
+			if err := m.Mem.Store(m.Regs[s.dst]+uint64(int64(s.off)), int(s.size), m.Regs[s.src]); err != nil {
 				m.Executed += steps
 				return 0, err
 			}
 			pc++
 
-		case asm.ClassLd:
-			if op != asm.LoadImm64(0, 0).OpCode {
+		case uStoreImm:
+			if err := m.Mem.Store(m.Regs[s.dst]+uint64(int64(s.off)), int(s.size), s.operand); err != nil {
 				m.Executed += steps
-				return 0, fmt.Errorf("%w: %#02x", ErrBadOpcode, uint8(op))
+				return 0, err
 			}
-			m.Regs[s.dst] = uint64(s.imm)
-			pc += 2 // skip the pad slot
+			pc++
 
-		default:
+		case uXadd:
+			if s.size != 4 && s.size != 8 {
+				m.Executed += steps
+				return 0, fmt.Errorf("%w: atomic add size %d", ErrBadOpcode, s.size)
+			}
+			addr := m.Regs[s.dst] + uint64(int64(s.off))
+			cur, err := m.Mem.Load(addr, int(s.size))
+			if err != nil {
+				m.Executed += steps
+				return 0, err
+			}
+			if err := m.Mem.Store(addr, int(s.size), cur+m.Regs[s.src]); err != nil {
+				m.Executed += steps
+				return 0, err
+			}
+			pc++
+
+		case uLdImm64:
+			m.Regs[s.dst] = uint64(s.imm)
+			pc = int(s.target)
+
+		case uPad:
 			m.Executed += steps
-			return 0, fmt.Errorf("%w: %#02x", ErrBadOpcode, uint8(op))
+			return 0, ErrBadJumpTarget
+
+		default: // uBad
+			m.Executed += steps
+			return 0, fmt.Errorf("%w: %#02x", ErrBadOpcode, uint8(s.op))
 		}
 	}
 }

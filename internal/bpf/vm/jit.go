@@ -7,9 +7,12 @@ import (
 )
 
 // The JIT engine pre-compiles every wire slot into a closure that
-// performs the operation directly and returns the next pc. All
-// operand decoding, sign extension and jump-target arithmetic happens
-// once, at compile time; execution is a tight trampoline loop.
+// performs the operation directly and returns the next pc. It starts
+// from the same pre-decoded micro-ops the interpreter executes
+// (operands sign-extended, jump targets absolute), so compilation is
+// a straight translation; execution is a tight trampoline loop over
+// closures that share the interpreter's array-backed memory fast
+// path through Memory.Load/Store.
 //
 // Sentinel pcs returned by compiled ops:
 //
@@ -32,7 +35,7 @@ func compile(slots []slot) ([]compiledOp, error) {
 		if target < 0 || target >= len(slots) {
 			return fmt.Errorf("vm: jit: jump from %d to %d out of range", pc, target)
 		}
-		if slots[target].pad {
+		if slots[target].kind == uPad {
 			return fmt.Errorf("vm: jit: jump from %d into lddw pad at %d", pc, target)
 		}
 		return nil
@@ -40,36 +43,33 @@ func compile(slots []slot) ([]compiledOp, error) {
 
 	for pc := range slots {
 		s := &slots[pc]
-		if s.pad {
+		next := pc + 1
+
+		switch s.kind {
+		case uPad:
 			// Never executed; trap defensively if reached.
 			code[pc] = func(m *Machine) int {
 				m.trap = ErrBadJumpTarget
 				return pcTrap
 			}
-			continue
-		}
-		next := pc + 1
-		op := s.op
-		class := op.Class()
 
-		switch class {
-		case asm.ClassALU64, asm.ClassALU:
-			c, err := compileALU(s, class, next)
+		case uALU64Reg, uALU64Imm, uALU32Reg, uALU32Imm, uNeg64, uNeg32, uSwap:
+			c, err := compileALU(s, next)
 			if err != nil {
 				return nil, fmt.Errorf("vm: jit: pc %d: %w", pc, err)
 			}
 			code[pc] = c
 
-		case asm.ClassJump, asm.ClassJump32:
-			c, err := compileJump(s, class, pc, next, checkTarget)
+		case uExit, uCall, uJa, uJmpReg, uJmpImm, uJmp32Reg, uJmp32Imm:
+			c, err := compileJump(s, pc, next, checkTarget)
 			if err != nil {
 				return nil, fmt.Errorf("vm: jit: pc %d: %w", pc, err)
 			}
 			code[pc] = c
 
-		case asm.ClassLdX:
+		case uLoad:
 			dst, src, off := s.dst, s.src, int64(s.off)
-			size := op.Size().Bytes()
+			size := int(s.size)
 			code[pc] = func(m *Machine) int {
 				v, err := m.Mem.Load(m.Regs[src]+uint64(off), size)
 				if err != nil {
@@ -80,40 +80,41 @@ func compile(slots []slot) ([]compiledOp, error) {
 				return next
 			}
 
-		case asm.ClassStX:
+		case uStoreReg:
 			dst, src, off := s.dst, s.src, int64(s.off)
-			size := op.Size().Bytes()
-			if op.Mode() == asm.ModeXadd {
-				if size != 4 && size != 8 {
-					return nil, fmt.Errorf("vm: jit: pc %d: atomic add size %d", pc, size)
+			size := int(s.size)
+			code[pc] = func(m *Machine) int {
+				if err := m.Mem.Store(m.Regs[dst]+uint64(off), size, m.Regs[src]); err != nil {
+					m.trap = err
+					return pcTrap
 				}
-				code[pc] = func(m *Machine) int {
-					addr := m.Regs[dst] + uint64(off)
-					cur, err := m.Mem.Load(addr, size)
-					if err != nil {
-						m.trap = err
-						return pcTrap
-					}
-					if err := m.Mem.Store(addr, size, cur+m.Regs[src]); err != nil {
-						m.trap = err
-						return pcTrap
-					}
-					return next
-				}
-			} else {
-				code[pc] = func(m *Machine) int {
-					if err := m.Mem.Store(m.Regs[dst]+uint64(off), size, m.Regs[src]); err != nil {
-						m.trap = err
-						return pcTrap
-					}
-					return next
-				}
+				return next
 			}
 
-		case asm.ClassSt:
+		case uXadd:
+			dst, src, off := s.dst, s.src, int64(s.off)
+			size := int(s.size)
+			if size != 4 && size != 8 {
+				return nil, fmt.Errorf("vm: jit: pc %d: atomic add size %d", pc, size)
+			}
+			code[pc] = func(m *Machine) int {
+				addr := m.Regs[dst] + uint64(off)
+				cur, err := m.Mem.Load(addr, size)
+				if err != nil {
+					m.trap = err
+					return pcTrap
+				}
+				if err := m.Mem.Store(addr, size, cur+m.Regs[src]); err != nil {
+					m.trap = err
+					return pcTrap
+				}
+				return next
+			}
+
+		case uStoreImm:
 			dst, off := s.dst, int64(s.off)
-			size := op.Size().Bytes()
-			val := uint64(int64(int32(s.imm)))
+			size := int(s.size)
+			val := s.operand
 			code[pc] = func(m *Machine) int {
 				if err := m.Mem.Store(m.Regs[dst]+uint64(off), size, val); err != nil {
 					m.trap = err
@@ -122,125 +123,122 @@ func compile(slots []slot) ([]compiledOp, error) {
 				return next
 			}
 
-		case asm.ClassLd:
-			if op != asm.LoadImm64(0, 0).OpCode {
-				return nil, fmt.Errorf("vm: jit: pc %d: %w: %#02x", pc, ErrBadOpcode, uint8(op))
-			}
+		case uLdImm64:
 			dst, imm := s.dst, uint64(s.imm)
-			skip := pc + 2
+			skip := int(s.target)
 			code[pc] = func(m *Machine) int {
 				m.Regs[dst] = imm
 				return skip
 			}
 
-		default:
-			return nil, fmt.Errorf("vm: jit: pc %d: %w: %#02x", pc, ErrBadOpcode, uint8(op))
+		default: // uBad
+			return nil, fmt.Errorf("vm: jit: pc %d: %w: %#02x", pc, ErrBadOpcode, uint8(s.op))
 		}
 	}
 	return code, nil
 }
 
-func compileALU(s *slot, class asm.Class, next int) (compiledOp, error) {
-	op := s.op
+func compileALU(s *slot, next int) (compiledOp, error) {
 	dst := s.dst
-	wide := class == asm.ClassALU64
 
-	switch op.ALUOp() {
-	case asm.Neg:
-		if wide {
-			return func(m *Machine) int { m.Regs[dst] = -m.Regs[dst]; return next }, nil
-		}
+	switch s.kind {
+	case uNeg64:
+		return func(m *Machine) int { m.Regs[dst] = -m.Regs[dst]; return next }, nil
+	case uNeg32:
 		return func(m *Machine) int { m.Regs[dst] = uint64(-uint32(m.Regs[dst])); return next }, nil
-
-	case asm.Swap:
+	case uSwap:
 		bits := s.imm
 		if bits != 16 && bits != 32 && bits != 64 {
 			return nil, fmt.Errorf("swap width %d", bits)
 		}
-		toBE := op.Source() == asm.RegSource
+		toBE := s.src != 0
 		return func(m *Machine) int {
 			m.Regs[dst] = swapBytes(m.Regs[dst], bits, toBE)
 			return next
 		}, nil
+	}
 
+	aop := s.aluop
+	switch aop {
 	case asm.Mov:
 		// Mov is the most common op; specialize fully.
-		if op.Source() == asm.RegSource {
+		switch s.kind {
+		case uALU64Reg:
 			src := s.src
-			if wide {
-				return func(m *Machine) int { m.Regs[dst] = m.Regs[src]; return next }, nil
-			}
+			return func(m *Machine) int { m.Regs[dst] = m.Regs[src]; return next }, nil
+		case uALU32Reg:
+			src := s.src
 			return func(m *Machine) int { m.Regs[dst] = uint64(uint32(m.Regs[src])); return next }, nil
+		case uALU64Imm:
+			imm := s.operand
+			return func(m *Machine) int { m.Regs[dst] = imm; return next }, nil
+		default:
+			imm := uint64(uint32(s.operand))
+			return func(m *Machine) int { m.Regs[dst] = imm; return next }, nil
 		}
-		imm := uint64(int64(int32(s.imm)))
-		if !wide {
-			imm = uint64(uint32(imm))
-		}
-		return func(m *Machine) int { m.Regs[dst] = imm; return next }, nil
 
 	case asm.Add:
-		if op.Source() == asm.RegSource {
+		switch s.kind {
+		case uALU64Reg:
 			src := s.src
-			if wide {
-				return func(m *Machine) int { m.Regs[dst] += m.Regs[src]; return next }, nil
-			}
+			return func(m *Machine) int { m.Regs[dst] += m.Regs[src]; return next }, nil
+		case uALU32Reg:
+			src := s.src
 			return func(m *Machine) int {
 				m.Regs[dst] = uint64(uint32(m.Regs[dst]) + uint32(m.Regs[src]))
 				return next
 			}, nil
-		}
-		imm := uint64(int64(int32(s.imm)))
-		if wide {
+		case uALU64Imm:
+			imm := s.operand
 			return func(m *Machine) int { m.Regs[dst] += imm; return next }, nil
-		}
-		return func(m *Machine) int {
-			m.Regs[dst] = uint64(uint32(m.Regs[dst]) + uint32(imm))
-			return next
-		}, nil
-	}
-
-	// Remaining ops share a pre-selected operation function.
-	aop := op.ALUOp()
-	switch aop {
-	case asm.Sub, asm.Mul, asm.Div, asm.Or, asm.And, asm.LSh, asm.RSh, asm.Mod, asm.Xor, asm.ArSh:
-	default:
-		return nil, fmt.Errorf("%w: alu op %v", ErrBadOpcode, aop)
-	}
-	if op.Source() == asm.RegSource {
-		src := s.src
-		if wide {
+		default:
+			imm := uint32(s.operand)
 			return func(m *Machine) int {
-				m.Regs[dst] = alu64(aop, m.Regs[dst], m.Regs[src])
+				m.Regs[dst] = uint64(uint32(m.Regs[dst]) + imm)
 				return next
 			}, nil
 		}
+
+	case asm.Sub, asm.Mul, asm.Div, asm.Or, asm.And, asm.LSh, asm.RSh, asm.Mod, asm.Xor, asm.ArSh:
+		// Remaining ops share the pre-selected operation function.
+	default:
+		return nil, fmt.Errorf("%w: alu op %v", ErrBadOpcode, aop)
+	}
+
+	switch s.kind {
+	case uALU64Reg:
+		src := s.src
+		return func(m *Machine) int {
+			m.Regs[dst] = alu64(aop, m.Regs[dst], m.Regs[src])
+			return next
+		}, nil
+	case uALU32Reg:
+		src := s.src
 		return func(m *Machine) int {
 			m.Regs[dst] = alu32(aop, m.Regs[dst], m.Regs[src])
 			return next
 		}, nil
-	}
-	imm := uint64(int64(int32(s.imm)))
-	if wide {
+	case uALU64Imm:
+		imm := s.operand
 		return func(m *Machine) int {
 			m.Regs[dst] = alu64(aop, m.Regs[dst], imm)
 			return next
 		}, nil
+	default:
+		imm := s.operand
+		return func(m *Machine) int {
+			m.Regs[dst] = alu32(aop, m.Regs[dst], imm)
+			return next
+		}, nil
 	}
-	return func(m *Machine) int {
-		m.Regs[dst] = alu32(aop, m.Regs[dst], imm)
-		return next
-	}, nil
 }
 
-func compileJump(s *slot, class asm.Class, pc, next int, checkTarget func(int, int) error) (compiledOp, error) {
-	op := s.op
-	jop := op.JumpOp()
-
-	switch jop {
-	case asm.Exit:
+func compileJump(s *slot, pc, next int, checkTarget func(int, int) error) (compiledOp, error) {
+	switch s.kind {
+	case uExit:
 		return func(m *Machine) int { return pcExit }, nil
 
-	case asm.Call:
+	case uCall:
 		id := s.imm
 		return func(m *Machine) int {
 			if err := m.callHelper(id); err != nil {
@@ -250,20 +248,21 @@ func compileJump(s *slot, class asm.Class, pc, next int, checkTarget func(int, i
 			return next
 		}, nil
 
-	case asm.Ja:
-		target := pc + 1 + int(s.off)
+	case uJa:
+		target := int(s.target)
 		if err := checkTarget(pc, target); err != nil {
 			return nil, err
 		}
 		return func(m *Machine) int { return target }, nil
 	}
 
-	target := pc + 1 + int(s.off)
+	target := int(s.target)
 	if err := checkTarget(pc, target); err != nil {
 		return nil, err
 	}
-	wide := class == asm.ClassJump
+	wide := s.kind == uJmpReg || s.kind == uJmpImm
 	dst := s.dst
+	jop := s.jumpop
 
 	switch jop {
 	case asm.JEq, asm.JNE, asm.JGT, asm.JGE, asm.JLT, asm.JLE,
@@ -272,7 +271,7 @@ func compileJump(s *slot, class asm.Class, pc, next int, checkTarget func(int, i
 		return nil, fmt.Errorf("%w: jump op %v", ErrBadOpcode, jop)
 	}
 
-	if op.Source() == asm.RegSource {
+	if s.kind == uJmpReg || s.kind == uJmp32Reg {
 		src := s.src
 		// Specialize the hottest comparison.
 		if jop == asm.JEq && wide {
@@ -291,7 +290,7 @@ func compileJump(s *slot, class asm.Class, pc, next int, checkTarget func(int, i
 		}, nil
 	}
 
-	imm := uint64(int64(int32(s.imm)))
+	imm := s.operand
 	if jop == asm.JEq && wide {
 		return func(m *Machine) int {
 			if m.Regs[dst] == imm {

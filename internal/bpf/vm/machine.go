@@ -35,15 +35,49 @@ const maxHelperID = 256
 // HelperTable maps helper IDs to implementations.
 type HelperTable [maxHelperID]HelperFunc
 
-// slot is one decoded wire slot. LD_IMM64's second slot is marked pad
-// and must never be executed or jumped into.
+// Micro-op kinds. expand resolves every wire slot into one of these
+// so the interpreter dispatches on a single byte instead of re-
+// deriving Class/ALUOp/JumpOp/Size/Source from the opcode each step.
+const (
+	uPad      uint8 = iota // lddw second slot; executing it is an error
+	uALU64Reg              // regs[dst] = alu64(aluop, regs[dst], regs[src])
+	uALU64Imm              // regs[dst] = alu64(aluop, regs[dst], operand)
+	uALU32Reg
+	uALU32Imm
+	uNeg64
+	uNeg32
+	uSwap   // byte swap; imm holds the width, src 1 means to-BE
+	uJa     // pc = target
+	uExit   // return regs[0]
+	uCall   // helper call, id in imm
+	uJmpReg // 64-bit conditional, reg operand
+	uJmpImm // 64-bit conditional, pre-extended imm operand
+	uJmp32Reg
+	uJmp32Imm
+	uLoad     // regs[dst] = mem[regs[src]+off], size bytes
+	uStoreReg // mem[regs[dst]+off] = regs[src]
+	uStoreImm // mem[regs[dst]+off] = operand
+	uXadd     // mem[regs[dst]+off] += regs[src], size 4 or 8
+	uLdImm64  // regs[dst] = imm (full 64 bits); pc = target (skips pad)
+	uBad      // invalid opcode: fault at execution time, like hardware
+)
+
+// slot is one decoded wire slot, pre-decoded into a flat micro-op:
+// the kind byte selects the operation, aluop/jumpop/size are resolved
+// once, immediate operands are sign-extended once, and jump targets
+// are absolute slot indices.
 type slot struct {
-	op  asm.OpCode
-	dst uint8
-	src uint8
-	off int16
-	imm int64 // full 64-bit constant for lddw
-	pad bool
+	kind    uint8
+	dst     uint8
+	src     uint8
+	size    uint8      // access width in bytes for uLoad/uStore*/uXadd
+	aluop   asm.ALUOp  // for uALU*
+	jumpop  asm.JumpOp // for uJmp*
+	op      asm.OpCode // original opcode, kept for error reporting
+	off     int16      // original wire offset (memory ops, errors)
+	target  int32      // absolute taken-branch target (uJa/uJmp*/uLdImm64)
+	imm     int64      // full 64-bit constant for lddw; helper id for call
+	operand uint64     // pre-sign-extended immediate operand
 }
 
 // MapResolver turns the map name of an LD_IMM64 pseudo-load into the
@@ -108,12 +142,103 @@ func expand(insns asm.Instructions, resolve MapResolver) ([]slot, error) {
 			s.imm = int64(handle)
 			s.src = 0 // consumed; the engine sees a plain lddw
 		}
+		decode(&s, len(out))
 		out = append(out, s)
 		if ins.OpCode == asm.LoadImm64(0, 0).OpCode {
-			out = append(out, slot{pad: true})
+			out = append(out, slot{kind: uPad})
 		}
 	}
 	return out, nil
+}
+
+// decode resolves the opcode of s (at slot index pc) into a micro-op.
+// Invalid encodings become uBad and fault at execution time, matching
+// the interpreter's historical behaviour.
+func decode(s *slot, pc int) {
+	op := s.op
+	s.operand = uint64(int64(int32(s.imm))) // sign-extend once
+	s.target = int32(pc + 1 + int(s.off))
+
+	switch class := op.Class(); class {
+	case asm.ClassALU64, asm.ClassALU:
+		wide := class == asm.ClassALU64
+		s.aluop = op.ALUOp()
+		switch s.aluop {
+		case asm.Neg:
+			if wide {
+				s.kind = uNeg64
+			} else {
+				s.kind = uNeg32
+			}
+		case asm.Swap:
+			s.kind = uSwap
+			s.src = 0
+			if op.Source() == asm.RegSource {
+				s.src = 1 // to big-endian
+			}
+		default:
+			switch {
+			case wide && op.Source() == asm.RegSource:
+				s.kind = uALU64Reg
+			case wide:
+				s.kind = uALU64Imm
+			case op.Source() == asm.RegSource:
+				s.kind = uALU32Reg
+			default:
+				s.kind = uALU32Imm
+			}
+		}
+
+	case asm.ClassJump, asm.ClassJump32:
+		wide := class == asm.ClassJump
+		s.jumpop = op.JumpOp()
+		switch s.jumpop {
+		case asm.Exit:
+			s.kind = uExit
+		case asm.Call:
+			s.kind = uCall
+		case asm.Ja:
+			s.kind = uJa
+		default:
+			switch {
+			case wide && op.Source() == asm.RegSource:
+				s.kind = uJmpReg
+			case wide:
+				s.kind = uJmpImm
+			case op.Source() == asm.RegSource:
+				s.kind = uJmp32Reg
+			default:
+				s.kind = uJmp32Imm
+			}
+		}
+
+	case asm.ClassLdX:
+		s.kind = uLoad
+		s.size = uint8(op.Size().Bytes())
+
+	case asm.ClassStX:
+		s.size = uint8(op.Size().Bytes())
+		if op.Mode() == asm.ModeXadd {
+			s.kind = uXadd
+		} else {
+			s.kind = uStoreReg
+		}
+
+	case asm.ClassSt:
+		s.kind = uStoreImm
+		s.size = uint8(op.Size().Bytes())
+
+	case asm.ClassLd:
+		if op == asm.LoadImm64(0, 0).OpCode {
+			s.kind = uLdImm64
+			s.target = int32(pc + 2) // skip the pad slot
+		} else {
+			s.kind = uBad
+		}
+
+	default:
+		s.kind = uBad
+	}
 }
 
 // Machine is the mutable state of one or more executions. It is not

@@ -9,6 +9,8 @@ import (
 type Segment struct {
 	// Data is the backing storage. A segment with nil Data is an
 	// opaque handle (e.g. a map object) that cannot be dereferenced.
+	// The hook layer rebinds Data in place on the per-packet fast
+	// path instead of installing a fresh Segment.
 	Data []byte
 	// Writable permits stores.
 	Writable bool
@@ -17,33 +19,48 @@ type Segment struct {
 	Object any
 }
 
-// Memory is the address space of one program execution: a table of
-// segments indexed by RegionID.
+// Memory is the address space of one program execution. The
+// well-known regions (stack, ctx, packet) live in a fixed array and
+// dynamic regions (map arenas, handles) in a slice, so resolving a
+// tagged pointer is two compares and an index — no map hashing on
+// the per-instruction load/store path.
 type Memory struct {
-	segs map[RegionID]*Segment
-	next RegionID
+	fixed [RegionDynamicBase]*Segment
+	dyn   []*Segment
 }
 
 // NewMemory returns an empty address space.
 func NewMemory() *Memory {
-	return &Memory{segs: make(map[RegionID]*Segment), next: RegionDynamicBase}
+	return &Memory{}
 }
 
 // SetSegment installs seg at a fixed well-known region.
 func (m *Memory) SetSegment(id RegionID, seg *Segment) {
-	m.segs[id] = seg
+	if id == RegionScalar || id >= RegionDynamicBase {
+		panic(fmt.Sprintf("vm: SetSegment(%d) outside well-known region range", id))
+	}
+	m.fixed[id] = seg
 }
 
 // AddSegment installs seg at a fresh dynamic region and returns its ID.
 func (m *Memory) AddSegment(seg *Segment) RegionID {
-	id := m.next
-	m.next++
-	m.segs[id] = seg
-	return id
+	m.dyn = append(m.dyn, seg)
+	return RegionDynamicBase + RegionID(len(m.dyn)-1)
 }
 
 // Segment returns the segment for id, or nil.
-func (m *Memory) Segment(id RegionID) *Segment { return m.segs[id] }
+func (m *Memory) Segment(id RegionID) *Segment {
+	if id < RegionDynamicBase {
+		if id == RegionScalar {
+			return nil
+		}
+		return m.fixed[id]
+	}
+	if i := int(id - RegionDynamicBase); i < len(m.dyn) {
+		return m.dyn[i]
+	}
+	return nil
+}
 
 // Fault describes an invalid memory access.
 type Fault struct {
@@ -62,37 +79,74 @@ func (f *Fault) Error() string {
 		f.Size, kind, Region(f.Addr), Offset(f.Addr), f.Cause)
 }
 
+// fault builds the descriptive error for an access that failed the
+// fast-path checks. It re-derives the cause; keeping this out of line
+// keeps Load/Store small enough to stay fast.
+func (m *Memory) fault(addr uint64, size int, write bool) error {
+	r := Region(addr)
+	if r == RegionScalar {
+		return &Fault{Addr: addr, Size: size, Write: write, Cause: "not a pointer (NULL dereference?)"}
+	}
+	seg := m.Segment(r)
+	switch {
+	case seg == nil:
+		return &Fault{Addr: addr, Size: size, Write: write, Cause: "no such region"}
+	case seg.Data == nil:
+		return &Fault{Addr: addr, Size: size, Write: write, Cause: "opaque handle region"}
+	case write && !seg.Writable:
+		return &Fault{Addr: addr, Size: size, Write: write, Cause: "region is read-only"}
+	case size <= 0:
+		return &Fault{Addr: addr, Size: size, Write: write, Cause: "bad access size"}
+	case Offset(addr)+uint64(size) > uint64(len(seg.Data)):
+		// Checked before the width so an oversized helper buffer read
+		// (Bytes/ReadBytes take arbitrary sizes) reports the real
+		// problem, not a width complaint.
+		return &Fault{Addr: addr, Size: size, Write: write, Cause: "out of bounds"}
+	default:
+		return &Fault{Addr: addr, Size: size, Write: write, Cause: "bad access size"}
+	}
+}
+
+// resolve maps a tagged pointer to its segment, or nil. The scalar
+// region resolves to nil because fixed[0] is never installed.
+func (m *Memory) resolve(addr uint64) *Segment {
+	r := RegionID(addr >> regionShift)
+	if r < RegionDynamicBase {
+		return m.fixed[r]
+	}
+	if i := int(r - RegionDynamicBase); i < len(m.dyn) {
+		return m.dyn[i]
+	}
+	return nil
+}
+
 // bytesAt resolves addr to size bytes of backing storage, enforcing
 // region validity, bounds and writability.
 func (m *Memory) bytesAt(addr uint64, size int, write bool) ([]byte, error) {
-	r := Region(addr)
-	if r == RegionScalar {
-		return nil, &Fault{Addr: addr, Size: size, Write: write, Cause: "not a pointer (NULL dereference?)"}
+	seg := m.resolve(addr)
+	if seg == nil || seg.Data == nil || (write && !seg.Writable) || size <= 0 {
+		return nil, m.fault(addr, size, write)
 	}
-	seg := m.segs[r]
-	if seg == nil {
-		return nil, &Fault{Addr: addr, Size: size, Write: write, Cause: "no such region"}
+	off := addr & offsetMask
+	end := off + uint64(size)
+	if end > uint64(len(seg.Data)) {
+		return nil, m.fault(addr, size, write)
 	}
-	if seg.Data == nil {
-		return nil, &Fault{Addr: addr, Size: size, Write: write, Cause: "opaque handle region"}
-	}
-	if write && !seg.Writable {
-		return nil, &Fault{Addr: addr, Size: size, Write: write, Cause: "region is read-only"}
-	}
-	off := Offset(addr)
-	if off+uint64(size) > uint64(len(seg.Data)) || size <= 0 {
-		return nil, &Fault{Addr: addr, Size: size, Write: write, Cause: "out of bounds"}
-	}
-	return seg.Data[off : off+uint64(size)], nil
+	return seg.Data[off:end], nil
 }
 
 // Load reads size bytes (1, 2, 4 or 8) at addr, little-endian, and
 // zero-extends to 64 bits.
 func (m *Memory) Load(addr uint64, size int) (uint64, error) {
-	b, err := m.bytesAt(addr, size, false)
-	if err != nil {
-		return 0, err
+	seg := m.resolve(addr)
+	if seg == nil || seg.Data == nil {
+		return 0, m.fault(addr, size, false)
 	}
+	off := addr & offsetMask
+	if off+uint64(size) > uint64(len(seg.Data)) {
+		return 0, m.fault(addr, size, false)
+	}
+	b := seg.Data[off:]
 	switch size {
 	case 1:
 		return uint64(b[0]), nil
@@ -103,16 +157,21 @@ func (m *Memory) Load(addr uint64, size int) (uint64, error) {
 	case 8:
 		return binary.LittleEndian.Uint64(b), nil
 	default:
-		return 0, &Fault{Addr: addr, Size: size, Cause: "bad access size"}
+		return 0, m.fault(addr, size, false)
 	}
 }
 
 // Store writes the low size bytes of val at addr, little-endian.
 func (m *Memory) Store(addr uint64, size int, val uint64) error {
-	b, err := m.bytesAt(addr, size, true)
-	if err != nil {
-		return err
+	seg := m.resolve(addr)
+	if seg == nil || seg.Data == nil || !seg.Writable {
+		return m.fault(addr, size, true)
 	}
+	off := addr & offsetMask
+	if off+uint64(size) > uint64(len(seg.Data)) {
+		return m.fault(addr, size, true)
+	}
+	b := seg.Data[off:]
 	switch size {
 	case 1:
 		b[0] = byte(val)
@@ -123,13 +182,21 @@ func (m *Memory) Store(addr uint64, size int, val uint64) error {
 	case 8:
 		binary.LittleEndian.PutUint64(b, val)
 	default:
-		return &Fault{Addr: addr, Size: size, Write: true, Cause: "bad access size"}
+		return m.fault(addr, size, true)
 	}
 	return nil
 }
 
+// Bytes resolves addr to n bytes of backing storage without copying.
+// Helpers use it for arguments they only read during the call; the
+// slice aliases program memory and must not be retained.
+func (m *Memory) Bytes(addr uint64, n int) ([]byte, error) {
+	return m.bytesAt(addr, n, false)
+}
+
 // ReadBytes copies n bytes starting at addr. Helpers use it to pull
-// buffers (keys, values, headers) out of program memory.
+// buffers (keys, values, headers) out of program memory when the
+// bytes outlive the call.
 func (m *Memory) ReadBytes(addr uint64, n int) ([]byte, error) {
 	b, err := m.bytesAt(addr, n, false)
 	if err != nil {

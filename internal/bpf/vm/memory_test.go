@@ -1,0 +1,139 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDynamicSegmentFaults exercises the array/slice split of Memory:
+// dynamic regions allocated by AddSegment must keep faulting exactly
+// like the old map-backed layout — out-of-bounds offsets, reads past
+// the last dynamic region, holes between the well-known array and the
+// dynamic base, and opaque handle segments.
+func TestDynamicSegmentFaults(t *testing.T) {
+	mem := NewMemory()
+	first := mem.AddSegment(&Segment{Data: make([]byte, 16), Writable: true})
+	second := mem.AddSegment(&Segment{Data: make([]byte, 8)})
+	handle := mem.AddSegment(&Segment{Object: "opaque"})
+
+	if first != RegionDynamicBase || second != RegionDynamicBase+1 || handle != RegionDynamicBase+2 {
+		t.Fatalf("dynamic IDs = %d,%d,%d; want consecutive from %d",
+			first, second, handle, RegionDynamicBase)
+	}
+
+	assertFault := func(name string, err error) {
+		t.Helper()
+		var f *Fault
+		if !errors.As(err, &f) {
+			t.Errorf("%s: want *Fault, got %v", name, err)
+		}
+	}
+
+	// In-bounds accesses work.
+	if err := mem.Store(Pointer(first, 8), 8, 0x1122334455667788); err != nil {
+		t.Fatalf("in-bounds store: %v", err)
+	}
+	if v, err := mem.Load(Pointer(first, 8), 8); err != nil || v != 0x1122334455667788 {
+		t.Fatalf("in-bounds load = %#x, %v", v, err)
+	}
+
+	// Out of bounds within a dynamic segment.
+	if _, err := mem.Load(Pointer(first, 9), 8); err == nil {
+		t.Error("load past end of dynamic segment succeeded")
+	} else {
+		assertFault("oob load", err)
+	}
+	if _, err := mem.Load(Pointer(second, 8), 1); err == nil {
+		t.Error("load at len(Data) succeeded")
+	} else {
+		assertFault("oob at len", err)
+	}
+
+	// Offsets that wrap the 48-bit offset space must not panic or leak.
+	if _, err := mem.Load(Pointer(first, (1<<48)-4), 8); err == nil {
+		t.Error("load near offset-space end succeeded")
+	}
+
+	// Write to a read-only dynamic segment.
+	if err := mem.Store(Pointer(second, 0), 1, 1); err == nil {
+		t.Error("store to read-only dynamic segment succeeded")
+	} else {
+		var f *Fault
+		if !errors.As(err, &f) || !f.Write {
+			t.Errorf("want write fault, got %v", err)
+		}
+	}
+
+	// Region past the last dynamic segment.
+	if _, err := mem.Load(Pointer(handle+1, 0), 1); err == nil {
+		t.Error("load from nonexistent dynamic region succeeded")
+	} else {
+		assertFault("no such region", err)
+	}
+
+	// Well-known regions that were never installed.
+	if _, err := mem.Load(Pointer(RegionPacket, 0), 1); err == nil {
+		t.Error("load from uninstalled well-known region succeeded")
+	}
+
+	// A region in the gap between well-known and dynamic base.
+	if _, err := mem.Load(Pointer(RegionDynamicBase-1, 0), 1); err == nil {
+		t.Error("load from gap region succeeded")
+	}
+
+	// Opaque handle segments cannot be dereferenced.
+	if _, err := mem.Load(Pointer(handle, 0), 1); err == nil {
+		t.Error("load through opaque handle succeeded")
+	} else {
+		assertFault("opaque handle", err)
+	}
+
+	// Segment() agrees with the access paths.
+	if mem.Segment(first) == nil || mem.Segment(handle) == nil {
+		t.Error("Segment() lost an installed dynamic region")
+	}
+	if mem.Segment(handle+1) != nil || mem.Segment(RegionDynamicBase-1) != nil {
+		t.Error("Segment() invented a region")
+	}
+	if mem.Segment(RegionScalar) != nil {
+		t.Error("Segment(RegionScalar) is not nil")
+	}
+}
+
+// TestSegmentDataRebind verifies the per-packet fast path: rebinding
+// an installed segment's Data in place changes what programs see
+// without reinstalling the segment.
+func TestSegmentDataRebind(t *testing.T) {
+	mem := NewMemory()
+	seg := &Segment{Data: []byte{1, 2, 3, 4}}
+	mem.SetSegment(RegionPacket, seg)
+
+	if v, err := mem.Load(Pointer(RegionPacket, 0), 1); err != nil || v != 1 {
+		t.Fatalf("initial load = %d, %v", v, err)
+	}
+
+	seg.Data = []byte{9, 8}
+	if v, err := mem.Load(Pointer(RegionPacket, 0), 1); err != nil || v != 9 {
+		t.Fatalf("rebound load = %d, %v", v, err)
+	}
+	// The old length no longer applies.
+	if _, err := mem.Load(Pointer(RegionPacket, 2), 1); err == nil {
+		t.Error("load past rebound Data succeeded")
+	}
+}
+
+// TestSetSegmentRange documents that SetSegment is reserved for the
+// well-known array; dynamic IDs must come from AddSegment.
+func TestSetSegmentRange(t *testing.T) {
+	mem := NewMemory()
+	for _, id := range []RegionID{RegionScalar, RegionDynamicBase, RegionDynamicBase + 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetSegment(%d) did not panic", id)
+				}
+			}()
+			mem.SetSegment(id, &Segment{Data: make([]byte, 1)})
+		}()
+	}
+}

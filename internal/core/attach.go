@@ -23,11 +23,14 @@ var (
 // EndBPF is a loaded End.BPF attachment: bind it to a SID with a
 // RouteSeg6Local whose Behaviour is seg6.ActionEndBPF and BPF set to
 // this value. Instances are single-threaded, like one softirq context
-// per simulated node.
+// per simulated node — which is what lets the attachment own a single
+// execEnv and ctx buffer reused for every packet instead of
+// allocating per invocation.
 type EndBPF struct {
 	inst *bpf.Instance
 	name string
 	ctx  [CtxSize]byte
+	env  execEnv
 }
 
 // AttachEndBPF instantiates prog (loaded against Seg6LocalHook) as a
@@ -40,7 +43,15 @@ func AttachEndBPF(prog *bpf.Program) (*EndBPF, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &EndBPF{inst: inst, name: prog.Name()}, nil
+	e := &EndBPF{inst: inst, name: prog.Name()}
+	e.env.printkPrefix = e.name
+	// Bound once: helpers that replace the packet re-enter through
+	// this, so the per-packet path never builds a closure.
+	e.env.refreshRegions = func(env *execEnv) {
+		installPacket(e.inst, e.ctx[:], env.pkt)
+	}
+	inst.BindCtx(e.ctx[:])
+	return e, nil
 }
 
 // Behaviour builds the seg6local behaviour entry for this attachment.
@@ -48,15 +59,11 @@ func (e *EndBPF) Behaviour() *seg6.Behaviour {
 	return &seg6.Behaviour{Action: seg6.ActionEndBPF, BPF: e}
 }
 
-// refresh re-installs the packet region and fixes the ctx len and
-// data_end after helpers replaced the packet.
-func (e *EndBPF) refresh(env *execEnv) {
-	installPacket(e.inst, e.ctx[:], env.pkt)
-}
-
+// installPacket rebinds the packet region in place and fixes the ctx
+// len and data_end after helpers replaced the packet. No allocation:
+// the instance's packet segment is reused.
 func installPacket(inst *bpf.Instance, ctx []byte, pkt []byte) {
-	inst.Memory().SetSegment(vm.RegionPacket, &vm.Segment{Data: pkt, Writable: false})
-	// Keep ctx len/data_end coherent with the new packet.
+	inst.BindPacket(pkt)
 	fillCtxLen(ctx, len(pkt))
 }
 
@@ -72,35 +79,30 @@ func fillCtxLen(ctx []byte, pktLen int) {
 }
 
 // RunSeg6Local implements netsim.Seg6LocalProgram: the End.BPF
-// datapath of §3.
+// datapath of §3. The steady-state path performs zero heap
+// allocations: one offset-only header walk, an in-place SRH advance,
+// and a reused execution environment.
 func (e *EndBPF) RunSeg6Local(n *netsim.Node, raw []byte, meta *netsim.PacketMeta) (seg6.Result, int64, error) {
 	// End.BPF behaves as an endpoint: it only accepts SRv6 packets
 	// with a current segment, and advances the SRH before the program
 	// runs (§3).
-	p, err := packet.Parse(raw)
+	info, err := packet.ParseInfo(raw)
 	if err != nil {
 		return seg6.Result{Verdict: seg6.VerdictDrop}, 0, err
 	}
-	if p.SRH == nil || p.SRH.SegmentsLeft == 0 {
+	if !info.HasSRH() || info.SegmentsLeft == 0 {
 		return seg6.Result{Verdict: seg6.VerdictDrop}, 0, ErrNoSRH
 	}
-	if err := seg6.Advance(raw); err != nil {
+	if err := seg6.AdvanceAt(raw, info.SRHOff); err != nil {
 		return seg6.Result{Verdict: seg6.VerdictDrop}, 0, err
 	}
 
-	env := &execEnv{
-		node:         n,
-		meta:         meta,
-		pkt:          raw,
-		srhOff:       p.SRHOff,
-		printkPrefix: e.name,
-	}
-	env.refreshRegions = func(ev *execEnv) { e.refresh(ev) }
+	env := &e.env
+	env.beginRun(n, meta, raw, info.SRHOff)
 
 	machine := e.inst.Machine()
 	machine.HelperContext = env
-	fillCtx(e.ctx[:], len(raw), p.IPv6.FlowLabel)
-	e.inst.Memory().SetSegment(vm.RegionCtx, &vm.Segment{Data: e.ctx[:], Writable: false})
+	fillCtx(e.ctx[:], len(raw), info.FlowLabel)
 	installPacket(e.inst, e.ctx[:], raw)
 
 	startInsns, startHelpers := machine.Executed, machine.HelperCalls
@@ -155,6 +157,7 @@ type LWT struct {
 	inst *bpf.Instance
 	name string
 	ctx  [CtxSize]byte
+	env  execEnv
 }
 
 // AttachLWT instantiates prog (loaded against LWTOutHook) as a
@@ -167,33 +170,38 @@ func AttachLWT(prog *bpf.Program) (*LWT, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &LWT{inst: inst, name: prog.Name()}, nil
+	l := &LWT{inst: inst, name: prog.Name()}
+	l.env.printkPrefix = l.name
+	l.env.refreshRegions = func(env *execEnv) {
+		installPacket(l.inst, l.ctx[:], env.pkt)
+	}
+	inst.BindCtx(l.ctx[:])
+	return l, nil
 }
 
-// RunLWTOut implements netsim.LWTProgram.
+// RunLWTOut implements netsim.LWTProgram. Like RunSeg6Local, a single
+// offset-only walk feeds both the SRH bookkeeping and the flow hash,
+// and the execution environment is reused across packets.
 func (l *LWT) RunLWTOut(n *netsim.Node, raw []byte, meta *netsim.PacketMeta) ([]byte, netsim.LWTVerdict, int64, error) {
-	env := &execEnv{
-		node:         n,
-		meta:         meta,
-		pkt:          raw,
-		srhOff:       -1,
-		printkPrefix: l.name,
+	env := &l.env
+	srhOff := -1
+	var flowHash uint32
+	if info, err := packet.ParseInfo(raw); err == nil {
+		flowHash = info.FlowLabel
+		if info.HasSRH() {
+			srhOff = info.SRHOff
+		}
+	} else if len(raw) >= packet.IPv6HeaderLen && raw[0]>>4 == 6 {
+		// A malformed extension chain does not hide the flow label:
+		// any packet with a valid fixed header keeps its ctx hash, as
+		// when the two were derived by separate walks.
+		flowHash = uint32(raw[1]&0x0f)<<16 | uint32(raw[2])<<8 | uint32(raw[3])
 	}
-	if p, err := packet.Parse(raw); err == nil && p.SRH != nil {
-		env.srhOff = p.SRHOff
-	}
-	env.refreshRegions = func(ev *execEnv) {
-		installPacket(l.inst, l.ctx[:], ev.pkt)
-	}
+	env.beginRun(n, meta, raw, srhOff)
 
 	machine := l.inst.Machine()
 	machine.HelperContext = env
-	var flowHash uint32
-	if h, err := packet.DecodeIPv6(raw); err == nil {
-		flowHash = h.FlowLabel
-	}
 	fillCtx(l.ctx[:], len(raw), flowHash)
-	l.inst.Memory().SetSegment(vm.RegionCtx, &vm.Segment{Data: l.ctx[:], Writable: false})
 	installPacket(l.inst, l.ctx[:], raw)
 
 	startInsns, startHelpers := machine.Executed, machine.HelperCalls

@@ -177,7 +177,7 @@ func TestSeg6ActionEndB6Encaps(t *testing.T) {
 	g.send(t, dstB)
 	// Inner packet continues to B after decap at C.
 	if g.gotB == nil {
-		t.Fatalf("inner packet never reached B; C counters: %v", g.c.Counters)
+		t.Fatalf("inner packet never reached B; C counters: %v", g.c.Counters())
 	}
 	if g.gotB.SRH == nil || g.gotB.SRH.SegmentsLeft != 0 {
 		t.Errorf("inner SRH state: %s", g.gotB.Summary())
@@ -199,7 +199,7 @@ func TestSeg6ActionEndDT6(t *testing.T) {
 	g.a.Output(outer)
 	g.sim.Run()
 	if g.gotB == nil {
-		t.Fatalf("decapsulated packet missing; R: %v", g.r.Counters)
+		t.Fatalf("decapsulated packet missing; R: %v", g.r.Counters())
 	}
 	if g.gotB.SRH != nil {
 		t.Errorf("outer SRH survived decap: %s", g.gotB.Summary())
@@ -223,8 +223,8 @@ func TestRedirectWithoutActionDrops(t *testing.T) {
 	if g.gotB != nil {
 		t.Fatal("BPF_REDIRECT without pending state forwarded the packet")
 	}
-	if g.r.Counters["drop_seg6local_error"] == 0 {
-		t.Errorf("counters: %v", g.r.Counters)
+	if g.r.Counters()["drop_seg6local_error"] == 0 {
+		t.Errorf("counters: %v", g.r.Counters())
 	}
 }
 
@@ -269,7 +269,7 @@ func TestCtxFieldsVisibleToProgram(t *testing.T) {
 	g := newRig(t, spec)
 	g.send(t, dstB)
 	if g.gotB == nil {
-		t.Fatalf("ctx sanity program dropped the packet; R: %v", g.r.Counters)
+		t.Fatalf("ctx sanity program dropped the packet; R: %v", g.r.Counters())
 	}
 }
 
@@ -298,7 +298,7 @@ func TestSkbLoadBytesHelper(t *testing.T) {
 	g := newRig(t, spec)
 	g.send(t, dstB)
 	if g.gotB == nil {
-		t.Fatalf("skb_load_bytes program dropped the packet; R: %v", g.r.Counters)
+		t.Fatalf("skb_load_bytes program dropped the packet; R: %v", g.r.Counters())
 	}
 }
 
@@ -337,7 +337,7 @@ func TestAdjustSRHShrink(t *testing.T) {
 	// Send with an 8-byte PadN TLV the program will strip.
 	g.send(t, dstB, packet.PadN{N: 6})
 	if g.gotB == nil {
-		t.Fatalf("shrunk packet dropped; R: %v", g.r.Counters)
+		t.Fatalf("shrunk packet dropped; R: %v", g.r.Counters())
 	}
 	if len(g.gotB.SRH.TLVs) != 0 {
 		t.Errorf("TLVs survived the shrink: %s", g.gotB.SRH.Summary())
@@ -395,8 +395,8 @@ func TestLWTDropVerdict(t *testing.T) {
 	if g.gotB != nil {
 		t.Fatal("LWT BPF_DROP did not drop")
 	}
-	if g.r.Counters["drop_lwt_bpf"] != 1 {
-		t.Errorf("counters: %v", g.r.Counters)
+	if g.r.Counters()["drop_lwt_bpf"] != 1 {
+		t.Errorf("counters: %v", g.r.Counters())
 	}
 }
 
@@ -444,7 +444,7 @@ func TestLWTPushEncapInline(t *testing.T) {
 	g.a.Output(raw)
 	g.sim.Run()
 	if g.gotB == nil {
-		t.Fatalf("inline-encapsulated packet lost; R: %v", g.r.Counters)
+		t.Fatalf("inline-encapsulated packet lost; R: %v", g.r.Counters())
 	}
 	if g.gotB.SRH == nil {
 		t.Fatal("no SRH after inline encap")

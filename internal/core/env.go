@@ -36,10 +36,24 @@ type execEnv struct {
 	pending *seg6.Result
 
 	// refreshRegions re-installs packet memory after pkt replacement.
+	// It is bound once at attach time; beginRun preserves it.
 	refreshRegions func(env *execEnv)
 
-	// printkPrefix tags trace output with the program name.
+	// printkPrefix tags trace output with the program name. Set once
+	// at attach time.
 	printkPrefix string
+}
+
+// beginRun resets the reusable environment for one program
+// invocation. The attachment owns exactly one execEnv (nodes are
+// single-threaded), so the per-packet path allocates nothing.
+func (e *execEnv) beginRun(node *netsim.Node, meta *netsim.PacketMeta, pkt []byte, srhOff int) {
+	e.node = node
+	e.meta = meta
+	e.pkt = pkt
+	e.srhOff = srhOff
+	e.srhModified = false
+	e.pending = nil
 }
 
 // Now implements bpf.ExecContext against virtual time.
@@ -59,8 +73,8 @@ func (e *execEnv) Printk(msg string) {
 func (e *execEnv) setPacket(pkt []byte) error {
 	e.pkt = pkt
 	e.srhOff = -1
-	if p, err := packet.Parse(pkt); err == nil && p.SRH != nil {
-		e.srhOff = p.SRHOff
+	if info, err := packet.ParseInfo(pkt); err == nil && info.HasSRH() {
+		e.srhOff = info.SRHOff
 	}
 	if e.refreshRegions != nil {
 		e.refreshRegions(e)

@@ -38,7 +38,7 @@ func helperSeg6StoreBytes(m *vm.Machine, r1, r2, r3, r4, _ uint64) (uint64, erro
 	if err := e.checkWritable(off, n); err != nil {
 		return bpf.Errno(bpf.EINVAL), nil
 	}
-	data, err := m.Mem.ReadBytes(r3, n)
+	data, err := m.Mem.Bytes(r3, n)
 	if err != nil {
 		return 0, err // invalid program memory: abort the program
 	}
@@ -123,7 +123,7 @@ func helperSeg6Action(m *vm.Machine, r1, r2, r3, r4, _ uint64) (uint64, error) {
 	if plen < 0 || plen > 4096 {
 		return bpf.Errno(bpf.EINVAL), nil
 	}
-	param, err := m.Mem.ReadBytes(r3, plen)
+	param, err := m.Mem.Bytes(r3, plen)
 	if err != nil {
 		return 0, err
 	}
@@ -210,7 +210,7 @@ func helperLWTPushEncap(m *vm.Machine, r1, r2, r3, r4, _ uint64) (uint64, error)
 	if n <= 0 || n > 4096 {
 		return bpf.Errno(bpf.EINVAL), nil
 	}
-	hdr, err := m.Mem.ReadBytes(r3, n)
+	hdr, err := m.Mem.Bytes(r3, n)
 	if err != nil {
 		return 0, err
 	}
@@ -247,7 +247,7 @@ func helperSeg6ECMPNexthops(m *vm.Machine, r1, r2, r3, r4, _ uint64) (uint64, er
 	if err != nil {
 		return 0, err
 	}
-	daddr, err := m.Mem.ReadBytes(r2, 16)
+	daddr, err := m.Mem.Bytes(r2, 16)
 	if err != nil {
 		return 0, err
 	}

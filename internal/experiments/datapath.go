@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"net/netip"
+	"testing"
+
+	"srv6bpf/internal/bpf"
+	"srv6bpf/internal/core"
+	"srv6bpf/internal/netem"
+	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/nf/progs"
+	"srv6bpf/internal/packet"
+	"srv6bpf/internal/seg6"
+)
+
+// DatapathRow is one wall-clock measurement of this library's own
+// End.BPF datapath (real time, not simulated): the engineering
+// numbers behind the simulator's cost model. AllocsPerOp is the
+// -benchmem figure the zero-allocation work of the datapath is
+// tracked by.
+type DatapathRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// DatapathBench measures the per-packet cost of the static End
+// behaviour and the End.BPF hook running the Figure 2 programs, each
+// with JIT and interpreter. It is the programmatic equivalent of
+// `go test -bench BenchmarkDatapath -benchmem`, exposed so srv6bench
+// can emit the numbers into the machine-readable benchmark trajectory.
+func DatapathBench() ([]DatapathRow, error) {
+	sid := netip.MustParseAddr("fc00:1::b")
+	dst := netip.MustParseAddr("2001:db8:2::1")
+	src := netip.MustParseAddr("2001:db8:1::1")
+
+	srh := packet.NewSRH([]netip.Addr{sid, dst})
+	tmpl, err := packet.BuildPacket(src, sid, packet.WithSRH(srh),
+		packet.WithUDP(1, 2), packet.WithPayload(make([]byte, 64)))
+	if err != nil {
+		return nil, err
+	}
+
+	sim := netsim.New(1)
+	node := sim.AddNode("R", netsim.ServerCostModel())
+	peer := sim.AddNode("P", netsim.HostCostModel())
+	peer.AddAddress(dst)
+	netsim.ConnectSymmetric(node, peer, netem.Config{RateBps: 1e12})
+
+	var rows []DatapathRow
+
+	staticRes := testing.Benchmark(func(b *testing.B) {
+		work := packet.Clone(tmpl)
+		behaviour := &seg6.Behaviour{Action: seg6.ActionEnd}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(work, tmpl)
+			if _, err := seg6.ApplyStatic(behaviour, work); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rows = append(rows, DatapathRow{
+		Name:        "End-static-go",
+		NsPerOp:     float64(staticRes.NsPerOp()),
+		AllocsPerOp: staticRes.AllocsPerOp(),
+		BytesPerOp:  staticRes.AllocedBytesPerOp(),
+	})
+
+	type benchProg struct {
+		name string
+		spec *bpf.ProgramSpec
+		jit  bool
+	}
+	for _, bp := range []benchProg{
+		{"EndBPF-jit", progs.EndSpec(), true},
+		{"EndBPF-interp", progs.EndSpec(), false},
+		{"TagInc-jit", progs.TagIncrementSpec(), true},
+		{"TagInc-interp", progs.TagIncrementSpec(), false},
+		{"AddTLV-jit", progs.AddTLVSpec(), true},
+		{"AddTLV-interp", progs.AddTLVSpec(), false},
+	} {
+		prog, err := bpf.LoadProgram(bp.spec, core.Seg6LocalHook(), nil, bpf.LoadOptions{JIT: &bp.jit})
+		if err != nil {
+			return nil, err
+		}
+		end, err := core.AttachEndBPF(prog)
+		if err != nil {
+			return nil, err
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			work := packet.Clone(tmpl)
+			meta := &netsim.PacketMeta{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(work, tmpl)
+				work = work[:len(tmpl)]
+				res, _, err := end.RunSeg6Local(node, work, meta)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Verdict == seg6.VerdictDrop {
+					b.Fatal("unexpected drop")
+				}
+				// Add TLV grows the packet: recover the template size.
+				if len(res.Pkt) != len(tmpl) {
+					work = packet.Clone(tmpl)
+				}
+			}
+		})
+		rows = append(rows, DatapathRow{
+			Name:        bp.name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+	}
+	return rows, nil
+}

@@ -93,9 +93,9 @@ func (l *lab1) offer(firstSeg netip.Addr, durationNs int64) float64 {
 
 // Row is one bar/point of a reproduced figure.
 type Row struct {
-	Name       string
-	KPPS       float64 // delivered rate
-	Normalized float64 // relative to the raw-forwarding baseline
+	Name       string  `json:"name"`
+	KPPS       float64 `json:"kpps"`       // delivered rate
+	Normalized float64 `json:"normalized"` // relative to the raw-forwarding baseline
 }
 
 // Figure2Config selects the endpoint function variants of Figure 2.

@@ -12,9 +12,9 @@ import (
 // Fig4Point is one (payload size, configuration) measurement of
 // Figure 4.
 type Fig4Point struct {
-	Payload     int
-	Config      string
-	GoodputMbps float64
+	Payload     int     `json:"payload"`
+	Config      string  `json:"config"`
+	GoodputMbps float64 `json:"goodput_mbps"`
 }
 
 // fig4Configs are the three curves of Figure 4.

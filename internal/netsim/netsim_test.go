@@ -56,8 +56,8 @@ func TestEndToEndUDPDelivery(t *testing.T) {
 	if string(got) != "ping" {
 		t.Fatalf("payload = %q", got)
 	}
-	if b.Counters["udp_delivered"] != 1 {
-		t.Errorf("delivered counter = %d", b.Counters["udp_delivered"])
+	if b.Counters()["udp_delivered"] != 1 {
+		t.Errorf("delivered counter = %d", b.Counters()["udp_delivered"])
 	}
 }
 
@@ -97,8 +97,8 @@ func TestHopLimitExceededGeneratesICMP(t *testing.T) {
 	if icmpFrom != r.PrimaryAddress() {
 		t.Errorf("ICMP source = %v, want router %v", icmpFrom, r.PrimaryAddress())
 	}
-	if r.Counters["drop_hop_limit"] != 1 {
-		t.Errorf("drop counter = %d", r.Counters["drop_hop_limit"])
+	if r.Counters()["drop_hop_limit"] != 1 {
+		t.Errorf("drop counter = %d", r.Counters()["drop_hop_limit"])
 	}
 }
 
@@ -117,8 +117,8 @@ func TestNoRouteGeneratesUnreachable(t *testing.T) {
 	if gotType != packet.ICMPv6DstUnreachable {
 		t.Errorf("icmp type = %d", gotType)
 	}
-	if r.Counters["drop_no_route"] != 1 {
-		t.Errorf("counters = %v", r.Counters)
+	if r.Counters()["drop_no_route"] != 1 {
+		t.Errorf("counters = %v", r.Counters())
 	}
 }
 
@@ -194,7 +194,7 @@ func TestSeg6LocalEndOnRouter(t *testing.T) {
 	a.Output(raw)
 	s.Run()
 	if gotDst != bAddr || gotSL != 0 {
-		t.Fatalf("after End: dst=%v sl=%d (counters R=%v B=%v)", gotDst, gotSL, r.Counters, b.Counters)
+		t.Fatalf("after End: dst=%v sl=%d (counters R=%v B=%v)", gotDst, gotSL, r.Counters(), b.Counters())
 	}
 }
 
@@ -229,7 +229,7 @@ func TestSeg6EncapTransitRoute(t *testing.T) {
 	a.Output(raw)
 	s.Run()
 	if got != "thru-tunnel" {
-		t.Fatalf("payload = %q; R=%v B=%v", got, r.Counters, b.Counters)
+		t.Fatalf("payload = %q; R=%v B=%v", got, r.Counters(), b.Counters())
 	}
 }
 
@@ -262,9 +262,9 @@ func TestReceiveLivelock(t *testing.T) {
 	// generator offers 3 Mpps. Expect roughly 590-630 kpps delivered.
 	if rate < 550_000 || rate > 650_000 {
 		t.Fatalf("delivered %.0f pps, want ≈610k (delivered=%d, drops=%d)",
-			rate, delivered, r.Counters["rx_ring_full"])
+			rate, delivered, r.Counters()["rx_ring_full"])
 	}
-	if r.Counters["rx_ring_full"] == 0 {
+	if r.Counters()["rx_ring_full"] == 0 {
 		t.Error("no ring drops despite 5x overload")
 	}
 }
@@ -399,7 +399,7 @@ func TestICMPErrorsNotGeneratedForICMPErrors(t *testing.T) {
 	if got != 0 {
 		t.Fatalf("received %d ICMP errors about an ICMP error", got)
 	}
-	if r.Counters["drop_hop_limit"] != 1 {
-		t.Errorf("counters: %v", r.Counters)
+	if r.Counters()["drop_hop_limit"] != 1 {
+		t.Errorf("counters: %v", r.Counters())
 	}
 }

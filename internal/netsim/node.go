@@ -54,6 +54,39 @@ type rxItem struct {
 	meta PacketMeta
 }
 
+// Counter is a pre-resolved handle to one named counter cell. The
+// forwarding fast path increments through handles resolved once at
+// node creation instead of hashing a string key per packet; the
+// Counters() map remains the read-side view over the same cells.
+type Counter struct{ cell *uint64 }
+
+// Inc bumps the counter.
+func (c Counter) Inc() { *c.cell++ }
+
+// Add bumps the counter by d.
+func (c Counter) Add(d uint64) { *c.cell += d }
+
+// Value reads the counter.
+func (c Counter) Value() uint64 { return *c.cell }
+
+// hotCounters are the handles the per-packet paths touch.
+type hotCounters struct {
+	rxRingFull         Counter
+	dropMalformed      Counter
+	dropNoRoute        Counter
+	dropRouteLoop      Counter
+	dropHopLimit       Counter
+	dropNoNexthop      Counter
+	dropSeg6Local      Counter
+	dropSeg6LocalError Counter
+	dropLWTBPF         Counter
+	dropLWTBPFError    Counter
+	dropMalformedLocal Counter
+	udpDelivered       Counter
+	tcpDelivered       Counter
+	icmpDelivered      Counter
+}
+
 // maxRouteDepth bounds recursive route resolution (behaviour chains,
 // encapsulation re-lookups).
 const maxRouteDepth = 6
@@ -75,12 +108,18 @@ type Node struct {
 	tcpHandler  func(n *Node, p *packet.Packet, meta *PacketMeta)
 	icmpHandler func(n *Node, p *packet.Packet, meta *PacketMeta)
 
-	rxq  []rxItem
-	busy bool
+	// rxq is a ring buffer: rxCount items starting at rxHead. It
+	// grows geometrically up to Cost.RxRingPackets, so draining one
+	// packet is two index updates, not a slice reallocation.
+	rxq     []rxItem
+	rxHead  int
+	rxCount int
+	busy    bool
 
-	// Counters is free-form event accounting ("drop_no_route",
-	// "rx_ring_full", ...). Read it in tests and reports.
-	Counters map[string]uint64
+	// counters holds the interned counter cells; Counter handles
+	// point into it. Counters() materialises the read-side map.
+	counters map[string]*uint64
+	hot      hotCounters
 
 	// Trace, when set, receives a line per interesting event.
 	Trace func(format string, args ...any)
@@ -95,14 +134,60 @@ func (s *Sim) AddNode(name string, cost CostModel) *Node {
 		tables:      map[int]*Table{MainTable: {}},
 		local:       make(map[netip.Addr]bool),
 		udpHandlers: make(map[uint16]UDPHandler),
-		Counters:    make(map[string]uint64),
+		counters:    make(map[string]*uint64),
+	}
+	n.hot = hotCounters{
+		rxRingFull:         n.CounterHandle("rx_ring_full"),
+		dropMalformed:      n.CounterHandle("drop_malformed"),
+		dropNoRoute:        n.CounterHandle("drop_no_route"),
+		dropRouteLoop:      n.CounterHandle("drop_route_loop"),
+		dropHopLimit:       n.CounterHandle("drop_hop_limit"),
+		dropNoNexthop:      n.CounterHandle("drop_no_nexthop"),
+		dropSeg6Local:      n.CounterHandle("drop_seg6local"),
+		dropSeg6LocalError: n.CounterHandle("drop_seg6local_error"),
+		dropLWTBPF:         n.CounterHandle("drop_lwt_bpf"),
+		dropLWTBPFError:    n.CounterHandle("drop_lwt_bpf_error"),
+		dropMalformedLocal: n.CounterHandle("drop_malformed_local"),
+		udpDelivered:       n.CounterHandle("udp_delivered"),
+		tcpDelivered:       n.CounterHandle("tcp_delivered"),
+		icmpDelivered:      n.CounterHandle("icmp_delivered"),
 	}
 	s.nodes = append(s.nodes, n)
 	return n
 }
 
-// Count bumps a named counter.
-func (n *Node) Count(what string) { n.Counters[what]++ }
+// CounterHandle interns name and returns its pre-resolved handle.
+// Resolve once, increment per packet.
+func (n *Node) CounterHandle(name string) Counter {
+	c := n.counters[name]
+	if c == nil {
+		c = new(uint64)
+		n.counters[name] = c
+	}
+	return Counter{cell: c}
+}
+
+// Count bumps a named counter. Cold paths use it directly; per-packet
+// paths go through pre-resolved handles instead.
+func (n *Node) Count(what string) {
+	c := n.counters[what]
+	if c == nil {
+		c = new(uint64)
+		n.counters[what] = c
+	}
+	*c++
+}
+
+// Counters returns the read-side view of all counters: free-form
+// event accounting ("drop_no_route", "rx_ring_full", ...). Read it in
+// tests and reports; the snapshot is freshly built per call.
+func (n *Node) Counters() map[string]uint64 {
+	out := make(map[string]uint64, len(n.counters))
+	for k, v := range n.counters {
+		out[k] = *v
+	}
+	return out
+}
 
 // Ifaces returns the node's interfaces.
 func (n *Node) Ifaces() []*Iface { return n.ifaces }
@@ -163,29 +248,62 @@ func (n *Node) HandleICMP(h func(n *Node, p *packet.Packet, meta *PacketMeta)) {
 // packet rate disappears, exactly like the paper's router receiving 3
 // Mpps but forwarding 610 kpps.
 func (n *Node) deliver(raw []byte, in *Iface) {
-	if len(n.rxq) >= n.Cost.RxRingPackets {
-		n.Count("rx_ring_full")
-		return
-	}
-	n.rxq = append(n.rxq, rxItem{
+	if !n.rxPush(rxItem{
 		raw:  raw,
 		meta: PacketMeta{RxTimestamp: n.Sim.Now(), InIface: in},
-	})
+	}) {
+		n.hot.rxRingFull.Inc()
+		return
+	}
 	if !n.busy {
 		n.busy = true
 		n.Sim.Schedule(n.Sim.Now(), n.drain)
 	}
 }
 
+// rxPush appends to the receive ring, growing it geometrically up to
+// the NIC ring size. It reports false when the ring is full.
+func (n *Node) rxPush(item rxItem) bool {
+	if n.rxCount == len(n.rxq) {
+		if n.rxCount >= n.Cost.RxRingPackets {
+			return false
+		}
+		newCap := 2 * len(n.rxq)
+		if newCap < 64 {
+			newCap = 64
+		}
+		if newCap > n.Cost.RxRingPackets {
+			newCap = n.Cost.RxRingPackets
+		}
+		buf := make([]rxItem, newCap)
+		for i := 0; i < n.rxCount; i++ {
+			buf[i] = n.rxq[(n.rxHead+i)%len(n.rxq)]
+		}
+		n.rxq = buf
+		n.rxHead = 0
+	}
+	n.rxq[(n.rxHead+n.rxCount)%len(n.rxq)] = item
+	n.rxCount++
+	return true
+}
+
+// rxPop removes the oldest ring entry, releasing its packet bytes.
+func (n *Node) rxPop() rxItem {
+	item := n.rxq[n.rxHead]
+	n.rxq[n.rxHead] = rxItem{}
+	n.rxHead = (n.rxHead + 1) % len(n.rxq)
+	n.rxCount--
+	return item
+}
+
 // drain is the CPU loop: take one packet, process it (computing its
 // cost), apply its effects at completion time, continue.
 func (n *Node) drain() {
-	if len(n.rxq) == 0 {
+	if n.rxCount == 0 {
 		n.busy = false
 		return
 	}
-	item := n.rxq[0]
-	n.rxq = n.rxq[1:]
+	item := n.rxPop()
 
 	cost := n.Cost.PacketCost(len(item.raw))
 	commit, extra := n.routePacket(item.raw, &item.meta, 0)
@@ -216,7 +334,7 @@ func (n *Node) Output(raw []byte) {
 func (n *Node) routePacket(raw []byte, meta *PacketMeta, depth int) (func(), int64) {
 	dst, err := packet.IPv6Dst(raw)
 	if err != nil {
-		n.Count("drop_malformed")
+		n.hot.dropMalformed.Inc()
 		return nil, 0
 	}
 	r := n.Lookup(dst, MainTable)
@@ -225,11 +343,11 @@ func (n *Node) routePacket(raw []byte, meta *PacketMeta, depth int) (func(), int
 
 func (n *Node) applyRoute(r *Route, raw []byte, meta *PacketMeta, depth int) (func(), int64) {
 	if depth > maxRouteDepth {
-		n.Count("drop_route_loop")
+		n.hot.dropRouteLoop.Inc()
 		return nil, 0
 	}
 	if r == nil {
-		n.Count("drop_no_route")
+		n.hot.dropNoRoute.Inc()
 		return n.icmpError(raw, meta, packet.ICMPv6DstUnreachable, 0), n.Cost.ICMPGenNs
 	}
 
@@ -254,14 +372,14 @@ func (n *Node) applyRoute(r *Route, raw []byte, meta *PacketMeta, depth int) (fu
 		}
 		out, verdict, cost, err := prog.RunLWTOut(n, raw, meta)
 		if err != nil {
-			n.Count("drop_lwt_bpf_error")
+			n.hot.dropLWTBPFError.Inc()
 			if n.Trace != nil {
 				n.Trace("%s: lwt bpf error: %v", n.Name, err)
 			}
 			return nil, cost
 		}
 		if verdict == LWTDrop {
-			n.Count("drop_lwt_bpf")
+			n.hot.dropLWTBPF.Inc()
 			return nil, cost
 		}
 		if len(r.Nexthops) > 0 {
@@ -286,18 +404,18 @@ func (n *Node) forward(r *Route, raw []byte, meta *PacketMeta) (func(), int64) {
 	dst, _ := packet.IPv6Dst(raw)
 	hdr, err := packet.DecodeIPv6(raw)
 	if err != nil {
-		n.Count("drop_malformed")
+		n.hot.dropMalformed.Inc()
 		return nil, 0
 	}
 	if !meta.Local {
 		if hdr.HopLimit <= 1 {
-			n.Count("drop_hop_limit")
+			n.hot.dropHopLimit.Inc()
 			return n.icmpError(raw, meta, packet.ICMPv6TimeExceeded, 0), n.Cost.ICMPGenNs
 		}
 	}
 	nh := r.SelectNexthop(src, dst, hdr.FlowLabel)
 	if nh == nil || nh.Iface == nil {
-		n.Count("drop_no_nexthop")
+		n.hot.dropNoNexthop.Inc()
 		return nil, 0
 	}
 	out := raw
@@ -335,7 +453,7 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 		cost = n.Cost.Behaviour[b.Action]
 	}
 	if err != nil {
-		n.Count("drop_seg6local_error")
+		n.hot.dropSeg6LocalError.Inc()
 		if n.Trace != nil {
 			n.Trace("%s: seg6local %v error: %v", n.Name, b.Action, err)
 		}
@@ -344,7 +462,7 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 
 	switch res.Verdict {
 	case seg6.VerdictDrop:
-		n.Count("drop_seg6local")
+		n.hot.dropSeg6Local.Inc()
 		return nil, cost
 
 	case seg6.VerdictForward:
@@ -354,7 +472,7 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 	case seg6.VerdictForwardTable:
 		dst, err := packet.IPv6Dst(res.Pkt)
 		if err != nil {
-			n.Count("drop_malformed")
+			n.hot.dropMalformed.Inc()
 			return nil, cost
 		}
 		route := n.Lookup(dst, res.Table)
@@ -364,17 +482,17 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 	case seg6.VerdictForwardNexthop:
 		iface := n.ResolveNexthop(res.Nexthop)
 		if iface == nil {
-			n.Count("drop_no_nexthop")
+			n.hot.dropNoNexthop.Inc()
 			return nil, cost
 		}
 		out := res.Pkt
 		hdr, err := packet.DecodeIPv6(out)
 		if err != nil {
-			n.Count("drop_malformed")
+			n.hot.dropMalformed.Inc()
 			return nil, cost
 		}
 		if !meta.Local && hdr.HopLimit <= 1 {
-			n.Count("drop_hop_limit")
+			n.hot.dropHopLimit.Inc()
 			return n.icmpError(out, meta, packet.ICMPv6TimeExceeded, 0), cost + n.Cost.ICMPGenNs
 		}
 		return func() {
@@ -433,18 +551,18 @@ func (n *Node) ResolveNexthop(addr netip.Addr) *Iface {
 func (n *Node) deliverLocal(raw []byte, meta *PacketMeta) {
 	p, err := packet.Parse(raw)
 	if err != nil {
-		n.Count("drop_malformed_local")
+		n.hot.dropMalformedLocal.Inc()
 		return
 	}
 	switch p.L4Proto {
 	case packet.ProtoUDP:
 		udp, err := packet.DecodeUDP(raw[p.L4Off:])
 		if err != nil {
-			n.Count("drop_malformed_local")
+			n.hot.dropMalformedLocal.Inc()
 			return
 		}
 		if h, ok := n.udpHandlers[udp.DstPort]; ok {
-			n.Count("udp_delivered")
+			n.hot.udpDelivered.Inc()
 			h(n, p, meta)
 			return
 		}
@@ -456,14 +574,14 @@ func (n *Node) deliverLocal(raw []byte, meta *PacketMeta) {
 		}
 	case packet.ProtoTCP:
 		if n.tcpHandler != nil {
-			n.Count("tcp_delivered")
+			n.hot.tcpDelivered.Inc()
 			n.tcpHandler(n, p, meta)
 			return
 		}
 		n.Count("tcp_no_listener")
 	case packet.ProtoICMPv6:
 		if n.icmpHandler != nil {
-			n.Count("icmp_delivered")
+			n.hot.icmpDelivered.Inc()
 			n.icmpHandler(n, p, meta)
 			return
 		}

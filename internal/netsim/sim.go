@@ -12,35 +12,72 @@
 package netsim
 
 import (
-	"container/heap"
 	"math/rand"
 )
 
-// Event is one scheduled callback.
+// Event is one scheduled callback. Events are stored by value in the
+// heap slice: scheduling one packet hop costs no heap object beyond
+// the callback closure itself (and amortised slice growth), where the
+// previous container/heap implementation boxed a *event per call.
 type event struct {
 	at  int64
 	seq uint64 // tie-breaker preserving schedule order
 	fn  func()
 }
 
-type eventHeap []*event
+// eventHeap is a hand-rolled binary min-heap over event values,
+// ordered by (at, seq). Avoiding container/heap avoids both the
+// per-push allocation of the boxed element and the interface-method
+// dispatch per sift step.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the callback for GC
+	s = s[:n]
+	*h = s
+
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }
 
 // Sim is the simulation kernel: a virtual clock, an event queue and a
@@ -72,7 +109,7 @@ func (s *Sim) Schedule(at int64, fn func()) {
 		at = s.now
 	}
 	s.seq++
-	heap.Push(&s.heap, &event{at: at, seq: s.seq, fn: fn})
+	s.heap.push(event{at: at, seq: s.seq, fn: fn})
 }
 
 // After runs fn d nanoseconds from now.
@@ -83,7 +120,7 @@ func (s *Sim) Step() bool {
 	if len(s.heap) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.heap).(*event)
+	e := s.heap.pop()
 	s.now = e.at
 	e.fn()
 	return true

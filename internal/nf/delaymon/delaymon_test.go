@@ -126,7 +126,7 @@ func TestOWDMeasurementAllPackets(t *testing.T) {
 
 	if *tb.deliveredS2 != n {
 		t.Fatalf("S2 received %d/%d packets (decap broken?) H=%v T=%v",
-			*tb.deliveredS2, n, tb.h.Counters, tb.t.Counters)
+			*tb.deliveredS2, n, tb.h.Counters(), tb.t.Counters())
 	}
 	if tb.collector.Received != n {
 		t.Fatalf("controller received %d/%d reports (daemon relayed %d, perf lost %d)",

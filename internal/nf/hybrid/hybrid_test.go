@@ -58,7 +58,7 @@ func TestWRRSplitMatchesWeights(t *testing.T) {
 	sim.Run()
 
 	if delivered != n {
-		t.Fatalf("delivered %d/%d; Agg=%v CPE=%v", delivered, n, tb.Agg.Counters, tb.CPE.Counters)
+		t.Fatalf("delivered %d/%d; Agg=%v CPE=%v", delivered, n, tb.Agg.Counters(), tb.CPE.Counters())
 	}
 	// 5:3 split.
 	total := perLink[0] + perLink[1]
@@ -99,7 +99,7 @@ func TestWRRUpstream(t *testing.T) {
 	}
 	sim.Run()
 	if delivered != n {
-		t.Fatalf("delivered %d/%d; CPE=%v Agg=%v", delivered, n, tb.CPE.Counters, tb.Agg.Counters)
+		t.Fatalf("delivered %d/%d; CPE=%v Agg=%v", delivered, n, tb.CPE.Counters(), tb.Agg.Counters())
 	}
 	if perLink[0] == 0 || perLink[1] == 0 {
 		t.Errorf("upstream not split: %v", perLink)
@@ -123,7 +123,7 @@ func TestTWDCompensatorMeasuresSkew(t *testing.T) {
 	sim.RunUntil(3*netsim.Second + 200*netsim.Millisecond)
 
 	if comp.ProbesReceived < 50 {
-		t.Fatalf("probes: sent %d received %d; CPE=%v", comp.ProbesSent, comp.ProbesReceived, tb.CPE.Counters)
+		t.Fatalf("probes: sent %d received %d; CPE=%v", comp.ProbesSent, comp.ProbesReceived, tb.CPE.Counters())
 	}
 	// RTTs ≈ 30 ms and ≈ 5 ms.
 	if math.Abs(comp.RTT(0)-30e6)/30e6 > 0.25 {

@@ -91,7 +91,7 @@ func TestEndBPFEmptyProgram(t *testing.T) {
 		f := newFixture(t, EndSpec(), jit)
 		got := f.sendProbe(t)
 		if got == nil {
-			t.Fatalf("jit=%v: packet dropped; R counters: %v", jit, f.r.Counters)
+			t.Fatalf("jit=%v: packet dropped; R counters: %v", jit, f.r.Counters())
 		}
 		if got.IPv6.Dst != dstB || got.SRH.SegmentsLeft != 0 {
 			t.Errorf("jit=%v: dst=%v sl=%d", jit, got.IPv6.Dst, got.SRH.SegmentsLeft)
@@ -115,8 +115,8 @@ func TestEndBPFRequiresSegmentsLeft(t *testing.T) {
 	if delivered {
 		t.Fatal("SL=0 packet passed End.BPF")
 	}
-	if f.r.Counters["drop_seg6local_error"] == 0 {
-		t.Errorf("counters: %v", f.r.Counters)
+	if f.r.Counters()["drop_seg6local_error"] == 0 {
+		t.Errorf("counters: %v", f.r.Counters())
 	}
 }
 
@@ -125,8 +125,8 @@ func TestEndBPFNonSRv6Dropped(t *testing.T) {
 	raw, _ := packet.BuildPacket(srcA, sid, packet.WithUDP(1, 9999))
 	f.a.Output(raw)
 	f.sim.Run()
-	if f.r.Counters["drop_seg6local_error"] == 0 {
-		t.Errorf("plain IPv6 packet not rejected by End.BPF: %v", f.r.Counters)
+	if f.r.Counters()["drop_seg6local_error"] == 0 {
+		t.Errorf("plain IPv6 packet not rejected by End.BPF: %v", f.r.Counters())
 	}
 }
 
@@ -140,7 +140,7 @@ func TestEndTBPF(t *testing.T) {
 	})
 	got := f.sendProbe(t)
 	if got == nil {
-		t.Fatalf("dropped; R: %v", f.r.Counters)
+		t.Fatalf("dropped; R: %v", f.r.Counters())
 	}
 	if got.IPv6.Dst != dstB {
 		t.Errorf("dst = %v", got.IPv6.Dst)
@@ -160,7 +160,7 @@ func TestTagIncrement(t *testing.T) {
 		f := newFixture(t, TagIncrementSpec(), jit)
 		got := f.sendProbe(t)
 		if got == nil {
-			t.Fatalf("jit=%v: dropped; R: %v", jit, f.r.Counters)
+			t.Fatalf("jit=%v: dropped; R: %v", jit, f.r.Counters())
 		}
 		if got.SRH.Tag != 42 {
 			t.Errorf("jit=%v: tag = %d, want 42", jit, got.SRH.Tag)
@@ -172,7 +172,7 @@ func TestAddTLV(t *testing.T) {
 	f := newFixture(t, AddTLVSpec(), true)
 	got := f.sendProbe(t)
 	if got == nil {
-		t.Fatalf("dropped; R: %v", f.r.Counters)
+		t.Fatalf("dropped; R: %v", f.r.Counters())
 	}
 	found := false
 	for _, tlv := range got.SRH.TLVs {
@@ -206,7 +206,7 @@ func TestAdjustWithZeroFillSurvives(t *testing.T) {
 
 	f := newFixture(t, spec, true)
 	if got := f.sendProbe(t); got == nil {
-		t.Fatalf("zero-filled (all-Pad1) growth was dropped; R: %v", f.r.Counters)
+		t.Fatalf("zero-filled (all-Pad1) growth was dropped; R: %v", f.r.Counters())
 	}
 }
 
@@ -237,8 +237,8 @@ func TestCorruptTLVDropped(t *testing.T) {
 	if got := f.sendProbe(t); got != nil {
 		t.Fatalf("packet with corrupt TLV survived: %s", got.SRH.Summary())
 	}
-	if f.r.Counters["drop_seg6local_error"] == 0 {
-		t.Errorf("expected revalidation drop, counters: %v", f.r.Counters)
+	if f.r.Counters()["drop_seg6local_error"] == 0 {
+		t.Errorf("expected revalidation drop, counters: %v", f.r.Counters())
 	}
 }
 
@@ -250,7 +250,7 @@ func TestStoreBytesCannotTouchSegments(t *testing.T) {
 	f := newFixture(t, spec, true)
 	got := f.sendProbe(t)
 	if got == nil {
-		t.Fatalf("dropped; R: %v", f.r.Counters)
+		t.Fatalf("dropped; R: %v", f.r.Counters())
 	}
 	// Segment list untouched: final segment is still B.
 	if got.SRH.Segments[0] != dstB {
@@ -269,8 +269,8 @@ func TestCostChargedForBPF(t *testing.T) {
 	// instead — here just assert the instruction accounting moved.
 	// (The detailed throughput relationships are asserted in
 	// bench_test.go and EXPERIMENTS.md.)
-	if f.r.Counters["drop_seg6local_error"] != 0 {
-		t.Errorf("unexpected drops: %v", f.r.Counters)
+	if f.r.Counters()["drop_seg6local_error"] != 0 {
+		t.Errorf("unexpected drops: %v", f.r.Counters())
 	}
 }
 
@@ -392,7 +392,7 @@ func TestServiceFunctionChaining(t *testing.T) {
 	s.Run()
 
 	if got == nil {
-		t.Fatalf("chained packet lost; R1=%v R2=%v", r1.Counters, r2.Counters)
+		t.Fatalf("chained packet lost; R1=%v R2=%v", r1.Counters(), r2.Counters())
 	}
 	if got.SRH.Tag != 2 {
 		t.Errorf("Tag++ did not run: tag=%d", got.SRH.Tag)

@@ -1,0 +1,90 @@
+package packet
+
+import "fmt"
+
+// Info is an offset-based view of a packet's header chain: everything
+// Parse discovers that the forwarding fast path needs, without
+// materialising netip.Addr segment lists or TLV structs. ParseInfo
+// allocates nothing, which is what keeps the End.BPF datapath
+// allocation-free per packet.
+type Info struct {
+	FlowLabel  uint32
+	HopLimit   uint8
+	NextHeader uint8
+
+	// SRHOff is the byte offset of the SRH Parse would report (the
+	// routing header closest to the payload), or -1 when the packet
+	// carries none. SRHLen is its wire length.
+	SRHOff int
+	SRHLen int
+	// SegmentsLeft and LastEntry mirror the SRH fields (valid only
+	// when SRHOff >= 0).
+	SegmentsLeft uint8
+	LastEntry    uint8
+
+	L4Proto uint8
+	L4Off   int
+	// InnerOff is the offset of an inner IPv6 header (IPv6-in-IPv6),
+	// 0 when absent.
+	InnerOff int
+}
+
+// HasSRH reports whether the walk found a segment routing header.
+func (i *Info) HasSRH() bool { return i.SRHOff >= 0 }
+
+// ParseInfo walks the header chain of an IPv6 packet like Parse, but
+// into a value-typed Info and without decoding segment addresses or
+// TLVs — zero allocations. Structural SRH validation matches
+// DecodeSRH (routing type, length bounds, segments_left vs
+// last_entry), so a packet accepted here is accepted by Parse too.
+func ParseInfo(raw []byte) (Info, error) {
+	info := Info{SRHOff: -1}
+	if len(raw) < IPv6HeaderLen {
+		return info, fmt.Errorf("%w: IPv6 header needs 40 bytes, have %d", ErrTruncated, len(raw))
+	}
+	if raw[0]>>4 != 6 {
+		return info, fmt.Errorf("%w: version %d", ErrBadVersion, raw[0]>>4)
+	}
+	info.FlowLabel = uint32(raw[1]&0x0f)<<16 | uint32(raw[2])<<8 | uint32(raw[3])
+	info.NextHeader = raw[6]
+	info.HopLimit = raw[7]
+
+	off := IPv6HeaderLen
+	proto := info.NextHeader
+	for {
+		switch proto {
+		case ProtoRouting:
+			n, err := walkSRH(raw, off, &info)
+			if err != nil {
+				return info, err
+			}
+			proto = raw[off+SRHOffNextHeader]
+			off += n
+		case ProtoIPv6:
+			info.InnerOff = off
+			info.L4Proto = proto
+			info.L4Off = off
+			return info, nil
+		default:
+			info.L4Proto = proto
+			info.L4Off = off
+			return info, nil
+		}
+	}
+}
+
+// walkSRH validates the SRH at off (via the structural checker shared
+// with DecodeSRH) and records it in info, returning the wire length.
+func walkSRH(raw []byte, off int, info *Info) (int, error) {
+	total, segsLeft, lastEntry, err := srhStructure(raw[off:])
+	if err != nil {
+		return 0, err
+	}
+	// Like Parse, a later routing header in the chain overwrites an
+	// earlier one: the recorded SRH is the one closest to the payload.
+	info.SRHOff = off
+	info.SRHLen = total
+	info.SegmentsLeft = segsLeft
+	info.LastEntry = lastEntry
+	return total, nil
+}

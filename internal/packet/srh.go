@@ -111,34 +111,51 @@ func (s *SRH) Encode(dst []byte) ([]byte, error) {
 	return dst, nil
 }
 
+// srhStructure applies the structural checks every SRH consumer
+// agrees on — fixed-header presence, routing type, HdrExtLen bound,
+// segment list within the header, segments_left within the list —
+// and returns the wire length and the two list fields. DecodeSRH,
+// ValidateSRHBytes and ParseInfo all go through it, so the datapath's
+// entry walk, the post-program revalidation and the full decoder
+// cannot drift apart. It allocates nothing.
+func srhStructure(b []byte) (total int, segsLeft, lastEntry uint8, err error) {
+	if len(b) < SRHFixedLen {
+		return 0, 0, 0, fmt.Errorf("%w: SRH fixed header", ErrTruncated)
+	}
+	if b[SRHOffRoutingType] != SRHRoutingType {
+		return 0, 0, 0, fmt.Errorf("%w: routing type %d", ErrBadSRH, b[SRHOffRoutingType])
+	}
+	total = (int(b[SRHOffHdrExtLen]) + 1) * 8
+	if len(b) < total {
+		return 0, 0, 0, fmt.Errorf("%w: SRH says %d bytes, have %d", ErrTruncated, total, len(b))
+	}
+	segsLeft, lastEntry = b[SRHOffSegmentsLeft], b[SRHOffLastEntry]
+	nSegs := int(lastEntry) + 1
+	if SRHFixedLen+16*nSegs > total {
+		return 0, 0, 0, fmt.Errorf("%w: %d segments exceed header length", ErrBadSRH, nSegs)
+	}
+	if segsLeft > lastEntry {
+		return 0, 0, 0, fmt.Errorf("%w: segments_left %d > last_entry %d", ErrBadSRH, segsLeft, lastEntry)
+	}
+	return total, segsLeft, lastEntry, nil
+}
+
 // DecodeSRH parses an SRH at the start of b, returning it and its
 // wire length.
 func DecodeSRH(b []byte) (SRH, int, error) {
 	var s SRH
-	if len(b) < SRHFixedLen {
-		return s, 0, fmt.Errorf("%w: SRH fixed header", ErrTruncated)
-	}
-	if b[SRHOffRoutingType] != SRHRoutingType {
-		return s, 0, fmt.Errorf("%w: routing type %d", ErrBadSRH, b[SRHOffRoutingType])
-	}
-	total := (int(b[SRHOffHdrExtLen]) + 1) * 8
-	if len(b) < total {
-		return s, 0, fmt.Errorf("%w: SRH says %d bytes, have %d", ErrTruncated, total, len(b))
+	total, segsLeft, lastEntry, err := srhStructure(b)
+	if err != nil {
+		return s, 0, err
 	}
 	s.NextHeader = b[SRHOffNextHeader]
-	s.SegmentsLeft = b[SRHOffSegmentsLeft]
-	s.LastEntry = b[SRHOffLastEntry]
+	s.SegmentsLeft = segsLeft
+	s.LastEntry = lastEntry
 	s.Flags = b[SRHOffFlags]
 	s.Tag = binary.BigEndian.Uint16(b[SRHOffTag:])
 
 	nSegs := int(s.LastEntry) + 1
 	segBytes := 16 * nSegs
-	if SRHFixedLen+segBytes > total {
-		return s, 0, fmt.Errorf("%w: %d segments exceed header length", ErrBadSRH, nSegs)
-	}
-	if int(s.SegmentsLeft) > int(s.LastEntry) {
-		return s, 0, fmt.Errorf("%w: segments_left %d > last_entry %d", ErrBadSRH, s.SegmentsLeft, s.LastEntry)
-	}
 	for i := 0; i < nSegs; i++ {
 		off := SRHFixedLen + 16*i
 		s.Segments = append(s.Segments, netip.AddrFrom16([16]byte(b[off:off+16])))
@@ -178,7 +195,13 @@ func (s *SRH) Summary() string {
 // has been altered by the BPF program, a quick verification is
 // performed to ensure that it is still valid ... otherwise it is
 // dropped."
+// The checks are those of DecodeSRH (shared via srhStructure and a
+// validate-only TLV walk), applied without building the decoded form,
+// so revalidation does not allocate on the datapath.
 func ValidateSRHBytes(b []byte) error {
-	_, _, err := DecodeSRH(b)
-	return err
+	total, _, lastEntry, err := srhStructure(b)
+	if err != nil {
+		return err
+	}
+	return validateTLVs(b[SRHFixedLen+16*(int(lastEntry)+1) : total])
 }

@@ -217,6 +217,50 @@ func decodeTLVs(b []byte) ([]TLV, error) {
 	return out, nil
 }
 
+// validateTLVs applies exactly the checks of decodeTLVs without
+// materialising TLV values — the allocation-free path behind
+// ValidateSRHBytes, which End.BPF runs after every program that
+// touched the SRH.
+func validateTLVs(b []byte) error {
+	for len(b) > 0 {
+		t := b[0]
+		if t == TLVTypePad1 {
+			b = b[1:]
+			continue
+		}
+		if len(b) < 2 {
+			return fmt.Errorf("%w: TLV header", ErrTruncated)
+		}
+		l := int(b[1])
+		if len(b) < 2+l {
+			return fmt.Errorf("%w: TLV %#x claims %d bytes, have %d", ErrBadTLV, t, l, len(b)-2)
+		}
+		switch t {
+		case TLVTypeDM:
+			if l != 8 {
+				return fmt.Errorf("%w: DM TLV length %d", ErrBadTLV, l)
+			}
+		case TLVTypeController:
+			if l != 18 {
+				return fmt.Errorf("%w: controller TLV length %d", ErrBadTLV, l)
+			}
+		case TLVTypeOAMPQuery:
+			if l != OAMPQueryTLVLen-2 {
+				return fmt.Errorf("%w: OAMP query TLV length %d", ErrBadTLV, l)
+			}
+		case TLVTypeNexthops:
+			if l != NexthopsTLVLen-2 {
+				return fmt.Errorf("%w: nexthops TLV length %d", ErrBadTLV, l)
+			}
+			if b[2] > 4 {
+				return fmt.Errorf("%w: nexthop count %d", ErrBadTLV, b[2])
+			}
+		}
+		b = b[2+l:]
+	}
+	return nil
+}
+
 // FindTLV locates the first TLV with the given type in an encoded
 // SRH, returning the byte offset of its type byte relative to the
 // SRH start. Used by user-space tooling; BPF programs do the same

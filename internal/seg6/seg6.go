@@ -130,22 +130,43 @@ func drop() Result { return Result{Verdict: VerdictDrop} }
 
 // Advance implements the core endpoint step shared by End-style
 // behaviours: decrement SegmentsLeft and rewrite the IPv6 destination
-// to the new active segment, in place.
+// to the new active segment, in place. It allocates nothing.
 func Advance(raw []byte) error {
-	p, err := packet.Parse(raw)
+	info, err := packet.ParseInfo(raw)
 	if err != nil {
 		return err
 	}
-	if p.SRH == nil {
+	if !info.HasSRH() {
 		return ErrNoSRH
 	}
-	if p.SRH.SegmentsLeft == 0 {
+	return AdvanceAt(raw, info.SRHOff)
+}
+
+// AdvanceAt is Advance for a caller that already knows the SRH byte
+// offset (the End.BPF hot path, which walked the packet once). The
+// SRH structure is revalidated against the packet bounds before any
+// write; like Advance, it allocates nothing.
+func AdvanceAt(raw []byte, srhOff int) error {
+	if srhOff < packet.IPv6HeaderLen || srhOff+packet.SRHFixedLen > len(raw) {
+		return packet.ErrTruncated
+	}
+	srh := raw[srhOff:]
+	total := (int(srh[packet.SRHOffHdrExtLen]) + 1) * 8
+	if total > len(srh) {
+		return packet.ErrTruncated
+	}
+	sl := srh[packet.SRHOffSegmentsLeft]
+	if sl == 0 {
 		return ErrZeroSegsLeft
 	}
-	sl := p.SRH.SegmentsLeft - 1
-	raw[p.SRHOff+packet.SRHOffSegmentsLeft] = sl
-	seg := p.SRH.Segments[sl]
-	return packet.SetIPv6Dst(raw, seg)
+	sl--
+	segOff := packet.SRHOffSegments + 16*int(sl)
+	if segOff+16 > total {
+		return packet.ErrBadSRH
+	}
+	srh[packet.SRHOffSegmentsLeft] = sl
+	copy(raw[24:40], srh[segOff:segOff+16]) // IPv6 destination = new active segment
+	return nil
 }
 
 // DecapInner strips the outer IPv6 header and all its extension

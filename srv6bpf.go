@@ -18,9 +18,12 @@
 //   - the paper's three use cases as ready-made network functions —
 //     internal/nf/{progs,delaymon,hybrid,oamp}.
 //
-// See the examples directory for runnable end-to-end scenarios and
+// See the examples directory for runnable end-to-end scenarios,
 // EXPERIMENTS.md for the reproduction of every figure in the paper's
-// evaluation.
+// evaluation, and PERFORMANCE.md for the wall-clock cost of the
+// library's own End.BPF datapath (zero allocations per packet in the
+// steady state) and how the cost model's JIT factor maps onto the
+// VM's dispatch design.
 package srv6bpf
 
 import (
