@@ -25,6 +25,7 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (2, 3 or 4)")
 	tcp := flag.Bool("tcp", false, "run the §4.2 TCP experiment")
 	jit := flag.Bool("jit", false, "report the §3.2 JIT-off factor")
+	frr := flag.Bool("frr", false, "run the fast-reroute recovery experiment")
 	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
 	all := flag.Bool("all", false, "run everything")
 	benchJSON := flag.String("bench-json", "",
@@ -61,6 +62,10 @@ func main() {
 	if *all || *jit {
 		ran = true
 		runJIT(win)
+	}
+	if *all || *frr {
+		ran = true
+		runFRR()
 	}
 	if *all || *ablation {
 		ran = true
@@ -154,6 +159,26 @@ func runJIT(win int64) {
 	fmt.Printf("  whole-router throughput JIT/no-JIT = %.2f (paper: 1.8)\n\n", f)
 }
 
+func runFRR() {
+	fmt.Println("== Fast reroute: recovery time vs probe interval (K=3 misses) ==")
+	fmt.Println("   bound: recovery < K x interval + one probe RTT; FIB backup is the")
+	fmt.Println("   link-state (oracle detection) floor")
+	rows, err := experiments.FRRRecovery()
+	if err != nil {
+		fail(err)
+	}
+	for _, r := range rows {
+		if r.Mode == "FIB backup" {
+			fmt.Printf("  %-10s %18s  recovery %8.3f ms   lost %4d\n",
+				r.Mode, "(link-state)", r.RecoveryMs, r.PacketsLost)
+			continue
+		}
+		fmt.Printf("  %-10s interval %4.0f ms K=%d  recovery %8.3f ms (budget %8.3f)  lost %4d\n",
+			r.Mode, r.ProbeIntervalMs, r.Misses, r.RecoveryMs, r.BudgetMs, r.PacketsLost)
+	}
+	fmt.Println()
+}
+
 func runAblations(win int64) {
 	fmt.Println("== Ablation: Figure 4 WRR with a working CPE JIT ==")
 	fmt.Println("   (the paper's hypothesis: the 1.8x JIT speedup would lift the WRR curve)")
@@ -201,6 +226,7 @@ type benchReport struct {
 	Fig3      []experiments.Row         `json:"fig3"`
 	Fig4      []experiments.Fig4Point   `json:"fig4"`
 	JITFactor float64                   `json:"jit_factor"`
+	FRR       []experiments.FRRRow      `json:"frr"`
 	Datapath  []experiments.DatapathRow `json:"datapath"`
 }
 
@@ -221,6 +247,9 @@ func writeBenchJSON(path string, win int64) {
 		fail(err)
 	}
 	if rep.JITFactor, err = experiments.JITFactor(win); err != nil {
+		fail(err)
+	}
+	if rep.FRR, err = experiments.FRRRecovery(); err != nil {
 		fail(err)
 	}
 	if rep.Datapath, err = experiments.DatapathBench(); err != nil {

@@ -88,6 +88,65 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeLinkFailureAndBackup exercises the fast-reroute surface
+// of the facade: a scheduled FailLink flips a protected route onto
+// its weighted backup, and RestoreLink brings the primary back.
+func TestFacadeLinkFailureAndBackup(t *testing.T) {
+	src := netip.MustParseAddr("2001:db8:1::1")
+	dst := netip.MustParseAddr("2001:db8:2::1")
+
+	sim := srv6bpf.NewSim(3)
+	snd := sim.AddNode("snd", srv6bpf.HostCostModel())
+	rtr := sim.AddNode("rtr", srv6bpf.ServerCostModel())
+	rcv := sim.AddNode("rcv", srv6bpf.HostCostModel())
+	snd.AddAddress(src)
+	rtr.AddAddress(netip.MustParseAddr("2001:db8:10::1"))
+	rcv.AddAddress(dst)
+
+	link := srv6bpf.LinkConfig{RateBps: 1e10}
+	sndIf, rtrIn := srv6bpf.ConnectSymmetric(snd, rtr, link)
+	primary, rcvP := srv6bpf.ConnectSymmetric(rtr, rcv, link)
+	backup, _ := srv6bpf.ConnectSymmetric(rtr, rcv, link)
+	_ = rtrIn
+	snd.AddRoute(&srv6bpf.Route{Prefix: netip.MustParsePrefix("::/0"), Kind: srv6bpf.RouteForward, Nexthops: []srv6bpf.Nexthop{{Iface: sndIf}}})
+	rcv.AddRoute(&srv6bpf.Route{Prefix: netip.MustParsePrefix("::/0"), Kind: srv6bpf.RouteForward, Nexthops: []srv6bpf.Nexthop{{Iface: rcvP}}})
+	rtr.AddRoute(&srv6bpf.Route{
+		Prefix:   netip.MustParsePrefix("2001:db8:2::/48"),
+		Kind:     srv6bpf.RouteForward,
+		Nexthops: []srv6bpf.Nexthop{{Iface: primary}},
+		Backup:   &srv6bpf.RouteBackup{Nexthops: []srv6bpf.Nexthop{{Iface: backup}}},
+	})
+
+	got := 0
+	rcv.HandleUDP(7, func(n *srv6bpf.Node, p *srv6bpf.ParsedPacket, meta *srv6bpf.PacketMeta) { got++ })
+	send := func(at int64) {
+		sim.Schedule(at, func() {
+			raw, err := srv6bpf.BuildPacket(src, dst, srv6bpf.WithUDP(1, 7))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			snd.Output(raw)
+		})
+	}
+	send(0)
+	sim.FailLink(srv6bpf.Millisecond, primary)
+	send(2 * srv6bpf.Millisecond)
+	sim.RestoreLink(3*srv6bpf.Millisecond, primary)
+	send(4 * srv6bpf.Millisecond)
+	sim.Run()
+
+	if got != 3 {
+		t.Fatalf("delivered %d/3", got)
+	}
+	if primary.TxPackets != 2 || backup.TxPackets != 1 {
+		t.Fatalf("path split primary=%d backup=%d, want 2/1", primary.TxPackets, backup.TxPackets)
+	}
+	if !primary.Up() {
+		t.Fatal("primary should be up after RestoreLink")
+	}
+}
+
 // TestFacadeMapAPI exercises the re-exported map types.
 func TestFacadeMapAPI(t *testing.T) {
 	m, err := srv6bpf.NewMap(srv6bpf.MapSpec{

@@ -36,6 +36,31 @@ func TestQuickFig4(t *testing.T) {
 	}
 }
 
+func TestQuickFRRRecovery(t *testing.T) {
+	rows, err := FRRRecovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%-10s interval=%4.0fms K=%d  recovery %7.3f ms (budget %7.3f)  lost %d",
+			r.Mode, r.ProbeIntervalMs, r.Misses, r.RecoveryMs, r.BudgetMs, r.PacketsLost)
+	}
+	// The acceptance bound — recovery < K x interval + one RTT — is
+	// enforced inside FRRRecovery; here we sanity-check the shape.
+	if len(rows) != 5 {
+		t.Fatalf("want 4 eBPF rows + 1 FIB-backup floor, got %d", len(rows))
+	}
+	for i := 1; i < 4; i++ {
+		if rows[i].RecoveryMs <= rows[i-1].RecoveryMs {
+			t.Errorf("recovery should grow with the probe interval: %+v", rows)
+		}
+	}
+	floor := rows[4]
+	if floor.Mode != "FIB backup" || floor.RecoveryMs >= rows[0].RecoveryMs {
+		t.Errorf("FIB backup floor should beat the fastest probe interval: %+v", floor)
+	}
+}
+
 func TestQuickAblations(t *testing.T) {
 	interp, jit, err := Fig4JITAblation(50 * netsim.Millisecond)
 	if err != nil {

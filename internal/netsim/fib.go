@@ -65,6 +65,25 @@ type Nexthop struct {
 	Gateway netip.Addr
 }
 
+// Backup is a route's precomputed local protection entry (the
+// TI-LFA-style scenario of the SR resilience literature): when every
+// primary nexthop's interface is down, traffic is steered onto the
+// backup nexthops — optionally encapsulated with a backup segment
+// list — without waiting for a routing-protocol reconvergence.
+type Backup struct {
+	// Nexthops are the protection egresses, selected per flow.
+	Nexthops []Nexthop
+	// Weights optionally biases the selection (WCMP). When set it
+	// must have one entry per backup nexthop; zero-weight members
+	// (including members beyond a too-short slice) are never chosen.
+	// Nil or empty means equal weights.
+	Weights []uint32
+	// SRH, when set, is the backup segment list: the packet is
+	// encapsulated (T.Encaps) with it before leaving on the backup
+	// nexthop, steering it around the failed resource.
+	SRH *packet.SRH
+}
+
 // Route is one FIB entry.
 type Route struct {
 	Prefix netip.Prefix
@@ -73,6 +92,10 @@ type Route struct {
 	// Nexthops is the ECMP set for RouteForward / RouteLWTBPF /
 	// RouteSeg6Encap.
 	Nexthops []Nexthop
+
+	// Backup, when set, protects the route: it activates as soon as
+	// every primary nexthop's interface is down.
+	Backup *Backup
 
 	// Behaviour configures RouteSeg6Local.
 	Behaviour *seg6.Behaviour
@@ -155,19 +178,122 @@ func ecmpHash(src, dst netip.Addr, flowLabel uint32) uint32 {
 	return h.Sum32()
 }
 
-// SelectNexthop picks the ECMP member for a packet.
+// SelectNexthop picks the ECMP member for a packet among the primary
+// nexthops whose interfaces are up.
 func (r *Route) SelectNexthop(src, dst netip.Addr, flowLabel uint32) *Nexthop {
-	if len(r.Nexthops) == 0 {
+	nh, _ := r.SelectPath(src, dst, flowLabel)
+	return nh
+}
+
+// SelectPath picks the forwarding target honouring link state: the
+// up members of the primary ECMP set first, and the route's backup —
+// viaBackup reports that protection fired — once every primary is
+// down. It returns nil when nothing usable remains.
+func (r *Route) SelectPath(src, dst netip.Addr, flowLabel uint32) (nh *Nexthop, viaBackup bool) {
+	if nh := r.selectPrimary(src, dst, flowLabel); nh != nil {
+		return nh, false
+	}
+	if r.Backup != nil {
+		if nh := selectWeighted(r.Backup.Nexthops, r.Backup.Weights, src, dst, flowLabel); nh != nil {
+			return nh, true
+		}
+	}
+	return nil, false
+}
+
+// nexthopUp reports whether nh is usable.
+func nexthopUp(nh *Nexthop) bool { return nh.Iface != nil && nh.Iface.Up() }
+
+// selectPrimary is the pre-failure fast path: when every member is up
+// it is the historical ECMP/RR selection, and members with a down
+// interface are skipped otherwise.
+func (r *Route) selectPrimary(src, dst netip.Addr, flowLabel uint32) *Nexthop {
+	n := len(r.Nexthops)
+	if n == 0 {
 		return nil
 	}
-	if len(r.Nexthops) == 1 {
-		return &r.Nexthops[0]
+	up := 0
+	for i := range r.Nexthops {
+		if nexthopUp(&r.Nexthops[i]) {
+			up++
+		}
+	}
+	if up == 0 {
+		return nil
 	}
 	if r.PerPacketRR {
-		idx := r.rrCounter % uint64(len(r.Nexthops))
+		// Round-robin over the up members only, preserving the strict
+		// alternation the hybrid-access baseline depends on.
+		k := int(r.rrCounter % uint64(up))
 		r.rrCounter++
-		return &r.Nexthops[idx]
+		for i := range r.Nexthops {
+			if !nexthopUp(&r.Nexthops[i]) {
+				continue
+			}
+			if k == 0 {
+				return &r.Nexthops[i]
+			}
+			k--
+		}
+		return nil
 	}
-	idx := ecmpHash(src, dst, flowLabel) % uint32(len(r.Nexthops))
-	return &r.Nexthops[idx]
+	if up == 1 {
+		for i := range r.Nexthops {
+			if nexthopUp(&r.Nexthops[i]) {
+				return &r.Nexthops[i]
+			}
+		}
+		return nil
+	}
+	// Flow-hash over the up members: with all links up this is the
+	// historical selection; during a partial failure flows re-spread
+	// over the survivors.
+	k := int(ecmpHash(src, dst, flowLabel) % uint32(up))
+	for i := range r.Nexthops {
+		if !nexthopUp(&r.Nexthops[i]) {
+			continue
+		}
+		if k == 0 {
+			return &r.Nexthops[i]
+		}
+		k--
+	}
+	return nil
+}
+
+// selectWeighted picks a backup member by flow hash over the weight
+// distribution, skipping down interfaces. weights may be nil (equal).
+func selectWeighted(nhs []Nexthop, weights []uint32, src, dst netip.Addr, flowLabel uint32) *Nexthop {
+	var total uint64
+	for i := range nhs {
+		if !nexthopUp(&nhs[i]) {
+			continue
+		}
+		total += uint64(weightOf(weights, i))
+	}
+	if total == 0 {
+		return nil
+	}
+	point := uint64(ecmpHash(src, dst, flowLabel)) % total
+	for i := range nhs {
+		if !nexthopUp(&nhs[i]) {
+			continue
+		}
+		w := uint64(weightOf(weights, i))
+		if point < w {
+			return &nhs[i]
+		}
+		point -= w
+	}
+	return nil
+}
+
+func weightOf(weights []uint32, i int) uint32 {
+	if len(weights) == 0 {
+		return 1 // nil or empty: equal weights
+	}
+	if i >= len(weights) {
+		return 0
+	}
+	return weights[i]
 }

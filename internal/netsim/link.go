@@ -13,13 +13,33 @@ type Iface struct {
 	peer *Iface
 	q    *netem.Qdisc
 
+	// down marks the link as failed. Both ends of a link fail and
+	// recover together (a cut cable, not an administrative shutdown of
+	// one side).
+	down bool
+	// failEpoch counts failures seen by this link end. A packet
+	// records the epoch at transmission; if the link fails while the
+	// packet is on the wire the epochs differ at delivery time and the
+	// packet is lost, even if the link was restored in between.
+	failEpoch uint64
+
 	// Tap, when set, observes every packet accepted for transmission
 	// (tests and tcpdump-style tracing).
 	Tap func(raw []byte)
 
+	// OnStateChange, when set, is invoked whenever the link state
+	// flips (after the flip; up reports the new state). Both ends'
+	// callbacks fire.
+	OnStateChange func(i *Iface, up bool)
+
 	TxPackets uint64
 	TxBytes   uint64
 	TxDrops   uint64
+	// DownDrops counts packets lost to link failure: transmissions
+	// attempted while down (also counted in TxDrops) plus packets
+	// that were in flight when the link went down (already counted in
+	// TxPackets — they left this end but never arrived).
+	DownDrops uint64
 }
 
 // Peer returns the interface at the other end.
@@ -29,10 +49,46 @@ func (i *Iface) Peer() *Iface { return i.peer }
 // ExtraDelayNs through it).
 func (i *Iface) Qdisc() *netem.Qdisc { return i.q }
 
+// Up reports whether the link is up.
+func (i *Iface) Up() bool { return !i.down }
+
+// Fail takes the link down: both ends flip, every packet currently on
+// the wire (in either direction) is lost, and further transmissions
+// drop until Restore. Failing an already-down link is a no-op.
+func (i *Iface) Fail() { i.setLinkState(false) }
+
+// Restore brings the link back up. Packets that were in flight during
+// the outage stay lost; new transmissions flow again.
+func (i *Iface) Restore() { i.setLinkState(true) }
+
+// setLinkState flips both ends of the link.
+func (i *Iface) setLinkState(up bool) {
+	for _, end := range [2]*Iface{i, i.peer} {
+		if end == nil || end.down == !up {
+			continue
+		}
+		end.down = !up
+		if !up {
+			end.failEpoch++
+			end.Node.Count("link_down")
+		} else {
+			end.Node.Count("link_up")
+		}
+		if end.OnStateChange != nil {
+			end.OnStateChange(end, up)
+		}
+	}
+}
+
 // Transmit serialises raw onto the link; the peer node receives it
-// after serialisation, delay and jitter. Drops (queue overflow, loss)
-// are counted on the interface.
+// after serialisation, delay and jitter. Drops (queue overflow, loss,
+// link down) are counted on the interface.
 func (i *Iface) Transmit(raw []byte) {
+	if i.down {
+		i.TxDrops++
+		i.DownDrops++
+		return
+	}
 	sim := i.Node.Sim
 	deliverAt, ok := i.q.Admit(sim.Now(), len(raw), sim.Rand())
 	if !ok {
@@ -45,7 +101,15 @@ func (i *Iface) Transmit(raw []byte) {
 		i.Tap(raw)
 	}
 	peer := i.peer
+	epoch := i.failEpoch
 	sim.Schedule(deliverAt, func() {
+		// A failure between transmission and delivery cuts the wire
+		// under the packet: it is lost even if the link has since been
+		// restored.
+		if i.failEpoch != epoch {
+			i.DownDrops++
+			return
+		}
 		peer.Node.deliver(raw, peer)
 	})
 }

@@ -82,6 +82,8 @@ type hotCounters struct {
 	dropLWTBPF         Counter
 	dropLWTBPFError    Counter
 	dropMalformedLocal Counter
+	dropLinkDown       Counter
+	backupTx           Counter
 	udpDelivered       Counter
 	tcpDelivered       Counter
 	icmpDelivered      Counter
@@ -148,6 +150,8 @@ func (s *Sim) AddNode(name string, cost CostModel) *Node {
 		dropLWTBPF:         n.CounterHandle("drop_lwt_bpf"),
 		dropLWTBPFError:    n.CounterHandle("drop_lwt_bpf_error"),
 		dropMalformedLocal: n.CounterHandle("drop_malformed_local"),
+		dropLinkDown:       n.CounterHandle("drop_link_down"),
+		backupTx:           n.CounterHandle("backup_tx"),
 		udpDelivered:       n.CounterHandle("udp_delivered"),
 		tcpDelivered:       n.CounterHandle("tcp_delivered"),
 		icmpDelivered:      n.CounterHandle("icmp_delivered"),
@@ -398,7 +402,8 @@ func (n *Node) applyRoute(r *Route, raw []byte, meta *PacketMeta, depth int) (fu
 	}
 }
 
-// forward handles hop limit and ECMP, committing the transmission.
+// forward handles hop limit, ECMP and backup-route protection,
+// committing the transmission.
 func (n *Node) forward(r *Route, raw []byte, meta *PacketMeta) (func(), int64) {
 	src, _ := packet.IPv6Src(raw)
 	dst, _ := packet.IPv6Dst(raw)
@@ -413,18 +418,45 @@ func (n *Node) forward(r *Route, raw []byte, meta *PacketMeta) (func(), int64) {
 			return n.icmpError(raw, meta, packet.ICMPv6TimeExceeded, 0), n.Cost.ICMPGenNs
 		}
 	}
-	nh := r.SelectNexthop(src, dst, hdr.FlowLabel)
+	nh, viaBackup := r.SelectPath(src, dst, hdr.FlowLabel)
 	if nh == nil || nh.Iface == nil {
-		n.hot.dropNoNexthop.Inc()
+		// Distinguish a failure (interfaces exist but are down, and no
+		// usable backup protects the route) from a route that was
+		// never forwardable (no nexthops, or none with an interface).
+		configured := false
+		for i := range r.Nexthops {
+			if r.Nexthops[i].Iface != nil {
+				configured = true
+				break
+			}
+		}
+		if configured {
+			n.hot.dropLinkDown.Inc()
+		} else {
+			n.hot.dropNoNexthop.Inc()
+		}
 		return nil, 0
 	}
 	out := raw
+	var extra int64
+	if viaBackup {
+		n.hot.backupTx.Inc()
+		if r.Backup.SRH != nil {
+			enc, err := seg6.Encap(raw, n.primary, r.Backup.SRH)
+			if err != nil {
+				n.Count("drop_backup_encap_error")
+				return nil, n.Cost.EncapNs
+			}
+			out = enc
+			extra = n.Cost.EncapNs
+		}
+	}
 	return func() {
 		if !meta.Local {
 			packet.SetIPv6HopLimit(out, hdr.HopLimit-1)
 		}
 		nh.Iface.Transmit(out)
-	}, 0
+	}, extra
 }
 
 // applySeg6Local runs a seg6local behaviour (static or End.BPF) and

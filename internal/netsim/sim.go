@@ -146,6 +146,19 @@ func (s *Sim) RunUntil(t int64) {
 // Nodes returns all nodes added to the simulation.
 func (s *Sim) Nodes() []*Node { return s.nodes }
 
+// FailLink schedules a link failure at absolute virtual time at: both
+// ends of i's link go down and packets on the wire are lost (see
+// Iface.Fail).
+func (s *Sim) FailLink(at int64, i *Iface) {
+	s.Schedule(at, func() { i.Fail() })
+}
+
+// RestoreLink schedules the link coming back up at absolute virtual
+// time at.
+func (s *Sim) RestoreLink(at int64, i *Iface) {
+	s.Schedule(at, func() { i.Restore() })
+}
+
 // Millisecond and friends make topology code readable.
 const (
 	Microsecond int64 = 1_000

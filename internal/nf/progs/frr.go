@@ -1,0 +1,317 @@
+package progs
+
+import (
+	"srv6bpf/internal/bpf"
+	"srv6bpf/internal/bpf/asm"
+	"srv6bpf/internal/core"
+	"srv6bpf/internal/packet"
+)
+
+// Fast reroute — the follow-up work to the paper ("Flexible failure
+// detection and fast reroute using eBPF and SRv6", Xhonneux &
+// Bonaventure): the same End.BPF/LWT machinery detects link failures
+// with in-band liveness probes and steers traffic onto a precomputed
+// backup segment list within a few probe intervals.
+//
+// Three programs cooperate (see internal/nf/frr for the user-space
+// control loop):
+//
+//   - frr_probe (LWT): runs on the /128 trigger route of one
+//     monitored neighbour. It encapsulates the locally-generated
+//     probe with a 3-segment SRH [neighbour End SID, local tracker
+//     SID, trigger address] plus an FRR TLV naming the neighbour, so
+//     the probe crosses the protected link, bounces off the
+//     neighbour's End SID, and returns over the same link.
+//
+//   - frr_track (End.BPF): the tracker SID on the protecting router.
+//     It reads the neighbour id from the TLV and refreshes
+//     frr_lastseen[id] with the probe's RX timestamp, then consumes
+//     the probe (BPF_DROP — like a BFD session, probes never travel
+//     further; the router's drop_seg6local counter therefore counts
+//     consumed probes).
+//
+//   - frr_steer (LWT): runs on every protected traffic route. It
+//     reads frr_nh_state[id] — written by the user-space detector
+//     once K consecutive probes are missed — and pushes either the
+//     primary single-segment SRH or the precomputed backup segment
+//     list via bpf_lwt_push_encap. The steer route carries no
+//     nexthops: the encapsulated packet is re-routed by its first
+//     segment, so the egress follows the SIDs, not a pinned link.
+const (
+	FRRLastSeenMap  = "frr_lastseen"   // hash: u32 neighbour id -> u64 last probe RX (ns)
+	FRRNHStateMap   = "frr_nh_state"   // hash: u32 neighbour id -> u32 state (0 up, 1 down)
+	FRRProbeConfMap = "frr_probe_conf" // array[1] of FRRProbeConf
+	FRRSteerConfMap = "frr_steer_conf" // array[1] of FRRSteerConf
+)
+
+// FRRProbeConf value layout (40 bytes):
+//
+//	off  size  field
+//	  0     4  nhid      neighbour id (stamped into the probe TLV)
+//	  4     4  pad
+//	  8    16  nbr_sid   neighbour End SID across the protected link
+//	 24    16  track_sid local tracker (End.BPF frr_track) SID
+const (
+	frrProbeConfOffNHID     = 0
+	frrProbeConfOffNbrSID   = 8
+	frrProbeConfOffTrackSID = 24
+	FRRProbeConfSize        = 40
+)
+
+// Probe SRH built on the program stack (64 bytes):
+//
+//	fp-64: fixed header (8)      nh=0 hdrlen=7 type=4 sl=2 le=2
+//	fp-56: segments[0] = trigger address (copied from the packet dst)
+//	fp-40: segments[1] = track_sid
+//	fp-24: segments[2] = nbr_sid
+//	fp-8:  FRR TLV (8)           type 0x84, len 6, 2 pad, nhid (LE)
+const frrProbeSRHSize = 64
+
+// Probe field offsets within the packet frr_track sees: outer IPv6
+// (40) + SRH fixed (8) + 3 segments (48) put the TLV at byte 96.
+const (
+	FRRTrackTLVOff    = 96  // FRR TLV type byte
+	FRRTrackNHIDOff   = 100 // u32 neighbour id, little-endian
+	frrProbeParsedLen = 104
+)
+
+// FRRSteerConf value layout (56 bytes):
+//
+//	off  size  field
+//	  0     4  nhid         neighbour protecting this route
+//	  4     4  backup_nsegs 1 or 2 backup segments
+//	  8    16  primary_sid  decap SID across the primary link
+//	 24    16  backup_last  final backup segment (wire segments[0])
+//	 40    16  backup_first first backup hop (wire segments[1], nsegs=2)
+const (
+	frrSteerConfOffNHID    = 0
+	frrSteerConfOffNSegs   = 4
+	frrSteerConfOffPrimary = 8
+	frrSteerConfOffBkLast  = 24
+	frrSteerConfOffBkFirst = 40
+	FRRSteerConfSize       = 56
+)
+
+// Steer SRH sizes: a single-segment SRH for the primary path (and
+// 1-segment backups), a two-segment SRH for 2-segment backups.
+const (
+	frrSteerSRH1 = 24
+	frrSteerSRH2 = 40
+)
+
+// FRRProbeSpec builds the probe-encapsulation transit program.
+func FRRProbeSpec() *bpf.ProgramSpec {
+	insns := prologue(packet.IPv6HeaderLen)
+	insns = append(insns,
+		// r9 = &frr_probe_conf[0]; unconfigured -> pass through.
+		asm.StoreImm(asm.RFP, -72, 0, asm.Word),
+		asm.LoadMapPtr(asm.R1, FRRProbeConfMap),
+		asm.Mov64Reg(asm.R2, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R2, -72),
+		asm.CallHelper(bpf.HelperMapLookupElem),
+		asm.JumpImm(asm.JEq, asm.R0, 0, "out"),
+		asm.Mov64Reg(asm.R9, asm.R0),
+
+		// Reload packet pointers (clobbered as scratch by calls).
+		asm.LoadMem(asm.R7, asm.R6, core.CtxOffData, asm.DWord),
+		asm.LoadMem(asm.R8, asm.R6, core.CtxOffDataEnd, asm.DWord),
+		asm.Mov64Reg(asm.R1, asm.R7),
+		asm.ALU64Imm(asm.Add, asm.R1, packet.IPv6HeaderLen),
+		asm.JumpReg(asm.JGT, asm.R1, asm.R8, "drop"),
+
+		// --- SRH fixed header ---
+		asm.StoreImm(asm.RFP, -64, 0, asm.Byte),                     // next header (filled on encap)
+		asm.StoreImm(asm.RFP, -63, frrProbeSRHSize/8-1, asm.Byte),   // hdr ext len = 7
+		asm.StoreImm(asm.RFP, -62, packet.SRHRoutingType, asm.Byte), // routing type 4
+		asm.StoreImm(asm.RFP, -61, 2, asm.Byte),                     // segments left
+		asm.StoreImm(asm.RFP, -60, 2, asm.Byte),                     // last entry
+		asm.StoreImm(asm.RFP, -59, 0, asm.Byte),                     // flags
+		asm.StoreImm(asm.RFP, -58, 0, asm.Half),                     // tag
+
+		// segments[0] = trigger address (packet bytes 24..40).
+		asm.LoadMem(asm.R1, asm.R7, 24, asm.DWord),
+		asm.StoreMem(asm.RFP, -56, asm.R1, asm.DWord),
+		asm.LoadMem(asm.R1, asm.R7, 32, asm.DWord),
+		asm.StoreMem(asm.RFP, -48, asm.R1, asm.DWord),
+
+		// segments[1] = tracker SID.
+		asm.LoadMem(asm.R1, asm.R9, frrProbeConfOffTrackSID, asm.DWord),
+		asm.StoreMem(asm.RFP, -40, asm.R1, asm.DWord),
+		asm.LoadMem(asm.R1, asm.R9, frrProbeConfOffTrackSID+8, asm.DWord),
+		asm.StoreMem(asm.RFP, -32, asm.R1, asm.DWord),
+
+		// segments[2] = neighbour End SID (the probe's first hop).
+		asm.LoadMem(asm.R1, asm.R9, frrProbeConfOffNbrSID, asm.DWord),
+		asm.StoreMem(asm.RFP, -24, asm.R1, asm.DWord),
+		asm.LoadMem(asm.R1, asm.R9, frrProbeConfOffNbrSID+8, asm.DWord),
+		asm.StoreMem(asm.RFP, -16, asm.R1, asm.DWord),
+
+		// --- FRR TLV: type, len, pad, neighbour id ---
+		asm.StoreImm(asm.RFP, -8, packet.TLVTypeFRRProbe, asm.Byte),
+		asm.StoreImm(asm.RFP, -7, packet.FRRProbeTLVLen-2, asm.Byte),
+		asm.StoreImm(asm.RFP, -6, 0, asm.Half),
+		asm.LoadMem(asm.R1, asm.R9, frrProbeConfOffNHID, asm.Word),
+		asm.StoreMem(asm.RFP, -4, asm.R1, asm.Word),
+
+		// bpf_lwt_push_encap(ctx, BPF_LWT_ENCAP_SEG6, fp-64, 64)
+		asm.Mov64Reg(asm.R1, asm.R6),
+		asm.Mov64Imm(asm.R2, core.EncapSeg6),
+		asm.Mov64Reg(asm.R3, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R3, -frrProbeSRHSize),
+		asm.Mov64Imm(asm.R4, frrProbeSRHSize),
+		asm.CallHelper(bpf.HelperLWTPushEncap),
+		asm.JumpImm(asm.JNE, asm.R0, 0, "drop"),
+		asm.JumpTo("out"),
+	)
+	insns = append(insns, epilogue(core.BPFOK)...)
+	return &bpf.ProgramSpec{
+		Name:         "frr_probe",
+		Instructions: insns,
+		License:      "Dual MIT/GPL",
+	}
+}
+
+// FRRTrackSpec builds the tracker End.BPF program: refresh the
+// neighbour's last-seen timestamp and consume the probe.
+func FRRTrackSpec() *bpf.ProgramSpec {
+	insns := prologue(frrProbeParsedLen)
+	insns = append(insns,
+		// Sanity: routing header with the FRR TLV where expected.
+		asm.LoadMem(asm.R2, asm.R7, offNextHeader, asm.Byte),
+		asm.JumpImm(asm.JNE, asm.R2, packet.ProtoRouting, "drop"),
+		asm.LoadMem(asm.R2, asm.R7, FRRTrackTLVOff, asm.Byte),
+		asm.JumpImm(asm.JNE, asm.R2, packet.TLVTypeFRRProbe, "drop"),
+
+		// key (fp-4) = neighbour id from the TLV.
+		asm.LoadMem(asm.R2, asm.R7, FRRTrackNHIDOff, asm.Word),
+		asm.StoreMem(asm.RFP, -4, asm.R2, asm.Word),
+
+		// value (fp-16) = probe RX timestamp.
+		asm.CallHelper(bpf.HelperHWTimestamp),
+		asm.StoreMem(asm.RFP, -16, asm.R0, asm.DWord),
+
+		// map_update_elem(frr_lastseen, &key, &value, BPF_ANY)
+		asm.LoadMapPtr(asm.R1, FRRLastSeenMap),
+		asm.Mov64Reg(asm.R2, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R2, -4),
+		asm.Mov64Reg(asm.R3, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R3, -16),
+		asm.Mov64Imm(asm.R4, 0),
+		asm.CallHelper(bpf.HelperMapUpdateElem),
+		asm.JumpTo("out"),
+	)
+	// Success and failure paths both consume the probe: epilogue's
+	// "out" returns BPF_DROP here, BFD-style.
+	insns = append(insns, epilogue(core.BPFDrop)...)
+	return &bpf.ProgramSpec{
+		Name:         "frr_track",
+		Instructions: insns,
+		License:      "Dual MIT/GPL",
+	}
+}
+
+// FRRSteerSpec builds the protection steering program: encapsulate
+// every protected packet towards the primary decap SID while the
+// neighbour is alive, and onto the precomputed backup segment list
+// once the detector flips frr_nh_state.
+func FRRSteerSpec() *bpf.ProgramSpec {
+	insns := prologue(packet.IPv6HeaderLen)
+	insns = append(insns,
+		// r9 = &frr_steer_conf[0]; unconfigured -> pass through.
+		asm.StoreImm(asm.RFP, -48, 0, asm.Word),
+		asm.LoadMapPtr(asm.R1, FRRSteerConfMap),
+		asm.Mov64Reg(asm.R2, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R2, -48),
+		asm.CallHelper(bpf.HelperMapLookupElem),
+		asm.JumpImm(asm.JEq, asm.R0, 0, "out"),
+		asm.Mov64Reg(asm.R9, asm.R0),
+
+		// r8 = frr_nh_state[conf->nhid]; missing entry means up.
+		asm.LoadMem(asm.R1, asm.R9, frrSteerConfOffNHID, asm.Word),
+		asm.StoreMem(asm.RFP, -48, asm.R1, asm.Word),
+		asm.LoadMapPtr(asm.R1, FRRNHStateMap),
+		asm.Mov64Reg(asm.R2, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R2, -48),
+		asm.CallHelper(bpf.HelperMapLookupElem),
+		asm.JumpImm(asm.JEq, asm.R0, 0, "primary"),
+		asm.LoadMem(asm.R1, asm.R0, 0, asm.Word),
+		asm.JumpImm(asm.JNE, asm.R1, 0, "backup"),
+
+		// --- Primary: single-segment SRH [primary_sid] ---
+		asm.StoreImm(asm.RFP, -24, 0, asm.Byte).WithSymbol("primary"), // next header
+		asm.StoreImm(asm.RFP, -23, frrSteerSRH1/8-1, asm.Byte),        // hdr ext len = 2
+		asm.StoreImm(asm.RFP, -22, packet.SRHRoutingType, asm.Byte),
+		asm.StoreImm(asm.RFP, -21, 0, asm.Byte), // segments left
+		asm.StoreImm(asm.RFP, -20, 0, asm.Byte), // last entry
+		asm.StoreImm(asm.RFP, -19, 0, asm.Byte), // flags
+		asm.StoreImm(asm.RFP, -18, 0, asm.Half), // tag
+		asm.LoadMem(asm.R1, asm.R9, frrSteerConfOffPrimary, asm.DWord),
+		asm.StoreMem(asm.RFP, -16, asm.R1, asm.DWord),
+		asm.LoadMem(asm.R1, asm.R9, frrSteerConfOffPrimary+8, asm.DWord),
+		asm.StoreMem(asm.RFP, -8, asm.R1, asm.DWord),
+		asm.Mov64Reg(asm.R1, asm.R6),
+		asm.Mov64Imm(asm.R2, core.EncapSeg6),
+		asm.Mov64Reg(asm.R3, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R3, -frrSteerSRH1),
+		asm.Mov64Imm(asm.R4, frrSteerSRH1),
+		asm.CallHelper(bpf.HelperLWTPushEncap),
+		asm.JumpImm(asm.JNE, asm.R0, 0, "drop"),
+		asm.JumpTo("out"),
+
+		// --- Backup: 1 or 2 segments from the conf ---
+		asm.LoadMem(asm.R1, asm.R9, frrSteerConfOffNSegs, asm.Word).WithSymbol("backup"),
+		asm.JumpImm(asm.JEq, asm.R1, 2, "backup2"),
+
+		// One backup segment: [backup_last], like the primary shape.
+		asm.StoreImm(asm.RFP, -24, 0, asm.Byte),
+		asm.StoreImm(asm.RFP, -23, frrSteerSRH1/8-1, asm.Byte),
+		asm.StoreImm(asm.RFP, -22, packet.SRHRoutingType, asm.Byte),
+		asm.StoreImm(asm.RFP, -21, 0, asm.Byte),
+		asm.StoreImm(asm.RFP, -20, 0, asm.Byte),
+		asm.StoreImm(asm.RFP, -19, 0, asm.Byte),
+		asm.StoreImm(asm.RFP, -18, 0, asm.Half),
+		asm.LoadMem(asm.R1, asm.R9, frrSteerConfOffBkLast, asm.DWord),
+		asm.StoreMem(asm.RFP, -16, asm.R1, asm.DWord),
+		asm.LoadMem(asm.R1, asm.R9, frrSteerConfOffBkLast+8, asm.DWord),
+		asm.StoreMem(asm.RFP, -8, asm.R1, asm.DWord),
+		asm.Mov64Reg(asm.R1, asm.R6),
+		asm.Mov64Imm(asm.R2, core.EncapSeg6),
+		asm.Mov64Reg(asm.R3, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R3, -frrSteerSRH1),
+		asm.Mov64Imm(asm.R4, frrSteerSRH1),
+		asm.CallHelper(bpf.HelperLWTPushEncap),
+		asm.JumpImm(asm.JNE, asm.R0, 0, "drop"),
+		asm.JumpTo("out"),
+
+		// Two backup segments: travel [backup_first, backup_last].
+		asm.StoreImm(asm.RFP, -40, 0, asm.Byte).WithSymbol("backup2"),
+		asm.StoreImm(asm.RFP, -39, frrSteerSRH2/8-1, asm.Byte), // hdr ext len = 4
+		asm.StoreImm(asm.RFP, -38, packet.SRHRoutingType, asm.Byte),
+		asm.StoreImm(asm.RFP, -37, 1, asm.Byte), // segments left
+		asm.StoreImm(asm.RFP, -36, 1, asm.Byte), // last entry
+		asm.StoreImm(asm.RFP, -35, 0, asm.Byte),
+		asm.StoreImm(asm.RFP, -34, 0, asm.Half),
+		asm.LoadMem(asm.R1, asm.R9, frrSteerConfOffBkLast, asm.DWord), // segments[0]
+		asm.StoreMem(asm.RFP, -32, asm.R1, asm.DWord),
+		asm.LoadMem(asm.R1, asm.R9, frrSteerConfOffBkLast+8, asm.DWord),
+		asm.StoreMem(asm.RFP, -24, asm.R1, asm.DWord),
+		asm.LoadMem(asm.R1, asm.R9, frrSteerConfOffBkFirst, asm.DWord), // segments[1]
+		asm.StoreMem(asm.RFP, -16, asm.R1, asm.DWord),
+		asm.LoadMem(asm.R1, asm.R9, frrSteerConfOffBkFirst+8, asm.DWord),
+		asm.StoreMem(asm.RFP, -8, asm.R1, asm.DWord),
+		asm.Mov64Reg(asm.R1, asm.R6),
+		asm.Mov64Imm(asm.R2, core.EncapSeg6),
+		asm.Mov64Reg(asm.R3, asm.RFP),
+		asm.ALU64Imm(asm.Add, asm.R3, -frrSteerSRH2),
+		asm.Mov64Imm(asm.R4, frrSteerSRH2),
+		asm.CallHelper(bpf.HelperLWTPushEncap),
+		asm.JumpImm(asm.JNE, asm.R0, 0, "drop"),
+		asm.JumpTo("out"),
+	)
+	insns = append(insns, epilogue(core.BPFOK)...)
+	return &bpf.ProgramSpec{
+		Name:         "frr_steer",
+		Instructions: insns,
+		License:      "Dual MIT/GPL",
+	}
+}

@@ -16,6 +16,7 @@ const (
 	TLVTypeController = 0x81 // controller address + UDP port
 	TLVTypeNexthops   = 0x82 // ECMP nexthop report (End.OAMP)
 	TLVTypeOAMPQuery  = 0x83 // ECMP nexthop query: target address
+	TLVTypeFRRProbe   = 0x84 // fast-reroute liveness probe: neighbour id
 )
 
 // TLV is one SRH type-length-value option.
@@ -141,6 +142,29 @@ func (q OAMPQueryTLV) encode(dst []byte) []byte {
 }
 func (q OAMPQueryTLV) summary() string { return fmt.Sprintf("oamp-query(%s)", q.Target) }
 
+// FRRProbeTLV tags a fast-reroute liveness probe with the prober's
+// neighbour id, so the End.BPF tracker at the return SID knows which
+// last-seen entry to refresh (internal/nf/frr).
+type FRRProbeTLV struct {
+	NeighborID uint32
+}
+
+// FRRProbeTLVLen is the on-wire size: type, length, 2 pad bytes, then
+// the little-endian id (the byte order the eBPF tracker stores and
+// loads it with).
+const FRRProbeTLVLen = 8
+
+// TLVType implements TLV.
+func (FRRProbeTLV) TLVType() uint8 { return TLVTypeFRRProbe }
+func (FRRProbeTLV) wireLen() int   { return FRRProbeTLVLen }
+func (f FRRProbeTLV) encode(dst []byte) []byte {
+	dst = append(dst, TLVTypeFRRProbe, FRRProbeTLVLen-2, 0, 0)
+	var id [4]byte
+	binary.LittleEndian.PutUint32(id[:], f.NeighborID)
+	return append(dst, id[:]...)
+}
+func (f FRRProbeTLV) summary() string { return fmt.Sprintf("frr-probe(nbr=%d)", f.NeighborID) }
+
 // OpaqueTLV preserves unknown TLVs through decode/encode round trips.
 type OpaqueTLV struct {
 	Type uint8
@@ -197,6 +221,11 @@ func decodeTLVs(b []byte) ([]TLV, error) {
 				return nil, fmt.Errorf("%w: OAMP query TLV length %d", ErrBadTLV, l)
 			}
 			out = append(out, OAMPQueryTLV{Target: netip.AddrFrom16([16]byte(body[:16]))})
+		case TLVTypeFRRProbe:
+			if l != FRRProbeTLVLen-2 {
+				return nil, fmt.Errorf("%w: FRR probe TLV length %d", ErrBadTLV, l)
+			}
+			out = append(out, FRRProbeTLV{NeighborID: binary.LittleEndian.Uint32(body[2:6])})
 		case TLVTypeNexthops:
 			if l != NexthopsTLVLen-2 {
 				return nil, fmt.Errorf("%w: nexthops TLV length %d", ErrBadTLV, l)
@@ -247,6 +276,10 @@ func validateTLVs(b []byte) error {
 		case TLVTypeOAMPQuery:
 			if l != OAMPQueryTLVLen-2 {
 				return fmt.Errorf("%w: OAMP query TLV length %d", ErrBadTLV, l)
+			}
+		case TLVTypeFRRProbe:
+			if l != FRRProbeTLVLen-2 {
+				return fmt.Errorf("%w: FRR probe TLV length %d", ErrBadTLV, l)
 			}
 		case TLVTypeNexthops:
 			if l != NexthopsTLVLen-2 {

@@ -16,7 +16,9 @@
 //   - the paper's contribution: the End.BPF hook, the LWT transit
 //     hook and the four SRv6 helpers — internal/core;
 //   - the paper's three use cases as ready-made network functions —
-//     internal/nf/{progs,delaymon,hybrid,oamp}.
+//     internal/nf/{progs,delaymon,hybrid,oamp} — plus the follow-up
+//     work's fast-reroute function (eBPF failure detection and
+//     backup segment lists) — internal/nf/frr.
 //
 // See the examples directory for runnable end-to-end scenarios,
 // EXPERIMENTS.md for the reproduction of every figure in the paper's
@@ -33,6 +35,7 @@ import (
 	"srv6bpf/internal/core"
 	"srv6bpf/internal/netem"
 	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/nf/frr"
 	"srv6bpf/internal/packet"
 	"srv6bpf/internal/seg6"
 )
@@ -56,6 +59,13 @@ type Route = netsim.Route
 
 // Nexthop is one ECMP member of a route.
 type Nexthop = netsim.Nexthop
+
+// RouteBackup is a route's precomputed local protection: weighted
+// backup nexthops plus an optional backup segment list, activated
+// when every primary nexthop's interface is down. Link failures are
+// injected with Sim.FailLink / Sim.RestoreLink (or Iface.Fail /
+// Iface.Restore immediately).
+type RouteBackup = netsim.Backup
 
 // PacketMeta accompanies a packet through a node.
 type PacketMeta = netsim.PacketMeta
@@ -220,3 +230,31 @@ const (
 	BPFDrop     = core.BPFDrop
 	BPFRedirect = core.BPFRedirect
 )
+
+// --- Fast reroute (internal/nf/frr) ---
+
+// FRR is a protecting router's fast-reroute instance: in-band
+// liveness probes over the protected link, an End.BPF tracker
+// refreshing a last-seen hash map, a K-misses detector, and an LWT
+// steering program that flips protected traffic onto a precomputed
+// backup segment list. See examples/fast-reroute for a full
+// scenario and internal/experiments.FRRRecovery for the measured
+// recovery-time/probe-interval trade-off.
+type FRR = frr.FRR
+
+// FRRConfig parameterises a protecting router (tracker SID, probe
+// interval, K misses).
+type FRRConfig = frr.Config
+
+// FRRNeighbor is one monitored adjacency.
+type FRRNeighbor = frr.Neighbor
+
+// FRRProtection binds a traffic prefix to a neighbour's liveness and
+// its backup segment list.
+type FRRProtection = frr.Protection
+
+// FRRTransition is one up/down decision of the detector.
+type FRRTransition = frr.Transition
+
+// NewFRR creates the fast-reroute instance on a node.
+var NewFRR = frr.New
