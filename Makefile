@@ -1,6 +1,9 @@
 # Tier-1 verification and benchmark entry points.
 #
-#   make check   — build + vet + full test suite (the tier-1 gate)
+#   make check   — build + vet + full test suite + sharded-engine
+#                  race smoke (the tier-1 gate)
+#   make race    — full test suite under the race detector (CI job;
+#                  the parallel simulation engine must be race-clean)
 #   make bench   — wall-clock datapath + figure benchmarks (-benchmem)
 #   make bench-json [BENCH_JSON=path] — machine-readable perf report
 #   make fmt     — gofmt the tree
@@ -9,9 +12,9 @@ GO ?= go
 BENCH_JSON ?= BENCH.json
 BENCH_WINDOW ?= 50ms
 
-.PHONY: check build vet test bench bench-json fmt
+.PHONY: check build vet test race race-smoke bench bench-json fmt
 
-check: build vet test
+check: build vet test race-smoke
 
 build:
 	$(GO) build ./...
@@ -21,6 +24,15 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The quick 2-shard sequential-vs-parallel equivalence gate, run under
+# the race detector: determinism and race-cleanliness of the sharded
+# engine in one short pass.
+race-smoke:
+	$(GO) test -race -run 'TestShardEquivalenceSmoke|TestCrossShardInFlightFailure' ./internal/netsim
+
+race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkDatapath -benchmem .

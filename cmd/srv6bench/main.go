@@ -27,6 +27,11 @@ func main() {
 	jit := flag.Bool("jit", false, "report the §3.2 JIT-off factor")
 	frr := flag.Bool("frr", false, "run the fast-reroute recovery experiment")
 	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
+	shards := flag.Int("shards", 0,
+		"run the shard-scaling experiment up to this many shards (1,2,4,...) on a 208-node fat-tree")
+	topoK := flag.Int("topo-k", 8, "fat-tree arity for the shard-scaling experiment")
+	shardDuration := flag.Duration("shard-duration", 20*time.Millisecond,
+		"virtual window of the shard-scaling experiment")
 	all := flag.Bool("all", false, "run everything")
 	benchJSON := flag.String("bench-json", "",
 		"write the figure rows plus the wall-clock datapath ns/op + allocs/op numbers as one JSON object to this path (standalone mode: combining it with -all/-fig recomputes the figures for stdout)")
@@ -70,6 +75,13 @@ func main() {
 	if *all || *ablation {
 		ran = true
 		runAblations(win)
+	}
+	if *all && *shards == 0 {
+		*shards = 4
+	}
+	if *shards > 0 {
+		ran = true
+		runShards(*shards, *topoK, shardDuration.Nanoseconds())
 	}
 	if !ran {
 		flag.Usage()
@@ -215,26 +227,53 @@ func runAblations(win int64) {
 	fmt.Println()
 }
 
+// shardCountsUpTo returns 1, 2, 4, ... up to and including max.
+func shardCountsUpTo(max int) []int {
+	var counts []int
+	for n := 1; n < max; n *= 2 {
+		counts = append(counts, n)
+	}
+	return append(counts, max)
+}
+
+func runShards(max, k int, win int64) {
+	fmt.Printf("== Shard scaling: k=%d fat-tree permutation mix, %s virtual (GOMAXPROCS=%d) ==\n",
+		k, time.Duration(win), runtime.GOMAXPROCS(0))
+	fmt.Println("   identical per-node counters are re-verified across shard counts")
+	rows, err := experiments.ShardScaling(shardCountsUpTo(max), k, win)
+	if err != nil {
+		fail(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("  shards=%d  %8.1f ms wall  %10.0f events/s  speedup %.2fx  (%d events, %d windows, %d msgs, %d delivered)\n",
+			r.Shards, r.WallMs, r.EventsPerSec, r.Speedup, r.Events, r.Windows, r.Messages, r.Delivered)
+	}
+	fmt.Println()
+}
+
 // benchReport is the machine-readable performance trajectory: the
 // simulated figure rows plus the real (wall-clock) datapath numbers,
 // in the shape future PRs diff against (BENCH_*.json).
 type benchReport struct {
-	Schema    string                    `json:"schema"`
-	GoVersion string                    `json:"go_version"`
-	WindowNs  int64                     `json:"window_ns"`
-	Fig2      []experiments.Row         `json:"fig2"`
-	Fig3      []experiments.Row         `json:"fig3"`
-	Fig4      []experiments.Fig4Point   `json:"fig4"`
-	JITFactor float64                   `json:"jit_factor"`
-	FRR       []experiments.FRRRow      `json:"frr"`
-	Datapath  []experiments.DatapathRow `json:"datapath"`
+	Schema       string                        `json:"schema"`
+	GoVersion    string                        `json:"go_version"`
+	GOMAXPROCS   int                           `json:"gomaxprocs"`
+	WindowNs     int64                         `json:"window_ns"`
+	Fig2         []experiments.Row             `json:"fig2"`
+	Fig3         []experiments.Row             `json:"fig3"`
+	Fig4         []experiments.Fig4Point       `json:"fig4"`
+	JITFactor    float64                       `json:"jit_factor"`
+	FRR          []experiments.FRRRow          `json:"frr"`
+	Datapath     []experiments.DatapathRow     `json:"datapath"`
+	ShardScaling []experiments.ShardScalingRow `json:"shard_scaling"`
 }
 
 func writeBenchJSON(path string, win int64) {
 	rep := benchReport{
-		Schema:    "srv6bpf-bench/1",
-		GoVersion: runtime.Version(),
-		WindowNs:  win,
+		Schema:     "srv6bpf-bench/1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		WindowNs:   win,
 	}
 	var err error
 	if rep.Fig2, err = experiments.Figure2(win); err != nil {
@@ -253,6 +292,9 @@ func writeBenchJSON(path string, win int64) {
 		fail(err)
 	}
 	if rep.Datapath, err = experiments.DatapathBench(); err != nil {
+		fail(err)
+	}
+	if rep.ShardScaling, err = experiments.ShardScaling(shardCountsUpTo(4), 8, 20*netsim.Millisecond); err != nil {
 		fail(err)
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")

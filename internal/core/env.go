@@ -56,11 +56,14 @@ func (e *execEnv) beginRun(node *netsim.Node, meta *netsim.PacketMeta, pkt []byt
 	e.pending = nil
 }
 
-// Now implements bpf.ExecContext against virtual time.
-func (e *execEnv) Now() int64 { return e.node.Sim.Now() }
+// Now implements bpf.ExecContext against virtual time (the executing
+// node's shard clock, exact under sharded runs).
+func (e *execEnv) Now() int64 { return e.node.Now() }
 
-// Random implements bpf.ExecContext with the simulation's seeded RNG.
-func (e *execEnv) Random() uint32 { return e.node.Sim.Rand().Uint32() }
+// Random implements bpf.ExecContext with the node's seeded private
+// stream, so program draws are deterministic per node regardless of
+// shard layout or other nodes' activity.
+func (e *execEnv) Random() uint32 { return e.node.Rand().Uint32() }
 
 // Printk implements bpf.ExecContext.
 func (e *execEnv) Printk(msg string) {

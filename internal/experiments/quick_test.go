@@ -61,6 +61,29 @@ func TestQuickFRRRecovery(t *testing.T) {
 	}
 }
 
+func TestQuickShardScaling(t *testing.T) {
+	// Small instance (k=4 fat-tree, 36 nodes, 5 ms): the point here is
+	// the end-to-end experiment path and its built-in determinism
+	// check, not the scaling numbers.
+	rows, err := ShardScaling([]int{1, 2}, 4, 5*netsim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("shards=%d wall=%.1fms events=%d ev/s=%.0f speedup=%.2f delivered=%d",
+			r.Shards, r.WallMs, r.Events, r.EventsPerSec, r.Speedup, r.Delivered)
+		if r.Events == 0 || r.Delivered == 0 {
+			t.Errorf("empty measurement: %+v", r)
+		}
+	}
+	if rows[0].Events != rows[1].Events || rows[0].Delivered != rows[1].Delivered {
+		t.Errorf("shard counts disagree on totals: %+v", rows)
+	}
+}
+
 func TestQuickAblations(t *testing.T) {
 	interp, jit, err := Fig4JITAblation(50 * netsim.Millisecond)
 	if err != nil {

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/netsim/topo"
+	"srv6bpf/internal/trafgen"
+)
+
+// The shard-scaling experiment measures what the paper's lab could
+// not: how simulation throughput scales when the event loop is
+// partitioned across cores. A k=8 fat-tree (208 nodes — the scale
+// SRPerf argues SRv6 evaluations need) carries an all-hosts
+// permutation traffic mix; the same seed runs under 1..N shards and
+// must produce identical per-node counters (the determinism guarantee
+// is re-verified here, in the benchmark itself, not only in tests),
+// while wall-clock time and events/second record the scaling.
+
+// ShardScalingRow is one shard-count measurement.
+type ShardScalingRow struct {
+	Shards       int     `json:"shards"`
+	Nodes        int     `json:"nodes"`
+	Hosts        int     `json:"hosts"`
+	WallMs       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Speedup is events/sec relative to the 1-shard row.
+	Speedup   float64 `json:"speedup_vs_1shard"`
+	Delivered uint64  `json:"delivered_pkts"`
+	Windows   uint64  `json:"windows"`
+	Messages  uint64  `json:"cross_shard_msgs"`
+}
+
+// shardScalingSeed fixes the scenario; every shard count replays it.
+const shardScalingSeed = 7
+
+// ShardScaling runs the fat-tree mix once per requested shard count
+// and reports scaling rows. k is the fat-tree arity (k=8 gives 208
+// nodes); durationNs is the virtual measurement window.
+func ShardScaling(shardCounts []int, k int, durationNs int64) ([]ShardScalingRow, error) {
+	var rows []ShardScalingRow
+	baseline := 0.0
+	fingerprint := ""
+	for _, n := range shardCounts {
+		row, fp, err := shardScalingRun(n, k, durationNs)
+		if err != nil {
+			return nil, err
+		}
+		if fingerprint == "" {
+			fingerprint = fp
+		} else if fp != fingerprint {
+			return nil, fmt.Errorf("experiments: %d-shard run diverged from the %d-shard schedule (determinism violation)",
+				n, shardCounts[0])
+		}
+		if row.Shards == 1 {
+			baseline = row.EventsPerSec
+		}
+		if baseline > 0 {
+			row.Speedup = row.EventsPerSec / baseline
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func shardScalingRun(shards, k int, durationNs int64) (ShardScalingRow, string, error) {
+	sim := netsim.New(shardScalingSeed)
+	nw, err := topo.FatTree(sim, k, topo.Opts{
+		Link: topo.LinkSpec{RateBps: 10_000_000_000, DelayNs: 25 * netsim.Microsecond},
+	})
+	if err != nil {
+		return ShardScalingRow{}, "", err
+	}
+	for _, h := range nw.Hosts {
+		trafgen.NewSink(h, 9)
+	}
+	pairs := nw.PermutationPairs(99)
+	gens := make([]*trafgen.UDPGen, len(pairs))
+	for i, pr := range pairs {
+		gens[i] = &trafgen.UDPGen{
+			Node: pr[0], Src: nw.HostAddr(pr[0]), Dst: nw.HostAddr(pr[1]),
+			SrcPort: 1000, DstPort: 9, PayloadLen: 64,
+			FlowLabel: func(n uint64) uint32 { return uint32(n % 16) },
+			RatePPS:   20_000,
+		}
+	}
+	if err := sim.SetShards(shards); err != nil {
+		return ShardScalingRow{}, "", err
+	}
+
+	start := time.Now()
+	for i, g := range gens {
+		g := g
+		g.Node.Schedule(int64(i)*netsim.Microsecond, func() {
+			if err := g.Start(durationNs); err != nil {
+				panic(err)
+			}
+		})
+	}
+	// Drive the run in 1 ms virtual chunks, sampling every node's
+	// counters each chunk through the zero-alloc CountersInto — the
+	// monitoring cadence a production harness would use.
+	poll := make(map[string]uint64, 32)
+	var delivered uint64
+	const chunk = netsim.Millisecond
+	for now := int64(0); now < durationNs; now += chunk {
+		end := now + chunk
+		if end > durationNs {
+			end = durationNs
+		}
+		sim.RunUntil(end)
+		delivered = 0
+		for _, h := range nw.Hosts {
+			h.CountersInto(poll)
+			delivered += poll["udp_delivered"]
+		}
+	}
+	for _, g := range gens {
+		g.Stop()
+	}
+	sim.Run()
+	wall := time.Since(start)
+
+	delivered = 0
+	for _, h := range nw.Hosts {
+		h.CountersInto(poll)
+		delivered += poll["udp_delivered"]
+	}
+	st := sim.EngineStats()
+	row := ShardScalingRow{
+		Shards:       shards,
+		Nodes:        len(nw.Nodes),
+		Hosts:        len(nw.Hosts),
+		WallMs:       float64(wall.Nanoseconds()) / 1e6,
+		Events:       st.Events,
+		EventsPerSec: float64(st.Events) / wall.Seconds(),
+		Delivered:    delivered,
+		Windows:      st.Windows,
+		Messages:     st.Messages,
+	}
+	return row, countersFingerprint(sim), nil
+}
+
+// countersFingerprint renders every node's counters into one
+// comparable string (sorted keys, creation order over nodes).
+func countersFingerprint(sim *netsim.Sim) string {
+	var b strings.Builder
+	scratch := make(map[string]uint64, 32)
+	keys := make([]string, 0, 32)
+	for _, n := range sim.Nodes() {
+		for k := range scratch {
+			delete(scratch, k)
+		}
+		n.CountersInto(scratch)
+		keys = keys[:0]
+		for k := range scratch {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString(n.Name)
+		b.WriteByte('{')
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%d ", k, scratch[k])
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}

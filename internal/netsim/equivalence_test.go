@@ -1,0 +1,349 @@
+package netsim_test
+
+// Sequential-vs-parallel equivalence: the acceptance surface of the
+// sharded engine. The same seed must produce bit-identical per-node
+// counters and delivery traces whether the simulation runs on one
+// event heap or is partitioned across 2 or 4 shards — on both a
+// control-plane-heavy scenario (FRR failover: link failures, probe
+// timers, map updates) and a 200+ node generated fat-tree running an
+// ECMP-spread permutation traffic mix.
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"testing"
+
+	"srv6bpf/internal/netem"
+	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/netsim/topo"
+	"srv6bpf/internal/nf/frr"
+	"srv6bpf/internal/packet"
+	"srv6bpf/internal/seg6"
+	"srv6bpf/internal/trafgen"
+)
+
+func endBehaviour() *seg6.Behaviour { return &seg6.Behaviour{Action: seg6.ActionEnd} }
+
+func endDT6Behaviour() *seg6.Behaviour {
+	return &seg6.Behaviour{Action: seg6.ActionEndDT6, Table: netsim.MainTable}
+}
+
+// fingerprint renders every node's counters (sorted, via the
+// zero-alloc CountersInto into one reused map) plus any extra lines
+// into one comparable string.
+func fingerprint(sim *netsim.Sim, extra []string) string {
+	var b strings.Builder
+	scratch := make(map[string]uint64, 32)
+	keys := make([]string, 0, 32)
+	for _, n := range sim.Nodes() {
+		for k := range scratch {
+			delete(scratch, k)
+		}
+		n.CountersInto(scratch)
+		keys = keys[:0]
+		for k := range scratch {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "%s{", n.Name)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%d ", k, scratch[k])
+		}
+		b.WriteString("}\n")
+	}
+	for _, line := range extra {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// fatTreeRun executes the 208-node fat-tree traffic mix under the
+// given shard count and returns its fingerprint.
+func fatTreeRun(t *testing.T, shards int) (string, netsim.EngineStats) {
+	t.Helper()
+	sim := netsim.New(7)
+	nw, err := topo.FatTree(sim, 8, topo.Opts{
+		Link: topo.LinkSpec{RateBps: 10_000_000_000, DelayNs: 25 * netsim.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Nodes) != 208 {
+		t.Fatalf("fat-tree k=8 has %d nodes, want 208", len(nw.Nodes))
+	}
+
+	// Per-host delivery traces: (rx time, source, flow label) of every
+	// arrival, recorded on the receiving shard.
+	traces := make([][]string, len(nw.Hosts))
+	for i, h := range nw.Hosts {
+		i, h := i, h
+		h.HandleUDP(9, func(n *netsim.Node, p *packet.Packet, meta *netsim.PacketMeta) {
+			traces[i] = append(traces[i],
+				fmt.Sprintf("%d:%s:%d", meta.RxTimestamp, p.IPv6.Src, p.IPv6.FlowLabel))
+		})
+	}
+
+	pairs := nw.PermutationPairs(99)
+	gens := make([]*trafgen.UDPGen, len(pairs))
+	for i, pr := range pairs {
+		gens[i] = &trafgen.UDPGen{
+			Node: pr[0], Src: nw.HostAddr(pr[0]), Dst: nw.HostAddr(pr[1]),
+			SrcPort: 1000, DstPort: 9, PayloadLen: 64,
+			// Vary the flow label so packets ECMP-spread across the
+			// aggregation and core layers.
+			FlowLabel: func(k uint64) uint32 { return uint32(k % 16) },
+			RatePPS:   20_000,
+		}
+	}
+
+	if err := sim.SetShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	const until = 4 * netsim.Millisecond
+	for i, g := range gens {
+		g := g
+		// Staggered starts, scheduled on each source's own shard.
+		g.Node.Schedule(int64(i)*netsim.Microsecond, func() {
+			if err := g.Start(until); err != nil {
+				panic(err)
+			}
+		})
+	}
+	sim.RunUntil(until)
+	for _, g := range gens {
+		g.Stop()
+	}
+	sim.Run()
+
+	extra := make([]string, 0, len(traces)+1)
+	for i, tr := range traces {
+		extra = append(extra, fmt.Sprintf("trace[%s]=%s", nw.Hosts[i].Name, strings.Join(tr, ",")))
+	}
+	st := sim.EngineStats()
+	extra = append(extra, fmt.Sprintf("events=%d", st.Events))
+	return fingerprint(sim, extra), st
+}
+
+func TestShardEquivalenceFatTree(t *testing.T) {
+	base, st1 := fatTreeRun(t, 1)
+	if st1.Events == 0 {
+		t.Fatal("no events executed")
+	}
+	// Sanity: traffic actually flowed to every host.
+	for _, line := range strings.Split(base, "\n") {
+		if strings.HasSuffix(line, "]=") {
+			t.Fatalf("no deliveries at %s", line)
+		}
+	}
+	for _, shards := range []int{2, 4} {
+		got, st := fatTreeRun(t, shards)
+		if got != base {
+			diffReport(t, base, got, shards)
+		}
+		if st.Shards != shards {
+			t.Errorf("engine ran with %d shards, want %d", st.Shards, shards)
+		}
+		if st.Messages == 0 {
+			t.Errorf("%d shards exchanged no cross-shard messages — partition degenerate?", shards)
+		}
+		t.Logf("shards=%d events=%d windows=%d msgs=%d", st.Shards, st.Events, st.Windows, st.Messages)
+	}
+}
+
+// diffReport points at the first differing line so a determinism
+// regression is debuggable.
+func diffReport(t *testing.T, base, got string, shards int) {
+	t.Helper()
+	bl := strings.Split(base, "\n")
+	gl := strings.Split(got, "\n")
+	for i := 0; i < len(bl) && i < len(gl); i++ {
+		if bl[i] != gl[i] {
+			t.Fatalf("%d-shard run diverges from sequential at line %d:\n  seq: %.200s\n  par: %.200s",
+				shards, i, bl[i], gl[i])
+		}
+	}
+	t.Fatalf("%d-shard run diverges from sequential (length %d vs %d lines)", shards, len(bl), len(gl))
+}
+
+// frrRun executes the FRR failover scenario (the protection triangle
+// of internal/experiments) under the given shard count.
+func frrRun(t *testing.T, shards int) string {
+	t.Helper()
+	var (
+		src     = netip.MustParseAddr("2001:db8:1::1")
+		pAddr   = netip.MustParseAddr("2001:db8:10::1")
+		dAddr   = netip.MustParseAddr("2001:db8:20::1")
+		bAddr   = netip.MustParseAddr("2001:db8:30::1")
+		dst     = netip.MustParseAddr("2001:db8:2::1")
+		nbrSID  = netip.MustParseAddr("fc00:20::ee")
+		primSID = netip.MustParseAddr("fc00:20::d6")
+		detour  = netip.MustParseAddr("fc00:30::e")
+		bkDecap = netip.MustParseAddr("fc00:21::d6")
+		track   = netip.MustParseAddr("fc00:10::7a")
+		probeTo = netip.MustParseAddr("fc00:f0::1")
+	)
+	pfx := netip.MustParsePrefix
+
+	sim := netsim.New(11)
+	s := sim.AddNode("S", netsim.HostCostModel())
+	p := sim.AddNode("P", netsim.ServerCostModel())
+	d := sim.AddNode("D", netsim.ServerCostModel())
+	bb := sim.AddNode("B", netsim.ServerCostModel())
+	tt := sim.AddNode("T", netsim.HostCostModel())
+	s.AddAddress(src)
+	p.AddAddress(pAddr)
+	d.AddAddress(dAddr)
+	bb.AddAddress(bAddr)
+	tt.AddAddress(dst)
+
+	edge := netem.Config{RateBps: 1e10, DelayNs: 10 * netsim.Microsecond}
+	primary := netem.Config{RateBps: 1e10, DelayNs: 100 * netsim.Microsecond}
+	detourCfg := netem.Config{RateBps: 1e10, DelayNs: 60 * netsim.Microsecond}
+
+	sIf, psIf := netsim.ConnectSymmetric(s, p, edge)
+	pdIf, dpIf := netsim.ConnectSymmetric(p, d, primary)
+	pbIf, _ := netsim.ConnectSymmetric(p, bb, detourCfg)
+	bdIf, _ := netsim.ConnectSymmetric(bb, d, detourCfg)
+	dtIf, tIf := netsim.ConnectSymmetric(d, tt, edge)
+
+	s.AddRoute(&netsim.Route{Prefix: pfx("::/0"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: sIf}}})
+	tt.AddRoute(&netsim.Route{Prefix: pfx("::/0"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: tIf}}})
+	p.AddRoute(&netsim.Route{Prefix: pfx("fc00:20::/32"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: pdIf}}})
+	p.AddRoute(&netsim.Route{Prefix: pfx("fc00:30::/32"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: pbIf}}})
+	p.AddRoute(&netsim.Route{Prefix: pfx("fc00:21::/32"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: pbIf}}})
+	p.AddRoute(&netsim.Route{Prefix: pfx("2001:db8:1::/48"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: psIf}}})
+	bb.AddRoute(&netsim.Route{Prefix: netip.PrefixFrom(detour, 128), Kind: netsim.RouteSeg6Local,
+		Behaviour: endBehaviour()})
+	bb.AddRoute(&netsim.Route{Prefix: pfx("fc00:21::/32"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: bdIf}}})
+	d.AddRoute(&netsim.Route{Prefix: netip.PrefixFrom(nbrSID, 128), Kind: netsim.RouteSeg6Local,
+		Behaviour: endBehaviour()})
+	for _, sid := range []netip.Addr{primSID, bkDecap} {
+		d.AddRoute(&netsim.Route{Prefix: netip.PrefixFrom(sid, 128), Kind: netsim.RouteSeg6Local,
+			Behaviour: endDT6Behaviour()})
+	}
+	d.AddRoute(&netsim.Route{Prefix: pfx("fc00:10::/32"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: dpIf}}})
+	d.AddRoute(&netsim.Route{Prefix: pfx("2001:db8:2::/48"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: dtIf}}})
+
+	var delivered []int64
+	tt.HandleUDP(9999, func(n *netsim.Node, pk *packet.Packet, meta *netsim.PacketMeta) {
+		delivered = append(delivered, meta.RxTimestamp)
+	})
+
+	f, err := frr.New(p, frr.Config{TrackSID: track, ProbeInterval: 2 * netsim.Millisecond, Misses: 3, JIT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddNeighbor(frr.Neighbor{ID: 1, ProbeAddr: probeTo, SID: nbrSID, Iface: pdIf}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Protect(frr.Protection{
+		Prefix: pfx("2001:db8:2::/48"), NeighborID: 1,
+		PrimarySID: primSID, Backup: []netip.Addr{detour, bkDecap},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sim.SetShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	// Constant-rate traffic S -> T, scheduled on S's shard.
+	const gap = 20 * netsim.Microsecond
+	const until = 25 * netsim.Millisecond
+	for i := 0; i < int(until/gap); i++ {
+		s.Schedule(int64(i)*gap, func() {
+			raw, err := packet.BuildPacket(src, dst,
+				packet.WithUDP(5000, 9999), packet.WithPayload(make([]byte, 64)))
+			if err != nil {
+				panic(err)
+			}
+			s.Output(raw)
+		})
+	}
+	sim.FailLink(10*netsim.Millisecond-50*netsim.Microsecond, pdIf)
+	sim.RunUntil(until)
+	f.Stop()
+	sim.Run()
+
+	extra := []string{
+		fmt.Sprintf("delivered=%v", delivered),
+		fmt.Sprintf("probes=%d transitions=%v", f.ProbesSent, f.Transitions),
+		fmt.Sprintf("pd.tx=%d pd.downdrops=%d pb.tx=%d", pdIf.TxPackets, pdIf.DownDrops, pbIf.TxPackets),
+	}
+	return fingerprint(sim, extra)
+}
+
+func TestShardEquivalenceFRR(t *testing.T) {
+	base := frrRun(t, 1)
+	if !strings.Contains(base, "transitions=[{1 false") {
+		t.Fatalf("FRR scenario never detected the failure:\n%s", base)
+	}
+	for _, shards := range []int{2, 4} {
+		if got := frrRun(t, shards); got != base {
+			diffReport(t, base, got, shards)
+		}
+	}
+}
+
+// TestShardEquivalenceSmoke is the quick 2-shard determinism gate
+// that `make check` runs under the race detector: a trimmed fat-tree
+// (k=4, 36 nodes) against the sequential schedule.
+func TestShardEquivalenceSmoke(t *testing.T) {
+	run := func(shards int) string {
+		sim := netsim.New(3)
+		nw, err := topo.FatTree(sim, 4, topo.Opts{
+			Link: topo.LinkSpec{RateBps: 10_000_000_000, DelayNs: 25 * netsim.Microsecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-host traces: each slice is appended only by its owner's
+		// shard.
+		traces := make([][]string, len(nw.Hosts))
+		for i, h := range nw.Hosts {
+			i, h := i, h
+			h.HandleUDP(9, func(n *netsim.Node, p *packet.Packet, meta *netsim.PacketMeta) {
+				traces[i] = append(traces[i], fmt.Sprintf("%s<-%s@%d", h.Name, p.IPv6.Src, meta.RxTimestamp))
+			})
+		}
+		pairs := nw.PermutationPairs(5)
+		gens := make([]*trafgen.UDPGen, len(pairs))
+		for i, pr := range pairs {
+			gens[i] = &trafgen.UDPGen{
+				Node: pr[0], Src: nw.HostAddr(pr[0]), Dst: nw.HostAddr(pr[1]),
+				SrcPort: 1000, DstPort: 9, PayloadLen: 64,
+				FlowLabel: func(k uint64) uint32 { return uint32(k % 8) },
+				RatePPS:   50_000,
+			}
+		}
+		if err := sim.SetShards(shards); err != nil {
+			t.Fatal(err)
+		}
+		const until = netsim.Millisecond
+		for i, g := range gens {
+			g := g
+			g.Node.Schedule(int64(i)*netsim.Microsecond, func() {
+				if err := g.Start(until); err != nil {
+					panic(err)
+				}
+			})
+		}
+		sim.RunUntil(until)
+		for _, g := range gens {
+			g.Stop()
+		}
+		sim.Run()
+		var order []string
+		for _, tr := range traces {
+			order = append(order, tr...)
+		}
+		return fingerprint(sim, order)
+	}
+	base := run(1)
+	if got := run(2); got != base {
+		diffReport(t, base, got, 2)
+	}
+}

@@ -118,17 +118,37 @@ type Route struct {
 }
 
 // Table is one routing table: longest-prefix match over routes.
-// Tables in the experiments hold tens of entries, so matching is a
-// scan over routes pre-sorted by descending prefix length — obviously
-// correct, and never the bottleneck (node CPU cost is modelled
-// separately).
+// Routes are indexed by prefix length: a lookup probes one hash map
+// per distinct length, longest first, so cost scales with the number
+// of prefix lengths in use (a handful) instead of the number of
+// routes — the generated 200+ node topologies install hundreds of
+// routes per node, and the per-hop lookup sits on the simulator's
+// hottest path.
 type Table struct {
 	routes []*Route
+	// byLen maps prefix length -> masked prefix -> route.
+	byLen map[int]map[netip.Prefix]*Route
+	// lens lists the lengths present in byLen, descending.
+	lens []int
 }
 
-// Add inserts a route, keeping longest-prefix-first order. Adding a
-// second route with an identical prefix replaces the first.
+// Add inserts a route, keeping longest-prefix-first order in
+// Routes(). Adding a second route with an identical prefix replaces
+// the first.
 func (t *Table) Add(r *Route) {
+	key := r.Prefix.Masked()
+	if t.byLen == nil {
+		t.byLen = make(map[int]map[netip.Prefix]*Route)
+	}
+	m := t.byLen[key.Bits()]
+	if m == nil {
+		m = make(map[netip.Prefix]*Route)
+		t.byLen[key.Bits()] = m
+		t.lens = append(t.lens, key.Bits())
+		sort.Sort(sort.Reverse(sort.IntSlice(t.lens)))
+	}
+	m[key] = r
+
 	for i, old := range t.routes {
 		if old.Prefix == r.Prefix {
 			t.routes[i] = r
@@ -146,8 +166,12 @@ func (t *Table) Lookup(addr netip.Addr) *Route {
 	if t == nil {
 		return nil
 	}
-	for _, r := range t.routes {
-		if r.Prefix.Contains(addr) {
+	for _, bits := range t.lens {
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			continue
+		}
+		if r, ok := t.byLen[bits][p]; ok {
 			return r
 		}
 	}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"srv6bpf/internal/netem"
 )
@@ -15,21 +16,26 @@ type Iface struct {
 
 	// down marks the link as failed. Both ends of a link fail and
 	// recover together (a cut cable, not an administrative shutdown of
-	// one side).
+	// one side); in a sharded run each end flips in its own shard at
+	// the same virtual instant.
 	down bool
 	// failEpoch counts failures seen by this link end. A packet
-	// records the epoch at transmission; if the link fails while the
-	// packet is on the wire the epochs differ at delivery time and the
-	// packet is lost, even if the link was restored in between.
+	// records the sender end's epoch at transmission; the delivery
+	// event compares it against the receiving end's epoch — the two
+	// ends advance in virtual lockstep, so a mismatch means the wire
+	// was cut under the packet, even if the link was restored in
+	// between. Checking the receiving end keeps the delivery event
+	// inside its own shard's state.
 	failEpoch uint64
 
 	// Tap, when set, observes every packet accepted for transmission
-	// (tests and tcpdump-style tracing).
+	// (tests and tcpdump-style tracing). It runs on the transmitting
+	// node's shard.
 	Tap func(raw []byte)
 
 	// OnStateChange, when set, is invoked whenever the link state
 	// flips (after the flip; up reports the new state). Both ends'
-	// callbacks fire.
+	// callbacks fire, each on its own node's shard.
 	OnStateChange func(i *Iface, up bool)
 
 	TxPackets uint64
@@ -38,7 +44,9 @@ type Iface struct {
 	// DownDrops counts packets lost to link failure: transmissions
 	// attempted while down (also counted in TxDrops) plus packets
 	// that were in flight when the link went down (already counted in
-	// TxPackets — they left this end but never arrived).
+	// TxPackets — they left this end but never arrived). In-flight
+	// losses are detected by the receiving shard, so the field is
+	// updated atomically; read it only while the sim is quiescent.
 	DownDrops uint64
 }
 
@@ -46,7 +54,8 @@ type Iface struct {
 func (i *Iface) Peer() *Iface { return i.peer }
 
 // Qdisc exposes the shaping discipline (the TWD daemon adjusts
-// ExtraDelayNs through it).
+// ExtraDelayNs through it). The qdisc belongs to the transmitting
+// node: adjust it only from that node's shard (or while quiescent).
 func (i *Iface) Qdisc() *netem.Qdisc { return i.q }
 
 // Up reports whether the link is up.
@@ -55,6 +64,11 @@ func (i *Iface) Up() bool { return !i.down }
 // Fail takes the link down: both ends flip, every packet currently on
 // the wire (in either direction) is lost, and further transmissions
 // drop until Restore. Failing an already-down link is a no-op.
+//
+// Fail flips both ends synchronously, so during a sharded run it may
+// only be called for links whose two ends share a shard (or from
+// quiescent driver code); use Sim.FailLink to cut a cross-shard link
+// at a scheduled instant.
 func (i *Iface) Fail() { i.setLinkState(false) }
 
 // Restore brings the link back up. Packets that were in flight during
@@ -63,34 +77,50 @@ func (i *Iface) Restore() { i.setLinkState(true) }
 
 // setLinkState flips both ends of the link.
 func (i *Iface) setLinkState(up bool) {
+	if s := i.Node.Sim; s.running && i.peer != nil && i.peer.Node.shard != i.Node.shard {
+		panic("netsim: Iface.Fail/Restore on a cross-shard link inside a parallel run; use Sim.FailLink/RestoreLink")
+	}
 	for _, end := range [2]*Iface{i, i.peer} {
-		if end == nil || end.down == !up {
-			continue
-		}
-		end.down = !up
-		if !up {
-			end.failEpoch++
-			end.Node.Count("link_down")
-		} else {
-			end.Node.Count("link_up")
-		}
-		if end.OnStateChange != nil {
-			end.OnStateChange(end, up)
+		if end != nil {
+			end.setOneEnd(up)
 		}
 	}
 }
 
+// setOneEnd flips one end of the link: the per-shard half of a
+// failure or restore. No-op when the end is already in the target
+// state.
+func (i *Iface) setOneEnd(up bool) {
+	if i.down == !up {
+		return
+	}
+	i.down = !up
+	if !up {
+		i.failEpoch++
+		i.Node.Count("link_down")
+	} else {
+		i.Node.Count("link_up")
+	}
+	if i.OnStateChange != nil {
+		i.OnStateChange(i, up)
+	}
+}
+
 // Transmit serialises raw onto the link; the peer node receives it
-// after serialisation, delay and jitter. Drops (queue overflow, loss,
-// link down) are counted on the interface.
+// after serialisation and delay. Drops (queue overflow, loss, link
+// down) are counted on the interface. Transmit runs on the sending
+// node's shard; the delivery event is routed to the shard owning the
+// peer, carrying the deterministic key the sequential schedule would
+// have assigned it.
 func (i *Iface) Transmit(raw []byte) {
 	if i.down {
 		i.TxDrops++
-		i.DownDrops++
+		atomic.AddUint64(&i.DownDrops, 1)
 		return
 	}
-	sim := i.Node.Sim
-	deliverAt, ok := i.q.Admit(sim.Now(), len(raw), sim.Rand())
+	n := i.Node
+	now := n.Now()
+	deliverAt, ok := i.q.Admit(now, len(raw), n.rng)
 	if !ok {
 		i.TxDrops++
 		return
@@ -102,15 +132,21 @@ func (i *Iface) Transmit(raw []byte) {
 	}
 	peer := i.peer
 	epoch := i.failEpoch
-	sim.Schedule(deliverAt, func() {
-		// A failure between transmission and delivery cuts the wire
-		// under the packet: it is lost even if the link has since been
-		// restored.
-		if i.failEpoch != epoch {
-			i.DownDrops++
-			return
-		}
-		peer.Node.deliver(raw, peer)
+	n.schedK++
+	n.shard.scheduleFor(peer.Node, event{
+		at: deliverAt, schedAt: now, src: n.idx, k: n.schedK,
+		fn: func() {
+			// A failure between transmission and delivery cuts the wire
+			// under the packet: it is lost even if the link has since
+			// been restored. Both ends' epochs advance at the same
+			// virtual instants, so the receiving end's epoch stands in
+			// for the sender's.
+			if peer.failEpoch != epoch {
+				atomic.AddUint64(&i.DownDrops, 1)
+				return
+			}
+			peer.Node.deliver(raw, peer)
+		},
 	})
 }
 

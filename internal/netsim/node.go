@@ -2,6 +2,8 @@ package netsim
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"net/netip"
 
 	"srv6bpf/internal/packet"
@@ -100,6 +102,21 @@ type Node struct {
 	Sim  *Sim
 	Cost CostModel
 
+	// idx is the node's global creation index: the src half of every
+	// event key this node schedules.
+	idx int32
+	// shard owns this node's events; in an unsharded sim it is the
+	// sim's only shard.
+	shard *shard
+	// rng is the node's private random stream, derived from the sim
+	// seed and the node name: draws are independent of other nodes'
+	// activity, so ECMP tie-breaking and netem jitter stay
+	// deterministic under any shard count.
+	rng *rand.Rand
+	// schedK numbers this node's Schedule calls (the k half of the
+	// event key).
+	schedK uint64
+
 	ifaces []*Iface
 	tables map[int]*Table
 	local  map[netip.Addr]bool
@@ -127,12 +144,20 @@ type Node struct {
 	Trace func(format string, args ...any)
 }
 
-// AddNode creates a node in s with the given cost model.
+// AddNode creates a node in s with the given cost model. Add every
+// node before calling Sim.SetShards: the shard partition is computed
+// over the node set.
 func (s *Sim) AddNode(name string, cost CostModel) *Node {
+	if len(s.shards) > 1 {
+		panic("netsim: AddNode after SetShards; build the topology first")
+	}
 	n := &Node{
 		Name:        name,
 		Sim:         s,
 		Cost:        cost,
+		idx:         int32(len(s.nodes)),
+		shard:       s.shards[0],
+		rng:         rand.New(rand.NewSource(nodeSeed(s.seed, name))),
 		tables:      map[int]*Table{MainTable: {}},
 		local:       make(map[netip.Addr]bool),
 		udpHandlers: make(map[uint16]UDPHandler),
@@ -160,6 +185,40 @@ func (s *Sim) AddNode(name string, cost CostModel) *Node {
 	return n
 }
 
+// nodeSeed splits a per-node stream from the sim seed: FNV-1a over
+// the node name, folded into the seed. Depends only on (seed, name),
+// never on creation interleaving or shard layout.
+func nodeSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ int64(h.Sum64())
+}
+
+// Now returns the virtual time of this node's shard — exact inside
+// events in both sequential and sharded runs. Code executing on
+// behalf of a node should prefer it over Sim.Now.
+func (n *Node) Now() int64 { return n.shard.now }
+
+// Rand returns the node's private random stream (netem jitter/loss on
+// the node's egress links, BPF get_prandom on this node).
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// Schedule runs fn at absolute virtual time at (clamped to now) on
+// this node's shard. Use it — not Sim.Schedule — for any event that
+// touches this node's state; in a sharded run that routing is what
+// keeps the event on the owning shard's goroutine.
+func (n *Node) Schedule(at int64, fn func()) {
+	sh := n.shard
+	if at < sh.now {
+		at = sh.now
+	}
+	n.schedK++
+	sh.push(event{at: at, schedAt: sh.now, src: n.idx, k: n.schedK, fn: fn})
+}
+
+// After runs fn d nanoseconds from the node's now on its shard.
+func (n *Node) After(d int64, fn func()) { n.Schedule(n.shard.now+d, fn) }
+
 // CounterHandle interns name and returns its pre-resolved handle.
 // Resolve once, increment per packet.
 func (n *Node) CounterHandle(name string) Counter {
@@ -184,13 +243,23 @@ func (n *Node) Count(what string) {
 
 // Counters returns the read-side view of all counters: free-form
 // event accounting ("drop_no_route", "rx_ring_full", ...). Read it in
-// tests and reports; the snapshot is freshly built per call.
+// tests and reports; the snapshot is freshly built per call. Polling
+// loops should reuse a map through CountersInto instead.
 func (n *Node) Counters() map[string]uint64 {
 	out := make(map[string]uint64, len(n.counters))
-	for k, v := range n.counters {
-		out[k] = *v
-	}
+	n.CountersInto(out)
 	return out
+}
+
+// CountersInto writes the current counter values into m without
+// allocating: the zero-alloc read side for hot polling loops that
+// sample hundreds of nodes per virtual tick. Keys absent from the
+// node's counter set are left untouched, so clear or reuse m
+// deliberately.
+func (n *Node) CountersInto(m map[string]uint64) {
+	for k, v := range n.counters {
+		m[k] = *v
+	}
 }
 
 // Ifaces returns the node's interfaces.
@@ -254,14 +323,14 @@ func (n *Node) HandleICMP(h func(n *Node, p *packet.Packet, meta *PacketMeta)) {
 func (n *Node) deliver(raw []byte, in *Iface) {
 	if !n.rxPush(rxItem{
 		raw:  raw,
-		meta: PacketMeta{RxTimestamp: n.Sim.Now(), InIface: in},
+		meta: PacketMeta{RxTimestamp: n.Now(), InIface: in},
 	}) {
 		n.hot.rxRingFull.Inc()
 		return
 	}
 	if !n.busy {
 		n.busy = true
-		n.Sim.Schedule(n.Sim.Now(), n.drain)
+		n.Schedule(n.Now(), n.drain)
 	}
 }
 
@@ -313,7 +382,7 @@ func (n *Node) drain() {
 	commit, extra := n.routePacket(item.raw, &item.meta, 0)
 	cost += extra
 
-	n.Sim.After(cost, func() {
+	n.After(cost, func() {
 		if commit != nil {
 			commit()
 		}
@@ -325,7 +394,7 @@ func (n *Node) drain() {
 // Generation cost is the caller's concern (traffic generators pace
 // themselves), so no CPU time is charged here.
 func (n *Node) Output(raw []byte) {
-	meta := &PacketMeta{RxTimestamp: n.Sim.Now(), Local: true}
+	meta := &PacketMeta{RxTimestamp: n.Now(), Local: true}
 	commit, _ := n.routePacket(raw, meta, 0)
 	if commit != nil {
 		commit()

@@ -1,0 +1,329 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"srv6bpf/internal/stats"
+)
+
+// shard owns a disjoint set of nodes: their event heap, their clock
+// and their outgoing cross-shard message buffers. During a window all
+// shards execute concurrently; a shard touches only its own state
+// (and, read-only, immutable topology such as peer addresses), so no
+// locks guard the hot path.
+type shard struct {
+	id  int
+	sim *Sim
+
+	// now is the shard's virtual clock: the timestamp of the event
+	// being executed, or the last barrier the shard was synced to.
+	now int64
+
+	heap eventHeap
+
+	// out[d] buffers events destined for shard d during a window; the
+	// coordinator drains them into d's heap at the barrier. Only this
+	// shard's worker appends, only the quiescent coordinator drains.
+	out [][]event
+
+	// winEnd is the exclusive end of the window currently executing,
+	// set by the coordinator before workers start. Cross-shard events
+	// must land at or after it — the conservative invariant — and
+	// scheduleFor enforces that at message creation.
+	winEnd int64
+
+	// panicked carries an event panic from the worker goroutine back
+	// to the coordinator, which re-raises it on the Run caller — the
+	// same propagation a sequential run gives.
+	panicked any
+}
+
+func newShard(s *Sim, id int) *shard {
+	return &shard{id: id, sim: s, now: 0}
+}
+
+// push inserts a fully-keyed event into this shard's heap. Callers
+// run either on this shard's worker or on the quiescent coordinator.
+func (sh *shard) push(e event) { sh.heap.push(e) }
+
+// scheduleFor routes an event produced by this shard to the shard
+// owning target: the local heap when target is ours, the outbox
+// otherwise. The event key travels with the message, so the
+// destination orders it exactly as a sequential run would. Outside a
+// parallel window (driver code calling Node.Output, setup traffic)
+// only one goroutine is live, so the event goes straight into the
+// destination heap — outboxes exist for the concurrent case only.
+func (sh *shard) scheduleFor(target *Node, e event) {
+	dst := target.shard
+	if dst == sh {
+		sh.heap.push(e)
+		return
+	}
+	sh.sim.engMsgs.Inc(sh.id)
+	if !sh.sim.running {
+		dst.heap.push(e)
+		return
+	}
+	if e.at < sh.winEnd {
+		// The destination shard may already have executed past e.at
+		// within this window; delivering late would silently break the
+		// sequential-equivalence guarantee. This only happens when a
+		// cross-shard link's effective delay dropped below the
+		// lookahead after SetShards validated it (Qdisc.SetDelay, a
+		// negative ExtraDelayNs).
+		panic(fmt.Sprintf(
+			"netsim: cross-shard event at t=%d inside the current window (end %d): a cross-shard link's delay was lowered below the lookahead (%d ns) after SetShards",
+			e.at, sh.winEnd, sh.sim.lookahead))
+	}
+	sh.out[dst.id] = append(sh.out[dst.id], e)
+}
+
+// runTo executes this shard's events with at < end in key order.
+func (sh *shard) runTo(end int64) {
+	ev := &sh.sim.engEvents
+	for len(sh.heap) > 0 && sh.heap[0].at < end {
+		e := sh.heap.pop()
+		sh.now = e.at
+		ev.Inc(sh.id)
+		e.fn()
+	}
+}
+
+// SetShards partitions the simulation's nodes into n shards for
+// parallel execution. n == 1 restores the sequential engine. The
+// partition is deterministic (contiguous blocks of node creation
+// order), so a given topology always shards the same way.
+//
+// Every link whose two ends land in different shards must carry a
+// nonzero, jitter-free propagation delay: the minimum such delay
+// becomes the engine's lookahead — the window length shards may run
+// ahead of each other without synchronising. SetShards returns an
+// error naming the offending link otherwise.
+//
+// Call SetShards after the topology is built and while the sim is
+// quiescent (not from inside an event). Events already scheduled are
+// re-routed to the shard of the node that scheduled them.
+func (s *Sim) SetShards(n int) error {
+	if s.running {
+		return fmt.Errorf("netsim: SetShards while a parallel window is running")
+	}
+	if n < 1 {
+		return fmt.Errorf("netsim: shard count %d < 1", n)
+	}
+	if n > len(s.nodes) && n > 1 {
+		return fmt.Errorf("netsim: %d shards for %d nodes", n, len(s.nodes))
+	}
+
+	old := s.shards
+	shards := make([]*shard, n)
+	now := s.Now()
+	for i := range shards {
+		shards[i] = newShard(s, i)
+		shards[i].now = now
+		shards[i].out = make([][]event, n)
+	}
+	// Contiguous block partition over creation order: topology
+	// generators lay out locality-heavy regions (pods, ring arcs)
+	// contiguously, which keeps most links shard-internal.
+	for i, node := range s.nodes {
+		node.shard = shards[i*n/len(s.nodes)]
+	}
+
+	// Validate cross-shard links and derive the lookahead.
+	lookahead := int64(math.MaxInt64 / 2)
+	if n > 1 {
+		for _, node := range s.nodes {
+			for _, ifc := range node.ifaces {
+				if ifc.peer == nil || ifc.peer.Node.shard == node.shard {
+					continue
+				}
+				cfg := ifc.q.Config()
+				if cfg.DelayNs <= 0 {
+					s.resetShardAssignment(old)
+					return fmt.Errorf("netsim: link %s has zero propagation delay but crosses shards %d/%d",
+						ifc, node.shard.id, ifc.peer.Node.shard.id)
+				}
+				if cfg.JitterNs > 0 {
+					s.resetShardAssignment(old)
+					return fmt.Errorf("netsim: link %s has delay jitter but crosses shards %d/%d (jitter can undercut the lookahead)",
+						ifc, node.shard.id, ifc.peer.Node.shard.id)
+				}
+				if cfg.DelayNs < lookahead {
+					lookahead = cfg.DelayNs
+				}
+			}
+		}
+	}
+
+	// Re-route events already scheduled: the key's src field names the
+	// scheduling node, whose shard also owns the state the callback
+	// touches (driver-level events, src -1, run on shard 0).
+	for _, sh := range old {
+		for _, e := range sh.heap {
+			if e.fn == nil {
+				continue
+			}
+			dst := shards[0]
+			if e.src >= 0 {
+				dst = s.nodes[e.src].shard
+			}
+			dst.heap.push(e)
+		}
+	}
+
+	s.shards = shards
+	s.lookahead = lookahead
+	s.engEvents = *stats.NewSharded(n)
+	s.engMsgs = *stats.NewSharded(n)
+	s.engWindows = *stats.NewSharded(n)
+	s.now = now
+	return nil
+}
+
+// resetShardAssignment restores node->shard pointers after a failed
+// SetShards so the sim keeps running on its previous partition.
+func (s *Sim) resetShardAssignment(old []*shard) {
+	for i, node := range s.nodes {
+		node.shard = old[i*len(old)/len(s.nodes)]
+	}
+}
+
+// ShardCount reports the current number of shards.
+func (s *Sim) ShardCount() int { return len(s.shards) }
+
+// Lookahead reports the conservative window length in nanoseconds
+// (meaningful only with more than one shard).
+func (s *Sim) Lookahead() int64 { return s.lookahead }
+
+// EngineStats is the parallel engine's own accounting, accumulated
+// per shard and merged deterministically.
+type EngineStats struct {
+	Shards    int
+	Lookahead int64
+	// Windows counts barrier-to-barrier rounds executed.
+	Windows uint64
+	// Events counts events executed across all shards.
+	Events uint64
+	// Messages counts cross-shard packet/control transfers.
+	Messages uint64
+}
+
+// EngineStats merges the per-shard accounting cells (in shard order,
+// so the result is deterministic).
+func (s *Sim) EngineStats() EngineStats {
+	return EngineStats{
+		Shards:    len(s.shards),
+		Lookahead: s.lookahead,
+		Windows:   s.engWindows.Total(),
+		Events:    s.engEvents.Total(),
+		Messages:  s.engMsgs.Total(),
+	}
+}
+
+// minNextAt returns the earliest pending event timestamp across all
+// shards, or MaxInt64 when every heap is empty. Callers run at a
+// barrier, so outboxes are empty and heaps are complete.
+func (s *Sim) minNextAt() int64 {
+	next := int64(math.MaxInt64)
+	for _, sh := range s.shards {
+		if len(sh.heap) > 0 && sh.heap[0].at < next {
+			next = sh.heap[0].at
+		}
+	}
+	return next
+}
+
+// runWindows drives the conservative parallel loop: find the global
+// next event time, let every shard execute the window
+// [next, next+lookahead) concurrently, exchange cross-shard messages
+// at the barrier, repeat. Events with at <= limit are executed.
+func (s *Sim) runWindows(limit int64) {
+	var wg sync.WaitGroup
+	for {
+		next := s.minNextAt()
+		if next > limit || next == math.MaxInt64 {
+			return
+		}
+		end := next + s.lookahead
+		if end < next { // overflow
+			end = math.MaxInt64
+		}
+		if limit < math.MaxInt64 && end > limit+1 {
+			end = limit + 1 // include events at exactly limit
+		}
+
+		s.running = true
+		for _, sh := range s.shards {
+			sh.winEnd = end
+		}
+		for _, sh := range s.shards {
+			sh := sh
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { sh.panicked = recover() }()
+				sh.runTo(end)
+			}()
+		}
+		wg.Wait()
+		s.running = false
+		for _, sh := range s.shards {
+			if sh.panicked != nil {
+				p := sh.panicked
+				sh.panicked = nil
+				panic(p)
+			}
+		}
+		s.engWindows.Inc(0)
+		s.flushOutboxes()
+	}
+}
+
+// flushOutboxes moves every cross-shard message produced during the
+// last window into the destination shard's heap. The events carry
+// their full deterministic keys, so a plain heap push lands them in
+// exactly the order a sequential run would have executed them.
+func (s *Sim) flushOutboxes() {
+	for _, src := range s.shards {
+		for d, msgs := range src.out {
+			if len(msgs) == 0 {
+				continue
+			}
+			dst := s.shards[d]
+			for _, e := range msgs {
+				dst.heap.push(e)
+			}
+			src.out[d] = src.out[d][:0]
+		}
+	}
+}
+
+// maxShardNow returns the furthest shard clock: shard clocks stop on
+// the last event each shard executed, so after a drain this is the
+// global last-event time — the value a sequential Run leaves in
+// Sim.Now(). (s.now seeds the max so clocks never move backwards
+// across RunUntil/Run sequences.)
+func (s *Sim) maxShardNow() int64 {
+	max := s.now
+	for _, sh := range s.shards {
+		if sh.now > max {
+			max = sh.now
+		}
+	}
+	return max
+}
+
+// syncClocks advances every shard clock (and the committed global
+// clock) to t; clocks never move backwards.
+func (s *Sim) syncClocks(t int64) {
+	for _, sh := range s.shards {
+		if sh.now < t {
+			sh.now = t
+		}
+	}
+	if s.now < t {
+		s.now = t
+	}
+}

@@ -9,34 +9,80 @@
 // behaviour the paper measures (a single core pinned to the NIC
 // interrupt, 610 kpps of raw IPv6 forwarding). Determinism is total:
 // the same seed yields the same packet-by-packet schedule.
+//
+// # Sharded parallel execution
+//
+// By default the simulation runs on one event heap on the calling
+// goroutine, exactly as it always has. Sim.SetShards(n) partitions
+// the nodes into n shards, each with its own event heap, clock and
+// counters, synchronised conservatively: because every link between
+// two shards carries a nonzero propagation delay, shards can execute
+// lock-stepped windows of
+//
+//	lookahead = min cross-shard link delay
+//
+// in parallel without ever seeing an event out of order. Packets that
+// cross a shard boundary travel as timestamped messages exchanged at
+// the window barriers.
+//
+// Determinism survives sharding because event ordering does not
+// depend on a global sequence counter: every event is keyed by
+// (at, schedAt, src, k) — its execution time, the virtual time at
+// which it was scheduled, the index of the node that scheduled it,
+// and that node's private schedule counter. The key is computable
+// locally by the scheduling shard yet totally ordered globally, so
+// the parallel schedule is the sequential schedule: the same seed
+// yields identical per-node counters and delivery traces for any
+// shard count (locked by TestShardEquivalence*).
 package netsim
 
 import (
+	"math"
 	"math/rand"
+
+	"srv6bpf/internal/stats"
 )
 
-// Event is one scheduled callback. Events are stored by value in the
+// event is one scheduled callback. Events are stored by value in the
 // heap slice: scheduling one packet hop costs no heap object beyond
-// the callback closure itself (and amortised slice growth), where the
-// previous container/heap implementation boxed a *event per call.
+// the callback closure itself (and amortised slice growth).
+//
+// The (at, schedAt, src, k) tuple is the event's deterministic
+// ordering key. schedAt is the virtual time of the Schedule call, src
+// the index of the scheduling node (-1 for driver-level schedules),
+// and k the per-source schedule counter. Unlike a global sequence
+// number, the key does not depend on how shards interleave, so it
+// orders events identically whether the simulation runs on one heap
+// or sixteen.
 type event struct {
-	at  int64
-	seq uint64 // tie-breaker preserving schedule order
-	fn  func()
+	at      int64
+	schedAt int64
+	src     int32
+	k       uint64
+	fn      func()
+}
+
+// before reports the deterministic execution order between events.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	if e.schedAt != o.schedAt {
+		return e.schedAt < o.schedAt
+	}
+	if e.src != o.src {
+		return e.src < o.src
+	}
+	return e.k < o.k
 }
 
 // eventHeap is a hand-rolled binary min-heap over event values,
-// ordered by (at, seq). Avoiding container/heap avoids both the
+// ordered by the event key. Avoiding container/heap avoids both the
 // per-push allocation of the boxed element and the interface-method
 // dispatch per sift step.
 type eventHeap []event
 
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) less(i, j int) bool { return h[i].before(&h[j]) }
 
 func (h *eventHeap) push(e event) {
 	*h = append(*h, e)
@@ -80,67 +126,167 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
-// Sim is the simulation kernel: a virtual clock, an event queue and a
-// seeded random source shared by every stochastic component (jitter,
-// loss, sampling, ECMP tie-breaking in tests).
+// Sim is the simulation kernel: a virtual clock, one event queue per
+// shard (one shard unless SetShards is called) and a seeded random
+// source. Stochastic per-node components (netem jitter, loss, BPF
+// get_prandom) draw from per-node streams split from the same seed,
+// so their draws are independent of shard count and node interleave.
 type Sim struct {
-	now  int64
-	heap eventHeap
-	seq  uint64
+	seed int64
 	rng  *rand.Rand
+
+	// shards always holds at least one shard; len(shards) == 1 is the
+	// sequential mode every existing scenario runs in.
+	shards    []*shard
+	lookahead int64
+
+	// now is the committed global clock: in sequential mode it tracks
+	// the executing event, in sharded mode the last barrier. Inside
+	// events use Node.Now(), which is exact in both modes.
+	now int64
+
+	// simK numbers driver-level Schedule calls (src = -1).
+	simK uint64
+
+	// running is true while shard workers execute a window; guards
+	// against driver-level mutations from inside parallel events.
+	running bool
+
+	// Engine accounting: one cell per shard, merged deterministically
+	// by EngineStats.
+	engEvents  stats.Sharded
+	engMsgs    stats.Sharded
+	engWindows stats.Sharded
 
 	nodes []*Node
 }
 
+// driverSrc keys events scheduled from outside any node (test
+// drivers, experiment harnesses). They sort before node events with
+// the same (at, schedAt).
+const driverSrc int32 = -1
+
 // New creates a simulation with the given random seed.
 func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+	s := &Sim{seed: seed, rng: rand.New(rand.NewSource(seed))}
+	s.shards = []*shard{newShard(s, 0)}
+	s.shards[0].out = make([][]event, 1)
+	s.lookahead = math.MaxInt64 / 2
+	s.engEvents = *stats.NewSharded(1)
+	s.engMsgs = *stats.NewSharded(1)
+	s.engWindows = *stats.NewSharded(1)
+	return s
 }
 
-// Now returns the current virtual time in nanoseconds.
-func (s *Sim) Now() int64 { return s.now }
+// Seed returns the seed the simulation was created with.
+func (s *Sim) Seed() int64 { return s.seed }
 
-// Rand returns the simulation's random source.
+// Now returns the current virtual time in nanoseconds. In sharded
+// mode this is the last committed barrier; code running inside an
+// event should use Node.Now() for the executing shard's exact clock.
+func (s *Sim) Now() int64 {
+	if len(s.shards) == 1 {
+		return s.shards[0].now
+	}
+	return s.now
+}
+
+// Rand returns the simulation's driver-level random source. It is
+// not used by any per-packet path (those draw from Node.Rand()
+// streams); use it only from driver code, never from inside events
+// of a sharded run.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
 // Schedule runs fn at absolute virtual time at (clamped to now).
+//
+// Calls from driver code (between Run/RunUntil calls) land on shard
+// 0; from inside an event of a sequential run they land on the only
+// shard. In a sharded run, events must be scheduled through the node
+// that owns the state they touch — Node.Schedule / Node.After — so
+// the engine can route them to the owning shard; a raw Sim.Schedule
+// from inside a parallel window panics.
 func (s *Sim) Schedule(at int64, fn func()) {
-	if at < s.now {
-		at = s.now
+	if s.running {
+		panic("netsim: Sim.Schedule from inside a sharded run; use Node.Schedule/Node.After")
 	}
-	s.seq++
-	s.heap.push(event{at: at, seq: s.seq, fn: fn})
+	sh := s.shards[0]
+	now := s.Now()
+	if at < now {
+		at = now
+	}
+	s.simK++
+	sh.heap.push(event{at: at, schedAt: now, src: driverSrc, k: s.simK, fn: fn})
 }
 
 // After runs fn d nanoseconds from now.
-func (s *Sim) After(d int64, fn func()) { s.Schedule(s.now+d, fn) }
+func (s *Sim) After(d int64, fn func()) { s.Schedule(s.Now()+d, fn) }
 
-// Step executes the next event; it reports false when none remain.
+// Step executes the next event in deterministic order; it reports
+// false when none remain. In sharded mode Step runs the engine
+// sequentially (one event at a time, messages flushed immediately);
+// Run and RunUntil are the parallel paths.
 func (s *Sim) Step() bool {
-	if len(s.heap) == 0 {
+	if len(s.shards) == 1 {
+		sh := s.shards[0]
+		if len(sh.heap) == 0 {
+			return false
+		}
+		e := sh.heap.pop()
+		sh.now = e.at
+		s.engEvents.Inc(0)
+		e.fn()
+		return true
+	}
+	best := -1
+	for i, sh := range s.shards {
+		if len(sh.heap) == 0 {
+			continue
+		}
+		if best < 0 || sh.heap[0].before(&s.shards[best].heap[0]) {
+			best = i
+		}
+	}
+	if best < 0 {
 		return false
 	}
-	e := s.heap.pop()
-	s.now = e.at
+	sh := s.shards[best]
+	e := sh.heap.pop()
+	sh.now = e.at
+	s.engEvents.Inc(sh.id)
 	e.fn()
+	s.flushOutboxes()
+	if e.at > s.now {
+		s.now = e.at
+	}
 	return true
 }
 
-// Run executes events until the queue drains.
+// Run executes events until every queue drains.
 func (s *Sim) Run() {
-	for s.Step() {
+	if len(s.shards) == 1 {
+		for s.Step() {
+		}
+		return
 	}
+	s.runWindows(math.MaxInt64)
+	s.syncClocks(s.maxShardNow())
 }
 
 // RunUntil executes events with timestamps <= t, then advances the
 // clock to t.
 func (s *Sim) RunUntil(t int64) {
-	for len(s.heap) > 0 && s.heap[0].at <= t {
-		s.Step()
+	if len(s.shards) == 1 {
+		sh := s.shards[0]
+		for len(sh.heap) > 0 && sh.heap[0].at <= t {
+			s.Step()
+		}
+		if sh.now < t {
+			sh.now = t
+		}
+		return
 	}
-	if s.now < t {
-		s.now = t
-	}
+	s.runWindows(t)
+	s.syncClocks(t)
 }
 
 // Nodes returns all nodes added to the simulation.
@@ -148,15 +294,37 @@ func (s *Sim) Nodes() []*Node { return s.nodes }
 
 // FailLink schedules a link failure at absolute virtual time at: both
 // ends of i's link go down and packets on the wire are lost (see
-// Iface.Fail).
-func (s *Sim) FailLink(at int64, i *Iface) {
-	s.Schedule(at, func() { i.Fail() })
-}
+// Iface.Fail). Each end flips in its own shard, at the same virtual
+// instant, so the call is safe for links that cross shards.
+func (s *Sim) FailLink(at int64, i *Iface) { s.scheduleLinkState(at, i, false) }
 
 // RestoreLink schedules the link coming back up at absolute virtual
 // time at.
-func (s *Sim) RestoreLink(at int64, i *Iface) {
-	s.Schedule(at, func() { i.Restore() })
+func (s *Sim) RestoreLink(at int64, i *Iface) { s.scheduleLinkState(at, i, true) }
+
+// scheduleLinkState schedules one flip event per link end, each on
+// the shard owning that end. The invoked end is scheduled first, so
+// its OnStateChange fires first when both ends share a shard —
+// preserving the sequential callback order.
+func (s *Sim) scheduleLinkState(at int64, i *Iface, up bool) {
+	if s.running {
+		panic("netsim: FailLink/RestoreLink from inside a sharded run")
+	}
+	now := s.Now()
+	if at < now {
+		at = now
+	}
+	for _, end := range [2]*Iface{i, i.peer} {
+		if end == nil {
+			continue
+		}
+		end := end
+		s.simK++
+		end.Node.shard.heap.push(event{
+			at: at, schedAt: now, src: driverSrc, k: s.simK,
+			fn: func() { end.setOneEnd(up) },
+		})
+	}
 }
 
 // Millisecond and friends make topology code readable.

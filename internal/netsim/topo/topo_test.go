@@ -1,0 +1,164 @@
+package topo
+
+import (
+	"fmt"
+	"testing"
+
+	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/packet"
+)
+
+// sendBetween pushes one UDP packet from a to b and reports whether
+// it arrived.
+func sendBetween(t *testing.T, nw *Network, a, b *netsim.Node) bool {
+	t.Helper()
+	got := 0
+	b.HandleUDP(7, func(n *netsim.Node, p *packet.Packet, meta *netsim.PacketMeta) { got++ })
+	raw, err := packet.BuildPacket(nw.HostAddr(a), nw.HostAddr(b),
+		packet.WithUDP(1000, 7), packet.WithPayload([]byte("ping")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Output(raw)
+	nw.Sim.Run()
+	return got == 1
+}
+
+func TestLineConnectivity(t *testing.T) {
+	sim := netsim.New(1)
+	nw, err := Line(sim, 8, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Nodes) != 8 || len(nw.Hosts) != 8 {
+		t.Fatalf("nodes=%d hosts=%d", len(nw.Nodes), len(nw.Hosts))
+	}
+	if !sendBetween(t, nw, nw.Hosts[0], nw.Hosts[7]) {
+		t.Fatal("end-to-end delivery failed on the line")
+	}
+}
+
+func TestRingBothDirections(t *testing.T) {
+	sim := netsim.New(1)
+	nw, err := Ring(sim, 6, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Antipodal nodes have two equal-cost directions: the route must
+	// carry 2 nexthops.
+	r := nw.Hosts[0].Lookup(nw.HostAddr(nw.Hosts[3]), netsim.MainTable)
+	if r == nil || len(r.Nexthops) != 2 {
+		t.Fatalf("antipodal route = %+v, want 2 ECMP nexthops", r)
+	}
+	if !sendBetween(t, nw, nw.Hosts[1], nw.Hosts[4]) {
+		t.Fatal("ring delivery failed")
+	}
+}
+
+func TestFatTreeShape(t *testing.T) {
+	sim := netsim.New(1)
+	nw, err := FatTree(sim, 4, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(nw.Hosts), 16; got != want {
+		t.Fatalf("hosts = %d, want %d", got, want)
+	}
+	if got, want := len(nw.Nodes), 36; got != want {
+		t.Fatalf("nodes = %d, want %d (16 hosts + 20 switches)", got, want)
+	}
+	// Cross-pod traffic must see ECMP at the edge uplink: k/2 = 2
+	// aggregation choices.
+	src, dst := nw.Hosts[0], nw.Hosts[len(nw.Hosts)-1]
+	edge := src.Ifaces()[0].Peer().Node
+	r := edge.Lookup(nw.HostAddr(dst), netsim.MainTable)
+	if r == nil || len(r.Nexthops) != 2 {
+		t.Fatalf("edge uplink route = %+v, want 2 ECMP nexthops", r)
+	}
+	if !sendBetween(t, nw, src, dst) {
+		t.Fatal("cross-pod delivery failed")
+	}
+}
+
+func TestFatTreeAllPairsSample(t *testing.T) {
+	sim := netsim.New(1)
+	nw, err := FatTree(sim, 4, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	want := 0
+	for _, h := range nw.Hosts {
+		h := h
+		h.HandleUDP(9, func(n *netsim.Node, p *packet.Packet, meta *netsim.PacketMeta) { delivered++ })
+	}
+	for i, a := range nw.Hosts {
+		b := nw.Hosts[(i+5)%len(nw.Hosts)]
+		if a == b {
+			continue
+		}
+		raw, err := packet.BuildPacket(nw.HostAddr(a), nw.HostAddr(b),
+			packet.WithUDP(1000, 9), packet.WithPayload([]byte(fmt.Sprintf("m%d", i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Output(raw)
+		want++
+	}
+	nw.Sim.Run()
+	if delivered != want {
+		t.Fatalf("delivered %d/%d", delivered, want)
+	}
+}
+
+func TestWaxmanConnectedAndReproducible(t *testing.T) {
+	build := func() (*Network, string) {
+		sim := netsim.New(1)
+		nw, err := Waxman(sim, 40, WaxmanParams{Alpha: 0.4, Beta: 0.3, Seed: 11}, Opts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shape := ""
+		for _, n := range nw.Nodes {
+			shape += fmt.Sprintf("%s:%d ", n.Name, len(n.Ifaces()))
+		}
+		return nw, shape
+	}
+	nw1, s1 := build()
+	_, s2 := build()
+	if s1 != s2 {
+		t.Fatal("same parameters produced different Waxman graphs")
+	}
+	// Connectivity: corner-to-corner delivery must work regardless of
+	// which random component stitching happened.
+	if !sendBetween(t, nw1, nw1.Hosts[0], nw1.Hosts[39]) {
+		t.Fatal("waxman delivery failed")
+	}
+	for _, n := range nw1.Nodes {
+		if len(n.Ifaces()) == 0 {
+			t.Fatalf("%s is isolated", n.Name)
+		}
+	}
+}
+
+func TestPermutationPairs(t *testing.T) {
+	sim := netsim.New(1)
+	nw, err := Ring(sim, 9, Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := nw.PermutationPairs(3)
+	if len(pairs) != 9 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	seenDst := map[*netsim.Node]bool{}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			t.Fatal("host paired with itself")
+		}
+		if seenDst[p[1]] {
+			t.Fatal("host receives twice")
+		}
+		seenDst[p[1]] = true
+	}
+}

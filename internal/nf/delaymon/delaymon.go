@@ -170,7 +170,7 @@ func (m *Monitor) StartDaemon(node *netsim.Node, interval int64) *Daemon {
 		srcPort:  52900,
 		interval: interval,
 	}
-	node.Sim.After(interval, d.tick)
+	node.After(interval, d.tick)
 	return d
 }
 
@@ -201,7 +201,7 @@ func (d *Daemon) tick() {
 		d.node.Output(raw)
 		d.Relayed++
 	}
-	d.node.Sim.After(d.interval, d.tick)
+	d.node.After(d.interval, d.tick)
 }
 
 // Collector aggregates one-way delay reports on the controller.

@@ -269,7 +269,7 @@ func (f *FRR) Protect(p Protection) error {
 // instance can be started again.
 func (f *FRR) Start() {
 	f.stopped = false
-	now := f.node.Sim.Now()
+	now := f.node.Now()
 	for _, st := range f.neighbors {
 		st.missed = 0
 		st.down = false
@@ -290,14 +290,14 @@ func (f *FRR) tick() {
 	if f.stopped {
 		return
 	}
-	now := f.node.Sim.Now()
+	now := f.node.Now()
 	for _, st := range f.neighbors {
 		f.check(st, now)
 		f.node.Output(st.probe)
 		f.ProbesSent++
 		st.lastSend = now
 	}
-	f.node.Sim.After(f.cfg.ProbeInterval, f.tick)
+	f.node.After(f.cfg.ProbeInterval, f.tick)
 }
 
 // check compares the tracker map against the previous probe send

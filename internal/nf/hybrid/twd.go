@@ -92,7 +92,7 @@ func (tb *Testbed) DeployEndDM(jit bool) error {
 func (tb *Testbed) StartCompensator(interval int64) *Compensator {
 	c := &Compensator{tb: tb, interval: interval, port: twdPort}
 	tb.Agg.HandleUDP(twdPort, c.onProbeReturn)
-	tb.Sim.After(interval, c.tick)
+	tb.Agg.After(interval, c.tick)
 	return c
 }
 
@@ -109,7 +109,7 @@ func (c *Compensator) tick() {
 	}
 	c.sendProbe(0, SIDDMLink0)
 	c.sendProbe(1, SIDDMLink1)
-	c.tb.Sim.After(c.interval, c.tick)
+	c.tb.Agg.After(c.interval, c.tick)
 }
 
 // sendProbe emits one TWD probe over the given link: an SRv6 UDP
@@ -118,7 +118,7 @@ func (c *Compensator) tick() {
 // what the End.DM program parses (2 segments + DM TLV + controller
 // TLV).
 func (c *Compensator) sendProbe(link int, sid netip.Addr) {
-	now := c.tb.Sim.Now()
+	now := c.tb.Agg.Now()
 	returnAddr := AggAddrLink0
 	if link == 1 {
 		returnAddr = AggAddrLink1
@@ -165,7 +165,7 @@ func (c *Compensator) onProbeReturn(n *netsim.Node, p *packet.Packet, meta *nets
 		return
 	}
 	c.ProbesReceived++
-	rtt := float64(uint64(n.Sim.Now()) - tx)
+	rtt := float64(uint64(n.Now()) - tx)
 	// The probe traversed our own compensation qdisc on the way out;
 	// subtract the delay that was in force at send time so the
 	// estimate converges on the link's base delay instead of chasing

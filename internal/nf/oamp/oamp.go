@@ -136,7 +136,7 @@ func (t *Tracer) probe() {
 func (t *Tracer) armTimeout() {
 	t.seq++
 	seq := t.seq
-	t.node.Sim.After(t.opts.TimeoutNs, func() {
+	t.node.After(t.opts.TimeoutNs, func() {
 		if t.dead || seq != t.seq {
 			return
 		}

@@ -74,6 +74,76 @@ func TestWelfordEmpty(t *testing.T) {
 	}
 }
 
+// TestWelfordMergeMatchesSingleStream: splitting a sample stream
+// across shard-local accumulators and merging must agree with one
+// accumulator over the whole stream — the property the sharded
+// engine's deterministic merge rests on.
+func TestWelfordMergeMatchesSingleStream(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(400)
+		shards := 1 + r.Intn(5)
+		var whole Welford
+		parts := make([]Welford, shards)
+		for i := 0; i < n; i++ {
+			x := r.NormFloat64()*3 - 1
+			whole.Add(x)
+			parts[i%shards].Add(x)
+		}
+		var merged Welford
+		for i := range parts {
+			merged.Merge(&parts[i])
+		}
+		return merged.N() == whole.N() &&
+			math.Abs(merged.Mean()-whole.Mean()) < 1e-9 &&
+			math.Abs(merged.Variance()-whole.Variance()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmptySides(t *testing.T) {
+	var a, b Welford
+	b.Add(2)
+	b.Add(4)
+	a.Merge(&b) // empty <- filled
+	if a.N() != 2 || a.Mean() != 3 {
+		t.Fatalf("merge into empty: n=%d mean=%f", a.N(), a.Mean())
+	}
+	var empty Welford
+	a.Merge(&empty) // filled <- empty
+	if a.N() != 2 || a.Mean() != 3 {
+		t.Fatalf("merge of empty changed state: n=%d mean=%f", a.N(), a.Mean())
+	}
+}
+
+func TestShardedCounter(t *testing.T) {
+	s := NewSharded(4)
+	if s.Cells() != 4 {
+		t.Fatalf("cells = %d", s.Cells())
+	}
+	for shard := 0; shard < 4; shard++ {
+		for i := 0; i <= shard; i++ {
+			s.Inc(shard)
+		}
+	}
+	s.Add(2, 10)
+	if got := s.Cell(2); got != 13 {
+		t.Errorf("cell 2 = %d", got)
+	}
+	if got := s.Total(); got != 1+2+13+4 {
+		t.Errorf("total = %d", got)
+	}
+	s.Reset()
+	if s.Total() != 0 {
+		t.Error("reset failed")
+	}
+	if NewSharded(0).Cells() != 1 {
+		t.Error("NewSharded(0) should clamp to one cell")
+	}
+}
+
 func TestReservoirQuantiles(t *testing.T) {
 	var r Reservoir
 	for i := 1; i <= 100; i++ {

@@ -250,7 +250,7 @@ func (s *Sender) sendSegment(seq uint64, isRtx bool) {
 		return
 	}
 	s.SegmentsSent++
-	s.sendTimes[seq] = s.node.Sim.Now()
+	s.sendTimes[seq] = s.node.Now()
 	if isRtx {
 		s.Retransmits++
 		s.undoRetrans++
@@ -259,7 +259,7 @@ func (s *Sender) sendSegment(seq uint64, isRtx bool) {
 		}
 	} else if !s.timedValid {
 		s.timedSeq = seq
-		s.timedAt = s.node.Sim.Now()
+		s.timedAt = s.node.Now()
 		s.timedValid = true
 	}
 	s.node.Output(raw)
@@ -296,7 +296,7 @@ func (s *Sender) input(seg packet.TCP, payload []byte, src netip.Addr) {
 			}
 		} else if right >= uint64(s.cfg.MSS) {
 			if sent, ok := s.sendTimes[right-uint64(s.cfg.MSS)]; ok {
-				s.rackRTT = s.node.Sim.Now() - sent
+				s.rackRTT = s.node.Now() - sent
 			}
 		}
 	}
@@ -304,7 +304,7 @@ func (s *Sender) input(seg packet.TCP, payload []byte, src netip.Addr) {
 	if ack > s.sndUna {
 		// New data acknowledged.
 		if s.timedValid && ack > s.timedSeq {
-			s.rttSample(s.node.Sim.Now() - s.timedAt)
+			s.rttSample(s.node.Now() - s.timedAt)
 			s.timedValid = false
 		}
 		for q := s.sndUna; q < ack; q += uint64(s.cfg.MSS) {
@@ -378,7 +378,7 @@ func (s *Sender) headExpired() bool {
 		return true
 	}
 	reoWnd := maxI(int64(1+s.reoWndMult)*s.minRTT/4, 2*netsim.Millisecond)
-	return s.node.Sim.Now()-sent > base+reoWnd
+	return s.node.Now()-sent > base+reoWnd
 }
 
 // reoWndMaxMult caps the adaptive reordering window at roughly one
@@ -446,7 +446,7 @@ func (s *Sender) armRTO() {
 	s.rtoSeq++
 	epoch := s.rtoSeq
 	s.rtoArmed = true
-	s.node.Sim.After(s.rto, func() {
+	s.node.After(s.rto, func() {
 		if !s.rtoArmed || epoch != s.rtoSeq || s.stopped {
 			return
 		}
@@ -486,7 +486,7 @@ func (r *Receiver) input(seg packet.TCP, payload []byte, src netip.Addr) {
 	}
 	seq := r.unwrapSeq(seg.Seq)
 	n := len(payload)
-	now := r.node.Sim.Now()
+	now := r.node.Now()
 
 	switch {
 	case seq == r.rcvNxt:

@@ -70,7 +70,7 @@ func (g *UDPGen) Start(until int64) error {
 func (g *UDPGen) Stop() { g.running = false }
 
 func (g *UDPGen) tick() {
-	if !g.running || g.Node.Sim.Now() >= g.stopAt {
+	if !g.running || g.Node.Now() >= g.stopAt {
 		g.running = false
 		return
 	}
@@ -87,7 +87,7 @@ func (g *UDPGen) tick() {
 	if gap < 1 {
 		gap = 1
 	}
-	g.Node.Sim.After(gap, g.tick)
+	g.Node.After(gap, g.tick)
 }
 
 // WireSize returns the on-the-wire packet size the generator emits.
@@ -120,7 +120,7 @@ func (g *RawGen) Start(until int64) {
 func (g *RawGen) Stop() { g.running = false }
 
 func (g *RawGen) tick() {
-	if !g.running || g.Node.Sim.Now() >= g.stopAt {
+	if !g.running || g.Node.Now() >= g.stopAt {
 		g.running = false
 		return
 	}
@@ -130,7 +130,7 @@ func (g *RawGen) tick() {
 	if gap < 1 {
 		gap = 1
 	}
-	g.Node.Sim.After(gap, g.tick)
+	g.Node.After(gap, g.tick)
 }
 
 // Sink counts delivered UDP packets on a port and computes rates

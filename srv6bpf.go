@@ -35,6 +35,7 @@ import (
 	"srv6bpf/internal/core"
 	"srv6bpf/internal/netem"
 	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/netsim/topo"
 	"srv6bpf/internal/nf/frr"
 	"srv6bpf/internal/packet"
 	"srv6bpf/internal/seg6"
@@ -42,8 +43,16 @@ import (
 
 // --- Simulation substrate ---
 
-// Sim is the discrete-event simulation kernel.
+// Sim is the discrete-event simulation kernel. Sim.SetShards(n)
+// partitions the nodes across n parallel event loops with
+// deterministic cross-shard channels: the same seed yields identical
+// per-node counters and delivery traces for any shard count, so
+// large generated topologies simulate on all cores without giving up
+// replayability. See Sim.EngineStats for the engine's accounting.
 type Sim = netsim.Sim
+
+// EngineStats is the parallel engine's merged per-shard accounting.
+type EngineStats = netsim.EngineStats
 
 // NewSim creates a simulation with a deterministic seed.
 func NewSim(seed int64) *Sim { return netsim.New(seed) }
@@ -108,6 +117,33 @@ var (
 
 // LinkConfig shapes one link direction (tc-netem style).
 type LinkConfig = netem.Config
+
+// --- Topology generators (internal/netsim/topo) ---
+
+// Topology is a generated network: the sim it was built into, all
+// nodes in creation order, and the traffic-terminating hosts.
+type Topology = topo.Network
+
+// TopoOpts parameterises a topology generator (link shaping, cost
+// models).
+type TopoOpts = topo.Opts
+
+// TopoLink shapes generated links; its delay feeds the sharded
+// engine's lookahead.
+type TopoLink = topo.LinkSpec
+
+// WaxmanParams parameterises the Waxman random graph generator.
+type WaxmanParams = topo.WaxmanParams
+
+// Topology constructors: a chain, a cycle, a k-ary fat-tree
+// (k^3/4 hosts, 5k^2/4 switches) and a Waxman random graph — all
+// with deterministic shortest-path ECMP routing installed.
+var (
+	LineTopology = topo.Line
+	RingTopology = topo.Ring
+	FatTree      = topo.FatTree
+	Waxman       = topo.Waxman
+)
 
 // --- Packets and the SRv6 data plane ---
 
