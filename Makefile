@@ -1,9 +1,13 @@
 # Tier-1 verification and benchmark entry points.
 #
 #   make check   — build + vet + full test suite + sharded-engine
-#                  race smoke (the tier-1 gate)
+#                  race smoke + equivalence-fuzz smoke (the tier-1
+#                  gate)
 #   make race    — full test suite under the race detector (CI job;
 #                  the parallel simulation engine must be race-clean)
+#   make fuzz-deep — full-depth randomized equivalence fuzzing of the
+#                  conservative and optimistic shard engines (the
+#                  scheduled CI job; FUZZ_SCENARIOS overrides depth)
 #   make bench   — wall-clock datapath + figure benchmarks (-benchmem)
 #   make bench-json [BENCH_JSON=path] — machine-readable perf report
 #   make fmt     — gofmt the tree
@@ -11,10 +15,11 @@
 GO ?= go
 BENCH_JSON ?= BENCH.json
 BENCH_WINDOW ?= 50ms
+FUZZ_SCENARIOS ?= 150
 
-.PHONY: check build vet test race race-smoke bench bench-json fmt
+.PHONY: check build vet test race race-smoke fuzz-smoke fuzz-deep bench bench-json fmt
 
-check: build vet test race-smoke
+check: build vet test race-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -31,8 +36,17 @@ test:
 race-smoke:
 	$(GO) test -race -run 'TestShardEquivalenceSmoke|TestCrossShardInFlightFailure' ./internal/netsim
 
+# A second pass of the randomized sequential/conservative/optimistic
+# equivalence fuzzer at smoke depth: -count 2 re-runs the same seeds
+# and catches nondeterminism across process runs.
+fuzz-smoke:
+	$(GO) test -run 'TestShardEquivalenceFuzz' -count 2 ./internal/netsim
+
 race:
 	$(GO) test -race ./...
+
+fuzz-deep:
+	SRV6BPF_FUZZ_SCENARIOS=$(FUZZ_SCENARIOS) $(GO) test -run 'TestShardEquivalenceFuzz' -timeout 30m -v ./internal/netsim
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkDatapath -benchmem .

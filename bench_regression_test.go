@@ -9,6 +9,12 @@ package srv6bpf
 // and are.
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
 
 	"srv6bpf/internal/experiments"
@@ -49,6 +55,85 @@ func TestDatapathAllocRegression(t *testing.T) {
 	}
 	if seen != len(zeroAlloc) {
 		t.Fatalf("datapath bench reported %d of %d zero-alloc rows", seen, len(zeroAlloc))
+	}
+}
+
+// benchFile is the slice of a BENCH_PR*.json report the trajectory
+// check cares about.
+type benchFile struct {
+	name     string
+	Schema   string                    `json:"schema"`
+	Datapath []experiments.DatapathRow `json:"datapath"`
+}
+
+// TestBenchTrajectory diffs the committed BENCH_PR*.json trajectory:
+// every report must parse against the current schema, later PRs must
+// keep publishing every datapath row an earlier PR published (a
+// silently dropped benchmark is how a regression hides), and the rows
+// the zero-allocation datapath promise covers must report 0 allocs/op
+// in every report from the moment they first appear. Wall-clock
+// timings are machine-dependent and deliberately not diffed.
+func TestBenchTrajectory(t *testing.T) {
+	paths, err := filepath.Glob("BENCH_PR*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Skipf("need at least two BENCH_PR*.json reports, found %d", len(paths))
+	}
+	// Order by PR number, not lexicographically: BENCH_PR10.json must
+	// follow BENCH_PR9.json.
+	prNum := func(p string) int {
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(p, "BENCH_PR"), ".json"))
+		if err != nil {
+			t.Fatalf("unparseable bench report name %q: %v", p, err)
+		}
+		return n
+	}
+	sort.Slice(paths, func(i, j int) bool { return prNum(paths[i]) < prNum(paths[j]) })
+	var files []benchFile
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := benchFile{name: p}
+		if err := json.Unmarshal(raw, &f); err != nil {
+			t.Fatalf("%s does not parse: %v", p, err)
+		}
+		if f.Schema != "srv6bpf-bench/1" {
+			t.Errorf("%s: schema %q, want srv6bpf-bench/1", p, f.Schema)
+		}
+		if len(f.Datapath) == 0 {
+			t.Errorf("%s: no datapath rows", p)
+		}
+		files = append(files, f)
+	}
+	zeroAlloc := map[string]bool{
+		"End-static-go": true,
+		"EndBPF-jit":    true,
+		"EndBPF-interp": true,
+		"TagInc-jit":    true,
+		"TagInc-interp": true,
+	}
+	for i, f := range files {
+		rows := make(map[string]experiments.DatapathRow, len(f.Datapath))
+		for _, r := range f.Datapath {
+			rows[r.Name] = r
+			if zeroAlloc[r.Name] && r.AllocsPerOp != 0 {
+				t.Errorf("%s: %s reports %d allocs/op; the zero-allocation datapath regressed",
+					f.name, r.Name, r.AllocsPerOp)
+			}
+		}
+		if i == 0 {
+			continue
+		}
+		for _, prev := range files[i-1].Datapath {
+			if _, ok := rows[prev.Name]; !ok {
+				t.Errorf("%s: datapath row %q published by %s disappeared",
+					f.name, prev.Name, files[i-1].name)
+			}
+		}
 	}
 }
 

@@ -29,6 +29,8 @@ func main() {
 	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
 	shards := flag.Int("shards", 0,
 		"run the shard-scaling experiment up to this many shards (1,2,4,...) on a 208-node fat-tree")
+	engine := flag.String("engine", "conservative",
+		"parallel engine for the shard-scaling experiment: conservative, optimistic or both")
 	topoK := flag.Int("topo-k", 8, "fat-tree arity for the shard-scaling experiment")
 	shardDuration := flag.Duration("shard-duration", 20*time.Millisecond,
 		"virtual window of the shard-scaling experiment")
@@ -81,7 +83,9 @@ func main() {
 	}
 	if *shards > 0 {
 		ran = true
-		runShards(*shards, *topoK, shardDuration.Nanoseconds())
+		for _, eng := range enginesFor(*engine) {
+			runShards(eng, *shards, *topoK, shardDuration.Nanoseconds())
+		}
 	}
 	if !ran {
 		flag.Usage()
@@ -236,17 +240,36 @@ func shardCountsUpTo(max int) []int {
 	return append(counts, max)
 }
 
-func runShards(max, k int, win int64) {
-	fmt.Printf("== Shard scaling: k=%d fat-tree permutation mix, %s virtual (GOMAXPROCS=%d) ==\n",
-		k, time.Duration(win), runtime.GOMAXPROCS(0))
+// enginesFor parses the -engine flag into the engines to measure.
+func enginesFor(name string) []netsim.Engine {
+	switch name {
+	case "conservative":
+		return []netsim.Engine{netsim.EngineConservative}
+	case "optimistic":
+		return []netsim.Engine{netsim.EngineOptimistic}
+	case "both":
+		return []netsim.Engine{netsim.EngineConservative, netsim.EngineOptimistic}
+	default:
+		fail(fmt.Errorf("unknown -engine %q (conservative, optimistic or both)", name))
+		return nil
+	}
+}
+
+func runShards(eng netsim.Engine, max, k int, win int64) {
+	fmt.Printf("== Shard scaling (%s): k=%d fat-tree permutation mix, %s virtual (GOMAXPROCS=%d) ==\n",
+		eng, k, time.Duration(win), runtime.GOMAXPROCS(0))
 	fmt.Println("   identical per-node counters are re-verified across shard counts")
-	rows, err := experiments.ShardScaling(shardCountsUpTo(max), k, win)
+	rows, err := experiments.ShardScaling(eng, shardCountsUpTo(max), k, win)
 	if err != nil {
 		fail(err)
 	}
 	for _, r := range rows {
-		fmt.Printf("  shards=%d  %8.1f ms wall  %10.0f events/s  speedup %.2fx  (%d events, %d windows, %d msgs, %d delivered)\n",
+		fmt.Printf("  shards=%d  %8.1f ms wall  %10.0f events/s  speedup %.2fx  (%d events, %d windows, %d msgs, %d delivered",
 			r.Shards, r.WallMs, r.EventsPerSec, r.Speedup, r.Events, r.Windows, r.Messages, r.Delivered)
+		if r.Engine == "optimistic" {
+			fmt.Printf(", %d ckpts, %d rollbacks, %d antis", r.Checkpoints, r.Rollbacks, r.AntiMessages)
+		}
+		fmt.Println(")")
 	}
 	fmt.Println()
 }
@@ -266,6 +289,10 @@ type benchReport struct {
 	FRR          []experiments.FRRRow          `json:"frr"`
 	Datapath     []experiments.DatapathRow     `json:"datapath"`
 	ShardScaling []experiments.ShardScalingRow `json:"shard_scaling"`
+	// ShardScalingOptimistic measures the Time-Warp engine on the same
+	// scenario (same seed, counters verified identical to the
+	// conservative rows by the experiment itself).
+	ShardScalingOptimistic []experiments.ShardScalingRow `json:"shard_scaling_optimistic"`
 }
 
 func writeBenchJSON(path string, win int64) {
@@ -294,7 +321,10 @@ func writeBenchJSON(path string, win int64) {
 	if rep.Datapath, err = experiments.DatapathBench(); err != nil {
 		fail(err)
 	}
-	if rep.ShardScaling, err = experiments.ShardScaling(shardCountsUpTo(4), 8, 20*netsim.Millisecond); err != nil {
+	if rep.ShardScaling, err = experiments.ShardScaling(netsim.EngineConservative, shardCountsUpTo(4), 8, 20*netsim.Millisecond); err != nil {
+		fail(err)
+	}
+	if rep.ShardScalingOptimistic, err = experiments.ShardScaling(netsim.EngineOptimistic, shardCountsUpTo(4), 8, 20*netsim.Millisecond); err != nil {
 		fail(err)
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -22,6 +22,7 @@ import (
 
 // ShardScalingRow is one shard-count measurement.
 type ShardScalingRow struct {
+	Engine       string  `json:"engine"`
 	Shards       int     `json:"shards"`
 	Nodes        int     `json:"nodes"`
 	Hosts        int     `json:"hosts"`
@@ -33,20 +34,27 @@ type ShardScalingRow struct {
 	Delivered uint64  `json:"delivered_pkts"`
 	Windows   uint64  `json:"windows"`
 	Messages  uint64  `json:"cross_shard_msgs"`
+	// Time-Warp accounting (zero under the conservative engine).
+	Checkpoints  uint64 `json:"checkpoints,omitempty"`
+	Rollbacks    uint64 `json:"rollbacks,omitempty"`
+	AntiMessages uint64 `json:"anti_messages,omitempty"`
 }
 
 // shardScalingSeed fixes the scenario; every shard count replays it.
 const shardScalingSeed = 7
 
 // ShardScaling runs the fat-tree mix once per requested shard count
-// and reports scaling rows. k is the fat-tree arity (k=8 gives 208
-// nodes); durationNs is the virtual measurement window.
-func ShardScaling(shardCounts []int, k int, durationNs int64) ([]ShardScalingRow, error) {
+// under the given engine and reports scaling rows. k is the fat-tree
+// arity (k=8 gives 208 nodes); durationNs is the virtual measurement
+// window. The determinism check spans engines too: every row's
+// counters must match the first row's, whatever synchronisation
+// protocol produced them.
+func ShardScaling(engine netsim.Engine, shardCounts []int, k int, durationNs int64) ([]ShardScalingRow, error) {
 	var rows []ShardScalingRow
 	baseline := 0.0
 	fingerprint := ""
 	for _, n := range shardCounts {
-		row, fp, err := shardScalingRun(n, k, durationNs)
+		row, fp, err := shardScalingRun(engine, n, k, durationNs)
 		if err != nil {
 			return nil, err
 		}
@@ -67,7 +75,7 @@ func ShardScaling(shardCounts []int, k int, durationNs int64) ([]ShardScalingRow
 	return rows, nil
 }
 
-func shardScalingRun(shards, k int, durationNs int64) (ShardScalingRow, string, error) {
+func shardScalingRun(engine netsim.Engine, shards, k int, durationNs int64) (ShardScalingRow, string, error) {
 	sim := netsim.New(shardScalingSeed)
 	nw, err := topo.FatTree(sim, k, topo.Opts{
 		Link: topo.LinkSpec{RateBps: 10_000_000_000, DelayNs: 25 * netsim.Microsecond},
@@ -88,7 +96,7 @@ func shardScalingRun(shards, k int, durationNs int64) (ShardScalingRow, string, 
 			RatePPS:   20_000,
 		}
 	}
-	if err := sim.SetShards(shards); err != nil {
+	if err := sim.SetShards(shards, engine); err != nil {
 		return ShardScalingRow{}, "", err
 	}
 
@@ -132,6 +140,7 @@ func shardScalingRun(shards, k int, durationNs int64) (ShardScalingRow, string, 
 	}
 	st := sim.EngineStats()
 	row := ShardScalingRow{
+		Engine:       engine.String(),
 		Shards:       shards,
 		Nodes:        len(nw.Nodes),
 		Hosts:        len(nw.Hosts),
@@ -141,6 +150,9 @@ func shardScalingRun(shards, k int, durationNs int64) (ShardScalingRow, string, 
 		Delivered:    delivered,
 		Windows:      st.Windows,
 		Messages:     st.Messages,
+		Checkpoints:  st.Checkpoints,
+		Rollbacks:    st.Rollbacks,
+		AntiMessages: st.AntiMessages,
 	}
 	return row, countersFingerprint(sim), nil
 }

@@ -128,11 +128,13 @@ func (q *Qdisc) Admit(now int64, size int, rng *rand.Rand) (deliverAt int64, ok 
 
 	delay := q.cfg.DelayNs + q.ExtraDelayNs
 	if q.cfg.JitterNs > 0 {
-		j := int64(rng.NormFloat64() * float64(q.cfg.JitterNs))
-		delay += j
-		if delay < 0 {
-			delay = 0
-		}
+		delay += int64(rng.NormFloat64() * float64(q.cfg.JitterNs))
+	}
+	if delay < 0 {
+		// Delay never goes negative (a packet cannot arrive before it
+		// finished serialising), whatever jitter or a negative
+		// ExtraDelayNs ask for.
+		delay = 0
 	}
 	deliverAt = txDone + delay
 	// FIFO per direction: jitter shifts delay but never reorders
@@ -143,6 +145,48 @@ func (q *Qdisc) Admit(now int64, size int, rng *rand.Rand) (deliverAt int64, ok 
 	q.lastDelivery = deliverAt
 	q.Admitted++
 	return deliverAt, true
+}
+
+// Snapshot is a value copy of the qdisc's full runtime state, taken
+// by the optimistic simulation engine at checkpoint boundaries.
+type Snapshot struct {
+	cfg          Config
+	busyUntil    int64
+	inFlight     []int64
+	lastDelivery int64
+	extraDelayNs int64
+	admitted     uint64
+	dropped      uint64
+	lossDrops    uint64
+}
+
+// Snapshot captures the qdisc state. The returned value shares
+// nothing mutable with the qdisc: restoring an old snapshot after
+// further Admit calls yields exactly the captured state.
+func (q *Qdisc) Snapshot() Snapshot {
+	return Snapshot{
+		cfg:          q.cfg,
+		busyUntil:    q.busyUntil,
+		inFlight:     append([]int64(nil), q.inFlight...),
+		lastDelivery: q.lastDelivery,
+		extraDelayNs: q.ExtraDelayNs,
+		admitted:     q.Admitted,
+		dropped:      q.Dropped,
+		lossDrops:    q.LossDrops,
+	}
+}
+
+// Restore rewinds the qdisc to a previously captured snapshot. The
+// snapshot remains valid and may be restored again.
+func (q *Qdisc) Restore(s Snapshot) {
+	q.cfg = s.cfg
+	q.busyUntil = s.busyUntil
+	q.inFlight = append(q.inFlight[:0], s.inFlight...)
+	q.lastDelivery = s.lastDelivery
+	q.ExtraDelayNs = s.extraDelayNs
+	q.Admitted = s.admitted
+	q.Dropped = s.dropped
+	q.LossDrops = s.lossDrops
 }
 
 func (q *Qdisc) String() string {

@@ -61,8 +61,8 @@ func fingerprint(sim *netsim.Sim, extra []string) string {
 }
 
 // fatTreeRun executes the 208-node fat-tree traffic mix under the
-// given shard count and returns its fingerprint.
-func fatTreeRun(t *testing.T, shards int) (string, netsim.EngineStats) {
+// given shard count and engine and returns its fingerprint.
+func fatTreeRun(t *testing.T, shards int, eng netsim.Engine) (string, netsim.EngineStats) {
 	t.Helper()
 	sim := netsim.New(7)
 	nw, err := topo.FatTree(sim, 8, topo.Opts{
@@ -76,13 +76,14 @@ func fatTreeRun(t *testing.T, shards int) (string, netsim.EngineStats) {
 	}
 
 	// Per-host delivery traces: (rx time, source, flow label) of every
-	// arrival, recorded on the receiving shard.
-	traces := make([][]string, len(nw.Hosts))
+	// arrival, recorded on the receiving shard in rollback-aware
+	// journals so speculative deliveries never leak into the record.
+	journals := make([]*netsim.Journal, len(nw.Hosts))
 	for i, h := range nw.Hosts {
-		i, h := i, h
+		j := netsim.NewJournal(h)
+		journals[i] = j
 		h.HandleUDP(9, func(n *netsim.Node, p *packet.Packet, meta *netsim.PacketMeta) {
-			traces[i] = append(traces[i],
-				fmt.Sprintf("%d:%s:%d", meta.RxTimestamp, p.IPv6.Src, p.IPv6.FlowLabel))
+			j.Addf("%d:%s:%d", meta.RxTimestamp, p.IPv6.Src, p.IPv6.FlowLabel)
 		})
 	}
 
@@ -99,7 +100,7 @@ func fatTreeRun(t *testing.T, shards int) (string, netsim.EngineStats) {
 		}
 	}
 
-	if err := sim.SetShards(shards); err != nil {
+	if err := sim.SetShards(shards, eng); err != nil {
 		t.Fatal(err)
 	}
 	const until = 4 * netsim.Millisecond
@@ -118,17 +119,16 @@ func fatTreeRun(t *testing.T, shards int) (string, netsim.EngineStats) {
 	}
 	sim.Run()
 
-	extra := make([]string, 0, len(traces)+1)
-	for i, tr := range traces {
-		extra = append(extra, fmt.Sprintf("trace[%s]=%s", nw.Hosts[i].Name, strings.Join(tr, ",")))
+	extra := make([]string, 0, len(journals)+1)
+	for i, j := range journals {
+		extra = append(extra, fmt.Sprintf("trace[%s]=%s", nw.Hosts[i].Name, strings.Join(j.Lines(), ",")))
 	}
 	st := sim.EngineStats()
-	extra = append(extra, fmt.Sprintf("events=%d", st.Events))
 	return fingerprint(sim, extra), st
 }
 
 func TestShardEquivalenceFatTree(t *testing.T) {
-	base, st1 := fatTreeRun(t, 1)
+	base, st1 := fatTreeRun(t, 1, netsim.EngineConservative)
 	if st1.Events == 0 {
 		t.Fatal("no events executed")
 	}
@@ -138,18 +138,33 @@ func TestShardEquivalenceFatTree(t *testing.T) {
 			t.Fatalf("no deliveries at %s", line)
 		}
 	}
-	for _, shards := range []int{2, 4} {
-		got, st := fatTreeRun(t, shards)
+	type arm struct {
+		shards int
+		eng    netsim.Engine
+	}
+	arms := []arm{
+		{2, netsim.EngineConservative},
+		{4, netsim.EngineConservative},
+		{2, netsim.EngineOptimistic},
+		{4, netsim.EngineOptimistic},
+		{8, netsim.EngineOptimistic},
+	}
+	for _, a := range arms {
+		got, st := fatTreeRun(t, a.shards, a.eng)
 		if got != base {
-			diffReport(t, base, got, shards)
+			diffReport(t, base, got, a.shards)
 		}
-		if st.Shards != shards {
-			t.Errorf("engine ran with %d shards, want %d", st.Shards, shards)
+		if st.Shards != a.shards {
+			t.Errorf("engine ran with %d shards, want %d", st.Shards, a.shards)
 		}
 		if st.Messages == 0 {
-			t.Errorf("%d shards exchanged no cross-shard messages — partition degenerate?", shards)
+			t.Errorf("%d shards exchanged no cross-shard messages — partition degenerate?", a.shards)
 		}
-		t.Logf("shards=%d events=%d windows=%d msgs=%d", st.Shards, st.Events, st.Windows, st.Messages)
+		if a.eng == netsim.EngineOptimistic && st.Checkpoints == 0 {
+			t.Errorf("optimistic %d-shard run took no checkpoints", a.shards)
+		}
+		t.Logf("%s shards=%d events=%d windows=%d msgs=%d ckpts=%d rollbacks=%d antis=%d",
+			a.eng, st.Shards, st.Events, st.Windows, st.Messages, st.Checkpoints, st.Rollbacks, st.AntiMessages)
 	}
 }
 
@@ -169,8 +184,8 @@ func diffReport(t *testing.T, base, got string, shards int) {
 }
 
 // frrRun executes the FRR failover scenario (the protection triangle
-// of internal/experiments) under the given shard count.
-func frrRun(t *testing.T, shards int) string {
+// of internal/experiments) under the given shard count and engine.
+func frrRun(t *testing.T, shards int, eng netsim.Engine) string {
 	t.Helper()
 	var (
 		src     = netip.MustParseAddr("2001:db8:1::1")
@@ -227,9 +242,9 @@ func frrRun(t *testing.T, shards int) string {
 	d.AddRoute(&netsim.Route{Prefix: pfx("fc00:10::/32"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: dpIf}}})
 	d.AddRoute(&netsim.Route{Prefix: pfx("2001:db8:2::/48"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: dtIf}}})
 
-	var delivered []int64
+	delivered := netsim.NewJournal(tt)
 	tt.HandleUDP(9999, func(n *netsim.Node, pk *packet.Packet, meta *netsim.PacketMeta) {
-		delivered = append(delivered, meta.RxTimestamp)
+		delivered.Addf("%d", meta.RxTimestamp)
 	})
 
 	f, err := frr.New(p, frr.Config{TrackSID: track, ProbeInterval: 2 * netsim.Millisecond, Misses: 3, JIT: true})
@@ -246,7 +261,7 @@ func frrRun(t *testing.T, shards int) string {
 		t.Fatal(err)
 	}
 
-	if err := sim.SetShards(shards); err != nil {
+	if err := sim.SetShards(shards, eng); err != nil {
 		t.Fatal(err)
 	}
 	f.Start()
@@ -269,20 +284,26 @@ func frrRun(t *testing.T, shards int) string {
 	sim.Run()
 
 	extra := []string{
-		fmt.Sprintf("delivered=%v", delivered),
+		fmt.Sprintf("delivered=%v", delivered.Lines()),
 		fmt.Sprintf("probes=%d transitions=%v", f.ProbesSent, f.Transitions),
-		fmt.Sprintf("pd.tx=%d pd.downdrops=%d pb.tx=%d", pdIf.TxPackets, pdIf.DownDrops, pbIf.TxPackets),
+		fmt.Sprintf("pd.tx=%d pd.downdrops=%d pb.tx=%d", pdIf.TxPackets, pdIf.DownDrops(), pbIf.TxPackets),
 	}
 	return fingerprint(sim, extra)
 }
 
 func TestShardEquivalenceFRR(t *testing.T) {
-	base := frrRun(t, 1)
+	base := frrRun(t, 1, netsim.EngineConservative)
 	if !strings.Contains(base, "transitions=[{1 false") {
 		t.Fatalf("FRR scenario never detected the failure:\n%s", base)
 	}
+	// The topology has 5 nodes, so the optimistic arms stop at 4
+	// shards; the 8-shard optimistic arm runs on the 208-node
+	// fat-tree above.
 	for _, shards := range []int{2, 4} {
-		if got := frrRun(t, shards); got != base {
+		if got := frrRun(t, shards, netsim.EngineConservative); got != base {
+			diffReport(t, base, got, shards)
+		}
+		if got := frrRun(t, shards, netsim.EngineOptimistic); got != base {
 			diffReport(t, base, got, shards)
 		}
 	}
@@ -292,7 +313,7 @@ func TestShardEquivalenceFRR(t *testing.T) {
 // that `make check` runs under the race detector: a trimmed fat-tree
 // (k=4, 36 nodes) against the sequential schedule.
 func TestShardEquivalenceSmoke(t *testing.T) {
-	run := func(shards int) string {
+	run := func(shards int, eng netsim.Engine) string {
 		sim := netsim.New(3)
 		nw, err := topo.FatTree(sim, 4, topo.Opts{
 			Link: topo.LinkSpec{RateBps: 10_000_000_000, DelayNs: 25 * netsim.Microsecond},
@@ -300,13 +321,15 @@ func TestShardEquivalenceSmoke(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		// Per-host traces: each slice is appended only by its owner's
-		// shard.
-		traces := make([][]string, len(nw.Hosts))
+		// Per-host traces: each journal is appended only by its
+		// owner's shard and rewinds with rollbacks.
+		journals := make([]*netsim.Journal, len(nw.Hosts))
 		for i, h := range nw.Hosts {
-			i, h := i, h
+			j := netsim.NewJournal(h)
+			journals[i] = j
+			name := h.Name
 			h.HandleUDP(9, func(n *netsim.Node, p *packet.Packet, meta *netsim.PacketMeta) {
-				traces[i] = append(traces[i], fmt.Sprintf("%s<-%s@%d", h.Name, p.IPv6.Src, meta.RxTimestamp))
+				j.Addf("%s<-%s@%d", name, p.IPv6.Src, meta.RxTimestamp)
 			})
 		}
 		pairs := nw.PermutationPairs(5)
@@ -319,7 +342,7 @@ func TestShardEquivalenceSmoke(t *testing.T) {
 				RatePPS:   50_000,
 			}
 		}
-		if err := sim.SetShards(shards); err != nil {
+		if err := sim.SetShards(shards, eng); err != nil {
 			t.Fatal(err)
 		}
 		const until = netsim.Millisecond
@@ -337,13 +360,16 @@ func TestShardEquivalenceSmoke(t *testing.T) {
 		}
 		sim.Run()
 		var order []string
-		for _, tr := range traces {
-			order = append(order, tr...)
+		for _, j := range journals {
+			order = append(order, j.Lines()...)
 		}
 		return fingerprint(sim, order)
 	}
-	base := run(1)
-	if got := run(2); got != base {
+	base := run(1, netsim.EngineConservative)
+	if got := run(2, netsim.EngineConservative); got != base {
+		diffReport(t, base, got, 2)
+	}
+	if got := run(2, netsim.EngineOptimistic); got != base {
 		diffReport(t, base, got, 2)
 	}
 }

@@ -1,0 +1,325 @@
+package netsim_test
+
+// Randomized equivalence fuzzing: the lock that makes speculative
+// execution trustworthy. Each seeded scenario generates a topology
+// (Waxman, fat-tree, ring — some with zero-delay links the
+// conservative engine must reject), a random traffic mix and a random
+// link failure/restore schedule, then replays the identical scenario
+// sequentially, conservatively sharded and optimistically sharded
+// (with a randomized speculation horizon) and requires bit-identical
+// per-node counters and delivery traces from every arm.
+//
+// Depth scales with SRV6BPF_FUZZ_SCENARIOS (the scheduled CI job runs
+// the full depth; `make check` runs the default smoke).
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/netsim/topo"
+	"srv6bpf/internal/packet"
+	"srv6bpf/internal/trafgen"
+)
+
+// fuzzScenario is the deterministic description derived from a seed.
+type fuzzScenario struct {
+	seed      int64
+	kind      string
+	zeroDelay bool // cross-shard zero-delay links present
+	duration  int64
+	horizon   int64 // optimistic speculation window for this scenario
+	rate      float64
+	pairs     int64 // PermutationPairs seed
+	flowMod   uint64
+	fails     int
+}
+
+func deriveScenario(seed int64) fuzzScenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := fuzzScenario{
+		seed:     seed,
+		duration: (1 + rng.Int63n(2)) * netsim.Millisecond,
+		horizon:  (20 + rng.Int63n(180)) * netsim.Microsecond,
+		rate:     float64(5000 + rng.Intn(45000)),
+		pairs:    rng.Int63n(1 << 30),
+		flowMod:  uint64(4 + rng.Intn(12)),
+		fails:    rng.Intn(4),
+	}
+	switch rng.Intn(4) {
+	case 0:
+		sc.kind = "waxman"
+	case 1:
+		sc.kind = "fattree"
+	case 2:
+		sc.kind = "ring"
+	case 3:
+		sc.kind = "fattree-zerodelay"
+		sc.zeroDelay = true
+	}
+	return sc
+}
+
+// buildFuzzTopo constructs the scenario's network; all construction
+// randomness comes from a fresh rng over the scenario seed, so every
+// arm builds the identical network.
+func buildFuzzTopo(t *testing.T, sim *netsim.Sim, sc fuzzScenario) *topo.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(sc.seed ^ 0x746f706f)) // "topo"
+	delay := (5 + rng.Int63n(45)) * netsim.Microsecond
+	link := topo.LinkSpec{RateBps: int64(1+rng.Intn(10)) * 1_000_000_000, DelayNs: delay}
+	var nw *topo.Network
+	var err error
+	switch sc.kind {
+	case "waxman":
+		n := 12 + rng.Intn(16)
+		nw, err = topo.Waxman(sim, n, topo.WaxmanParams{
+			Alpha: 0.4 + 0.5*rng.Float64(),
+			Beta:  0.3 + 0.5*rng.Float64(),
+			Seed:  rng.Int63(),
+		}, topo.Opts{Link: link})
+	case "fattree":
+		nw, err = topo.FatTree(sim, 4, topo.Opts{Link: link})
+	case "fattree-zerodelay":
+		nw, err = topo.FatTree(sim, 4, topo.Opts{
+			Link:    link,
+			PodLink: topo.LinkSpec{RateBps: link.RateBps, DelayNs: -1}, // true zero delay
+		})
+	case "ring":
+		nw, err = topo.Ring(sim, 8+rng.Intn(12), topo.Opts{Link: link})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// fuzzRun replays the scenario under one engine arm and fingerprints
+// the committed state: every node's counters, every host's delivery
+// trace, and the per-link failure accounting.
+func fuzzRun(t *testing.T, sc fuzzScenario, shards int, eng netsim.Engine) string {
+	t.Helper()
+	sim := netsim.New(sc.seed)
+	nw := buildFuzzTopo(t, sim, sc)
+
+	journals := make([]*netsim.Journal, len(nw.Hosts))
+	for i, h := range nw.Hosts {
+		j := netsim.NewJournal(h)
+		journals[i] = j
+		h.HandleUDP(9, func(n *netsim.Node, p *packet.Packet, meta *netsim.PacketMeta) {
+			j.Addf("%d:%s:%d", meta.RxTimestamp, p.IPv6.Src, p.IPv6.FlowLabel)
+		})
+	}
+	pairs := nw.PermutationPairs(sc.pairs)
+	gens := make([]*trafgen.UDPGen, len(pairs))
+	for i, pr := range pairs {
+		gens[i] = &trafgen.UDPGen{
+			Node: pr[0], Src: nw.HostAddr(pr[0]), Dst: nw.HostAddr(pr[1]),
+			SrcPort: 1000, DstPort: 9, PayloadLen: 64,
+			FlowLabel: func(k uint64) uint32 { return uint32(k % sc.flowMod) },
+			RatePPS:   sc.rate,
+		}
+	}
+
+	if shards > 1 {
+		if err := sim.SetShards(shards, eng); err != nil {
+			t.Fatalf("SetShards(%d, %v): %v", shards, eng, err)
+		}
+		if eng == netsim.EngineOptimistic {
+			sim.SetHorizon(sc.horizon)
+		}
+	}
+
+	// Random link failure/restore schedule, derived deterministically
+	// from the scenario seed. Sim.FailLink splits the flip across
+	// shards, so any link — including cross-shard ones — is fair game.
+	frng := rand.New(rand.NewSource(sc.seed ^ 0x6661696c)) // "fail"
+	for f := 0; f < sc.fails; f++ {
+		node := nw.Nodes[frng.Intn(len(nw.Nodes))]
+		ifaces := node.Ifaces()
+		if len(ifaces) == 0 {
+			continue
+		}
+		ifc := ifaces[frng.Intn(len(ifaces))]
+		at := frng.Int63n(sc.duration * 3 / 4)
+		sim.FailLink(at, ifc)
+		if frng.Intn(2) == 0 {
+			sim.RestoreLink(at+frng.Int63n(sc.duration/2)+netsim.Microsecond, ifc)
+		}
+	}
+
+	for i, g := range gens {
+		g := g
+		g.Node.Schedule(int64(i)*netsim.Microsecond, func() {
+			if err := g.Start(sc.duration); err != nil {
+				panic(err)
+			}
+		})
+	}
+	sim.RunUntil(sc.duration)
+	for _, g := range gens {
+		g.Stop()
+	}
+	sim.Run()
+
+	var b strings.Builder
+	for i, j := range journals {
+		fmt.Fprintf(&b, "trace[%s]=%s\n", nw.Hosts[i].Name, strings.Join(j.Lines(), ","))
+	}
+	for _, n := range nw.Nodes {
+		for _, ifc := range n.Ifaces() {
+			fmt.Fprintf(&b, "if[%s] tx=%d txd=%d down=%d\n", ifc, ifc.TxPackets, ifc.TxDrops, ifc.DownDrops())
+		}
+	}
+	return fingerprint(sim, []string{b.String()})
+}
+
+// fuzzDepth reports how many seeded scenarios to run: the
+// SRV6BPF_FUZZ_SCENARIOS environment variable (scheduled CI runs the
+// full depth), a trimmed default under -short, and a moderate default
+// otherwise.
+func fuzzDepth(t *testing.T) int {
+	if v := os.Getenv("SRV6BPF_FUZZ_SCENARIOS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad SRV6BPF_FUZZ_SCENARIOS=%q", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 2
+	}
+	return 6
+}
+
+// TestOptimisticFatTreeZeroDelayIntraPod is the flagship
+// configuration the conservative engine cannot touch: a full 208-node
+// k=8 fat-tree whose intra-pod (edge–aggregation) hops carry zero
+// propagation delay — the back-to-back links of a real pod. The
+// partition splits pods across shards, so zero-delay links cross
+// shard boundaries; the conservative engine must reject the split and
+// the optimistic engine must reproduce the sequential delivery trace
+// bit for bit.
+func TestOptimisticFatTreeZeroDelayIntraPod(t *testing.T) {
+	build := func(sim *netsim.Sim) *topo.Network {
+		nw, err := topo.FatTree(sim, 8, topo.Opts{
+			Link:    topo.LinkSpec{RateBps: 10_000_000_000, DelayNs: 25 * netsim.Microsecond},
+			PodLink: topo.LinkSpec{RateBps: 10_000_000_000, DelayNs: -1}, // true zero delay
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nw.Nodes) != 208 {
+			t.Fatalf("fat-tree k=8 has %d nodes, want 208", len(nw.Nodes))
+		}
+		return nw
+	}
+	// The conservative engine must name the offending link. (The
+	// 2-shard cut happens to fall between a pod's switches and its
+	// hosts; the 4-shard cut splits a pod's edge and aggregation
+	// layers, putting zero-delay links across the boundary.)
+	rej := netsim.New(7)
+	build(rej)
+	if err := rej.SetShards(4); err == nil || !strings.Contains(err.Error(), "zero propagation delay") {
+		t.Fatalf("conservative SetShards on zero-delay pods: err = %v, want zero-delay rejection", err)
+	}
+
+	run := func(shards int) (string, netsim.EngineStats) {
+		sim := netsim.New(7)
+		nw := build(sim)
+		journals := make([]*netsim.Journal, len(nw.Hosts))
+		for i, h := range nw.Hosts {
+			j := netsim.NewJournal(h)
+			journals[i] = j
+			h.HandleUDP(9, func(n *netsim.Node, p *packet.Packet, meta *netsim.PacketMeta) {
+				j.Addf("%d:%s:%d", meta.RxTimestamp, p.IPv6.Src, p.IPv6.FlowLabel)
+			})
+		}
+		pairs := nw.PermutationPairs(99)
+		gens := make([]*trafgen.UDPGen, len(pairs))
+		for i, pr := range pairs {
+			gens[i] = &trafgen.UDPGen{
+				Node: pr[0], Src: nw.HostAddr(pr[0]), Dst: nw.HostAddr(pr[1]),
+				SrcPort: 1000, DstPort: 9, PayloadLen: 64,
+				FlowLabel: func(k uint64) uint32 { return uint32(k % 16) },
+				RatePPS:   20_000,
+			}
+		}
+		if shards > 1 {
+			if err := sim.SetShards(shards, netsim.EngineOptimistic); err != nil {
+				t.Fatal(err)
+			}
+		}
+		const until = netsim.Millisecond
+		for i, g := range gens {
+			g := g
+			g.Node.Schedule(int64(i)*netsim.Microsecond, func() {
+				if err := g.Start(until); err != nil {
+					panic(err)
+				}
+			})
+		}
+		sim.RunUntil(until)
+		for _, g := range gens {
+			g.Stop()
+		}
+		sim.Run()
+		extra := make([]string, 0, len(journals))
+		for i, j := range journals {
+			extra = append(extra, fmt.Sprintf("trace[%s]=%s", nw.Hosts[i].Name, strings.Join(j.Lines(), ",")))
+		}
+		return fingerprint(sim, extra), sim.EngineStats()
+	}
+	base, _ := run(1)
+	if !strings.Contains(base, "udp_delivered=") {
+		t.Fatal("no deliveries in the sequential run")
+	}
+	for _, shards := range []int{2, 4} {
+		got, st := run(shards)
+		if got != base {
+			diffReport(t, base, got, shards)
+		}
+		t.Logf("shards=%d events=%d rollbacks=%d antis=%d ckpts=%d msgs=%d",
+			shards, st.Events, st.Rollbacks, st.AntiMessages, st.Checkpoints, st.Messages)
+	}
+}
+
+func TestShardEquivalenceFuzz(t *testing.T) {
+	depth := fuzzDepth(t)
+	for i := 0; i < depth; i++ {
+		sc := deriveScenario(int64(7777 + 131*i))
+		t.Run(fmt.Sprintf("s%02d-%s", i, sc.kind), func(t *testing.T) {
+			base := fuzzRun(t, sc, 1, netsim.EngineConservative)
+			if !strings.Contains(base, "udp_delivered") {
+				t.Fatal("scenario delivered nothing")
+			}
+			if sc.zeroDelay {
+				// The conservative engine must refuse to split
+				// zero-delay links across shards...
+				sim := netsim.New(sc.seed)
+				buildFuzzTopo(t, sim, sc)
+				if err := sim.SetShards(2); err == nil {
+					t.Error("conservative engine accepted zero-delay cross-shard links")
+				}
+			} else {
+				// ...and everywhere else the conservative arms must
+				// reproduce the sequential schedule.
+				for _, shards := range []int{2, 4} {
+					if got := fuzzRun(t, sc, shards, netsim.EngineConservative); got != base {
+						diffReport(t, base, got, shards)
+					}
+				}
+			}
+			for _, shards := range []int{2, 4, 8} {
+				got := fuzzRun(t, sc, shards, netsim.EngineOptimistic)
+				if got != base {
+					diffReport(t, base, got, shards)
+				}
+			}
+		})
+	}
+}

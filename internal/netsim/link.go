@@ -2,7 +2,6 @@ package netsim
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"srv6bpf/internal/netem"
 )
@@ -41,17 +40,34 @@ type Iface struct {
 	TxPackets uint64
 	TxBytes   uint64
 	TxDrops   uint64
-	// DownDrops counts packets lost to link failure: transmissions
-	// attempted while down (also counted in TxDrops) plus packets
-	// that were in flight when the link went down (already counted in
-	// TxPackets — they left this end but never arrived). In-flight
-	// losses are detected by the receiving shard, so the field is
-	// updated atomically; read it only while the sim is quiescent.
-	DownDrops uint64
+	// downTxDrops counts transmissions attempted while this end was
+	// down (also counted in TxDrops). Owned by the transmitting
+	// node's shard.
+	downTxDrops uint64
+	// inFlightKills counts packets that died on the wire towards this
+	// end: the peer transmitted them, then a failure cut the link
+	// before delivery. The receiving shard detects the loss, so the
+	// counter lives on the receiving end — each shard mutates only
+	// its own state (no atomics) and optimistic rollback restores it
+	// with this end's node. DownDrops sums both views.
+	inFlightKills uint64
 }
 
 // Peer returns the interface at the other end.
 func (i *Iface) Peer() *Iface { return i.peer }
+
+// DownDrops reports packets lost to link failure on this transmitting
+// end: transmissions attempted while down plus packets that were in
+// flight towards the peer when the link went down (already counted in
+// TxPackets — they left this end but never arrived). Read it only
+// while the sim is quiescent.
+func (i *Iface) DownDrops() uint64 {
+	d := i.downTxDrops
+	if i.peer != nil {
+		d += i.peer.inFlightKills
+	}
+	return d
+}
 
 // Qdisc exposes the shaping discipline (the TWD daemon adjusts
 // ExtraDelayNs through it). The qdisc belongs to the transmitting
@@ -106,6 +122,49 @@ func (i *Iface) setOneEnd(up bool) {
 	}
 }
 
+// xmsg is a cross-shard packet delivery in data form: everything
+// needed to rebuild the delivery event at the destination. Keeping
+// cross-shard messages as data rather than closures lets the
+// optimistic engine compare a rolled-back shard's re-emissions
+// against the originals (lazy cancellation) — identical re-sends
+// leave the receiver untouched instead of churning anti-messages.
+type xmsg struct {
+	at, schedAt int64
+	src         int32
+	k           uint64
+	peer        *Iface // receiving link end
+	epoch       uint64 // sender's fail epoch at transmission
+	raw         []byte
+}
+
+func (m *xmsg) key() msgKey { return msgKey{m.at, m.schedAt, m.src, m.k} }
+
+// same reports behavioural identity: delivering either message has
+// exactly the same effect.
+func (m *xmsg) same(o *xmsg) bool {
+	return m.at == o.at && m.schedAt == o.schedAt && m.src == o.src && m.k == o.k &&
+		m.peer == o.peer && m.epoch == o.epoch && string(m.raw) == string(o.raw)
+}
+
+// event builds the delivery event. A failure between transmission and
+// delivery cuts the wire under the packet: it is lost even if the
+// link has since been restored. Both ends' epochs advance at the same
+// virtual instants, so the receiving end's epoch stands in for the
+// sender's, keeping the delivery event inside its own shard's state.
+func (m *xmsg) event() event {
+	peer, epoch, raw := m.peer, m.epoch, m.raw
+	return event{
+		at: m.at, schedAt: m.schedAt, src: m.src, k: m.k,
+		fn: func() {
+			if peer.failEpoch != epoch {
+				peer.inFlightKills++
+				return
+			}
+			peer.Node.deliver(raw, peer)
+		},
+	}
+}
+
 // Transmit serialises raw onto the link; the peer node receives it
 // after serialisation and delay. Drops (queue overflow, loss, link
 // down) are counted on the interface. Transmit runs on the sending
@@ -115,7 +174,7 @@ func (i *Iface) setOneEnd(up bool) {
 func (i *Iface) Transmit(raw []byte) {
 	if i.down {
 		i.TxDrops++
-		atomic.AddUint64(&i.DownDrops, 1)
+		i.downTxDrops++
 		return
 	}
 	n := i.Node
@@ -130,24 +189,23 @@ func (i *Iface) Transmit(raw []byte) {
 	if i.Tap != nil {
 		i.Tap(raw)
 	}
-	peer := i.peer
-	epoch := i.failEpoch
 	n.schedK++
-	n.shard.scheduleFor(peer.Node, event{
+	m := xmsg{
 		at: deliverAt, schedAt: now, src: n.idx, k: n.schedK,
-		fn: func() {
-			// A failure between transmission and delivery cuts the wire
-			// under the packet: it is lost even if the link has since
-			// been restored. Both ends' epochs advance at the same
-			// virtual instants, so the receiving end's epoch stands in
-			// for the sender's.
-			if peer.failEpoch != epoch {
-				atomic.AddUint64(&i.DownDrops, 1)
-				return
-			}
-			peer.Node.deliver(raw, peer)
-		},
-	})
+		peer: i.peer, epoch: i.failEpoch, raw: raw,
+	}
+	if i.peer.Node.shard == n.shard {
+		n.shard.heap.push(m.event())
+		return
+	}
+	if n.Sim.engine == EngineOptimistic {
+		// The message must own its bytes: if this delivery survives a
+		// sender rollback (lazy cancellation), the sender's
+		// re-execution re-writes its own buffer concurrently with the
+		// receiver reading the delivered packet.
+		m.raw = append([]byte(nil), raw...)
+	}
+	n.shard.sendCross(m)
 }
 
 func (i *Iface) String() string {

@@ -50,8 +50,8 @@ func TestInFlightPacketDroppedOnFailure(t *testing.T) {
 	if got != 0 {
 		t.Fatalf("packet survived a mid-flight link failure")
 	}
-	if aIf.DownDrops != 1 {
-		t.Errorf("DownDrops = %d, want 1", aIf.DownDrops)
+	if aIf.DownDrops() != 1 {
+		t.Errorf("DownDrops = %d, want 1", aIf.DownDrops())
 	}
 	if aIf.TxPackets != 1 {
 		t.Errorf("TxPackets = %d, want 1 (it did leave A)", aIf.TxPackets)
@@ -84,8 +84,8 @@ func TestTransmitWhileDownDrops(t *testing.T) {
 	// Bypassing the FIB: the link layer itself refuses.
 	aIf.Transmit(udpTo(t, bAddr, 7, "forced"))
 	s.Run()
-	if got != 0 || aIf.TxDrops != 1 || aIf.DownDrops != 1 {
-		t.Fatalf("got=%d TxDrops=%d DownDrops=%d, want 0/1/1", got, aIf.TxDrops, aIf.DownDrops)
+	if got != 0 || aIf.TxDrops != 1 || aIf.DownDrops() != 1 {
+		t.Fatalf("got=%d TxDrops=%d DownDrops=%d, want 0/1/1", got, aIf.TxDrops, aIf.DownDrops())
 	}
 	if a.Counters()["link_down"] != 1 || b.Counters()["link_down"] != 1 {
 		t.Errorf("link_down counters: A=%d B=%d, want 1/1 (both ends fail together)",
@@ -133,16 +133,16 @@ func TestFailureWithNonEmptyRxq(t *testing.T) {
 	if ringAtFailure == 0 {
 		t.Fatalf("test setup: R's ring was empty at failure time")
 	}
-	if aIf.DownDrops == 0 {
+	if aIf.DownDrops() == 0 {
 		t.Fatalf("expected some in-flight losses in a 50-packet burst")
 	}
 	// Every packet that reached R before the cut — including the ones
 	// still ring-buffered at failure time — must come out at B; the
 	// rest died on the A-R wire.
-	wantDelivered := n - int(aIf.DownDrops)
+	wantDelivered := n - int(aIf.DownDrops())
 	if delivered != wantDelivered {
 		t.Fatalf("delivered=%d, want %d (ring at failure=%d, down drops=%d)",
-			delivered, wantDelivered, ringAtFailure, aIf.DownDrops)
+			delivered, wantDelivered, ringAtFailure, aIf.DownDrops())
 	}
 }
 
@@ -167,8 +167,8 @@ func TestRestoreThenImmediateRefail(t *testing.T) {
 	if got != 0 {
 		t.Fatalf("packet survived restore-then-refail (epochs not advancing?)")
 	}
-	if aIf.DownDrops != 1 {
-		t.Errorf("DownDrops = %d, want 1", aIf.DownDrops)
+	if aIf.DownDrops() != 1 {
+		t.Errorf("DownDrops = %d, want 1", aIf.DownDrops())
 	}
 	if !aIf.Up() {
 		// Still down after the refail: restore once more and confirm

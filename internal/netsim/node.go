@@ -111,8 +111,11 @@ type Node struct {
 	// rng is the node's private random stream, derived from the sim
 	// seed and the node name: draws are independent of other nodes'
 	// activity, so ECMP tie-breaking and netem jitter stay
-	// deterministic under any shard count.
-	rng *rand.Rand
+	// deterministic under any shard count. It draws from rngSrc, a
+	// single-word splitmix64 source, so checkpoints capture and
+	// restore the stream exactly.
+	rng    *rand.Rand
+	rngSrc randSource
 	// schedK numbers this node's Schedule calls (the k half of the
 	// event key).
 	schedK uint64
@@ -140,6 +143,10 @@ type Node struct {
 	counters map[string]*uint64
 	hot      hotCounters
 
+	// stateHooks are the ShardState components checkpointed with this
+	// node (traffic generators, NF control loops, journals).
+	stateHooks []stateHook
+
 	// Trace, when set, receives a line per interesting event.
 	Trace func(format string, args ...any)
 }
@@ -157,12 +164,13 @@ func (s *Sim) AddNode(name string, cost CostModel) *Node {
 		Cost:        cost,
 		idx:         int32(len(s.nodes)),
 		shard:       s.shards[0],
-		rng:         rand.New(rand.NewSource(nodeSeed(s.seed, name))),
+		rngSrc:      randSource{state: uint64(nodeSeed(s.seed, name))},
 		tables:      map[int]*Table{MainTable: {}},
 		local:       make(map[netip.Addr]bool),
 		udpHandlers: make(map[uint16]UDPHandler),
 		counters:    make(map[string]*uint64),
 	}
+	n.rng = rand.New(&n.rngSrc)
 	n.hot = hotCounters{
 		rxRingFull:         n.CounterHandle("rx_ring_full"),
 		dropMalformed:      n.CounterHandle("drop_malformed"),
@@ -202,6 +210,33 @@ func (n *Node) Now() int64 { return n.shard.now }
 // Rand returns the node's private random stream (netem jitter/loss on
 // the node's egress links, BPF get_prandom on this node).
 func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// stateHook pairs a registered ShardState with its state at
+// registration time, so a rollback that crosses the registration
+// point can rewind the component and unhook it again.
+type stateHook struct {
+	s   ShardState
+	reg any
+}
+
+// RegisterState attaches a component's mutable state to this node's
+// checkpoint/rollback machinery: under the optimistic engine the
+// component is snapshotted with the node and rewound on rollback.
+// Components whose state is mutated from events (traffic generators,
+// NF control loops, test observers) must register, or speculative
+// execution would leak into their committed state.
+//
+// Call it from setup code or from an event running on this node's
+// shard. Registering the same value twice is a no-op; the value must
+// be of a comparable type (implementations are pointers in practice).
+func (n *Node) RegisterState(s ShardState) {
+	for _, h := range n.stateHooks {
+		if h.s == s {
+			return
+		}
+	}
+	n.stateHooks = append(n.stateHooks, stateHook{s: s, reg: s.SnapshotState()})
+}
 
 // Schedule runs fn at absolute virtual time at (clamped to now) on
 // this node's shard. Use it — not Sim.Schedule — for any event that
@@ -377,6 +412,13 @@ func (n *Node) drain() {
 		return
 	}
 	item := n.rxPop()
+	if n.Sim.engine == EngineOptimistic && len(n.Sim.shards) > 1 {
+		// Processing mutates packet bytes in place (SRH advance, hop
+		// limit). Under speculation the ring item may be shared with a
+		// checkpoint snapshot, so each hop works on a private copy;
+		// the checkpointed original stays pristine for re-execution.
+		item.raw = append([]byte(nil), item.raw...)
+	}
 
 	cost := n.Cost.PacketCost(len(item.raw))
 	commit, extra := n.routePacket(item.raw, &item.meta, 0)

@@ -23,10 +23,10 @@ type shard struct {
 
 	heap eventHeap
 
-	// out[d] buffers events destined for shard d during a window; the
-	// coordinator drains them into d's heap at the barrier. Only this
+	// out[d] buffers packet deliveries destined for shard d during a
+	// window; the coordinator drains them at the barrier. Only this
 	// shard's worker appends, only the quiescent coordinator drains.
-	out [][]event
+	out [][]xmsg
 
 	// winEnd is the exclusive end of the window currently executing,
 	// set by the coordinator before workers start. Cross-shard events
@@ -38,6 +38,27 @@ type shard struct {
 	// to the coordinator, which re-raises it on the Run caller — the
 	// same propagation a sequential run gives.
 	panicked any
+
+	// nodes lists the nodes this shard owns (set by SetShards); the
+	// optimistic engine snapshots them at checkpoint boundaries.
+	nodes []*Node
+
+	// execTo is the exclusive execution frontier: every event with
+	// at < execTo has been executed (possibly speculatively). A
+	// cross-shard message below it is a straggler.
+	execTo int64
+
+	// Optimistic-engine history, owned by the quiescent coordinator:
+	// retained checkpoints (oldest first, times non-decreasing), the
+	// cross-shard inputs received since the oldest checkpoint, the
+	// delivered cross-shard sends a rollback would have to reconcile,
+	// and the tentative list — delivered sends whose emitting interval
+	// was rolled back, awaiting reproduction (suppress) or staleness
+	// (anti-message).
+	ckpts     []*checkpoint
+	inLog     []inputRec
+	sentLog   []sentRec
+	tentative []sentRec
 }
 
 func newShard(s *Sim, id int) *shard {
@@ -48,44 +69,49 @@ func newShard(s *Sim, id int) *shard {
 // run either on this shard's worker or on the quiescent coordinator.
 func (sh *shard) push(e event) { sh.heap.push(e) }
 
-// scheduleFor routes an event produced by this shard to the shard
-// owning target: the local heap when target is ours, the outbox
-// otherwise. The event key travels with the message, so the
-// destination orders it exactly as a sequential run would. Outside a
-// parallel window (driver code calling Node.Output, setup traffic)
-// only one goroutine is live, so the event goes straight into the
-// destination heap — outboxes exist for the concurrent case only.
-func (sh *shard) scheduleFor(target *Node, e event) {
-	dst := target.shard
-	if dst == sh {
-		sh.heap.push(e)
-		return
-	}
+// sendCross routes a packet delivery produced by this shard to the
+// shard owning the receiving link end. The event key travels with the
+// message, so the destination orders it exactly as a sequential run
+// would. Outside a parallel window (driver code calling Node.Output,
+// setup traffic) only one goroutine is live, so the event goes
+// straight into the destination heap — outboxes exist for the
+// concurrent case only.
+func (sh *shard) sendCross(m xmsg) {
 	sh.sim.engMsgs.Inc(sh.id)
+	dst := m.peer.Node.shard
 	if !sh.sim.running {
-		dst.heap.push(e)
+		dst.heap.push(m.event())
 		return
 	}
-	if e.at < sh.winEnd {
-		// The destination shard may already have executed past e.at
+	if sh.sim.engine != EngineOptimistic && m.at < sh.winEnd {
+		// The destination shard may already have executed past m.at
 		// within this window; delivering late would silently break the
 		// sequential-equivalence guarantee. This only happens when a
 		// cross-shard link's effective delay dropped below the
 		// lookahead after SetShards validated it (Qdisc.SetDelay, a
-		// negative ExtraDelayNs).
+		// negative ExtraDelayNs). The optimistic engine has no such
+		// invariant: a message below the destination's frontier simply
+		// rolls it back at the barrier.
 		panic(fmt.Sprintf(
 			"netsim: cross-shard event at t=%d inside the current window (end %d): a cross-shard link's delay was lowered below the lookahead (%d ns) after SetShards",
-			e.at, sh.winEnd, sh.sim.lookahead))
+			m.at, sh.winEnd, sh.sim.lookahead))
 	}
-	sh.out[dst.id] = append(sh.out[dst.id], e)
+	sh.out[dst.id] = append(sh.out[dst.id], m)
 }
 
-// runTo executes this shard's events with at < end in key order.
+// runTo executes this shard's events with at < end in key order. The
+// execution frontier advances to just past the last executed event —
+// not to end — so idle virtual time is never claimed as speculated,
+// which keeps optimistic straggler detection (and therefore rollback
+// frequency) minimal.
 func (sh *shard) runTo(end int64) {
 	ev := &sh.sim.engEvents
 	for len(sh.heap) > 0 && sh.heap[0].at < end {
 		e := sh.heap.pop()
 		sh.now = e.at
+		if e.at >= sh.execTo {
+			sh.execTo = e.at + 1
+		}
 		ev.Inc(sh.id)
 		e.fn()
 	}
@@ -96,16 +122,21 @@ func (sh *shard) runTo(end int64) {
 // partition is deterministic (contiguous blocks of node creation
 // order), so a given topology always shards the same way.
 //
-// Every link whose two ends land in different shards must carry a
-// nonzero, jitter-free propagation delay: the minimum such delay
-// becomes the engine's lookahead — the window length shards may run
-// ahead of each other without synchronising. SetShards returns an
-// error naming the offending link otherwise.
+// The optional engine argument selects the synchronisation protocol
+// (default EngineConservative). Under the conservative engine every
+// link whose two ends land in different shards must carry a nonzero,
+// jitter-free propagation delay: the minimum such delay becomes the
+// engine's lookahead — the window length shards may run ahead of each
+// other without synchronising — and SetShards returns an error naming
+// the offending link otherwise. EngineOptimistic accepts any
+// cross-shard link (zero-delay and jittered included): shards
+// speculate through a horizon (see SetHorizon) and roll back to
+// checkpoints when a straggler message proves them wrong.
 //
 // Call SetShards after the topology is built and while the sim is
 // quiescent (not from inside an event). Events already scheduled are
 // re-routed to the shard of the node that scheduled them.
-func (s *Sim) SetShards(n int) error {
+func (s *Sim) SetShards(n int, engine ...Engine) error {
 	if s.running {
 		return fmt.Errorf("netsim: SetShards while a parallel window is running")
 	}
@@ -115,6 +146,17 @@ func (s *Sim) SetShards(n int) error {
 	if n > len(s.nodes) && n > 1 {
 		return fmt.Errorf("netsim: %d shards for %d nodes", n, len(s.nodes))
 	}
+	eng := EngineConservative
+	switch len(engine) {
+	case 0:
+	case 1:
+		eng = engine[0]
+		if eng != EngineConservative && eng != EngineOptimistic {
+			return fmt.Errorf("netsim: unknown engine %v", eng)
+		}
+	default:
+		return fmt.Errorf("netsim: SetShards takes at most one engine")
+	}
 
 	old := s.shards
 	shards := make([]*shard, n)
@@ -122,16 +164,20 @@ func (s *Sim) SetShards(n int) error {
 	for i := range shards {
 		shards[i] = newShard(s, i)
 		shards[i].now = now
-		shards[i].out = make([][]event, n)
+		shards[i].execTo = now
+		shards[i].out = make([][]xmsg, n)
 	}
 	// Contiguous block partition over creation order: topology
 	// generators lay out locality-heavy regions (pods, ring arcs)
 	// contiguously, which keeps most links shard-internal.
 	for i, node := range s.nodes {
 		node.shard = shards[i*n/len(s.nodes)]
+		node.shard.nodes = append(node.shard.nodes, node)
 	}
 
-	// Validate cross-shard links and derive the lookahead.
+	// Validate cross-shard links (conservative engine only) and derive
+	// the lookahead — the minimum positive cross-shard delay, which
+	// also seeds the optimistic engine's default horizon.
 	lookahead := int64(math.MaxInt64 / 2)
 	if n > 1 {
 		for _, node := range s.nodes {
@@ -140,17 +186,19 @@ func (s *Sim) SetShards(n int) error {
 					continue
 				}
 				cfg := ifc.q.Config()
-				if cfg.DelayNs <= 0 {
-					s.resetShardAssignment(old)
-					return fmt.Errorf("netsim: link %s has zero propagation delay but crosses shards %d/%d",
-						ifc, node.shard.id, ifc.peer.Node.shard.id)
+				if eng == EngineConservative {
+					if cfg.DelayNs <= 0 {
+						s.resetShardAssignment(old)
+						return fmt.Errorf("netsim: link %s has zero propagation delay but crosses shards %d/%d (use EngineOptimistic)",
+							ifc, node.shard.id, ifc.peer.Node.shard.id)
+					}
+					if cfg.JitterNs > 0 {
+						s.resetShardAssignment(old)
+						return fmt.Errorf("netsim: link %s has delay jitter but crosses shards %d/%d (jitter can undercut the lookahead; use EngineOptimistic)",
+							ifc, node.shard.id, ifc.peer.Node.shard.id)
+					}
 				}
-				if cfg.JitterNs > 0 {
-					s.resetShardAssignment(old)
-					return fmt.Errorf("netsim: link %s has delay jitter but crosses shards %d/%d (jitter can undercut the lookahead)",
-						ifc, node.shard.id, ifc.peer.Node.shard.id)
-				}
-				if cfg.DelayNs < lookahead {
+				if cfg.DelayNs > 0 && cfg.DelayNs < lookahead {
 					lookahead = cfg.DelayNs
 				}
 			}
@@ -174,13 +222,58 @@ func (s *Sim) SetShards(n int) error {
 	}
 
 	s.shards = shards
+	s.engine = eng
 	s.lookahead = lookahead
+	s.horizon = s.deriveHorizon(lookahead)
+	s.round = 0
+	s.rollbacks = 0
+	s.antiMsgs = 0
+	s.gvt = now
 	s.engEvents = *stats.NewSharded(n)
 	s.engMsgs = *stats.NewSharded(n)
 	s.engWindows = *stats.NewSharded(n)
+	s.engCkpts = *stats.NewSharded(n)
 	s.now = now
 	return nil
 }
+
+// defaultHorizonNs is the optimistic speculation window used when no
+// positive cross-shard delay exists to derive one from (pure
+// zero-delay partitions).
+const defaultHorizonNs = 50 * Microsecond
+
+// deriveHorizon picks the optimistic speculation window: an explicit
+// SetHorizon wins; otherwise a few conservative lookaheads (deep
+// enough to amortise the checkpoint per round, shallow enough to keep
+// rollbacks cheap), or a fixed default when every cross-shard delay
+// is zero.
+func (s *Sim) deriveHorizon(lookahead int64) int64 {
+	if s.horizonReq > 0 {
+		return s.horizonReq
+	}
+	if lookahead > 0 && lookahead < math.MaxInt64/8 {
+		return 4 * lookahead
+	}
+	return defaultHorizonNs
+}
+
+// SetHorizon fixes the optimistic engine's speculation window in
+// nanoseconds (0 restores the derived default). Correctness is
+// horizon-independent — only checkpoint frequency and rollback depth
+// change. Call while quiescent.
+func (s *Sim) SetHorizon(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	s.horizonReq = ns
+	s.horizon = s.deriveHorizon(s.lookahead)
+}
+
+// Horizon reports the optimistic speculation window.
+func (s *Sim) Horizon() int64 { return s.horizon }
+
+// Engine reports the synchronisation protocol selected by SetShards.
+func (s *Sim) Engine() Engine { return s.engine }
 
 // resetShardAssignment restores node->shard pointers after a failed
 // SetShards so the sim keeps running on its previous partition.
@@ -200,25 +293,47 @@ func (s *Sim) Lookahead() int64 { return s.lookahead }
 // EngineStats is the parallel engine's own accounting, accumulated
 // per shard and merged deterministically.
 type EngineStats struct {
+	Engine    Engine
 	Shards    int
 	Lookahead int64
+	// Horizon is the optimistic speculation window (meaningful only
+	// under EngineOptimistic).
+	Horizon int64
 	// Windows counts barrier-to-barrier rounds executed.
 	Windows uint64
-	// Events counts events executed across all shards.
+	// Events counts events executed across all shards. Under the
+	// optimistic engine this is gross work: events re-executed after a
+	// rollback count again.
 	Events uint64
 	// Messages counts cross-shard packet/control transfers.
 	Messages uint64
+	// Checkpoints counts per-shard state snapshots taken; Rollbacks
+	// counts straggler-triggered restores; AntiMessages counts
+	// speculative sends cancelled. All zero under the conservative
+	// engine.
+	Checkpoints  uint64
+	Rollbacks    uint64
+	AntiMessages uint64
+	// GVT is the last committed global virtual time the optimistic
+	// engine computed (no rollback can ever reach below it).
+	GVT int64
 }
 
 // EngineStats merges the per-shard accounting cells (in shard order,
 // so the result is deterministic).
 func (s *Sim) EngineStats() EngineStats {
 	return EngineStats{
-		Shards:    len(s.shards),
-		Lookahead: s.lookahead,
-		Windows:   s.engWindows.Total(),
-		Events:    s.engEvents.Total(),
-		Messages:  s.engMsgs.Total(),
+		Engine:       s.engine,
+		Shards:       len(s.shards),
+		Lookahead:    s.lookahead,
+		Horizon:      s.horizon,
+		Windows:      s.engWindows.Total(),
+		Events:       s.engEvents.Total(),
+		Messages:     s.engMsgs.Total(),
+		Checkpoints:  s.engCkpts.Total(),
+		Rollbacks:    s.rollbacks,
+		AntiMessages: s.antiMsgs,
+		GVT:          s.gvt,
 	}
 }
 
@@ -282,9 +397,10 @@ func (s *Sim) runWindows(limit int64) {
 }
 
 // flushOutboxes moves every cross-shard message produced during the
-// last window into the destination shard's heap. The events carry
-// their full deterministic keys, so a plain heap push lands them in
-// exactly the order a sequential run would have executed them.
+// last window into the destination shard's heap (the conservative
+// barrier — no straggler is possible). The events carry their full
+// deterministic keys, so a plain heap push lands them in exactly the
+// order a sequential run would have executed them.
 func (s *Sim) flushOutboxes() {
 	for _, src := range s.shards {
 		for d, msgs := range src.out {
@@ -292,8 +408,8 @@ func (s *Sim) flushOutboxes() {
 				continue
 			}
 			dst := s.shards[d]
-			for _, e := range msgs {
-				dst.heap.push(e)
+			for i := range msgs {
+				dst.heap.push(msgs[i].event())
 			}
 			src.out[d] = src.out[d][:0]
 		}

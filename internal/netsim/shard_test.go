@@ -78,7 +78,7 @@ func TestCrossShardInFlightFailure(t *testing.T) {
 		s.Run()
 		a.Schedule(s.Now(), func() { a.Output(udpTo(t, bAddr, 7, "alive")) })
 		s.Run()
-		return got, aIf.DownDrops, aIf.TxPackets
+		return got, aIf.DownDrops(), aIf.TxPackets
 	}
 	seqGot, seqDown, seqTx := run(1)
 	parGot, parDown, parTx := run(2)

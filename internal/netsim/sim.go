@@ -15,25 +15,39 @@
 // By default the simulation runs on one event heap on the calling
 // goroutine, exactly as it always has. Sim.SetShards(n) partitions
 // the nodes into n shards, each with its own event heap, clock and
-// counters, synchronised conservatively: because every link between
-// two shards carries a nonzero propagation delay, shards can execute
-// lock-stepped windows of
+// counters, synchronised by one of two engines.
+//
+// The conservative engine (the default) lock-steps shards in windows
+// of
 //
 //	lookahead = min cross-shard link delay
 //
-// in parallel without ever seeing an event out of order. Packets that
-// cross a shard boundary travel as timestamped messages exchanged at
-// the window barriers.
+// so it never executes an event out of order — but it requires every
+// cross-shard link to carry a nonzero, jitter-free delay, and it
+// barriers once per lookahead. The optimistic engine
+// (SetShards(n, EngineOptimistic)) speculates past the lookahead
+// Time-Warp style: shards checkpoint their state each round,
+// speculate through a horizon, and when a cross-shard message arrives
+// below a shard's execution frontier the shard rolls back to a
+// checkpoint, re-delivers its logged inputs and reconciles the
+// cross-shard sends of the undone interval (identical re-emissions
+// are suppressed; disowned deliveries are annihilated with
+// anti-messages). GVT — the minimum over pending events and unacked
+// speculative sends — bounds checkpoint retention and rollback depth.
+// Components that keep packet-driven state outside the netsim core
+// register it through Node.RegisterState so rollback rewinds them
+// too; delivery traces recorded from handlers use Journal.
 //
-// Determinism survives sharding because event ordering does not
-// depend on a global sequence counter: every event is keyed by
-// (at, schedAt, src, k) — its execution time, the virtual time at
-// which it was scheduled, the index of the node that scheduled it,
-// and that node's private schedule counter. The key is computable
-// locally by the scheduling shard yet totally ordered globally, so
-// the parallel schedule is the sequential schedule: the same seed
-// yields identical per-node counters and delivery traces for any
-// shard count (locked by TestShardEquivalence*).
+// Determinism survives sharding — under both engines — because event
+// ordering does not depend on a global sequence counter: every event
+// is keyed by (at, schedAt, src, k) — its execution time, the virtual
+// time at which it was scheduled, the index of the node that
+// scheduled it, and that node's private schedule counter. The key is
+// computable locally by the scheduling shard yet totally ordered
+// globally, so the committed parallel schedule is the sequential
+// schedule: the same seed yields identical per-node counters and
+// delivery traces for any shard count and engine (locked by
+// TestShardEquivalence* and the randomized TestShardEquivalenceFuzz).
 package netsim
 
 import (
@@ -140,6 +154,26 @@ type Sim struct {
 	shards    []*shard
 	lookahead int64
 
+	// engine selects the parallel synchronisation protocol set by
+	// SetShards; irrelevant while len(shards) == 1.
+	engine Engine
+	// horizon is the optimistic speculation window; horizonReq
+	// remembers an explicit SetHorizon across SetShards calls.
+	horizon    int64
+	horizonReq int64
+
+	// Optimistic-engine bookkeeping, touched only by the quiescent
+	// coordinator (barriers and trims are single-threaded).
+	round     uint64
+	rollbacks uint64
+	antiMsgs  uint64
+	gvt       int64
+	pending   []pendingMsg
+	antiq     []sentRec
+	// onBarrier, when set (tests), observes GVT after each barrier's
+	// repair fixpoint.
+	onBarrier func(gvt int64)
+
 	// now is the committed global clock: in sequential mode it tracks
 	// the executing event, in sharded mode the last barrier. Inside
 	// events use Node.Now(), which is exact in both modes.
@@ -157,6 +191,7 @@ type Sim struct {
 	engEvents  stats.Sharded
 	engMsgs    stats.Sharded
 	engWindows stats.Sharded
+	engCkpts   stats.Sharded
 
 	nodes []*Node
 }
@@ -170,11 +205,12 @@ const driverSrc int32 = -1
 func New(seed int64) *Sim {
 	s := &Sim{seed: seed, rng: rand.New(rand.NewSource(seed))}
 	s.shards = []*shard{newShard(s, 0)}
-	s.shards[0].out = make([][]event, 1)
+	s.shards[0].out = make([][]xmsg, 1)
 	s.lookahead = math.MaxInt64 / 2
 	s.engEvents = *stats.NewSharded(1)
 	s.engMsgs = *stats.NewSharded(1)
 	s.engWindows = *stats.NewSharded(1)
+	s.engCkpts = *stats.NewSharded(1)
 	return s
 }
 
@@ -233,6 +269,9 @@ func (s *Sim) Step() bool {
 		}
 		e := sh.heap.pop()
 		sh.now = e.at
+		if e.at >= sh.execTo {
+			sh.execTo = e.at + 1
+		}
 		s.engEvents.Inc(0)
 		e.fn()
 		return true
@@ -252,6 +291,9 @@ func (s *Sim) Step() bool {
 	sh := s.shards[best]
 	e := sh.heap.pop()
 	sh.now = e.at
+	if e.at >= sh.execTo {
+		sh.execTo = e.at + 1
+	}
 	s.engEvents.Inc(sh.id)
 	e.fn()
 	s.flushOutboxes()
@@ -268,7 +310,11 @@ func (s *Sim) Run() {
 		}
 		return
 	}
-	s.runWindows(math.MaxInt64)
+	if s.engine == EngineOptimistic {
+		s.runOptimistic(math.MaxInt64)
+	} else {
+		s.runWindows(math.MaxInt64)
+	}
 	s.syncClocks(s.maxShardNow())
 }
 
@@ -285,7 +331,11 @@ func (s *Sim) RunUntil(t int64) {
 		}
 		return
 	}
-	s.runWindows(t)
+	if s.engine == EngineOptimistic {
+		s.runOptimistic(t)
+	} else {
+		s.runWindows(t)
+	}
 	s.syncClocks(t)
 }
 

@@ -38,7 +38,7 @@ func FatTree(sim *netsim.Sim, k int, opts Opts) (*Network, error) {
 		}
 		for e := 0; e < half; e++ {
 			for a := 0; a < half; a++ {
-				b.connect(edges[p][e], aggs[p][a], opts.Link)
+				b.connect(edges[p][e], aggs[p][a], opts.PodLink)
 			}
 		}
 		for e := 0; e < half; e++ {

@@ -26,21 +26,26 @@ import (
 )
 
 // LinkSpec shapes the links a generator creates. Generated links are
-// jitter- and loss-free: they must be eligible to cross shard
-// boundaries, and the delay is the engine's lookahead.
+// jitter- and loss-free.
 type LinkSpec struct {
 	// RateBps is the serialisation rate (0 = unlimited).
 	RateBps int64
-	// DelayNs is the propagation delay; it must be positive, because
-	// cross-shard links derive the parallel engine's lookahead from
-	// it.
+	// DelayNs is the propagation delay. 0 picks the 25 µs default; a
+	// negative value requests a true zero-delay link — eligible to
+	// cross shard boundaries only under the optimistic engine, since
+	// the conservative engine derives its lookahead from positive
+	// cross-shard delays.
 	DelayNs int64
 	// QueueLimit bounds the qdisc FIFO (0 = netem default).
 	QueueLimit int
 }
 
 func (l LinkSpec) config() netem.Config {
-	return netem.Config{RateBps: l.RateBps, DelayNs: l.DelayNs, QueueLimit: l.QueueLimit}
+	delay := l.DelayNs
+	if delay < 0 {
+		delay = 0
+	}
+	return netem.Config{RateBps: l.RateBps, DelayNs: delay, QueueLimit: l.QueueLimit}
 }
 
 // Opts parameterises a generator.
@@ -50,6 +55,12 @@ type Opts struct {
 	// HostLink shapes host attachment links; zero value falls back to
 	// Link.
 	HostLink LinkSpec
+	// PodLink shapes a fat-tree's intra-pod (edge–aggregation) links;
+	// zero value falls back to Link. A negative PodLink.DelayNs
+	// models the back-to-back intra-pod hops of a real fat-tree —
+	// zero propagation delay — which only the optimistic engine can
+	// split across shards.
+	PodLink LinkSpec
 	// SwitchCost builds the cost model for forwarding nodes (default
 	// netsim.ServerCostModel).
 	SwitchCost func() netsim.CostModel
@@ -59,7 +70,7 @@ type Opts struct {
 }
 
 func (o *Opts) fill() {
-	if o.Link.DelayNs <= 0 {
+	if o.Link.DelayNs == 0 {
 		o.Link.DelayNs = 25 * netsim.Microsecond
 	}
 	if o.Link.RateBps == 0 {
@@ -67,6 +78,9 @@ func (o *Opts) fill() {
 	}
 	if o.HostLink == (LinkSpec{}) {
 		o.HostLink = o.Link
+	}
+	if o.PodLink == (LinkSpec{}) {
+		o.PodLink = o.Link
 	}
 	if o.SwitchCost == nil {
 		o.SwitchCost = netsim.ServerCostModel

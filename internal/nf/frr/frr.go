@@ -165,13 +165,72 @@ func New(node *netsim.Node, cfg Config) (*FRR, error) {
 		Kind:      netsim.RouteSeg6Local,
 		Behaviour: track.Behaviour(),
 	})
-	return &FRR{
+	f := &FRR{
 		node:     node,
 		cfg:      cfg,
 		LastSeen: lastSeen,
 		NHState:  nhState,
 		track:    track,
-	}, nil
+	}
+	// The probe/check loop and the tracker program mutate this state
+	// from events on node's shard; registering it makes the detector
+	// and its maps part of the node's checkpoints, so the optimistic
+	// simulation engine rolls FRR back together with the data plane.
+	node.RegisterState(f)
+	return f, nil
+}
+
+// neighborSnap is one adjacency's detector state inside a checkpoint.
+type neighborSnap struct {
+	lastSend int64
+	missed   int
+	down     bool
+}
+
+// frrSnap is the FRR instance's checkpointable state.
+type frrSnap struct {
+	probesSent  uint64
+	transitions int
+	stopped     bool
+	neighbors   []neighborSnap
+	lastSeen    maps.Snapshot
+	nhState     maps.Snapshot
+}
+
+// SnapshotState implements netsim.ShardState. The per-neighbour conf
+// maps are written only at setup and need no snapshot.
+func (f *FRR) SnapshotState() any {
+	s := frrSnap{
+		probesSent:  f.ProbesSent,
+		transitions: len(f.Transitions),
+		stopped:     f.stopped,
+		neighbors:   make([]neighborSnap, len(f.neighbors)),
+		lastSeen:    f.LastSeen.Snapshot(),
+		nhState:     f.NHState.Snapshot(),
+	}
+	for i, st := range f.neighbors {
+		s.neighbors[i] = neighborSnap{lastSend: st.lastSend, missed: st.missed, down: st.down}
+	}
+	return s
+}
+
+// RestoreState implements netsim.ShardState. OnTransition callbacks
+// fired by rolled-back speculation are not un-called; observers that
+// need committed-only views should read Transitions after the run.
+func (f *FRR) RestoreState(v any) {
+	s := v.(frrSnap)
+	f.ProbesSent = s.probesSent
+	f.Transitions = f.Transitions[:s.transitions]
+	f.stopped = s.stopped
+	// Drop adjacencies added after the snapshot (an AddNeighbor inside
+	// rolled-back speculation); re-execution re-adds them.
+	f.neighbors = f.neighbors[:len(s.neighbors)]
+	for i, ns := range s.neighbors {
+		st := f.neighbors[i]
+		st.lastSend, st.missed, st.down = ns.lastSend, ns.missed, ns.down
+	}
+	f.LastSeen.Restore(s.lastSeen)
+	f.NHState.Restore(s.nhState)
 }
 
 // AddNeighbor starts monitoring one adjacency: it loads a probe

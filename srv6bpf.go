@@ -46,12 +46,40 @@ import (
 // Sim is the discrete-event simulation kernel. Sim.SetShards(n)
 // partitions the nodes across n parallel event loops with
 // deterministic cross-shard channels: the same seed yields identical
-// per-node counters and delivery traces for any shard count, so
-// large generated topologies simulate on all cores without giving up
-// replayability. See Sim.EngineStats for the engine's accounting.
+// per-node counters and delivery traces for any shard count and
+// either engine, so large generated topologies simulate on all cores
+// without giving up replayability. See Sim.EngineStats for the
+// engine's accounting.
 type Sim = netsim.Sim
 
-// EngineStats is the parallel engine's merged per-shard accounting.
+// Engine selects the parallel synchronisation protocol of
+// Sim.SetShards: conservative lock-step windows (requires positive,
+// jitter-free cross-shard delays) or optimistic Time-Warp speculation
+// with checkpoints, rollback and anti-messages (accepts any link —
+// zero-delay and jittered included).
+type Engine = netsim.Engine
+
+// Engines.
+const (
+	EngineConservative = netsim.EngineConservative
+	EngineOptimistic   = netsim.EngineOptimistic
+)
+
+// ShardState is implemented by components whose mutable state must be
+// checkpointed with their node so the optimistic engine can roll it
+// back; register implementations with Node.RegisterState.
+type ShardState = netsim.ShardState
+
+// Journal is a rollback-aware append-only record for delivery traces
+// and handler observations; create one per node with NewJournal.
+type Journal = netsim.Journal
+
+// NewJournal creates a Journal bound to a node's checkpoints.
+var NewJournal = netsim.NewJournal
+
+// EngineStats is the parallel engine's merged per-shard accounting
+// (windows, events, messages, and under the optimistic engine:
+// checkpoints, rollbacks, anti-messages and GVT).
 type EngineStats = netsim.EngineStats
 
 // NewSim creates a simulation with a deterministic seed.
