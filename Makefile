@@ -7,17 +7,30 @@
 #                  the parallel simulation engine must be race-clean)
 #   make fuzz-deep — full-depth randomized equivalence fuzzing of the
 #                  conservative and optimistic shard engines (the
-#                  scheduled CI job; FUZZ_SCENARIOS overrides depth)
+#                  scheduled CI job). FUZZ_SCENARIOS is the single
+#                  depth knob for fuzz-deep and fuzz-deep-race: the
+#                  Makefile translates it to the SRV6BPF_FUZZ_SCENARIOS
+#                  environment variable the test reads — set the make
+#                  variable, not the env var.
+#   make fuzz-deep-race — the same fuzzing under the race detector
+#                  (shallower FUZZ_SCENARIOS recommended; ~10x slower)
 #   make bench   — wall-clock datapath + figure benchmarks (-benchmem)
 #   make bench-json [BENCH_JSON=path] — machine-readable perf report
+#   make bench-ci — regenerate the perf report as BENCH_PR999.json and
+#                  diff it (plus every committed BENCH_PR*.json)
+#                  through TestBenchTrajectory: schema, row
+#                  continuity, zero-alloc datapath rows and the
+#                  speculation-overhead budget (the CI bench job)
 #   make fmt     — gofmt the tree
 
 GO ?= go
 BENCH_JSON ?= BENCH.json
 BENCH_WINDOW ?= 50ms
 FUZZ_SCENARIOS ?= 150
+FUZZ_RACE_SCENARIOS ?= 60
+BENCH_CI_JSON ?= BENCH_PR999.json
 
-.PHONY: check build vet test race race-smoke fuzz-smoke fuzz-deep bench bench-json fmt
+.PHONY: check build vet test race race-smoke fuzz-smoke fuzz-deep fuzz-deep-race bench bench-json bench-ci fmt
 
 check: build vet test race-smoke fuzz-smoke
 
@@ -48,11 +61,21 @@ race:
 fuzz-deep:
 	SRV6BPF_FUZZ_SCENARIOS=$(FUZZ_SCENARIOS) $(GO) test -run 'TestShardEquivalenceFuzz' -timeout 30m -v ./internal/netsim
 
+fuzz-deep-race:
+	SRV6BPF_FUZZ_SCENARIOS=$(FUZZ_RACE_SCENARIOS) $(GO) test -race -run 'TestShardEquivalenceFuzz' -timeout 30m ./internal/netsim
+
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkDatapath -benchmem .
 
 bench-json:
 	$(GO) run ./cmd/srv6bench -bench-json $(BENCH_JSON) -duration $(BENCH_WINDOW)
+
+# The CI perf gate: write a fresh report under a PR number sorting
+# after every committed one, then let TestBenchTrajectory diff the
+# whole series (the fresh report included).
+bench-ci:
+	$(GO) run ./cmd/srv6bench -bench-json $(BENCH_CI_JSON) -duration $(BENCH_WINDOW)
+	$(GO) test -count 1 -run 'TestBenchTrajectory' -v .
 
 fmt:
 	gofmt -w .

@@ -61,9 +61,12 @@ func TestDatapathAllocRegression(t *testing.T) {
 // benchFile is the slice of a BENCH_PR*.json report the trajectory
 // check cares about.
 type benchFile struct {
-	name     string
-	Schema   string                    `json:"schema"`
-	Datapath []experiments.DatapathRow `json:"datapath"`
+	name                   string
+	pr                     int
+	Schema                 string                        `json:"schema"`
+	Datapath               []experiments.DatapathRow     `json:"datapath"`
+	ShardScaling           []experiments.ShardScalingRow `json:"shard_scaling"`
+	ShardScalingOptimistic []experiments.ShardScalingRow `json:"shard_scaling_optimistic"`
 }
 
 // TestBenchTrajectory diffs the committed BENCH_PR*.json trajectory:
@@ -97,7 +100,7 @@ func TestBenchTrajectory(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		f := benchFile{name: p}
+		f := benchFile{name: p, pr: prNum(p)}
 		if err := json.Unmarshal(raw, &f); err != nil {
 			t.Fatalf("%s does not parse: %v", p, err)
 		}
@@ -125,6 +128,16 @@ func TestBenchTrajectory(t *testing.T) {
 					f.name, r.Name, r.AllocsPerOp)
 			}
 		}
+		// Speculation-overhead gate, effective from PR 5 (incremental
+		// checkpoints + adaptive horizon): on topologies both engines
+		// run, the optimistic engine must stay within speculationMaxX
+		// of the conservative events/s at the same shard count. The
+		// bound is looser than the ~1.25x engineering target because
+		// wall-clock rates on shared CI runners are noisy; it exists
+		// to catch the pathological regressions (PR 4 shipped at ~2x).
+		if f.pr >= 5 {
+			checkSpeculationOverhead(t, f)
+		}
 		if i == 0 {
 			continue
 		}
@@ -134,6 +147,34 @@ func TestBenchTrajectory(t *testing.T) {
 					f.name, prev.Name, files[i-1].name)
 			}
 		}
+	}
+}
+
+// speculationMaxX bounds conservative/optimistic events-per-second at
+// equal shard counts in committed bench reports from PR 5 on.
+const speculationMaxX = 1.6
+
+func checkSpeculationOverhead(t *testing.T, f benchFile) {
+	cons := make(map[int]float64, len(f.ShardScaling))
+	for _, r := range f.ShardScaling {
+		if r.Shards > 1 {
+			cons[r.Shards] = r.EventsPerSec
+		}
+	}
+	checked := 0
+	for _, r := range f.ShardScalingOptimistic {
+		base, ok := cons[r.Shards]
+		if !ok || base <= 0 || r.EventsPerSec <= 0 {
+			continue
+		}
+		checked++
+		if x := base / r.EventsPerSec; x > speculationMaxX {
+			t.Errorf("%s: optimistic engine at %d shards runs %.2fx slower than conservative (%.0f vs %.0f events/s), budget %.2fx",
+				f.name, r.Shards, x, r.EventsPerSec, base, speculationMaxX)
+		}
+	}
+	if checked == 0 {
+		t.Errorf("%s: no comparable conservative/optimistic shard-scaling rows; the speculation-overhead gate has nothing to bite on", f.name)
 	}
 }
 

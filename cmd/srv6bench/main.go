@@ -268,6 +268,14 @@ func runShards(eng netsim.Engine, max, k int, win int64) {
 			r.Shards, r.WallMs, r.EventsPerSec, r.Speedup, r.Events, r.Windows, r.Messages, r.Delivered)
 		if r.Engine == "optimistic" {
 			fmt.Printf(", %d ckpts, %d rollbacks, %d antis", r.Checkpoints, r.Rollbacks, r.AntiMessages)
+			if r.CkptNodesCopied+r.CkptNodesAliased > 0 {
+				fmt.Printf(", %d/%d nodes copied, %.1f MB ckpt",
+					r.CkptNodesCopied, r.CkptNodesCopied+r.CkptNodesAliased,
+					float64(r.CkptBytes)/1e6)
+			}
+			if r.HorizonNs > 0 {
+				fmt.Printf(", horizon %dµs (%d adjusts)", r.HorizonNs/1000, r.HorizonAdjusts)
+			}
 		}
 		fmt.Println(")")
 	}
@@ -337,5 +345,3 @@ func writeBenchJSON(path string, win int64) {
 	}
 	fmt.Printf("wrote benchmark report to %s\n", path)
 }
-
-var _ = netsim.Second

@@ -38,6 +38,15 @@ type ShardScalingRow struct {
 	Checkpoints  uint64 `json:"checkpoints,omitempty"`
 	Rollbacks    uint64 `json:"rollbacks,omitempty"`
 	AntiMessages uint64 `json:"anti_messages,omitempty"`
+	// Incremental-checkpoint accounting: node snapshots deep-copied
+	// vs aliased to the previous round, and the bytes actually
+	// copied into checkpoints.
+	CkptNodesCopied  uint64 `json:"ckpt_nodes_copied,omitempty"`
+	CkptNodesAliased uint64 `json:"ckpt_nodes_aliased,omitempty"`
+	CkptBytes        uint64 `json:"ckpt_bytes,omitempty"`
+	// Adaptive horizon controller: final window and adjustment count.
+	HorizonNs      int64  `json:"horizon_ns,omitempty"`
+	HorizonAdjusts uint64 `json:"horizon_adjusts,omitempty"`
 }
 
 // shardScalingSeed fixes the scenario; every shard count replays it.
@@ -140,19 +149,26 @@ func shardScalingRun(engine netsim.Engine, shards, k int, durationNs int64) (Sha
 	}
 	st := sim.EngineStats()
 	row := ShardScalingRow{
-		Engine:       engine.String(),
-		Shards:       shards,
-		Nodes:        len(nw.Nodes),
-		Hosts:        len(nw.Hosts),
-		WallMs:       float64(wall.Nanoseconds()) / 1e6,
-		Events:       st.Events,
-		EventsPerSec: float64(st.Events) / wall.Seconds(),
-		Delivered:    delivered,
-		Windows:      st.Windows,
-		Messages:     st.Messages,
-		Checkpoints:  st.Checkpoints,
-		Rollbacks:    st.Rollbacks,
-		AntiMessages: st.AntiMessages,
+		Engine:           engine.String(),
+		Shards:           shards,
+		Nodes:            len(nw.Nodes),
+		Hosts:            len(nw.Hosts),
+		WallMs:           float64(wall.Nanoseconds()) / 1e6,
+		Events:           st.Events,
+		EventsPerSec:     float64(st.Events) / wall.Seconds(),
+		Delivered:        delivered,
+		Windows:          st.Windows,
+		Messages:         st.Messages,
+		Checkpoints:      st.Checkpoints,
+		Rollbacks:        st.Rollbacks,
+		AntiMessages:     st.AntiMessages,
+		CkptNodesCopied:  st.CkptNodesCopied,
+		CkptNodesAliased: st.CkptNodesAliased,
+		CkptBytes:        st.CkptBytes,
+	}
+	if st.HorizonAdaptive && shards > 1 {
+		row.HorizonNs = st.Horizon
+		row.HorizonAdjusts = st.HorizonAdjusts
 	}
 	return row, countersFingerprint(sim), nil
 }

@@ -176,6 +176,10 @@ func (q *Qdisc) Snapshot() Snapshot {
 	}
 }
 
+// SizeBytes estimates the snapshot's in-memory footprint, for the
+// simulator's checkpoint-byte accounting.
+func (s Snapshot) SizeBytes() int { return 120 + 8*len(s.inFlight) }
+
 // Restore rewinds the qdisc to a previously captured snapshot. The
 // snapshot remains valid and may be restored again.
 func (q *Qdisc) Restore(s Snapshot) {

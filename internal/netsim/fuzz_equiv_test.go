@@ -3,11 +3,14 @@ package netsim_test
 // Randomized equivalence fuzzing: the lock that makes speculative
 // execution trustworthy. Each seeded scenario generates a topology
 // (Waxman, fat-tree, ring — some with zero-delay links the
-// conservative engine must reject), a random traffic mix and a random
-// link failure/restore schedule, then replays the identical scenario
-// sequentially, conservatively sharded and optimistically sharded
-// (with a randomized speculation horizon) and requires bit-identical
-// per-node counters and delivery traces from every arm.
+// conservative engine must reject), a random UDP traffic mix, TCP
+// bulk transfers riding on it (tcpsim state is ShardState and must
+// rewind with the nodes) and a random link failure/restore schedule,
+// then replays the identical scenario sequentially, conservatively
+// sharded and optimistically sharded (half the scenarios pin a
+// randomized speculation horizon, half leave the adaptive controller
+// in charge) and requires bit-identical per-node counters, delivery
+// traces and transfer statistics from every arm.
 //
 // Depth scales with SRV6BPF_FUZZ_SCENARIOS (the scheduled CI job runs
 // the full depth; `make check` runs the default smoke).
@@ -23,6 +26,7 @@ import (
 	"srv6bpf/internal/netsim"
 	"srv6bpf/internal/netsim/topo"
 	"srv6bpf/internal/packet"
+	"srv6bpf/internal/tcpsim"
 	"srv6bpf/internal/trafgen"
 )
 
@@ -32,11 +36,18 @@ type fuzzScenario struct {
 	kind      string
 	zeroDelay bool // cross-shard zero-delay links present
 	duration  int64
-	horizon   int64 // optimistic speculation window for this scenario
-	rate      float64
-	pairs     int64 // PermutationPairs seed
-	flowMod   uint64
-	fails     int
+	horizon   int64 // fixed optimistic speculation window (see adaptive)
+	// adaptive leaves the optimistic engine's horizon controller in
+	// charge instead of pinning the scenario's fixed horizon, so the
+	// fuzz matrix covers both regimes.
+	adaptive bool
+	rate     float64
+	pairs    int64 // PermutationPairs seed
+	flowMod  uint64
+	fails    int
+	// tcp is the number of TCP bulk transfers riding on the scenario
+	// (tcpsim state must roll back bit-exactly with the nodes).
+	tcp int
 }
 
 func deriveScenario(seed int64) fuzzScenario {
@@ -61,6 +72,8 @@ func deriveScenario(seed int64) fuzzScenario {
 		sc.kind = "fattree-zerodelay"
 		sc.zeroDelay = true
 	}
+	sc.adaptive = rng.Intn(2) == 0
+	sc.tcp = rng.Intn(3)
 	return sc
 }
 
@@ -125,11 +138,49 @@ func fuzzRun(t *testing.T, sc fuzzScenario, shards int, eng netsim.Engine) strin
 		}
 	}
 
+	// TCP transfers between deterministically drawn host pairs: the
+	// tcpsim connection state (congestion window, RTO epoch, send
+	// times, reassembly buffer) is ShardState, so it must survive
+	// optimistic rollback bit-exactly like the netsim-core state.
+	type tcpArm struct {
+		snd *tcpsim.Sender
+		rcv *tcpsim.Receiver
+	}
+	var tcps []tcpArm
+	if sc.tcp > 0 && len(nw.Hosts) >= 2 {
+		trng := rand.New(rand.NewSource(sc.seed ^ 0x746370)) // "tcp"
+		stacks := make(map[*netsim.Node]*tcpsim.Stack)
+		stackFor := func(n *netsim.Node) *tcpsim.Stack {
+			st, ok := stacks[n]
+			if !ok {
+				st = tcpsim.NewStack(n)
+				stacks[n] = st
+			}
+			return st
+		}
+		for i := 0; i < sc.tcp; i++ {
+			src := nw.Hosts[trng.Intn(len(nw.Hosts))]
+			dst := nw.Hosts[trng.Intn(len(nw.Hosts))]
+			startAt := trng.Int63n(sc.duration / 2)
+			if src == dst {
+				continue
+			}
+			snd, rcv, err := tcpsim.NewTransfer(stackFor(src), stackFor(dst),
+				nw.HostAddr(src), nw.HostAddr(dst), uint16(40000+i), uint16(5001+i),
+				tcpsim.Config{MSS: 512, MinRTO: 300 * netsim.Microsecond, FlowLabel: uint32(100 + i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			src.Schedule(startAt, snd.Start)
+			tcps = append(tcps, tcpArm{snd: snd, rcv: rcv})
+		}
+	}
+
 	if shards > 1 {
 		if err := sim.SetShards(shards, eng); err != nil {
 			t.Fatalf("SetShards(%d, %v): %v", shards, eng, err)
 		}
-		if eng == netsim.EngineOptimistic {
+		if eng == netsim.EngineOptimistic && !sc.adaptive {
 			sim.SetHorizon(sc.horizon)
 		}
 	}
@@ -164,6 +215,9 @@ func fuzzRun(t *testing.T, sc fuzzScenario, shards int, eng netsim.Engine) strin
 	for _, g := range gens {
 		g.Stop()
 	}
+	for _, a := range tcps {
+		a.snd.Stop()
+	}
 	sim.Run()
 
 	var b strings.Builder
@@ -174,6 +228,11 @@ func fuzzRun(t *testing.T, sc fuzzScenario, shards int, eng netsim.Engine) strin
 		for _, ifc := range n.Ifaces() {
 			fmt.Fprintf(&b, "if[%s] tx=%d txd=%d down=%d\n", ifc, ifc.TxPackets, ifc.TxDrops, ifc.DownDrops())
 		}
+	}
+	for i, a := range tcps {
+		fmt.Fprintf(&b, "tcp[%d] sent=%d rtx=%d fr=%d to=%d dsack=%d good=%d ooo=%d dup=%d\n",
+			i, a.snd.SegmentsSent, a.snd.Retransmits, a.snd.FastRecoveries, a.snd.Timeouts,
+			a.snd.DSACKs, a.rcv.GoodputBytes, a.rcv.OutOfOrderSegs, a.rcv.DupSegs)
 	}
 	return fingerprint(sim, []string{b.String()})
 }

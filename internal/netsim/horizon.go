@@ -1,0 +1,172 @@
+package netsim
+
+import "math"
+
+// horizon.go is the adaptive speculation-window controller for the
+// optimistic (Time-Warp) engine.
+//
+// The horizon — how far past GVT shards speculate each round — trades
+// barrier/checkpoint frequency against rollback depth. The right
+// value depends on the workload: a topology whose cross-shard traffic
+// always arrives one lookahead later wants the horizon pinned at the
+// lookahead (no event ever arrives below a frontier, so speculation
+// is free), while a sparse workload with rare cross-shard messages
+// wants a wide horizon so hundreds of rounds collapse into one. No
+// fixed value serves both, so the controller drives the horizon from
+// the engine's own accounting: every barrier reports how many
+// rollbacks and anti-messages the repair pass cost, and the
+// controller widens the window while speculation is clean and
+// contracts it on thrash.
+//
+// The loop is multiplicative-decrease with hysteresis on the
+// increase: every shrink doubles the number of consecutive clean
+// periods required before the next growth probe (capped), so an
+// oscillation between a clean level and a thrashy one decays
+// exponentially instead of repeating every other period. All inputs
+// (rollback and anti-message counts per round) are deterministic
+// functions of the schedule, so the horizon trajectory — and with it
+// the whole run — remains bit-reproducible; and since correctness is
+// horizon-independent, the controller can only affect performance,
+// never results (locked by the fuzz arm that runs scenarios under
+// both adaptive and randomly fixed horizons).
+//
+// An explicit Sim.SetHorizon(ns > 0) disables the controller and
+// pins the window; SetHorizon(0) re-enables adaptation.
+
+const (
+	// hcPeriod is the number of barrier rounds folded into one
+	// control decision: long enough to smooth single-round noise,
+	// short enough to react within tens of rounds.
+	hcPeriod = 4
+	// hcMaxGrowDelay caps the growth hysteresis (in clean periods).
+	hcMaxGrowDelay = 64
+	// hcShrink is the denominator of the thrash threshold: shrink
+	// when rollbacks >= rounds/hcShrink (i.e. >= 0.5 per round).
+	hcShrink = 2
+	// hcGrow is the denominator of the clean threshold: a period is
+	// clean when rollbacks <= rounds/hcGrow (i.e. <= 0.125 per round).
+	hcGrow = 8
+	// hcAntiPerRound is the anti-message volume (per round) beyond
+	// which a period counts as thrash even with few rollbacks: mass
+	// cancellation means deep mis-speculation.
+	hcAntiPerRound = 64
+	// hcMaxCkptEvery caps the checkpoint stride: at most this many
+	// rounds may pass between two checkpoints of one shard, bounding
+	// how much re-execution a single straggler can force.
+	hcMaxCkptEvery = 64
+)
+
+// horizonCtl adapts the optimistic speculation window from the
+// observed rollback rate. It runs on the quiescent coordinator
+// (between rounds), so it needs no synchronisation.
+type horizonCtl struct {
+	base     int64 // derived starting horizon
+	min, max int64 // clamp bounds
+	cur      int64 // current horizon
+
+	// Accumulated since the last decision.
+	rounds    uint64
+	rollbacks uint64
+	antis     uint64
+	msgs      uint64
+
+	// clean counts consecutive clean periods; growDelay is how many
+	// are required before the next widening (doubled on every thrashy
+	// period, capped — the hysteresis that damps oscillation).
+	clean     uint64
+	growDelay uint64
+
+	// ckptEvery is the checkpoint stride in rounds. The horizon often
+	// cannot grow past the lookahead without manufacturing stragglers
+	// (cross-shard arrivals land inside the wider window), but the
+	// checkpoint stride can: skipping a checkpoint changes no
+	// schedule, it only deepens the rollback a straggler would cost.
+	// So while speculation is clean the stride doubles (checkpoints
+	// become nearly free) and any thrashy period resets it to 1.
+	ckptEvery uint64
+
+	// adjusts counts horizon changes actually applied.
+	adjusts uint64
+}
+
+// newHorizonCtl builds a controller starting from the derived
+// horizon, clamped to [base/8 (floor 1µs), base*64].
+func newHorizonCtl(base int64) *horizonCtl {
+	hc := &horizonCtl{base: base, cur: base, growDelay: 1, ckptEvery: 1}
+	hc.min = base / 8
+	if hc.min < Microsecond {
+		hc.min = Microsecond
+	}
+	if base > math.MaxInt64/64 {
+		hc.max = math.MaxInt64 / 2
+	} else {
+		hc.max = base * 64
+	}
+	return hc
+}
+
+// observe feeds one barrier's repair outcome (rollbacks,
+// anti-messages and cross-shard messages exchanged in that round)
+// into the controller and returns the horizon the next round should
+// speculate with.
+func (hc *horizonCtl) observe(rollbacks, antis, msgs uint64) int64 {
+	hc.rounds++
+	hc.rollbacks += rollbacks
+	hc.antis += antis
+	hc.msgs += msgs
+	if hc.rounds < hcPeriod {
+		return hc.cur
+	}
+	thrash := hc.rollbacks*hcShrink >= hc.rounds || hc.antis >= hcAntiPerRound*hc.rounds
+	cleanPeriod := hc.rollbacks*hcGrow <= hc.rounds && hc.antis < hcAntiPerRound*hc.rounds
+	// Widening pays off only when barriers are mostly idle: with dense
+	// cross-shard traffic (≥ 1 message per round) every arrival past
+	// the lookahead lands inside a wider window as a straggler, so a
+	// clean dense regime means the horizon is already right — probing
+	// up would only buy expensive rollbacks. The checkpoint stride has
+	// no such limit: skipping checkpoints changes no schedule.
+	sparse := hc.msgs < hc.rounds
+	hc.rounds, hc.rollbacks, hc.antis, hc.msgs = 0, 0, 0, 0
+
+	switch {
+	case thrash:
+		hc.clean = 0
+		hc.ckptEvery = 1
+		if hc.growDelay < hcMaxGrowDelay {
+			hc.growDelay *= 2
+		}
+		if hc.cur > hc.min {
+			hc.cur /= 2
+			if hc.cur < hc.min {
+				hc.cur = hc.min
+			}
+			hc.adjusts++
+		}
+	case cleanPeriod:
+		hc.clean++
+		if hc.ckptEvery < hcMaxCkptEvery {
+			hc.ckptEvery *= 2
+		}
+		if sparse && hc.clean >= hc.growDelay && hc.cur < hc.max {
+			hc.clean = 0
+			hc.cur *= 2
+			if hc.cur > hc.max || hc.cur < 0 {
+				hc.cur = hc.max
+			}
+			hc.adjusts++
+		}
+	default:
+		// Between the thresholds: neither confident enough to widen
+		// nor hurting enough to shrink. Reset the clean streak (and
+		// stop stretching the checkpoint stride) so a borderline
+		// regime does not drift wider.
+		hc.clean = 0
+	}
+	return hc.cur
+}
+
+// stride reports how many rounds may pass between checkpoints.
+func (hc *horizonCtl) stride() uint64 { return hc.ckptEvery }
+
+// Horizon reports the controller's current window (tests).
+func (hc *horizonCtl) horizon() int64 { return hc.cur }

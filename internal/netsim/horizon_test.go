@@ -1,0 +1,192 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"srv6bpf/internal/netem"
+)
+
+// Unit tests for the adaptive horizon controller: regime convergence,
+// clamping and hysteresis on the isolated control loop, plus an
+// integration pass asserting the engine's horizon actually converges
+// (and the run stays bit-identical — the property the equivalence
+// suites lock at scale).
+
+// feed drives the controller with a fixed per-round observation.
+func feed(hc *horizonCtl, rounds int, rollbacks, antis, msgs uint64) int64 {
+	h := hc.horizon()
+	for i := 0; i < rounds; i++ {
+		h = hc.observe(rollbacks, antis, msgs)
+	}
+	return h
+}
+
+func TestHorizonShrinksUnderThrash(t *testing.T) {
+	hc := newHorizonCtl(100 * Microsecond)
+	// Every round rolls back: the controller must contract to its
+	// floor and stay there.
+	h := feed(hc, 200, 2, 10, 100)
+	if h != hc.min {
+		t.Fatalf("horizon after sustained thrash = %d, want floor %d", h, hc.min)
+	}
+	if feed(hc, 200, 2, 10, 100) != hc.min {
+		t.Fatal("horizon left the floor under continued thrash")
+	}
+	if hc.stride() != 1 {
+		t.Fatalf("checkpoint stride = %d under thrash, want 1", hc.stride())
+	}
+	if hc.adjusts == 0 {
+		t.Fatal("no adjustments recorded")
+	}
+}
+
+func TestHorizonGrowsWhenCleanAndSparse(t *testing.T) {
+	hc := newHorizonCtl(100 * Microsecond)
+	// No rollbacks, almost no cross-shard traffic: the horizon must
+	// widen to its cap and the checkpoint stride to its cap.
+	h := feed(hc, 2000, 0, 0, 0)
+	if h != hc.max {
+		t.Fatalf("horizon after sustained clean sparse regime = %d, want cap %d", h, hc.max)
+	}
+	if hc.stride() != hcMaxCkptEvery {
+		t.Fatalf("checkpoint stride = %d, want cap %d", hc.stride(), hcMaxCkptEvery)
+	}
+	if feed(hc, 100, 0, 0, 0) != hc.max {
+		t.Fatal("horizon exceeded its cap")
+	}
+}
+
+func TestHorizonHoldsInCleanDenseRegime(t *testing.T) {
+	hc := newHorizonCtl(100 * Microsecond)
+	// Clean but message-dense: stride may stretch, horizon must not
+	// probe up (wider windows would manufacture stragglers).
+	h := feed(hc, 500, 0, 0, 50)
+	if h != hc.base {
+		t.Fatalf("horizon drifted to %d in a clean dense regime, want to hold at %d", h, hc.base)
+	}
+	if hc.stride() != hcMaxCkptEvery {
+		t.Fatalf("checkpoint stride = %d, want cap %d", hc.stride(), hcMaxCkptEvery)
+	}
+}
+
+func TestHorizonOscillationDamps(t *testing.T) {
+	hc := newHorizonCtl(100 * Microsecond)
+	// A workload that is clean at the current horizon but thrashes the
+	// moment the controller probes wider: every probe must cost more
+	// clean periods than the last (growDelay doubles), so the number
+	// of probes over a long run is logarithmic, not linear.
+	probes := 0
+	cur := hc.horizon()
+	for period := 0; period < 4000; period++ {
+		var h int64
+		if hc.horizon() > cur {
+			// The probe made it wider: thrash this period.
+			h = feed(hc, hcPeriod, 1, 0, 0)
+			probes++
+		} else {
+			h = feed(hc, hcPeriod, 0, 0, 0)
+		}
+		if h < hc.min || h > hc.max {
+			t.Fatalf("horizon %d escaped [%d, %d]", h, hc.min, hc.max)
+		}
+	}
+	if probes == 0 {
+		t.Fatal("controller never probed wider; hysteresis test is vacuous")
+	}
+	// growDelay doubles per failed probe up to hcMaxGrowDelay, so the
+	// steady-state probe rate is bounded by one per hcMaxGrowDelay
+	// clean periods (plus the initial exponential ramp) — residual
+	// probing is deliberate, it is what lets the controller re-adapt
+	// when the workload changes.
+	if limit := 4000/hcMaxGrowDelay + 10; probes > limit {
+		t.Fatalf("%d probes in 4000 periods (limit %d); hysteresis is not damping the oscillation", probes, limit)
+	}
+}
+
+func TestHorizonBoundsSaturateSafely(t *testing.T) {
+	// A huge base must not overflow the cap computation.
+	hc := newHorizonCtl(math.MaxInt64 / 4)
+	if hc.max <= 0 || hc.min <= 0 {
+		t.Fatalf("degenerate bounds: min=%d max=%d", hc.min, hc.max)
+	}
+	h := feed(hc, 1000, 0, 0, 0)
+	if h <= 0 || h > hc.max {
+		t.Fatalf("horizon %d escaped (0, %d]", h, hc.max)
+	}
+}
+
+// TestAdaptiveHorizonConvergesAndMatches is the integration lock: on
+// a uniform-delay topology the controller must settle at the
+// lookahead (the straggler-free window), kill rollbacks, stretch the
+// checkpoint stride — and the committed state must match the
+// sequential schedule exactly.
+func TestAdaptiveHorizonConvergesAndMatches(t *testing.T) {
+	const delay = 20 * Microsecond
+	run := func(shards int) (string, EngineStats) {
+		s := New(3)
+		a, b, _ := twoHosts(s, netem.Config{RateBps: 1e9, DelayNs: delay})
+		if shards > 1 {
+			if err := s.SetShards(shards, EngineOptimistic); err != nil {
+				t.Fatal(err)
+			}
+			if !s.EngineStats().HorizonAdaptive {
+				t.Fatal("adaptive horizon controller not active by default")
+			}
+		}
+		pingPong(t, a, b, 400, 3*Microsecond)
+		keepBusy(a, 2*Microsecond, 2*Millisecond)
+		keepBusy(b, 2*Microsecond, 2*Millisecond)
+		s.Run()
+		fp := fmt.Sprintf("aC=%v bC=%v", a.Counters(), b.Counters())
+		return fp, s.EngineStats()
+	}
+	seq, _ := run(1)
+	par, st := run(2)
+	if par != seq {
+		t.Fatalf("adaptive optimistic run diverged:\n  seq: %s\n  par: %s", seq, par)
+	}
+	if st.Horizon > 4*delay {
+		t.Errorf("horizon %d did not contract towards the lookahead %d", st.Horizon, delay)
+	}
+	if st.Windows > 0 && st.Rollbacks*2 >= st.Windows {
+		t.Errorf("rollback rate stayed thrashy after convergence: %d rollbacks in %d windows",
+			st.Rollbacks, st.Windows)
+	}
+	if st.Checkpoints == 0 {
+		t.Error("no checkpoints taken")
+	}
+	if st.CkptNodesCopied == 0 {
+		t.Error("checkpoint accounting reports zero copied nodes")
+	}
+	t.Logf("horizon=%d adjusts=%d windows=%d rollbacks=%d ckpts=%d copied=%d aliased=%d bytes=%d",
+		st.Horizon, st.HorizonAdjusts, st.Windows, st.Rollbacks, st.Checkpoints,
+		st.CkptNodesCopied, st.CkptNodesAliased, st.CkptBytes)
+}
+
+// TestSetHorizonDisablesController: an explicit horizon pins the
+// window; SetHorizon(0) hands control back.
+func TestSetHorizonDisablesController(t *testing.T) {
+	s := New(1)
+	a, b, _ := twoHosts(s, netem.Config{RateBps: 1e9, DelayNs: 10 * Microsecond})
+	if err := s.SetShards(2, EngineOptimistic); err != nil {
+		t.Fatal(err)
+	}
+	s.SetHorizon(77 * Microsecond)
+	pingPong(t, a, b, 100, 3*Microsecond)
+	keepBusy(a, 2*Microsecond, 500*Microsecond)
+	keepBusy(b, 2*Microsecond, 500*Microsecond)
+	s.Run()
+	st := s.EngineStats()
+	if st.HorizonAdaptive {
+		t.Error("controller still active after explicit SetHorizon")
+	}
+	if st.Horizon != 77*Microsecond {
+		t.Errorf("pinned horizon moved to %d", st.Horizon)
+	}
+	s.SetHorizon(0)
+	if st := s.EngineStats(); !st.HorizonAdaptive {
+		t.Error("SetHorizon(0) did not re-enable the controller")
+	}
+}

@@ -110,6 +110,7 @@ func (i *Iface) setOneEnd(up bool) {
 	if i.down == !up {
 		return
 	}
+	i.Node.dirty = true
 	i.down = !up
 	if !up {
 		i.failEpoch++
@@ -146,21 +147,35 @@ func (m *xmsg) same(o *xmsg) bool {
 		m.peer == o.peer && m.epoch == o.epoch && string(m.raw) == string(o.raw)
 }
 
-// event builds the delivery event. A failure between transmission and
-// delivery cuts the wire under the packet: it is lost even if the
-// link has since been restored. Both ends' epochs advance at the same
-// virtual instants, so the receiving end's epoch stands in for the
-// sender's, keeping the delivery event inside its own shard's state.
-func (m *xmsg) event() event {
+// event builds the delivery event for a cross-shard message: the
+// packet bytes are shared with the optimistic engine's input log, so
+// the receiver must treat them as immutable. A failure between
+// transmission and delivery cuts the wire under the packet: it is
+// lost even if the link has since been restored. Both ends' epochs
+// advance at the same virtual instants, so the receiving end's epoch
+// stands in for the sender's, keeping the delivery event inside its
+// own shard's state.
+func (m *xmsg) event() event { return m.buildEvent(true, 0) }
+
+// eventLocal builds the delivery event for a same-shard transmission,
+// stamping the shard's current checkpoint count so the receive path
+// can tell whether any retained checkpoint could share the bytes.
+func (m *xmsg) eventLocal(ckptSeq uint64) event { return m.buildEvent(false, ckptSeq) }
+
+func (m *xmsg) buildEvent(cross bool, ckptSeq uint64) event {
 	peer, epoch, raw := m.peer, m.epoch, m.raw
 	return event{
 		at: m.at, schedAt: m.schedAt, src: m.src, k: m.k,
 		fn: func() {
+			// The event key's src is the sender; the state it mutates
+			// belongs to the receiving end, so mark that node dirty
+			// explicitly for the incremental checkpoints.
+			peer.Node.dirty = true
 			if peer.failEpoch != epoch {
 				peer.inFlightKills++
 				return
 			}
-			peer.Node.deliver(raw, peer)
+			peer.Node.deliver(raw, peer, cross, ckptSeq)
 		},
 	}
 }
@@ -195,7 +210,13 @@ func (i *Iface) Transmit(raw []byte) {
 		peer: i.peer, epoch: i.failEpoch, raw: raw,
 	}
 	if i.peer.Node.shard == n.shard {
-		n.shard.heap.push(m.event())
+		// Stamp the era in which this packet's buffer last became
+		// private (set at drain/Output), NOT the current one: a
+		// checkpoint taken while the packet waited in the pending
+		// commit closure has captured the buffer via the heap copy,
+		// and the older stamp is what forces the receiving drain to
+		// copy before mutating it.
+		n.shard.heap.push(m.eventLocal(n.pktEra))
 		return
 	}
 	if n.Sim.engine == EngineOptimistic {

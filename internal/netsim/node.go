@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"net/netip"
+	"sort"
 
 	"srv6bpf/internal/packet"
 	"srv6bpf/internal/seg6"
@@ -54,6 +55,14 @@ type UDPHandler func(n *Node, p *packet.Packet, meta *PacketMeta)
 type rxItem struct {
 	raw  []byte
 	meta PacketMeta
+	// cross marks a cross-shard delivery: its bytes are shared with
+	// the optimistic engine's input log, so processing must not
+	// mutate them in place. ckptSeq is the owning shard's checkpoint
+	// count when the delivery event was created: if it still matches
+	// at processing time, no retained checkpoint references the
+	// buffer (see Node.drain).
+	cross   bool
+	ckptSeq uint64
 }
 
 // Counter is a pre-resolved handle to one named counter cell. The
@@ -122,7 +131,11 @@ type Node struct {
 
 	ifaces []*Iface
 	tables map[int]*Table
-	local  map[netip.Addr]bool
+	// tableOrder lists the table ids in sorted order (maintained on
+	// table creation), so checkpoint snapshots iterate the FIB
+	// deterministically without sorting per snapshot.
+	tableOrder []int
+	local      map[netip.Addr]bool
 	// primary is the address used as source for generated ICMP.
 	primary netip.Addr
 
@@ -140,8 +153,28 @@ type Node struct {
 
 	// counters holds the interned counter cells; Counter handles
 	// point into it. Counters() materialises the read-side map.
-	counters map[string]*uint64
-	hot      hotCounters
+	// counterNames/counterCells repeat the interning in order, so a
+	// checkpoint snapshots the whole set as one flat value copy and a
+	// rollback can forget cells interned during undone speculation.
+	counters     map[string]*uint64
+	counterNames []string
+	counterCells []*uint64
+	hot          hotCounters
+
+	// dirty marks the node as mutated since its last fresh checkpoint
+	// snapshot: event execution, packet receive, interface flips and
+	// counter interning all set it. The optimistic engine's
+	// incremental checkpoints copy only dirty nodes; a clean node's
+	// entry aliases the previous checkpoint's snapshot.
+	dirty bool
+	// pktEra is the shard's checkpoint count when the packet this
+	// node is currently processing last became private (copied or
+	// freshly built). Transmit stamps it into same-shard delivery
+	// events instead of the current count: a checkpoint taken while
+	// the packet sits in a pending commit closure makes its buffer
+	// rollback-reachable, and the stale stamp is what tells the
+	// receiving drain to copy before mutating (see Node.drain).
+	pktEra uint64
 
 	// stateHooks are the ShardState components checkpointed with this
 	// node (traffic generators, NF control loops, journals).
@@ -166,6 +199,7 @@ func (s *Sim) AddNode(name string, cost CostModel) *Node {
 		shard:       s.shards[0],
 		rngSrc:      randSource{state: uint64(nodeSeed(s.seed, name))},
 		tables:      map[int]*Table{MainTable: {}},
+		tableOrder:  []int{MainTable},
 		local:       make(map[netip.Addr]bool),
 		udpHandlers: make(map[uint16]UDPHandler),
 		counters:    make(map[string]*uint64),
@@ -235,6 +269,7 @@ func (n *Node) RegisterState(s ShardState) {
 			return
 		}
 	}
+	n.dirty = true
 	n.stateHooks = append(n.stateHooks, stateHook{s: s, reg: s.SnapshotState()})
 }
 
@@ -247,6 +282,7 @@ func (n *Node) Schedule(at int64, fn func()) {
 	if at < sh.now {
 		at = sh.now
 	}
+	n.dirty = true
 	n.schedK++
 	sh.push(event{at: at, schedAt: sh.now, src: n.idx, k: n.schedK, fn: fn})
 }
@@ -257,23 +293,28 @@ func (n *Node) After(d int64, fn func()) { n.Schedule(n.shard.now+d, fn) }
 // CounterHandle interns name and returns its pre-resolved handle.
 // Resolve once, increment per packet.
 func (n *Node) CounterHandle(name string) Counter {
+	return Counter{cell: n.internCounter(name)}
+}
+
+// internCounter returns (creating if needed) the cell for name,
+// recording creation order so checkpoints snapshot the set as a flat
+// slice and rollback can forget speculatively interned cells.
+func (n *Node) internCounter(name string) *uint64 {
 	c := n.counters[name]
 	if c == nil {
 		c = new(uint64)
+		n.dirty = true
 		n.counters[name] = c
+		n.counterNames = append(n.counterNames, name)
+		n.counterCells = append(n.counterCells, c)
 	}
-	return Counter{cell: c}
+	return c
 }
 
 // Count bumps a named counter. Cold paths use it directly; per-packet
 // paths go through pre-resolved handles instead.
 func (n *Node) Count(what string) {
-	c := n.counters[what]
-	if c == nil {
-		c = new(uint64)
-		n.counters[what] = c
-	}
-	*c++
+	*n.internCounter(what)++
 }
 
 // Counters returns the read-side view of all counters: free-form
@@ -324,7 +365,10 @@ func (n *Node) Table(id int) *Table {
 	t, ok := n.tables[id]
 	if !ok {
 		t = &Table{}
+		n.dirty = true
 		n.tables[id] = t
+		n.tableOrder = append(n.tableOrder, id)
+		sort.Ints(n.tableOrder)
 	}
 	return t
 }
@@ -355,10 +399,13 @@ func (n *Node) HandleICMP(h func(n *Node, p *packet.Packet, meta *PacketMeta)) {
 // the packet is dropped — this is how offered load beyond the node's
 // packet rate disappears, exactly like the paper's router receiving 3
 // Mpps but forwarding 610 kpps.
-func (n *Node) deliver(raw []byte, in *Iface) {
+func (n *Node) deliver(raw []byte, in *Iface, cross bool, ckptSeq uint64) {
+	n.dirty = true
 	if !n.rxPush(rxItem{
-		raw:  raw,
-		meta: PacketMeta{RxTimestamp: n.Now(), InIface: in},
+		raw:     raw,
+		meta:    PacketMeta{RxTimestamp: n.Now(), InIface: in},
+		cross:   cross,
+		ckptSeq: ckptSeq,
 	}) {
 		n.hot.rxRingFull.Inc()
 		return
@@ -412,16 +459,29 @@ func (n *Node) drain() {
 		return
 	}
 	item := n.rxPop()
-	if n.Sim.engine == EngineOptimistic && len(n.Sim.shards) > 1 {
+	if n.Sim.engine == EngineOptimistic && len(n.Sim.shards) > 1 &&
+		(item.cross || item.ckptSeq != n.shard.ckptSeq) {
 		// Processing mutates packet bytes in place (SRH advance, hop
-		// limit). Under speculation the ring item may be shared with a
-		// checkpoint snapshot, so each hop works on a private copy;
-		// the checkpointed original stays pristine for re-execution.
+		// limit). Under speculation the bytes may be shared with
+		// rollback state — a checkpoint snapshot (heap closure or ring
+		// item) when a checkpoint intervened since the buffer last
+		// became private, or the cross-shard input log — so such hops
+		// work on a private copy and the shared original stays
+		// pristine for re-execution. A same-shard hop inside one
+		// checkpoint era (the common case once the controller
+		// stretches the checkpoint stride) mutates in place: nothing
+		// retained can reference it.
 		item.raw = append([]byte(nil), item.raw...)
 	}
+	// This hop's buffer is private as of the current era: either it
+	// was just copied, or the stamp proved no checkpoint has seen it.
+	n.pktEra = n.shard.ckptSeq
 
 	cost := n.Cost.PacketCost(len(item.raw))
-	commit, extra := n.routePacket(item.raw, &item.meta, 0)
+	// meta escapes into handler and commit closures; keep the escape
+	// to the small PacketMeta value, not the whole ring item.
+	meta := item.meta
+	commit, extra := n.routePacket(item.raw, &meta, 0)
 	cost += extra
 
 	n.After(cost, func() {
@@ -436,6 +496,19 @@ func (n *Node) drain() {
 // Generation cost is the caller's concern (traffic generators pace
 // themselves), so no CPU time is charged here.
 func (n *Node) Output(raw []byte) {
+	// A locally-built packet is private as of now; routing and its
+	// commit run inside this event, so no checkpoint can intervene
+	// before the transmit stamps the era.
+	n.outputFrom(n.shard.ckptSeq, raw)
+}
+
+// outputFrom is Output for a packet whose bytes became private in an
+// earlier checkpoint era — a buffer built at drain time but emitted
+// from a deferred commit closure (icmpError). Stamping the buffer's
+// own era keeps the copy-elision honest: if a checkpoint captured the
+// pending closure, receivers must copy before mutating.
+func (n *Node) outputFrom(era uint64, raw []byte) {
+	n.pktEra = era
 	meta := &PacketMeta{RxTimestamp: n.Now(), Local: true}
 	commit, _ := n.routePacket(raw, meta, 0)
 	if commit != nil {
@@ -562,10 +635,16 @@ func (n *Node) forward(r *Route, raw []byte, meta *PacketMeta) (func(), int64) {
 			extra = n.Cost.EncapNs
 		}
 	}
+	// The commit may run one event later (After(cost)); other events
+	// on this node (probe ticks, generator Outputs) can process other
+	// packets in between and move pktEra. Capture this packet's era
+	// now and reinstate it for the transmit-time stamp.
+	era := n.pktEra
 	return func() {
 		if !meta.Local {
 			packet.SetIPv6HopLimit(out, hdr.HopLimit-1)
 		}
+		n.pktEra = era
 		nh.Iface.Transmit(out)
 	}, extra
 }
@@ -638,10 +717,12 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 			n.hot.dropHopLimit.Inc()
 			return n.icmpError(out, meta, packet.ICMPv6TimeExceeded, 0), cost + n.Cost.ICMPGenNs
 		}
+		era := n.pktEra // see forward: the commit runs after interleaved events
 		return func() {
 			if !meta.Local {
 				packet.SetIPv6HopLimit(out, hdr.HopLimit-1)
 			}
+			n.pktEra = era
 			iface.Transmit(out)
 		}, cost
 
@@ -763,5 +844,9 @@ func (n *Node) icmpError(raw []byte, meta *PacketMeta, icmpType, code uint8) fun
 		return nil
 	}
 	n.Count(fmt.Sprintf("icmp_sent_type%d", icmpType))
-	return func() { n.Output(reply) }
+	// The reply buffer is private as of now; the commit that emits it
+	// may run an event later, past a checkpoint that captured this
+	// closure, so the emission must carry today's era (see outputFrom).
+	era := n.shard.ckptSeq
+	return func() { n.outputFrom(era, reply) }
 }

@@ -7,14 +7,19 @@ package netsim
 // speculate through a fixed horizon instead and repairs mis-ordered
 // history when it is caught out:
 //
-//   - at the start of each round every shard with runnable work takes
-//     a checkpoint — a value copy of its event heap and of all node
-//     state (receive rings, counters, interface and qdisc state, FIB
-//     round-robin cursors, per-node RNG streams, registered
-//     ShardState hooks);
-//   - shards then execute the window [GVT, GVT+horizon) concurrently,
-//     buffering cross-shard packets in outboxes exactly like the
-//     conservative engine;
+//   - periodically (every round while speculation thrashes, up to 64
+//     rounds apart while it is clean — the checkpoint stride is set
+//     by the adaptive controller in horizon.go) each shard with
+//     runnable work takes a checkpoint — a value copy of its event
+//     heap plus, incrementally, the state of every node dirtied
+//     since its last snapshot (receive rings, counters, interface
+//     and qdisc state, FIB round-robin cursors, per-node RNG
+//     streams, registered ShardState hooks); clean nodes alias the
+//     previous checkpoint's immutable snapshot;
+//   - shards then execute the window [GVT, GVT+horizon) concurrently
+//     (the horizon adapts to the observed rollback rate unless
+//     SetHorizon pinned it), buffering cross-shard packets in
+//     outboxes exactly like the conservative engine;
 //   - at the barrier the coordinator exchanges the buffered messages.
 //     A message timestamped before a shard's execution frontier is a
 //     straggler: the shard rolls back to its latest checkpoint at or
@@ -39,7 +44,6 @@ package netsim
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 
 	"srv6bpf/internal/netem"
@@ -180,16 +184,46 @@ type ifaceSnap struct {
 	q             netem.Snapshot
 }
 
-// nodeSnap is the checkpointed state of one node.
+// nodeSnap is the checkpointed state of one node. Snapshots are
+// immutable once taken: incremental checkpoints alias the previous
+// round's nodeSnap for nodes that have not been touched since, so one
+// snapshot may back several checkpoints.
 type nodeSnap struct {
-	schedK   uint64
-	rng      uint64
-	busy     bool
-	rxq      []rxItem
-	counters map[string]uint64
-	ifaces   []ifaceSnap
-	rr       []uint64
-	hooks    []any
+	schedK uint64
+	rng    uint64
+	busy   bool
+	rxq    []rxItem
+	// cvals holds the counter values in intern order (parallel to
+	// Node.counterCells). A flat value copy instead of a map rebuild:
+	// the per-checkpoint cost of a counter set is one slice copy.
+	cvals  []uint64
+	ifaces []ifaceSnap
+	rr     []uint64
+	hooks  []any
+}
+
+// Approximate in-memory sizes for checkpoint-byte accounting (Go
+// struct layouts; exactness is not required, stability across rounds
+// is).
+const (
+	eventBytes    = 40 // event value in the heap slice
+	rxItemBytes   = 48 // rxItem excluding the packet bytes
+	nodeSnapBytes = 96 // nodeSnap header: scalars + slice headers
+	ifaceSnapHdr  = 64 // ifaceSnap excluding the qdisc snapshot
+)
+
+// sizeBytes estimates the deep memory footprint of the snapshot.
+func (s *nodeSnap) sizeBytes() uint64 {
+	b := uint64(nodeSnapBytes)
+	for i := range s.rxq {
+		b += rxItemBytes + uint64(len(s.rxq[i].raw))
+	}
+	b += 8 * uint64(len(s.cvals)+len(s.rr))
+	for i := range s.ifaces {
+		b += ifaceSnapHdr + uint64(s.ifaces[i].q.SizeBytes())
+	}
+	b += 16 * uint64(len(s.hooks))
+	return b
 }
 
 // checkpoint is one shard's state at the start of a round: everything
@@ -216,9 +250,9 @@ func (n *Node) snapshot() nodeSnap {
 			snap.rxq[i] = n.rxq[(n.rxHead+i)%len(n.rxq)]
 		}
 	}
-	snap.counters = make(map[string]uint64, len(n.counters))
-	for k, c := range n.counters {
-		snap.counters[k] = *c
+	snap.cvals = make([]uint64, len(n.counterCells))
+	for i, c := range n.counterCells {
+		snap.cvals[i] = *c
 	}
 	if len(n.ifaces) > 0 {
 		snap.ifaces = make([]ifaceSnap, len(n.ifaces))
@@ -235,7 +269,7 @@ func (n *Node) snapshot() nodeSnap {
 			}
 		}
 	}
-	snap.rr = n.routeCounters(nil)
+	snap.rr = n.routeCounters()
 	if len(n.stateHooks) > 0 {
 		snap.hooks = make([]any, len(n.stateHooks))
 		for i, h := range n.stateHooks {
@@ -260,14 +294,20 @@ func (n *Node) restore(snap nodeSnap) {
 	copy(n.rxq, snap.rxq)
 	n.rxHead = 0
 	n.rxCount = len(snap.rxq)
-	for k, c := range n.counters {
-		if v, ok := snap.counters[k]; ok {
-			*c = v
+	for i, c := range n.counterCells {
+		if i < len(snap.cvals) {
+			*c = snap.cvals[i]
 		} else {
 			// Interned during speculation; forget it so the committed
-			// counter set matches the sequential run.
-			delete(n.counters, k)
+			// counter set matches the sequential run. (Interning is
+			// append-only, so everything beyond the snapshot's length is
+			// newer than the snapshot.)
+			delete(n.counters, n.counterNames[i])
 		}
+	}
+	if len(n.counterCells) > len(snap.cvals) {
+		n.counterCells = n.counterCells[:len(snap.cvals)]
+		n.counterNames = n.counterNames[:len(snap.cvals)]
 	}
 	for i, ifc := range n.ifaces {
 		is := &snap.ifaces[i]
@@ -296,15 +336,16 @@ func (n *Node) restore(snap nodeSnap) {
 	}
 }
 
-// routeCounters appends every route's round-robin cursor in
-// deterministic table/route order.
-func (n *Node) routeCounters(dst []uint64) []uint64 {
-	ids := make([]int, 0, len(n.tables))
-	for id := range n.tables {
-		ids = append(ids, id)
+// routeCounters collects every route's round-robin cursor in
+// deterministic table/route order (tableOrder is maintained sorted),
+// sized exactly in one allocation.
+func (n *Node) routeCounters() []uint64 {
+	total := 0
+	for _, id := range n.tableOrder {
+		total += len(n.tables[id].routes)
 	}
-	sort.Ints(ids)
-	for _, id := range ids {
+	dst := make([]uint64, 0, total)
+	for _, id := range n.tableOrder {
 		for _, r := range n.tables[id].routes {
 			dst = append(dst, r.rrCounter)
 		}
@@ -313,13 +354,8 @@ func (n *Node) routeCounters(dst []uint64) []uint64 {
 }
 
 func (n *Node) restoreRouteCounters(vals []uint64) {
-	ids := make([]int, 0, len(n.tables))
-	for id := range n.tables {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
 	i := 0
-	for _, id := range ids {
+	for _, id := range n.tableOrder {
 		for _, r := range n.tables[id].routes {
 			if i >= len(vals) {
 				panic("netsim: FIB routes added during optimistic speculation; install routes before Run, or from driver code between runs")
@@ -332,22 +368,54 @@ func (n *Node) restoreRouteCounters(vals []uint64) {
 
 // takeCheckpoint snapshots the shard at its current frontier. Runs on
 // the shard's worker goroutine at the start of a round.
+//
+// Checkpoints are incremental: only nodes whose dirty bit is set since
+// their last fresh snapshot are deep-copied; a clean node's entry
+// aliases the previous checkpoint's (immutable) snapshot, so an idle
+// region of the shard costs one struct copy per round instead of a
+// deep state copy. The first checkpoint after a commit (no retained
+// predecessor) snapshots everything, which is what makes driver-time
+// and Step-time mutations — which are not dirty-tracked — safe.
 func (sh *shard) takeCheckpoint(round uint64) {
+	sh.ckptSeq++
 	c := &checkpoint{round: round, time: sh.execTo, now: sh.now}
 	c.heap = append(eventHeap(nil), sh.heap...)
 	c.nodes = make([]nodeSnap, len(sh.nodes))
+	var prev *checkpoint
+	if len(sh.ckpts) > 0 {
+		prev = sh.ckpts[len(sh.ckpts)-1]
+	}
+	var copied, aliased, bytes uint64
+	bytes += eventBytes * uint64(len(c.heap))
 	for i, n := range sh.nodes {
+		if prev != nil && !n.dirty {
+			c.nodes[i] = prev.nodes[i]
+			aliased++
+			continue
+		}
 		c.nodes[i] = n.snapshot()
+		n.dirty = false
+		copied++
+		bytes += c.nodes[i].sizeBytes()
 	}
 	sh.ckpts = append(sh.ckpts, c)
-	sh.sim.engCkpts.Inc(sh.id)
+	sh.lastCkptRound = round
+	sh.forceCkpt = false
+	s := sh.sim
+	s.engCkpts.Inc(sh.id)
+	s.engCkptCopied.Add(sh.id, copied)
+	s.engCkptAliased.Add(sh.id, aliased)
+	s.engCkptBytes.Add(sh.id, bytes)
 }
 
-// restoreCheckpoint rewinds the shard to c; c stays reusable.
+// restoreCheckpoint rewinds the shard to c; c stays reusable. Every
+// node's live state now equals its checkpointed snapshot, so dirty
+// bits clear: the next checkpoint may alias these snapshots again.
 func (sh *shard) restoreCheckpoint(c *checkpoint) {
 	sh.heap = append(sh.heap[:0], c.heap...)
 	for i, n := range sh.nodes {
 		n.restore(c.nodes[i])
+		n.dirty = false
 	}
 	sh.execTo = c.time
 	sh.now = c.now
@@ -453,6 +521,10 @@ func (s *Sim) runOptimistic(limit int64) {
 		}
 		s.round++
 		round := s.round
+		stride := uint64(1)
+		if s.hc != nil {
+			stride = s.hc.stride()
+		}
 		s.running = true
 		for _, sh := range s.shards {
 			sh := sh
@@ -463,7 +535,16 @@ func (s *Sim) runOptimistic(limit int64) {
 			go func() {
 				defer wg.Done()
 				defer func() { sh.panicked = recover() }()
-				sh.takeCheckpoint(round)
+				// Checkpoints are periodic, not per-round: while
+				// speculation is clean the controller stretches the
+				// stride and a straggler simply rolls back through the
+				// older checkpoint, re-delivering the inputs logged
+				// since. A shard with no retained checkpoint must take
+				// one before speculating — there would be nothing to
+				// roll back to.
+				if len(sh.ckpts) == 0 || sh.forceCkpt || round >= sh.lastCkptRound+stride {
+					sh.takeCheckpoint(round)
+				}
 				sh.runTo(end)
 			}()
 		}
@@ -477,11 +558,19 @@ func (s *Sim) runOptimistic(limit int64) {
 			}
 		}
 		s.engWindows.Inc(0)
+		prevRollbacks, prevAntis := s.rollbacks, s.antiMsgs
 		s.exchangeOptimistic()
 		if s.onBarrier != nil {
 			s.onBarrier(s.minNextAt())
 		}
 		s.trimCommitted()
+		if s.hc != nil {
+			// Feed this barrier's repair cost to the adaptive horizon
+			// controller; the next round speculates with its verdict.
+			msgs := s.engMsgs.Total()
+			s.horizon = s.hc.observe(s.rollbacks-prevRollbacks, s.antiMsgs-prevAntis, msgs-s.hcMsgsSeen)
+			s.hcMsgsSeen = msgs
+		}
 	}
 }
 
@@ -638,7 +727,12 @@ func (s *Sim) rollbackShard(sh *shard, t int64) {
 			t, sh.id))
 	}
 	c := sh.ckpts[i]
-	sh.ckpts = sh.ckpts[:i+1] // newer checkpoints captured invalid speculation
+	// Newer checkpoints captured invalid speculation; clear the
+	// dropped tail so their snapshots and packet buffers free now
+	// rather than when the slots are eventually overwritten.
+	clear(sh.ckpts[i+1:])
+	sh.ckpts = sh.ckpts[:i+1]
+	sh.forceCkpt = true // re-anchor before the next speculation round
 	sh.restoreCheckpoint(c)
 	for _, in := range sh.inLog {
 		if in.round >= c.round {
@@ -698,6 +792,14 @@ func (s *Sim) trimCommitted() {
 				break // checkpoint times are non-decreasing
 			}
 		}
+		if cut == 0 {
+			// Rollback floor unchanged: the retention filters below
+			// would keep everything, so skip the per-round scan (the
+			// logs can hold thousands of entries when the checkpoint
+			// stride is stretched).
+			continue
+		}
+		clear(sh.ckpts[:cut]) // release the committed snapshots now
 		sh.ckpts = sh.ckpts[cut:]
 		floor := sh.ckpts[0]
 		inKeep := sh.inLog[:0]
@@ -706,6 +808,7 @@ func (s *Sim) trimCommitted() {
 				inKeep = append(inKeep, in)
 			}
 		}
+		clear(sh.inLog[len(inKeep):])
 		sh.inLog = inKeep
 		// A send can only join the tentative list if a rollback reaches
 		// its emission time; emissions below the oldest retained
@@ -716,21 +819,29 @@ func (s *Sim) trimCommitted() {
 				sentKeep = append(sentKeep, sr)
 			}
 		}
+		clear(sh.sentLog[len(sentKeep):])
 		sh.sentLog = sentKeep
 	}
 }
 
 // commitAll drops all speculation history; called when the engine
 // drains (every event at or below the run limit executed, no pending
-// messages) and the whole state is committed.
+// messages) and the whole state is committed. The history slices keep
+// their capacity — a driver loop alternating RunUntil and quiescent
+// work would otherwise regrow them from scratch every chunk — but
+// their elements are cleared so committed packet buffers and
+// snapshots are released to the GC.
 func (s *Sim) commitAll() {
 	for _, sh := range s.shards {
 		if len(sh.tentative) != 0 {
 			panic("netsim: optimistic engine drained with unacked tentative messages")
 		}
-		sh.ckpts = nil
-		sh.inLog = nil
-		sh.sentLog = nil
+		clear(sh.ckpts)
+		sh.ckpts = sh.ckpts[:0]
+		clear(sh.inLog)
+		sh.inLog = sh.inLog[:0]
+		clear(sh.sentLog)
+		sh.sentLog = sh.sentLog[:0]
 	}
 	s.pending = s.pending[:0]
 	s.antiq = s.antiq[:0]

@@ -8,11 +8,14 @@ package netsim
 
 import (
 	"fmt"
+	"net/netip"
 	"reflect"
+	"strings"
 	"testing"
 
 	"srv6bpf/internal/netem"
 	"srv6bpf/internal/packet"
+	"srv6bpf/internal/seg6"
 )
 
 // optimisticPair builds A --- B with the link config, a default route
@@ -445,5 +448,116 @@ func TestOptimisticStateHookRegistrationRollback(t *testing.T) {
 	n.restore(snap2)
 	if p.val != 7 {
 		t.Fatalf("registered hook state = %d, want 7", p.val)
+	}
+}
+
+// TestOptimisticSameShardSRHMutation is the regression lock for the
+// per-hop packet-copy elision. The chain R -> E lives on one shard:
+// R forwards SRv6 traffic to E's End SID, so R's pending commit
+// closure (captured by a round-start checkpoint) references the same
+// buffer E later advances in place at drain time — a read-modify-
+// write, unlike the idempotent hop-limit rewrite plain forwarding
+// does. If the copy-elision stamps the delivery with the era at
+// transmit time instead of the era the buffer became private,
+// rollback replays the captured commit with an already-advanced SRH
+// and the schedule diverges from sequential.
+func TestOptimisticSameShardSRHMutation(t *testing.T) {
+	sid := netip.MustParseAddr("fc00:e::1")
+	eAddr := netip.MustParseAddr("2001:db8:e::1")
+	run := func(shards int) string {
+		s := New(9)
+		// Creation order pins the partition: {E, R} | {A, B}.
+		e := s.AddNode("E", ServerCostModel())
+		r := s.AddNode("R", ServerCostModel())
+		a := s.AddNode("A", HostCostModel())
+		b := s.AddNode("B", HostCostModel())
+		a.AddAddress(aAddr)
+		e.AddAddress(eAddr)
+		b.AddAddress(bAddr)
+		fast := netem.Config{RateBps: 1e10} // zero propagation delay everywhere
+		reIf, erIf := ConnectSymmetric(r, e, fast)
+		aIf, raIf := ConnectSymmetric(a, r, fast)
+		ebIf, bIf := ConnectSymmetric(e, b, fast)
+		a.AddRoute(&Route{Prefix: pfx("::/0"), Kind: RouteForward, Nexthops: []Nexthop{{Iface: aIf}}})
+		b.AddRoute(&Route{Prefix: pfx("::/0"), Kind: RouteForward, Nexthops: []Nexthop{{Iface: bIf}}})
+		r.AddRoute(&Route{Prefix: netip.PrefixFrom(sid, 128), Kind: RouteForward, Nexthops: []Nexthop{{Iface: reIf}}})
+		r.AddRoute(&Route{Prefix: pfx("2001:db8:a::/48"), Kind: RouteForward, Nexthops: []Nexthop{{Iface: raIf}}})
+		e.AddRoute(&Route{Prefix: netip.PrefixFrom(sid, 128), Kind: RouteSeg6Local,
+			Behaviour: &seg6.Behaviour{Action: seg6.ActionEnd}})
+		e.AddRoute(&Route{Prefix: pfx("2001:db8:b::/48"), Kind: RouteForward, Nexthops: []Nexthop{{Iface: ebIf}}})
+		e.AddRoute(&Route{Prefix: pfx("2001:db8:a::/48"), Kind: RouteForward, Nexthops: []Nexthop{{Iface: erIf}}})
+		if shards > 1 {
+			if err := s.SetShards(shards, EngineOptimistic); err != nil {
+				t.Fatal(err)
+			}
+			// Pin the horizon near the per-packet CPU cost so commit
+			// closures regularly straddle round boundaries — the
+			// window in which a checkpoint captures a pending commit
+			// and the copy-elision decision matters. (Verified to
+			// fail against a transmit-time era stamp.)
+			s.SetHorizon(3 * Microsecond)
+			if e.shard != r.shard || a.shard != b.shard || e.shard == a.shard {
+				t.Fatal("partition did not split {E,R} | {A,B}")
+			}
+		}
+		// B journals every delivery with its hop limit: a replayed
+		// commit transmitting an already-advanced packet still reaches
+		// B (the rewritten destination routes as plain forwarding) but
+		// burns one extra hop-limit decrement — the only trace the
+		// corruption leaves. B also echoes every delivery straight
+		// back over zero-delay links: stragglers into both shards.
+		j := NewJournal(b)
+		b.HandleUDP(7, func(n *Node, p *packet.Packet, meta *PacketMeta) {
+			j.Addf("%d:hl%d", meta.RxTimestamp, p.IPv6.HopLimit)
+			reply, err := packet.BuildPacket(bAddr, aAddr, packet.WithUDP(7, 8), packet.WithPayload([]byte("pong")))
+			if err != nil {
+				panic(err)
+			}
+			n.Output(reply)
+		})
+		a.HandleUDP(8, func(n *Node, p *packet.Packet, meta *PacketMeta) {})
+		a.HandleUDP(9, func(n *Node, p *packet.Packet, meta *PacketMeta) {})
+		// R also emits its own probe traffic (an FRR-style detector
+		// would): each Output interleaves between other packets'
+		// drains and deferred commits, so the transmit-time era stamp
+		// must be the forwarded packet's own, not whatever the last
+		// Output left behind.
+		var probe func()
+		probe = func() {
+			raw, err := packet.BuildPacket(netip.MustParseAddr("2001:db8:e::2"), aAddr,
+				packet.WithUDP(500, 9), packet.WithPayload([]byte("p")))
+			if err != nil {
+				panic(err)
+			}
+			r.Output(raw)
+			if r.Now() < 450*Microsecond {
+				r.After(700, probe)
+			}
+		}
+		r.Schedule(0, probe)
+		for i := 0; i < 400; i++ {
+			at := int64(i) * Microsecond
+			a.Schedule(at, func() {
+				srh := packet.NewSRH([]netip.Addr{sid, bAddr})
+				raw, err := packet.BuildPacket(aAddr, sid, packet.WithSRH(srh),
+					packet.WithUDP(1000, 7), packet.WithPayload([]byte("x")))
+				if err != nil {
+					panic(err)
+				}
+				a.Output(raw)
+			})
+		}
+		keepBusy(e, Microsecond, 500*Microsecond)
+		keepBusy(r, Microsecond, 500*Microsecond)
+		s.Run()
+		return fmt.Sprintf("aC=%v rC=%v eC=%v bC=%v trace=%s", a.Counters(), r.Counters(), e.Counters(), b.Counters(), strings.Join(j.Lines(), ","))
+	}
+	seq := run(1)
+	if !strings.Contains(seq, "udp_delivered:400") {
+		t.Fatalf("sequential run did not deliver all 400 pings: %s", seq)
+	}
+	par := run(2)
+	if par != seq {
+		t.Fatalf("same-shard SRH mutation diverged under speculation:\n  seq: %s\n  par: %s", seq, par)
 	}
 }

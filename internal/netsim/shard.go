@@ -59,6 +59,22 @@ type shard struct {
 	inLog     []inputRec
 	sentLog   []sentRec
 	tentative []sentRec
+
+	// lastCkptRound is the round of this shard's newest checkpoint;
+	// the coordinator's checkpoint stride (see horizonCtl) decides how
+	// many rounds may pass before the next one. forceCkpt makes the
+	// next active round checkpoint unconditionally — set after a
+	// rollback so a repeat straggler cannot force the same deep
+	// re-execution twice.
+	lastCkptRound uint64
+	forceCkpt     bool
+
+	// ckptSeq counts checkpoints taken by this shard. Packet buffers
+	// stamp it when their delivery event is created: if no checkpoint
+	// intervened by the time the buffer is processed, no retained
+	// snapshot can reference it and the datapath may mutate it in
+	// place instead of copying it per hop (see Node.drain).
+	ckptSeq uint64
 }
 
 func newShard(s *Sim, id int) *shard {
@@ -106,11 +122,35 @@ func (sh *shard) sendCross(m xmsg) {
 // frequency) minimal.
 func (sh *shard) runTo(end int64) {
 	ev := &sh.sim.engEvents
+	nodes := sh.sim.nodes
+	// Dirty bits feed only the optimistic engine's incremental
+	// checkpoints; don't tax the conservative hot loop for them.
+	mark := sh.sim.engine == EngineOptimistic
 	for len(sh.heap) > 0 && sh.heap[0].at < end {
 		e := sh.heap.pop()
 		sh.now = e.at
 		if e.at >= sh.execTo {
 			sh.execTo = e.at + 1
+		}
+		// Dirty-tracking for incremental checkpoints: a node event
+		// mutates (at most) its scheduling node's state plus receive-side
+		// state, which deliver/setOneEnd/xmsg mark themselves. A
+		// cross-shard delivery carries the *sender's* index as src —
+		// a node this shard does not own — so only mark shard-owned
+		// sources; the delivery closure marks its receiver itself. A
+		// driver event (src < 0) is an arbitrary closure, so
+		// over-approximate: everything this shard owns may have been
+		// touched.
+		if mark {
+			if e.src >= 0 {
+				if n := nodes[e.src]; n.shard == sh {
+					n.dirty = true
+				}
+			} else {
+				for _, n := range sh.nodes {
+					n.dirty = true
+				}
+			}
 		}
 		ev.Inc(sh.id)
 		e.fn()
@@ -233,6 +273,14 @@ func (s *Sim) SetShards(n int, engine ...Engine) error {
 	s.engMsgs = *stats.NewSharded(n)
 	s.engWindows = *stats.NewSharded(n)
 	s.engCkpts = *stats.NewSharded(n)
+	s.engCkptCopied = *stats.NewSharded(n)
+	s.engCkptAliased = *stats.NewSharded(n)
+	s.engCkptBytes = *stats.NewSharded(n)
+	s.hc = nil
+	s.hcMsgsSeen = 0
+	if eng == EngineOptimistic && s.horizonReq == 0 {
+		s.hc = newHorizonCtl(s.horizon)
+	}
 	s.now = now
 	return nil
 }
@@ -258,7 +306,8 @@ func (s *Sim) deriveHorizon(lookahead int64) int64 {
 }
 
 // SetHorizon fixes the optimistic engine's speculation window in
-// nanoseconds (0 restores the derived default). Correctness is
+// nanoseconds, disabling the adaptive horizon controller; 0 restores
+// the derived default and re-enables adaptation. Correctness is
 // horizon-independent — only checkpoint frequency and rollback depth
 // change. Call while quiescent.
 func (s *Sim) SetHorizon(ns int64) {
@@ -267,6 +316,11 @@ func (s *Sim) SetHorizon(ns int64) {
 	}
 	s.horizonReq = ns
 	s.horizon = s.deriveHorizon(s.lookahead)
+	s.hc = nil
+	s.hcMsgsSeen = s.engMsgs.Total()
+	if ns == 0 && s.engine == EngineOptimistic && len(s.shards) > 1 {
+		s.hc = newHorizonCtl(s.horizon)
+	}
 }
 
 // Horizon reports the optimistic speculation window.
@@ -314,6 +368,17 @@ type EngineStats struct {
 	Checkpoints  uint64
 	Rollbacks    uint64
 	AntiMessages uint64
+	// CkptNodesCopied and CkptNodesAliased split checkpointed node
+	// entries into deep copies (dirty since the last snapshot) and
+	// aliases of the previous round's snapshot; CkptBytes estimates
+	// the bytes actually copied into checkpoints (heap + dirty nodes).
+	CkptNodesCopied  uint64
+	CkptNodesAliased uint64
+	CkptBytes        uint64
+	// HorizonAdaptive reports whether the horizon controller is
+	// active; HorizonAdjusts counts the horizon changes it made.
+	HorizonAdaptive bool
+	HorizonAdjusts  uint64
 	// GVT is the last committed global virtual time the optimistic
 	// engine computed (no rollback can ever reach below it).
 	GVT int64
@@ -322,19 +387,27 @@ type EngineStats struct {
 // EngineStats merges the per-shard accounting cells (in shard order,
 // so the result is deterministic).
 func (s *Sim) EngineStats() EngineStats {
-	return EngineStats{
-		Engine:       s.engine,
-		Shards:       len(s.shards),
-		Lookahead:    s.lookahead,
-		Horizon:      s.horizon,
-		Windows:      s.engWindows.Total(),
-		Events:       s.engEvents.Total(),
-		Messages:     s.engMsgs.Total(),
-		Checkpoints:  s.engCkpts.Total(),
-		Rollbacks:    s.rollbacks,
-		AntiMessages: s.antiMsgs,
-		GVT:          s.gvt,
+	st := EngineStats{
+		Engine:           s.engine,
+		Shards:           len(s.shards),
+		Lookahead:        s.lookahead,
+		Horizon:          s.horizon,
+		Windows:          s.engWindows.Total(),
+		Events:           s.engEvents.Total(),
+		Messages:         s.engMsgs.Total(),
+		Checkpoints:      s.engCkpts.Total(),
+		Rollbacks:        s.rollbacks,
+		AntiMessages:     s.antiMsgs,
+		CkptNodesCopied:  s.engCkptCopied.Total(),
+		CkptNodesAliased: s.engCkptAliased.Total(),
+		CkptBytes:        s.engCkptBytes.Total(),
+		GVT:              s.gvt,
 	}
+	if s.hc != nil {
+		st.HorizonAdaptive = true
+		st.HorizonAdjusts = s.hc.adjusts
+	}
+	return st
 }
 
 // minNextAt returns the earliest pending event timestamp across all

@@ -26,14 +26,16 @@
 // cross-shard link to carry a nonzero, jitter-free delay, and it
 // barriers once per lookahead. The optimistic engine
 // (SetShards(n, EngineOptimistic)) speculates past the lookahead
-// Time-Warp style: shards checkpoint their state each round,
-// speculate through a horizon, and when a cross-shard message arrives
-// below a shard's execution frontier the shard rolls back to a
-// checkpoint, re-delivers its logged inputs and reconciles the
-// cross-shard sends of the undone interval (identical re-emissions
-// are suppressed; disowned deliveries are annihilated with
-// anti-messages). GVT — the minimum over pending events and unacked
-// speculative sends — bounds checkpoint retention and rollback depth.
+// Time-Warp style: shards take periodic incremental checkpoints
+// (dirty nodes only; cadence and speculation horizon driven by an
+// adaptive controller fed with the observed rollback rate — see
+// horizon.go), and when a cross-shard message arrives below a
+// shard's execution frontier the shard rolls back to a checkpoint,
+// re-delivers its logged inputs and reconciles the cross-shard sends
+// of the undone interval (identical re-emissions are suppressed;
+// disowned deliveries are annihilated with anti-messages). GVT — the
+// minimum over pending events and unacked speculative sends — bounds
+// checkpoint retention and rollback depth.
 // Components that keep packet-driven state outside the netsim core
 // register it through Node.RegisterState so rollback rewinds them
 // too; delivery traces recorded from handlers use Journal.
@@ -188,10 +190,20 @@ type Sim struct {
 
 	// Engine accounting: one cell per shard, merged deterministically
 	// by EngineStats.
-	engEvents  stats.Sharded
-	engMsgs    stats.Sharded
-	engWindows stats.Sharded
-	engCkpts   stats.Sharded
+	engEvents      stats.Sharded
+	engMsgs        stats.Sharded
+	engWindows     stats.Sharded
+	engCkpts       stats.Sharded
+	engCkptCopied  stats.Sharded
+	engCkptAliased stats.Sharded
+	engCkptBytes   stats.Sharded
+
+	// hc is the adaptive horizon controller driving s.horizon from the
+	// observed rollback rate; nil when a SetHorizon override is active
+	// or the engine is conservative. hcMsgsSeen is the cross-shard
+	// message total already fed to it.
+	hc         *horizonCtl
+	hcMsgsSeen uint64
 
 	nodes []*Node
 }
@@ -211,6 +223,9 @@ func New(seed int64) *Sim {
 	s.engMsgs = *stats.NewSharded(1)
 	s.engWindows = *stats.NewSharded(1)
 	s.engCkpts = *stats.NewSharded(1)
+	s.engCkptCopied = *stats.NewSharded(1)
+	s.engCkptAliased = *stats.NewSharded(1)
+	s.engCkptBytes = *stats.NewSharded(1)
 	return s
 }
 

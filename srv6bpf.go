@@ -56,7 +56,12 @@ type Sim = netsim.Sim
 // Sim.SetShards: conservative lock-step windows (requires positive,
 // jitter-free cross-shard delays) or optimistic Time-Warp speculation
 // with checkpoints, rollback and anti-messages (accepts any link —
-// zero-delay and jittered included).
+// zero-delay and jittered included). Optimistic checkpoints are
+// incremental (dirty nodes only; clean nodes alias the previous
+// snapshot) and their cadence is driven by an adaptive controller
+// that widens the speculation horizon and stretches the checkpoint
+// stride while the observed rollback rate is low; Sim.SetHorizon
+// pins the window instead (0 restores adaptation).
 type Engine = netsim.Engine
 
 // Engines.
@@ -79,7 +84,9 @@ var NewJournal = netsim.NewJournal
 
 // EngineStats is the parallel engine's merged per-shard accounting
 // (windows, events, messages, and under the optimistic engine:
-// checkpoints, rollbacks, anti-messages and GVT).
+// checkpoints — split into copied and aliased node snapshots plus
+// bytes actually copied — rollbacks, anti-messages, the adaptive
+// horizon controller's state and GVT).
 type EngineStats = netsim.EngineStats
 
 // NewSim creates a simulation with a deterministic seed.
