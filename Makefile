@@ -1,8 +1,13 @@
 # Tier-1 verification and benchmark entry points.
 #
 #   make check   — build + vet + full test suite + sharded-engine
-#                  race smoke + equivalence-fuzz smoke (the tier-1
-#                  gate)
+#                  race smoke + equivalence-fuzz smoke + native
+#                  parser-fuzz smoke (the tier-1 gate)
+#   make fuzz-native [FUZZTIME=5s] — coverage-guided fuzzing of the
+#                  wire parsers (FuzzParseInfo, FuzzValidateSRH)
+#   make chaos-smoke — chaos-injection determinism gate: chaos unit
+#                  tests, crash/impairment tests, chaos-heavy
+#                  equivalence slice (the CI chaos job)
 #   make race    — full test suite under the race detector (CI job;
 #                  the parallel simulation engine must be race-clean)
 #   make fuzz-deep — full-depth randomized equivalence fuzzing of the
@@ -28,11 +33,12 @@ BENCH_JSON ?= BENCH.json
 BENCH_WINDOW ?= 50ms
 FUZZ_SCENARIOS ?= 150
 FUZZ_RACE_SCENARIOS ?= 60
+FUZZTIME ?= 5s
 BENCH_CI_JSON ?= BENCH_PR999.json
 
-.PHONY: check build vet test race race-smoke fuzz-smoke fuzz-deep fuzz-deep-race bench bench-json bench-ci fmt
+.PHONY: check build vet test race race-smoke fuzz-smoke fuzz-native fuzz-deep fuzz-deep-race chaos-smoke bench bench-json bench-ci fmt
 
-check: build vet test race-smoke fuzz-smoke
+check: build vet test race-smoke fuzz-smoke fuzz-native
 
 build:
 	$(GO) build ./...
@@ -54,6 +60,21 @@ race-smoke:
 # and catches nondeterminism across process runs.
 fuzz-smoke:
 	$(GO) test -run 'TestShardEquivalenceFuzz' -count 2 ./internal/netsim
+
+# Coverage-guided mutation of the wire parsers (native go fuzzing),
+# bounded by FUZZTIME per target — the smoke setting keeps `make
+# check` fast; the nightly CI job runs the same targets longer.
+fuzz-native:
+	$(GO) test ./internal/packet -run '^$$' -fuzz FuzzParseInfo -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/packet -run '^$$' -fuzz FuzzValidateSRH -fuzztime $(FUZZTIME)
+
+# Chaos determinism gate: the chaos package's own tests plus the
+# crash/impairment tests and a chaos-heavy slice of the equivalence
+# fuzzer (roughly half the derived scenarios carry a fault campaign).
+chaos-smoke:
+	$(GO) test -count 1 ./internal/netsim/chaos
+	$(GO) test -count 1 -run 'TestNodeCrash|TestCrash|TestCorruption|TestDuplication|TestReorder' ./internal/netsim
+	SRV6BPF_FUZZ_SCENARIOS=16 $(GO) test -count 1 -run 'TestShardEquivalenceFuzz' ./internal/netsim
 
 race:
 	$(GO) test -race ./...

@@ -26,6 +26,7 @@ func main() {
 	tcp := flag.Bool("tcp", false, "run the §4.2 TCP experiment")
 	jit := flag.Bool("jit", false, "report the §3.2 JIT-off factor")
 	frr := flag.Bool("frr", false, "run the fast-reroute recovery experiment")
+	flapstorm := flag.Bool("flapstorm", false, "run the flap-storm damping experiment")
 	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
 	shards := flag.Int("shards", 0,
 		"run the shard-scaling experiment up to this many shards (1,2,4,...) on a 208-node fat-tree")
@@ -73,6 +74,10 @@ func main() {
 	if *all || *frr {
 		ran = true
 		runFRR()
+	}
+	if *all || *flapstorm {
+		ran = true
+		runFlapStorm()
 	}
 	if *all || *ablation {
 		ran = true
@@ -195,6 +200,21 @@ func runFRR() {
 	fmt.Println()
 }
 
+func runFlapStorm() {
+	fmt.Println("== Fast reroute under a flap storm: damping on vs off ==")
+	fmt.Println("   the protected link flaps at the detection timescale; damping must")
+	fmt.Println("   collapse route churn without trading delivery away")
+	rows, err := experiments.FRRFlapStorm()
+	if err != nil {
+		fail(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-9s period %2.0f ms x%d  route transitions %3d  delivered %6.2f%%  lost %4d\n",
+			r.Mode, r.FlapPeriodMs, r.Cycles, r.Transitions, r.DeliveredPct, r.PacketsLost)
+	}
+	fmt.Println()
+}
+
 func runAblations(win int64) {
 	fmt.Println("== Ablation: Figure 4 WRR with a working CPE JIT ==")
 	fmt.Println("   (the paper's hypothesis: the 1.8x JIT speedup would lift the WRR curve)")
@@ -295,6 +315,7 @@ type benchReport struct {
 	Fig4         []experiments.Fig4Point       `json:"fig4"`
 	JITFactor    float64                       `json:"jit_factor"`
 	FRR          []experiments.FRRRow          `json:"frr"`
+	FlapStorm    []experiments.FlapStormRow    `json:"flap_storm"`
 	Datapath     []experiments.DatapathRow     `json:"datapath"`
 	ShardScaling []experiments.ShardScalingRow `json:"shard_scaling"`
 	// ShardScalingOptimistic measures the Time-Warp engine on the same
@@ -324,6 +345,9 @@ func writeBenchJSON(path string, win int64) {
 		fail(err)
 	}
 	if rep.FRR, err = experiments.FRRRecovery(); err != nil {
+		fail(err)
+	}
+	if rep.FlapStorm, err = experiments.FRRFlapStorm(); err != nil {
 		fail(err)
 	}
 	if rep.Datapath, err = experiments.DatapathBench(); err != nil {

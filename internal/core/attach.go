@@ -20,6 +20,58 @@ var (
 	ErrSRHIntegrity   = errors.New("core: SRH failed revalidation after program writes")
 )
 
+// DefaultMaxFaults is the number of program faults an attachment
+// tolerates before it is quarantined (see progFaults).
+const DefaultMaxFaults = 3
+
+// progFaults is an attachment's fault-quarantine state: a program
+// that faults (VM error, not a clean BPF_DROP) maxFaults times on one
+// attachment is quarantined — further packets are dropped and counted
+// without running it, like the kernel detaching a misbehaving program
+// rather than paying its fault path per packet. The state registers
+// with the node's checkpoint machinery on first run, so speculative
+// faults under the optimistic engine roll back with everything else.
+type progFaults struct {
+	faults      int
+	maxFaults   int // 0 means DefaultMaxFaults
+	quarantined bool
+}
+
+func (p *progFaults) limit() int {
+	if p.maxFaults > 0 {
+		return p.maxFaults
+	}
+	return DefaultMaxFaults
+}
+
+// recordFault counts one fault; it reports true when this fault
+// crossed the quarantine threshold.
+func (p *progFaults) recordFault() bool {
+	p.faults++
+	if !p.quarantined && p.faults >= p.limit() {
+		p.quarantined = true
+		return true
+	}
+	return false
+}
+
+// faultSnap is the checkpointed form of progFaults.
+type faultSnap struct {
+	faults      int
+	quarantined bool
+}
+
+// SnapshotState implements netsim.ShardState.
+func (p *progFaults) SnapshotState() any {
+	return faultSnap{faults: p.faults, quarantined: p.quarantined}
+}
+
+// RestoreState implements netsim.ShardState.
+func (p *progFaults) RestoreState(v any) {
+	s := v.(faultSnap)
+	p.faults, p.quarantined = s.faults, s.quarantined
+}
+
 // EndBPF is a loaded End.BPF attachment: bind it to a SID with a
 // RouteSeg6Local whose Behaviour is seg6.ActionEndBPF and BPF set to
 // this value. Instances are single-threaded, like one softirq context
@@ -27,10 +79,11 @@ var (
 // execEnv and ctx buffer reused for every packet instead of
 // allocating per invocation.
 type EndBPF struct {
-	inst *bpf.Instance
-	name string
-	ctx  [CtxSize]byte
-	env  execEnv
+	inst   *bpf.Instance
+	name   string
+	ctx    [CtxSize]byte
+	env    execEnv
+	faults progFaults
 }
 
 // AttachEndBPF instantiates prog (loaded against Seg6LocalHook) as a
@@ -59,6 +112,21 @@ func (e *EndBPF) Behaviour() *seg6.Behaviour {
 	return &seg6.Behaviour{Action: seg6.ActionEndBPF, BPF: e}
 }
 
+// SetMaxFaults overrides the quarantine threshold (0 restores the
+// default). Call it at setup time.
+func (e *EndBPF) SetMaxFaults(n int) { e.faults.maxFaults = n }
+
+// Quarantined reports whether the attachment has been quarantined.
+func (e *EndBPF) Quarantined() bool { return e.faults.quarantined }
+
+// Faults reports the attachment's fault count.
+func (e *EndBPF) Faults() int { return e.faults.faults }
+
+// FaultState exposes the quarantine state as the netsim.ShardState the
+// datapath registers with the node; tests and tooling checkpoint it
+// explicitly through this.
+func (e *EndBPF) FaultState() netsim.ShardState { return &e.faults }
+
 // installPacket rebinds the packet region in place and fixes the ctx
 // len and data_end after helpers replaced the packet. No allocation:
 // the instance's packet segment is reused.
@@ -83,6 +151,14 @@ func fillCtxLen(ctx []byte, pktLen int) {
 // allocations: one offset-only header walk, an in-place SRH advance,
 // and a reused execution environment.
 func (e *EndBPF) RunSeg6Local(n *netsim.Node, raw []byte, meta *netsim.PacketMeta) (seg6.Result, int64, error) {
+	// Fault-quarantine state checkpoints with the node (idempotent
+	// after the first packet; a rollback past the registration unhooks
+	// and re-registers it on re-execution).
+	n.RegisterState(&e.faults)
+	if e.faults.quarantined {
+		n.Count("drop_prog_quarantined")
+		return seg6.Result{Verdict: seg6.VerdictDrop}, 0, nil
+	}
 	// End.BPF behaves as an endpoint: it only accepts SRv6 packets
 	// with a current segment, and advances the SRH before the program
 	// runs (§3).
@@ -111,7 +187,10 @@ func (e *EndBPF) RunSeg6Local(n *netsim.Node, raw []byte, meta *netsim.PacketMet
 
 	if runErr != nil {
 		// A faulting program drops the packet, like a kernel-side
-		// bpf program error path.
+		// bpf program error path; repeat offenders are quarantined.
+		if e.faults.recordFault() {
+			n.Count("prog_quarantined")
+		}
 		return seg6.Result{Verdict: seg6.VerdictDrop}, cost, runErr
 	}
 
@@ -154,10 +233,11 @@ func (e *EndBPF) validateSRH(env *execEnv) error {
 // LWT is a loaded transit attachment (BPF LWT out hook): bind it to a
 // route with Kind RouteLWTBPF.
 type LWT struct {
-	inst *bpf.Instance
-	name string
-	ctx  [CtxSize]byte
-	env  execEnv
+	inst   *bpf.Instance
+	name   string
+	ctx    [CtxSize]byte
+	env    execEnv
+	faults progFaults
 }
 
 // AttachLWT instantiates prog (loaded against LWTOutHook) as a
@@ -179,10 +259,29 @@ func AttachLWT(prog *bpf.Program) (*LWT, error) {
 	return l, nil
 }
 
+// SetMaxFaults overrides the quarantine threshold (0 restores the
+// default). Call it at setup time.
+func (l *LWT) SetMaxFaults(n int) { l.faults.maxFaults = n }
+
+// Quarantined reports whether the attachment has been quarantined.
+func (l *LWT) Quarantined() bool { return l.faults.quarantined }
+
+// Faults reports the attachment's fault count.
+func (l *LWT) Faults() int { return l.faults.faults }
+
+// FaultState exposes the quarantine state as the netsim.ShardState the
+// datapath registers with the node.
+func (l *LWT) FaultState() netsim.ShardState { return &l.faults }
+
 // RunLWTOut implements netsim.LWTProgram. Like RunSeg6Local, a single
 // offset-only walk feeds both the SRH bookkeeping and the flow hash,
 // and the execution environment is reused across packets.
 func (l *LWT) RunLWTOut(n *netsim.Node, raw []byte, meta *netsim.PacketMeta) ([]byte, netsim.LWTVerdict, int64, error) {
+	n.RegisterState(&l.faults)
+	if l.faults.quarantined {
+		n.Count("drop_prog_quarantined")
+		return nil, netsim.LWTDrop, 0, nil
+	}
 	env := &l.env
 	srhOff := -1
 	var flowHash uint32
@@ -209,6 +308,9 @@ func (l *LWT) RunLWTOut(n *netsim.Node, raw []byte, meta *netsim.PacketMeta) ([]
 	cost := n.Cost.BPFCost(machine.Executed-startInsns, machine.HelperCalls-startHelpers, l.inst.JIT())
 
 	if runErr != nil {
+		if l.faults.recordFault() {
+			n.Count("prog_quarantined")
+		}
 		return nil, netsim.LWTDrop, cost, runErr
 	}
 	switch ret {

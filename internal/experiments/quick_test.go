@@ -131,3 +131,22 @@ func TestQuickAblations(t *testing.T) {
 		t.Errorf("capacity-matched weights should beat equal split: %+v", rows)
 	}
 }
+
+func TestQuickFRRFlapStorm(t *testing.T) {
+	rows, err := FRRFlapStorm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%-9s period=%.0fms x%d  transitions %3d  delivered %6.2f%%  lost %d",
+			r.Mode, r.FlapPeriodMs, r.Cycles, r.Transitions, r.DeliveredPct, r.PacketsLost)
+	}
+	// The churn-reduction claim is enforced inside FRRFlapStorm; check
+	// the shape and that damping does not trade delivery away.
+	if len(rows) != 2 || rows[0].Mode != "undamped" || rows[1].Mode != "damped" {
+		t.Fatalf("want [undamped damped], got %+v", rows)
+	}
+	if rows[1].DeliveredPct+5 < rows[0].DeliveredPct {
+		t.Errorf("damping cost more than 5%% delivery: %+v", rows)
+	}
+}

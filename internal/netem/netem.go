@@ -32,6 +32,19 @@ type Config struct {
 	// the qdisc tail-drops. 0 means a default of 1000 (tc's default
 	// netem limit).
 	QueueLimit int
+
+	// Corrupt is the probability in [0,1) that a packet is delivered
+	// with flipped bits (tc-netem "corrupt"). The qdisc only marks the
+	// packet; the link layer applies the damage to a private copy.
+	Corrupt float64
+	// Duplicate is the probability in [0,1) that a packet is delivered
+	// twice (tc-netem "duplicate"). The duplicate is re-admitted and
+	// serialised separately, like a second enqueue.
+	Duplicate float64
+	// Reorder is the probability in [0,1) that a packet skips the FIFO
+	// clamp and may overtake its predecessors when jitter shortens its
+	// delay (tc-netem "reorder" against the jitter distribution).
+	Reorder float64
 }
 
 // DefaultQueueLimit matches tc-netem's default limit.
@@ -59,6 +72,10 @@ type Qdisc struct {
 	Admitted  uint64
 	Dropped   uint64
 	LossDrops uint64
+	// Impairment marks (tc-netem style counters).
+	Corrupted  uint64
+	Duplicated uint64
+	Reordered  uint64
 }
 
 // New builds a qdisc for cfg.
@@ -77,6 +94,46 @@ func (q *Qdisc) SetRate(bps int64) { q.cfg.RateBps = bps }
 
 // SetDelay changes the base propagation delay at runtime.
 func (q *Qdisc) SetDelay(ns int64) { q.cfg.DelayNs = ns }
+
+// SetLoss changes the uniform drop probability at runtime.
+func (q *Qdisc) SetLoss(p float64) { q.cfg.Loss = p }
+
+// SetImpairments changes the corruption/duplication/reordering
+// probabilities at runtime — the knobs the chaos layer turns for a
+// bounded impairment window. Probabilities of zero draw nothing from
+// the RNG, so an impairment-free run consumes the same random stream
+// whether or not the chaos layer is linked in.
+func (q *Qdisc) SetImpairments(corrupt, duplicate, reorder float64) {
+	q.cfg.Corrupt = corrupt
+	q.cfg.Duplicate = duplicate
+	q.cfg.Reorder = reorder
+}
+
+// DrawCorrupt decides whether the packet being admitted should be
+// delivered corrupted. Draws from rng only when the knob is set.
+func (q *Qdisc) DrawCorrupt(rng *rand.Rand) bool {
+	if q.cfg.Corrupt <= 0 {
+		return false
+	}
+	if rng.Float64() < q.cfg.Corrupt {
+		q.Corrupted++
+		return true
+	}
+	return false
+}
+
+// DrawDuplicate decides whether the packet being admitted should be
+// delivered twice. Draws from rng only when the knob is set.
+func (q *Qdisc) DrawDuplicate(rng *rand.Rand) bool {
+	if q.cfg.Duplicate <= 0 {
+		return false
+	}
+	if rng.Float64() < q.cfg.Duplicate {
+		q.Duplicated++
+		return true
+	}
+	return false
+}
 
 // QueueDepth reports packets currently queued or serialising.
 func (q *Qdisc) QueueDepth(now int64) int {
@@ -138,11 +195,21 @@ func (q *Qdisc) Admit(now int64, size int, rng *rand.Rand) (deliverAt int64, ok 
 	}
 	deliverAt = txDone + delay
 	// FIFO per direction: jitter shifts delay but never reorders
-	// packets within one link (queueing in real links is FIFO).
-	if deliverAt < q.lastDelivery {
-		deliverAt = q.lastDelivery
+	// packets within one link (queueing in real links is FIFO) —
+	// unless the reorder knob lets this packet overtake, in which
+	// case it keeps its jittered time and may arrive before its
+	// predecessors.
+	if q.cfg.Reorder > 0 && rng.Float64() < q.cfg.Reorder {
+		q.Reordered++
+		if deliverAt > q.lastDelivery {
+			q.lastDelivery = deliverAt
+		}
+	} else {
+		if deliverAt < q.lastDelivery {
+			deliverAt = q.lastDelivery
+		}
+		q.lastDelivery = deliverAt
 	}
-	q.lastDelivery = deliverAt
 	q.Admitted++
 	return deliverAt, true
 }
@@ -158,6 +225,9 @@ type Snapshot struct {
 	admitted     uint64
 	dropped      uint64
 	lossDrops    uint64
+	corrupted    uint64
+	duplicated   uint64
+	reordered    uint64
 }
 
 // Snapshot captures the qdisc state. The returned value shares
@@ -173,6 +243,9 @@ func (q *Qdisc) Snapshot() Snapshot {
 		admitted:     q.Admitted,
 		dropped:      q.Dropped,
 		lossDrops:    q.LossDrops,
+		corrupted:    q.Corrupted,
+		duplicated:   q.Duplicated,
+		reordered:    q.Reordered,
 	}
 }
 
@@ -191,6 +264,9 @@ func (q *Qdisc) Restore(s Snapshot) {
 	q.Admitted = s.admitted
 	q.Dropped = s.dropped
 	q.LossDrops = s.lossDrops
+	q.Corrupted = s.corrupted
+	q.Duplicated = s.duplicated
+	q.Reordered = s.reordered
 }
 
 func (q *Qdisc) String() string {

@@ -24,6 +24,7 @@ import (
 	"testing"
 
 	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/netsim/chaos"
 	"srv6bpf/internal/netsim/topo"
 	"srv6bpf/internal/packet"
 	"srv6bpf/internal/tcpsim"
@@ -48,6 +49,11 @@ type fuzzScenario struct {
 	// tcp is the number of TCP bulk transfers riding on the scenario
 	// (tcpsim state must roll back bit-exactly with the nodes).
 	tcp int
+	// chaos adds a randomized fault campaign (node crash/restart,
+	// link flapping, packet corruption/duplication/reordering windows)
+	// on top of the scenario: fault events and impairment draws must
+	// replay bit-identically under every engine and shard count.
+	chaos bool
 }
 
 func deriveScenario(seed int64) fuzzScenario {
@@ -74,6 +80,8 @@ func deriveScenario(seed int64) fuzzScenario {
 	}
 	sc.adaptive = rng.Intn(2) == 0
 	sc.tcp = rng.Intn(3)
+	// Drawn last so earlier fields derive identically to older seeds.
+	sc.chaos = rng.Intn(2) == 0
 	return sc
 }
 
@@ -183,6 +191,28 @@ func fuzzRun(t *testing.T, sc fuzzScenario, shards int, eng netsim.Engine) strin
 		if eng == netsim.EngineOptimistic && !sc.adaptive {
 			sim.SetHorizon(sc.horizon)
 		}
+	}
+
+	// Chaos campaign: crash/restart cycles, flap bursts and impairment
+	// windows drawn from the campaign's own seed. Planned identically
+	// in every arm; the injected events carry deterministic keys, so
+	// the committed schedule is engine-independent.
+	if sc.chaos {
+		ch := chaos.New(sim, sc.seed^0x63686173) // "chas"
+		ch.Apply(chaos.Campaign{
+			Start:       sc.duration / 8,
+			End:         sc.duration * 7 / 8,
+			Crashes:     1 + int(sc.seed%2),
+			CrashDown:   [2]int64{50 * netsim.Microsecond, sc.duration / 3},
+			Flaps:       1 + int(sc.seed%2),
+			FlapPeriod:  [2]int64{40 * netsim.Microsecond, 200 * netsim.Microsecond},
+			FlapCycles:  [2]int{2, 5},
+			Impairments: 2,
+			ImpairLen:   [2]int64{sc.duration / 8, sc.duration / 2},
+			Impair: chaos.Impairment{
+				Corrupt: 0.05, Duplicate: 0.05, Reorder: 0.2,
+			},
+		}, nil, nil)
 	}
 
 	// Random link failure/restore schedule, derived deterministically
@@ -351,7 +381,11 @@ func TestShardEquivalenceFuzz(t *testing.T) {
 	depth := fuzzDepth(t)
 	for i := 0; i < depth; i++ {
 		sc := deriveScenario(int64(7777 + 131*i))
-		t.Run(fmt.Sprintf("s%02d-%s", i, sc.kind), func(t *testing.T) {
+		name := fmt.Sprintf("s%02d-%s", i, sc.kind)
+		if sc.chaos {
+			name += "-chaos"
+		}
+		t.Run(name, func(t *testing.T) {
 			base := fuzzRun(t, sc, 1, netsim.EngineConservative)
 			if !strings.Contains(base, "udp_delivered") {
 				t.Fatal("scenario delivered nothing")

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"srv6bpf/internal/netem"
 )
@@ -202,8 +203,44 @@ func (i *Iface) Transmit(raw []byte) {
 	i.TxPackets++
 	i.TxBytes += uint64(len(raw))
 	if i.Tap != nil {
+		// The tap sees the packet as transmitted; wire-level corruption
+		// below happens after the sender's tcpdump point.
 		i.Tap(raw)
 	}
+	// Chaos-layer impairments. All draws come from the transmitting
+	// node's stream in a fixed order (corrupt, then duplicate) and only
+	// when the knob is set, so impairment-free runs consume an
+	// identical random stream with or without the chaos layer.
+	era := n.pktEra
+	if i.q.DrawCorrupt(n.rng) {
+		// Damage a private copy: the original bytes may be shared with
+		// checkpoint state or a pending commit closure. The copy is
+		// private as of now, so it carries the current era stamp.
+		raw = corruptCopy(raw, n.rng)
+		era = n.shard.ckptSeq
+		n.Count("tx_corrupted")
+	}
+	dup := i.q.DrawDuplicate(n.rng)
+	i.send(raw, deliverAt, now, era)
+	if dup {
+		// tc-netem duplication: the copy is re-admitted as if enqueued
+		// a second time, serialising and jittering independently. It
+		// owns fresh bytes — receivers mutate packets in place, so two
+		// deliveries must never share a buffer.
+		if dupAt, ok := i.q.Admit(now, len(raw), n.rng); ok {
+			n.Count("tx_duplicated")
+			i.send(append([]byte(nil), raw...), dupAt, now, n.shard.ckptSeq)
+		} else {
+			i.TxDrops++
+		}
+	}
+}
+
+// send routes one admitted packet delivery to the peer, carrying the
+// deterministic event key and the era in which the buffer last became
+// private (see Transmit for why the era matters under speculation).
+func (i *Iface) send(raw []byte, deliverAt, now int64, era uint64) {
+	n := i.Node
 	n.schedK++
 	m := xmsg{
 		at: deliverAt, schedAt: now, src: n.idx, k: n.schedK,
@@ -216,7 +253,7 @@ func (i *Iface) Transmit(raw []byte) {
 		// commit closure has captured the buffer via the heap copy,
 		// and the older stamp is what forces the receiving drain to
 		// copy before mutating it.
-		n.shard.heap.push(m.eventLocal(n.pktEra))
+		n.shard.heap.push(m.eventLocal(era))
 		return
 	}
 	if n.Sim.engine == EngineOptimistic {
@@ -227,6 +264,21 @@ func (i *Iface) Transmit(raw []byte) {
 		m.raw = append([]byte(nil), raw...)
 	}
 	n.shard.sendCross(m)
+}
+
+// corruptCopy returns a copy of raw with a burst of flipped bits at a
+// random offset — tc-netem "corrupt" introduces a single-bit error;
+// we flip one random bit in one random byte, which is enough to break
+// any header field it lands on.
+func corruptCopy(raw []byte, rng *rand.Rand) []byte {
+	out := append([]byte(nil), raw...)
+	if len(out) == 0 {
+		return out
+	}
+	pos := rng.Intn(len(out))
+	bit := byte(1) << uint(rng.Intn(8))
+	out[pos] ^= bit
+	return out
 }
 
 func (i *Iface) String() string {

@@ -161,6 +161,14 @@ type Node struct {
 	counterCells []*uint64
 	hot          hotCounters
 
+	// crashed marks the node as down: the CPU halts, the receive ring
+	// is lost and all local link ends are failed until restart.
+	// crashEpoch counts crashes; CPU continuations capture it when
+	// scheduled and become no-ops if a crash intervened, so work from a
+	// previous incarnation never leaks past a restart.
+	crashed    bool
+	crashEpoch uint64
+
 	// dirty marks the node as mutated since its last fresh checkpoint
 	// snapshot: event execution, packet receive, interface flips and
 	// counter interning all set it. The optimistic engine's
@@ -244,6 +252,73 @@ func (n *Node) Now() int64 { return n.shard.now }
 // Rand returns the node's private random stream (netem jitter/loss on
 // the node's egress links, BPF get_prandom on this node).
 func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// CrashResettable is implemented by registered ShardState components
+// whose runtime state lives in the node's memory and therefore does
+// not survive a node crash (NF daemons, detectors, caches). On crash
+// the component is reset in place — distinct from RestoreState, which
+// rewinds to a snapshot: a restarted daemon comes up empty, not at
+// its pre-crash state. Durable state (configuration, counters kept by
+// the test harness) is the component's own concern.
+type CrashResettable interface {
+	CrashReset()
+}
+
+// Crashed reports whether the node is currently down.
+func (n *Node) Crashed() bool { return n.crashed }
+
+// crashNow takes the node down at the current virtual instant: the
+// receive ring is flushed (counted as crash_rx_lost), every local
+// link end fails (in-flight packets towards the node die), and
+// registered NF state implementing CrashResettable is reset. Counters
+// survive — they model the observer, not the node's RAM. Runs on the
+// node's shard; peers' link ends flip in their own shards (see
+// Sim.CrashNode). Crashing a crashed node is a no-op.
+func (n *Node) crashNow() {
+	if n.crashed {
+		return
+	}
+	n.dirty = true
+	n.crashed = true
+	n.crashEpoch++
+	n.Count("node_crash")
+	if n.rxCount > 0 {
+		*n.internCounter("crash_rx_lost") += uint64(n.rxCount)
+		for n.rxCount > 0 {
+			n.rxPop()
+		}
+	}
+	n.busy = false
+	for _, i := range n.ifaces {
+		i.setOneEnd(false)
+	}
+	for _, h := range n.stateHooks {
+		if cr, ok := h.s.(CrashResettable); ok {
+			cr.CrashReset()
+		}
+	}
+	if n.Trace != nil {
+		n.Trace("%s: crashed", n.Name)
+	}
+}
+
+// restartNow brings a crashed node back: local link ends come up and
+// the (empty) CPU is ready to receive. Restarting a running node is a
+// no-op.
+func (n *Node) restartNow() {
+	if !n.crashed {
+		return
+	}
+	n.dirty = true
+	n.crashed = false
+	n.Count("node_restart")
+	for _, i := range n.ifaces {
+		i.setOneEnd(true)
+	}
+	if n.Trace != nil {
+		n.Trace("%s: restarted", n.Name)
+	}
+}
 
 // stateHook pairs a registered ShardState with its state at
 // registration time, so a rollback that crosses the registration
@@ -401,6 +476,12 @@ func (n *Node) HandleICMP(h func(n *Node, p *packet.Packet, meta *PacketMeta)) {
 // Mpps but forwarding 610 kpps.
 func (n *Node) deliver(raw []byte, in *Iface, cross bool, ckptSeq uint64) {
 	n.dirty = true
+	if n.crashed {
+		// The links go down with the node, so normally nothing arrives
+		// here; this guards same-instant races around the crash event.
+		n.Count("crash_rx_lost")
+		return
+	}
 	if !n.rxPush(rxItem{
 		raw:     raw,
 		meta:    PacketMeta{RxTimestamp: n.Now(), InIface: in},
@@ -484,7 +565,14 @@ func (n *Node) drain() {
 	commit, extra := n.routePacket(item.raw, &meta, 0)
 	cost += extra
 
+	// A crash between now and processing completion discards the
+	// packet mid-flight and halts the CPU loop: the continuation
+	// belongs to this incarnation only.
+	epoch := n.crashEpoch
 	n.After(cost, func() {
+		if n.crashEpoch != epoch {
+			return
+		}
 		if commit != nil {
 			commit()
 		}
@@ -508,6 +596,13 @@ func (n *Node) Output(raw []byte) {
 // own era keeps the copy-elision honest: if a checkpoint captured the
 // pending closure, receivers must copy before mutating.
 func (n *Node) outputFrom(era uint64, raw []byte) {
+	if n.crashed {
+		// Application timers keep firing through a crash (the process
+		// schedule outlives the box in this model), but nothing leaves
+		// a dead node.
+		n.Count("crash_tx_lost")
+		return
+	}
 	n.pktEra = era
 	meta := &PacketMeta{RxTimestamp: n.Now(), Local: true}
 	commit, _ := n.routePacket(raw, meta, 0)

@@ -189,10 +189,12 @@ type ifaceSnap struct {
 // round's nodeSnap for nodes that have not been touched since, so one
 // snapshot may back several checkpoints.
 type nodeSnap struct {
-	schedK uint64
-	rng    uint64
-	busy   bool
-	rxq    []rxItem
+	schedK     uint64
+	rng        uint64
+	busy       bool
+	crashed    bool
+	crashEpoch uint64
+	rxq        []rxItem
 	// cvals holds the counter values in intern order (parallel to
 	// Node.counterCells). A flat value copy instead of a map rebuild:
 	// the per-checkpoint cost of a counter set is one slice copy.
@@ -240,9 +242,11 @@ type checkpoint struct {
 // node's own shard; everything it reads is shard-owned.
 func (n *Node) snapshot() nodeSnap {
 	snap := nodeSnap{
-		schedK: n.schedK,
-		rng:    n.rngSrc.state,
-		busy:   n.busy,
+		schedK:     n.schedK,
+		rng:        n.rngSrc.state,
+		busy:       n.busy,
+		crashed:    n.crashed,
+		crashEpoch: n.crashEpoch,
 	}
 	if n.rxCount > 0 {
 		snap.rxq = make([]rxItem, n.rxCount)
@@ -285,6 +289,8 @@ func (n *Node) restore(snap nodeSnap) {
 	n.schedK = snap.schedK
 	n.rngSrc.state = snap.rng
 	n.busy = snap.busy
+	n.crashed = snap.crashed
+	n.crashEpoch = snap.crashEpoch
 	if len(snap.rxq) > len(n.rxq) {
 		n.rxq = make([]rxItem, len(snap.rxq))
 	}

@@ -392,6 +392,55 @@ func (s *Sim) scheduleLinkState(at int64, i *Iface, up bool) {
 	}
 }
 
+// CrashNode schedules a node crash at absolute virtual time at: the
+// node's CPU halts, its receive ring is lost, every attached link
+// goes down (both ends, packets on the wire included) and registered
+// CrashResettable NF state is reset — counters survive. Like
+// FailLink, each affected link end flips in its own shard at the same
+// virtual instant, so the call is safe under any engine.
+func (s *Sim) CrashNode(at int64, n *Node) { s.scheduleNodeState(at, n, false) }
+
+// RestartNode schedules a crashed node coming back at absolute
+// virtual time at: links re-establish and the node resumes with an
+// empty receive ring and freshly-reset NF state.
+func (s *Sim) RestartNode(at int64, n *Node) { s.scheduleNodeState(at, n, true) }
+
+// scheduleNodeState schedules the crash/restart event on the node's
+// shard plus one link-state flip per peer end on the shard owning it.
+// The node's own ends flip inside crashNow/restartNow, so their
+// OnStateChange callbacks observe the node's post-transition state.
+func (s *Sim) scheduleNodeState(at int64, n *Node, up bool) {
+	if s.running {
+		panic("netsim: CrashNode/RestartNode from inside a sharded run")
+	}
+	now := s.Now()
+	if at < now {
+		at = now
+	}
+	s.simK++
+	n.shard.heap.push(event{
+		at: at, schedAt: now, src: driverSrc, k: s.simK,
+		fn: func() {
+			if up {
+				n.restartNow()
+			} else {
+				n.crashNow()
+			}
+		},
+	})
+	for _, ifc := range n.ifaces {
+		peer := ifc.peer
+		if peer == nil {
+			continue
+		}
+		s.simK++
+		peer.Node.shard.heap.push(event{
+			at: at, schedAt: now, src: driverSrc, k: s.simK,
+			fn: func() { peer.setOneEnd(up) },
+		})
+	}
+}
+
 // Millisecond and friends make topology code readable.
 const (
 	Microsecond int64 = 1_000

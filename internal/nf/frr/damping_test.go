@@ -1,0 +1,193 @@
+package frr
+
+import (
+	"testing"
+
+	"srv6bpf/internal/netsim"
+)
+
+// flapStorm drives the protected link through `cycles` down/up cycles
+// (downNs/upNs each) starting at startNs and returns the testbed after
+// the run settles.
+func flapStorm(t *testing.T, cfg Config, startNs, downNs, upNs int64, cycles int) *testbed {
+	tb := newTestbedCfg(t, cfg)
+	tb.frr.Start()
+	at := startNs
+	for c := 0; c < cycles; c++ {
+		tb.sim.FailLink(at, tb.pdIf)
+		tb.sim.RestoreLink(at+downNs, tb.pdIf)
+		at += downNs + upNs
+	}
+	tb.sim.RunUntil(at + 200*netsim.Millisecond)
+	tb.frr.Stop()
+	tb.sim.Run()
+	return tb
+}
+
+// TestFlapDampingBoundsChurn is the flap-storm comparison: a link
+// flapping at roughly the detection timescale makes the undamped
+// detector oscillate once per cycle, while the damped detector pays
+// its exponentially-growing hold-down and settles on the backup path —
+// an order of magnitude fewer route flips for the same storm.
+func TestFlapDampingBoundsChurn(t *testing.T) {
+	const (
+		interval = netsim.Millisecond
+		k        = 2
+		cycles   = 20
+		down     = 4 * netsim.Millisecond
+		up       = 4 * netsim.Millisecond
+	)
+	start := 5 * netsim.Millisecond
+
+	undamped := flapStorm(t, Config{ProbeInterval: interval, Misses: k},
+		start, down, up, cycles)
+	damped := flapStorm(t, Config{ProbeInterval: interval, Misses: k, Damping: true},
+		start, down, up, cycles)
+
+	u, d := len(undamped.frr.Transitions), len(damped.frr.Transitions)
+	t.Logf("transitions: undamped=%d damped=%d", u, d)
+
+	// The undamped detector tracks the flap frequency: one down and one
+	// up decision per cycle, give or take phase effects.
+	if u < cycles {
+		t.Errorf("undamped detector logged %d transitions over %d cycles — storm too tame", u, cycles)
+	}
+	// Damping must cut churn by well over 3x.
+	if d*3 >= u {
+		t.Errorf("damping did not bound churn: %d vs %d undamped", d, u)
+	}
+	// Both detectors must re-converge once the link goes quiet.
+	if undamped.frr.Down(1) || damped.frr.Down(1) {
+		t.Errorf("detector stuck down after the storm: undamped=%v damped=%v",
+			undamped.frr.Down(1), damped.frr.Down(1))
+	}
+}
+
+// TestDampedCleanFailureKeepsRecoveryBound: damping gates only the UP
+// transition, so a clean single failure is detected in exactly
+// K probes and the blackout still fits K·interval + one probe RTT.
+func TestDampedCleanFailureKeepsRecoveryBound(t *testing.T) {
+	const k = 3
+	interval := netsim.Millisecond
+	tb := newTestbedCfg(t, Config{ProbeInterval: interval, Misses: k, Damping: true})
+	tb.frr.Start()
+
+	gap := 20 * netsim.Microsecond
+	n := int(60 * netsim.Millisecond / gap)
+	for i := 0; i < n; i++ {
+		seq := i
+		tb.sim.Schedule(int64(i)*gap, func() { tb.send(t, seq) })
+	}
+
+	failAt := 10*netsim.Millisecond - 50*netsim.Microsecond
+	tb.sim.FailLink(failAt, tb.pdIf)
+	restoreAt := 25 * netsim.Millisecond
+	tb.sim.RestoreLink(restoreAt, tb.pdIf)
+
+	tb.sim.RunUntil(60 * netsim.Millisecond)
+	tb.frr.Stop()
+	tb.sim.Run()
+
+	if len(tb.frr.Transitions) != 2 {
+		t.Fatalf("transitions = %+v, want down then up", tb.frr.Transitions)
+	}
+	downTr, upTr := tb.frr.Transitions[0], tb.frr.Transitions[1]
+
+	// Detection is not slowed by damping.
+	wantDetect := 10*netsim.Millisecond + int64(k)*interval
+	if downTr.At != wantDetect {
+		t.Errorf("down at %d, want %d (damping must not delay detection)", downTr.At, wantDetect)
+	}
+
+	// Blackout bound unchanged: failure to first backup delivery.
+	var firstAfter int64 = -1
+	for _, at := range tb.delivered {
+		if at > failAt {
+			firstAfter = at
+			break
+		}
+	}
+	if firstAfter < 0 {
+		t.Fatal("no packet arrived after the failure")
+	}
+	recovery := firstAfter - failAt
+	rtt := 2 * (100*netsim.Microsecond + 20*netsim.Microsecond)
+	budget := int64(k)*interval + rtt
+	if recovery >= budget {
+		t.Errorf("recovery %.3f ms, budget %.3f ms", float64(recovery)/1e6, float64(budget)/1e6)
+	}
+
+	// The up transition waits out the hold-down (default 4·interval
+	// from the down decision) plus the good-round hysteresis — later
+	// than an undamped detector, but it must happen.
+	if !upTr.Up || upTr.At <= restoreAt {
+		t.Errorf("up at %d, want after restore %d", upTr.At, restoreAt)
+	}
+	if tb.frr.Down(1) {
+		t.Error("neighbour still down at the end")
+	}
+}
+
+// TestEscalateHoldBackoffAndForgiveness drives the penalty state
+// machine directly: exponential growth to the cap, then a long quiet
+// period resets the penalty to the minimum.
+func TestEscalateHoldBackoffAndForgiveness(t *testing.T) {
+	f := &FRR{cfg: Config{Damping: true, DampingMinHold: 4, DampingMaxHold: 32}}
+	st := &neighborState{}
+
+	var now int64 = 1000
+	want := []int64{4, 8, 16, 32, 32}
+	for i, w := range want {
+		f.escalateHold(st, now)
+		if st.holdNs != w {
+			t.Errorf("flap %d: holdNs = %d, want %d", i+1, st.holdNs, w)
+		}
+		if st.holdUntil != now+w {
+			t.Errorf("flap %d: holdUntil = %d, want %d", i+1, st.holdUntil, now+w)
+		}
+		now += 10 // rapid re-flapping: no forgiveness
+	}
+
+	// Quiet for 2 × MaxHold: the next flap starts over at MinHold.
+	now += 2 * f.cfg.DampingMaxHold
+	f.escalateHold(st, now)
+	if st.holdNs != 4 {
+		t.Errorf("after forgiveness window: holdNs = %d, want 4", st.holdNs)
+	}
+}
+
+// TestDampingStateSurvivesCrashReset: a node crash wipes the damping
+// penalty along with the detector state (fresh daemon), but keeps the
+// observer-side transition log.
+func TestDampingStateSurvivesCrashReset(t *testing.T) {
+	const interval = netsim.Millisecond
+	tb := newTestbedCfg(t, Config{ProbeInterval: interval, Misses: 2, Damping: true})
+	tb.frr.Start()
+
+	// Force one down transition so a hold-down is pending.
+	tb.sim.FailLink(5*netsim.Millisecond, tb.pdIf)
+	tb.sim.RunUntil(10 * netsim.Millisecond)
+	if !tb.frr.Down(1) {
+		t.Fatal("setup: neighbour should be down")
+	}
+	logged := len(tb.frr.Transitions)
+
+	tb.sim.RestoreLink(tb.sim.Now(), tb.pdIf)
+	tb.sim.CrashNode(tb.sim.Now()+netsim.Millisecond, tb.p)
+	tb.sim.RestartNode(tb.sim.Now()+2*netsim.Millisecond, tb.p)
+	tb.sim.RunUntil(tb.sim.Now() + 3*netsim.Millisecond)
+
+	// Fresh daemon: neighbour assumed up, no hold pending.
+	if tb.frr.Down(1) {
+		t.Error("crash reset should re-assume neighbours up")
+	}
+	st := tb.frr.neighbors[0]
+	if st.holdNs != 0 || st.holdUntil != 0 || st.lastDownAt != 0 {
+		t.Errorf("damping penalty survived the crash: %+v", st)
+	}
+	if len(tb.frr.Transitions) < logged {
+		t.Errorf("transition log truncated by crash: %d -> %d", logged, len(tb.frr.Transitions))
+	}
+	tb.frr.Stop()
+	tb.sim.Run()
+}

@@ -20,7 +20,11 @@
 // (K+1) × interval in the worst phase (a failure immediately after a
 // probe returned wastes most of one interval before the first miss).
 // internal/experiments.FRRRecovery measures this trade-off the way
-// the paper's figures are reproduced.
+// the paper's figures are reproduced. With Config.Damping the up
+// transition additionally passes a hold-down with hysteresis (see
+// Config); the down path is untouched, so the bound above survives
+// damping, and internal/experiments.FRRFlapStorm measures the churn
+// reduction under a flapping link.
 //
 // Counter note: consumed probes surface as drop_seg6local on the
 // protecting router — the tracker returns BPF_DROP on purpose, like
@@ -57,6 +61,29 @@ type Config struct {
 	Misses int
 	// JIT selects the execution engine for all FRR programs.
 	JIT bool
+
+	// Damping enables flap damping on the UP transition: once a
+	// neighbour has been declared down, re-converging to the primary
+	// path additionally requires (a) an exponentially-growing hold-down
+	// timer to expire and (b) DampingGoodRounds consecutive healthy
+	// probe rounds (hysteresis). The DOWN transition path is untouched,
+	// so the clean single-failure recovery bound
+	// K × interval + probe RTT still holds with damping enabled; what
+	// damping bounds is route churn under a flapping link — the
+	// detector converges to the backup path and stays there while the
+	// flapping persists, instead of oscillating at the flap frequency.
+	Damping bool
+	// DampingMinHold is the first hold-down after a down transition;
+	// each further down transition doubles the hold up to
+	// DampingMaxHold. A neighbour that then stays up for at least
+	// 2 × DampingMaxHold forgets its accumulated penalty. Defaults:
+	// 4 × ProbeInterval and 16 × DampingMinHold.
+	DampingMinHold int64
+	DampingMaxHold int64
+	// DampingGoodRounds is the hysteresis: consecutive healthy probe
+	// rounds required, on top of hold expiry, before the neighbour is
+	// declared up again. Default 2.
+	DampingGoodRounds int
 }
 
 // Neighbor describes one monitored adjacency.
@@ -103,6 +130,12 @@ type neighborState struct {
 	lastSend int64  // virtual time of the most recent probe
 	missed   int    // consecutive probes without a reply
 	down     bool
+
+	// Damping state (all zero while Config.Damping is off).
+	holdNs     int64 // current hold-down length (exponential backoff)
+	holdUntil  int64 // virtual time before which up transitions are held
+	goodStreak int   // consecutive healthy rounds while down
+	lastDownAt int64 // virtual time of the most recent down transition
 }
 
 // FRR is one protecting router's fast-reroute instance.
@@ -136,6 +169,17 @@ func New(node *netsim.Node, cfg Config) (*FRR, error) {
 	}
 	if cfg.ProbeInterval <= 0 {
 		return nil, fmt.Errorf("frr: probe interval must be positive")
+	}
+	if cfg.Damping {
+		if cfg.DampingMinHold <= 0 {
+			cfg.DampingMinHold = 4 * cfg.ProbeInterval
+		}
+		if cfg.DampingMaxHold <= 0 {
+			cfg.DampingMaxHold = 16 * cfg.DampingMinHold
+		}
+		if cfg.DampingGoodRounds <= 0 {
+			cfg.DampingGoodRounds = 2
+		}
 	}
 	lastSeen, err := maps.New(maps.Spec{
 		Name: progs.FRRLastSeenMap, Type: maps.Hash,
@@ -182,9 +226,13 @@ func New(node *netsim.Node, cfg Config) (*FRR, error) {
 
 // neighborSnap is one adjacency's detector state inside a checkpoint.
 type neighborSnap struct {
-	lastSend int64
-	missed   int
-	down     bool
+	lastSend   int64
+	missed     int
+	down       bool
+	holdNs     int64
+	holdUntil  int64
+	goodStreak int
+	lastDownAt int64
 }
 
 // frrSnap is the FRR instance's checkpointable state.
@@ -209,7 +257,11 @@ func (f *FRR) SnapshotState() any {
 		nhState:     f.NHState.Snapshot(),
 	}
 	for i, st := range f.neighbors {
-		s.neighbors[i] = neighborSnap{lastSend: st.lastSend, missed: st.missed, down: st.down}
+		s.neighbors[i] = neighborSnap{
+			lastSend: st.lastSend, missed: st.missed, down: st.down,
+			holdNs: st.holdNs, holdUntil: st.holdUntil,
+			goodStreak: st.goodStreak, lastDownAt: st.lastDownAt,
+		}
 	}
 	return s
 }
@@ -228,6 +280,8 @@ func (f *FRR) RestoreState(v any) {
 	for i, ns := range s.neighbors {
 		st := f.neighbors[i]
 		st.lastSend, st.missed, st.down = ns.lastSend, ns.missed, ns.down
+		st.holdNs, st.holdUntil = ns.holdNs, ns.holdUntil
+		st.goodStreak, st.lastDownAt = ns.goodStreak, ns.lastDownAt
 	}
 	f.LastSeen.Restore(s.lastSeen)
 	f.NHState.Restore(s.nhState)
@@ -343,6 +397,28 @@ func (f *FRR) Start() {
 // value).
 func (f *FRR) Stop() { f.stopped = true }
 
+// CrashReset implements netsim.CrashResettable: a node crash wipes
+// the daemon's runtime state — detection maps, miss counters and
+// damping penalties come back empty, every neighbour assumed up, as a
+// freshly exec'd daemon would — while configuration (neighbours,
+// protections, probe/steer programs) survives with the node's FIB.
+// The transition log and ProbesSent belong to the observer, not the
+// daemon, and are preserved.
+func (f *FRR) CrashReset() {
+	now := f.node.Now()
+	for _, st := range f.neighbors {
+		st.missed = 0
+		st.down = false
+		st.lastSend = now
+		st.holdNs = 0
+		st.holdUntil = 0
+		st.goodStreak = 0
+		st.lastDownAt = 0
+		_ = f.NHState.Update(bpf.PutUint32(st.nb.ID), bpf.PutUint32(0), maps.UpdateAny)
+		_ = f.LastSeen.Update(bpf.PutUint32(st.nb.ID), bpf.PutUint64(uint64(now)), maps.UpdateAny)
+	}
+}
+
 // tick runs once per probe interval: first judge the previous round's
 // probes, then send the next round.
 func (f *FRR) tick() {
@@ -371,18 +447,52 @@ func (f *FRR) check(st *neighborState, now int64) {
 	if err == nil && int64(lastSeen) >= st.lastSend {
 		st.missed = 0
 		if st.down {
+			if f.cfg.Damping {
+				// Hysteresis plus hold-down: one healthy round is not
+				// trust. The neighbour stays on backup until the hold
+				// expires AND DampingGoodRounds rounds passed cleanly.
+				st.goodStreak++
+				if st.goodStreak < f.cfg.DampingGoodRounds || now < st.holdUntil {
+					return
+				}
+			}
 			st.down = false
+			st.goodStreak = 0
 			_ = f.NHState.Update(bpf.PutUint32(st.nb.ID), bpf.PutUint32(0), maps.UpdateAny)
 			f.transition(Transition{NeighborID: st.nb.ID, Up: true, At: now})
 		}
 		return
 	}
 	st.missed++
+	st.goodStreak = 0
 	if !st.down && st.missed >= f.cfg.Misses {
 		st.down = true
+		if f.cfg.Damping {
+			f.escalateHold(st, now)
+		}
 		_ = f.NHState.Update(bpf.PutUint32(st.nb.ID), bpf.PutUint32(1), maps.UpdateAny)
 		f.transition(Transition{NeighborID: st.nb.ID, Up: false, At: now})
 	}
+}
+
+// escalateHold charges the flap-damping penalty at a down transition:
+// the hold doubles per flap (exponential backoff, capped), and a
+// neighbour that stayed up for at least 2 × DampingMaxHold since its
+// previous down transition starts over at the minimum hold.
+func (f *FRR) escalateHold(st *neighborState, now int64) {
+	if st.lastDownAt != 0 && now-st.lastDownAt >= 2*f.cfg.DampingMaxHold {
+		st.holdNs = 0
+	}
+	st.lastDownAt = now
+	if st.holdNs == 0 {
+		st.holdNs = f.cfg.DampingMinHold
+	} else {
+		st.holdNs *= 2
+		if st.holdNs > f.cfg.DampingMaxHold {
+			st.holdNs = f.cfg.DampingMaxHold
+		}
+	}
+	st.holdUntil = now + st.holdNs
 }
 
 func (f *FRR) transition(tr Transition) {

@@ -41,6 +41,12 @@ type testbed struct {
 }
 
 func newTestbed(t *testing.T, interval int64, misses int) *testbed {
+	return newTestbedCfg(t, Config{ProbeInterval: interval, Misses: misses})
+}
+
+// newTestbedCfg builds the triangle with an explicit detector config
+// (TrackSID and JIT are filled in).
+func newTestbedCfg(t *testing.T, cfg Config) *testbed {
 	sim := netsim.New(42)
 	tb := &testbed{
 		sim: sim,
@@ -103,12 +109,9 @@ func newTestbed(t *testing.T, interval int64, misses int) *testbed {
 	tb.d.AddRoute(&netsim.Route{Prefix: pfx("fc00:10::/32"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: dpIf}}})
 	tb.d.AddRoute(&netsim.Route{Prefix: pfx("2001:db8:2::/48"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: dtIf}}})
 
-	frr, err := New(tb.p, Config{
-		TrackSID:      trackSID,
-		ProbeInterval: interval,
-		Misses:        misses,
-		JIT:           true,
-	})
+	cfg.TrackSID = trackSID
+	cfg.JIT = true
+	frr, err := New(tb.p, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

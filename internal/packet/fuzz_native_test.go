@@ -1,0 +1,142 @@
+package packet
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+)
+
+// Native go fuzz targets for the two parsers sitting directly on the
+// simulated wire. `go test` runs them over the seed corpus; the
+// Makefile's fuzz-native target lets the mutation engine loose on them
+// for a bounded -fuzztime (and CI's nightly job for longer). The
+// quick.Check tests in fuzz_test.go stay as the fast deterministic
+// sweep; these add coverage-guided mutation on top.
+
+// fuzzSeedPackets builds a handful of structurally interesting valid
+// packets to seed the corpus: plain UDP, SRH with 1 and 3 segments,
+// SRH with TLVs, IPv6-in-IPv6, and a chained routing header.
+func fuzzSeedPackets(tb testing.TB) [][]byte {
+	tb.Helper()
+	src := netip.MustParseAddr("2001:db8::1")
+	dst := netip.MustParseAddr("fc00::1")
+	segs3 := []netip.Addr{
+		netip.MustParseAddr("fc00::1"),
+		netip.MustParseAddr("fc00::2"),
+		netip.MustParseAddr("fc00::3"),
+	}
+	var out [][]byte
+	add := func(raw []byte, err error) {
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, raw)
+	}
+	add(BuildPacket(src, dst, WithUDP(1000, 53), WithPayload([]byte("payload"))))
+	add(BuildPacket(src, dst, WithSRH(NewSRH(segs3[:1])), WithUDP(1, 2)))
+	add(BuildPacket(src, dst, WithSRH(NewSRH(segs3)), WithUDP(1, 2), WithPayload([]byte("xyz"))))
+	add(BuildPacket(src, dst,
+		WithSRH(NewSRH(segs3[:2],
+			DMTLV{TxTimestampNS: 42},
+			ControllerTLV{Addr: netip.MustParseAddr("fc00::c"), Port: 6653})),
+		WithUDP(7, 7)))
+	inner, err := BuildPacket(src, dst, WithUDP(9, 9), WithPayload([]byte("in")))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	add(BuildPacket(src, dst, WithSRH(NewSRH(segs3[:1])), WithInnerPacket(inner)))
+	return out
+}
+
+// FuzzParseInfo cross-checks the allocation-free offset walk against
+// the allocating parser on arbitrary bytes: both must survive, agree
+// on accept/reject, and agree on the offsets that drive the End.BPF
+// datapath.
+func FuzzParseInfo(f *testing.F) {
+	for _, raw := range fuzzSeedPackets(f) {
+		f.Add(raw)
+		// Truncations of valid packets probe every length check.
+		f.Add(raw[:len(raw)/2])
+		f.Add(raw[:IPv6HeaderLen])
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		info, infoErr := ParseInfo(raw)
+		pkt, parseErr := Parse(raw)
+		if (infoErr == nil) != (parseErr == nil) {
+			t.Fatalf("ParseInfo err=%v, Parse err=%v — parsers disagree", infoErr, parseErr)
+		}
+		if infoErr != nil {
+			return
+		}
+		if info.L4Off < IPv6HeaderLen || info.L4Off > len(raw) {
+			t.Fatalf("L4Off %d out of bounds (len %d)", info.L4Off, len(raw))
+		}
+		if pkt.L4Off != info.L4Off || pkt.L4Proto != info.L4Proto {
+			t.Fatalf("L4 disagreement: info(%d,%d) pkt(%d,%d)",
+				info.L4Off, info.L4Proto, pkt.L4Off, pkt.L4Proto)
+		}
+		if info.HasSRH() {
+			if info.SRHOff < IPv6HeaderLen || info.SRHOff+info.SRHLen > len(raw) {
+				t.Fatalf("SRH window [%d,%d) out of bounds (len %d)",
+					info.SRHOff, info.SRHOff+info.SRHLen, len(raw))
+			}
+			// The window ParseInfo accepted must satisfy the validator
+			// used after program writes.
+			if err := ValidateSRHBytes(raw[info.SRHOff : info.SRHOff+info.SRHLen]); err != nil {
+				t.Fatalf("accepted SRH fails revalidation: %v", err)
+			}
+			if pkt.SRH == nil {
+				t.Fatalf("ParseInfo found an SRH at %d, Parse did not", info.SRHOff)
+			}
+		} else if pkt.SRH != nil {
+			t.Fatalf("Parse found an SRH, ParseInfo did not")
+		}
+	})
+}
+
+// FuzzValidateSRH feeds arbitrary windows to the post-write SRH
+// validator and cross-checks it against the decoder: whatever the
+// validator accepts, DecodeSRH must decode and re-encode to the same
+// bytes.
+func FuzzValidateSRH(f *testing.F) {
+	for _, raw := range fuzzSeedPackets(f) {
+		info, err := ParseInfo(raw)
+		if err != nil || !info.HasSRH() {
+			continue
+		}
+		srh := raw[info.SRHOff : info.SRHOff+info.SRHLen]
+		f.Add(srh)
+		f.Add(srh[:len(srh)-1])
+	}
+	f.Add([]byte{0, 0, SRHRoutingType, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if err := ValidateSRHBytes(b); err != nil {
+			return
+		}
+		srh, n, err := DecodeSRH(b)
+		if err != nil {
+			t.Fatalf("validator accepted what DecodeSRH rejects: %v", err)
+		}
+		enc, err := srh.Encode(nil)
+		if err != nil {
+			t.Fatalf("re-encode of accepted SRH failed: %v", err)
+		}
+		if len(enc) != n {
+			t.Fatalf("re-encode changed the wire length: %d -> %d", n, len(enc))
+		}
+		// Byte identity is too strict (PadN re-encodes its padding as
+		// zeros), but the re-encoding must validate and decode back to
+		// the same SRH — a semantic fixpoint.
+		if err := ValidateSRHBytes(enc); err != nil {
+			t.Fatalf("re-encoded SRH fails validation: %v", err)
+		}
+		srh2, _, err := DecodeSRH(enc)
+		if err != nil {
+			t.Fatalf("re-encoded SRH fails decoding: %v", err)
+		}
+		if !reflect.DeepEqual(srh, srh2) {
+			t.Fatalf("decode/encode/decode not a fixpoint:\n in  %+v\n out %+v", srh, srh2)
+		}
+	})
+}

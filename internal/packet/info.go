@@ -73,11 +73,18 @@ func ParseInfo(raw []byte) (Info, error) {
 	}
 }
 
-// walkSRH validates the SRH at off (via the structural checker shared
-// with DecodeSRH) and records it in info, returning the wire length.
+// walkSRH validates the SRH at off (via the structural checker and
+// the validate-only TLV walk shared with DecodeSRH) and records it in
+// info, returning the wire length.
 func walkSRH(raw []byte, off int, info *Info) (int, error) {
 	total, segsLeft, lastEntry, err := srhStructure(raw[off:])
 	if err != nil {
+		return 0, err
+	}
+	// The TLV area must be walkable too — Parse rejects a malformed
+	// TLV chain, and the accept sets of the two parsers are one
+	// contract. validateTLVs allocates nothing.
+	if err := validateTLVs(raw[off+SRHFixedLen+16*(int(lastEntry)+1) : off+total]); err != nil {
 		return 0, err
 	}
 	// Like Parse, a later routing header in the chain overwrites an

@@ -12,7 +12,10 @@
 //     internal/seg6 and internal/packet;
 //   - a deterministic discrete-event network simulator standing in
 //     for the paper's lab (links with netem shaping, routers with
-//     calibrated CPU cost models) — internal/netsim, internal/netem;
+//     calibrated CPU cost models) — internal/netsim, internal/netem —
+//     with a deterministic chaos-injection layer on top (seeded fault
+//     campaigns: crashes, flaps, packet impairments) —
+//     internal/netsim/chaos;
 //   - the paper's contribution: the End.BPF hook, the LWT transit
 //     hook and the four SRv6 helpers — internal/core;
 //   - the paper's three use cases as ready-made network functions —
@@ -35,6 +38,7 @@ import (
 	"srv6bpf/internal/core"
 	"srv6bpf/internal/netem"
 	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/netsim/chaos"
 	"srv6bpf/internal/netsim/topo"
 	"srv6bpf/internal/nf/frr"
 	"srv6bpf/internal/packet"
@@ -329,3 +333,25 @@ type FRRTransition = frr.Transition
 
 // NewFRR creates the fast-reroute instance on a node.
 var NewFRR = frr.New
+
+// --- Chaos injection (internal/netsim/chaos) ---
+
+// ChaosEngine is the deterministic fault injector: given a seed it
+// plans node crash/restart cycles, link flaps and netem-level packet
+// impairments as ordinary simulation events, so a fault campaign
+// replays bit-identically under the sequential, conservative and
+// optimistic engines alike.
+type ChaosEngine = chaos.Engine
+
+// ChaosCampaign describes a randomized fault campaign (how many
+// crashes, flaps and impairment windows to draw, and from what
+// ranges).
+type ChaosCampaign = chaos.Campaign
+
+// ChaosImpairment is the netem knob set a chaos impairment window
+// applies (corruption, duplication, reordering probabilities).
+type ChaosImpairment = chaos.Impairment
+
+// NewChaos creates a fault injector for a simulation. Plan faults
+// before Sim.Run; the same seed yields the same campaign.
+var NewChaos = chaos.New
