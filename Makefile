@@ -8,6 +8,11 @@
 #   make chaos-smoke — chaos-injection determinism gate: chaos unit
 #                  tests, crash/impairment tests, chaos-heavy
 #                  equivalence slice (the CI chaos job)
+#   make obs-smoke — observability gate: obs package tests, the
+#                  netsim recorder tests, and a headless serve run
+#                  writing the three artifacts (Prometheus text, JSON
+#                  snapshot, trace_event dump) to OBS_DUMP_DIR on the
+#                  2-shard optimistic engine
 #   make race    — full test suite under the race detector (CI job;
 #                  the parallel simulation engine must be race-clean)
 #   make fuzz-deep — full-depth randomized equivalence fuzzing of the
@@ -35,10 +40,11 @@ FUZZ_SCENARIOS ?= 150
 FUZZ_RACE_SCENARIOS ?= 60
 FUZZTIME ?= 5s
 BENCH_CI_JSON ?= BENCH_PR999.json
+OBS_DUMP_DIR ?= obs-artifacts
 
-.PHONY: check build vet test race race-smoke fuzz-smoke fuzz-native fuzz-deep fuzz-deep-race chaos-smoke bench bench-json bench-ci fmt
+.PHONY: check build vet test race race-smoke fuzz-smoke fuzz-native fuzz-deep fuzz-deep-race chaos-smoke obs-smoke bench bench-json bench-ci fmt
 
-check: build vet test race-smoke fuzz-smoke fuzz-native
+check: build vet test race-smoke fuzz-smoke fuzz-native obs-smoke
 
 build:
 	$(GO) build ./...
@@ -75,6 +81,19 @@ chaos-smoke:
 	$(GO) test -count 1 ./internal/netsim/chaos
 	$(GO) test -count 1 -run 'TestNodeCrash|TestCrash|TestCorruption|TestDuplication|TestReorder' ./internal/netsim
 	SRV6BPF_FUZZ_SCENARIOS=16 $(GO) test -count 1 -run 'TestShardEquivalenceFuzz' ./internal/netsim
+
+# Observability gate: the obs package's own tests, the simulator-side
+# recorder tests (rollback equivalence, alloc parity), and a headless
+# serve run on the 2-shard optimistic engine that must produce the
+# three non-empty artifacts (the CI bench job uploads them).
+obs-smoke:
+	$(GO) test -count 1 ./internal/obs
+	$(GO) test -count 1 -run 'TestObs|TestProgStats' ./internal/netsim ./internal/core
+	rm -rf $(OBS_DUMP_DIR)
+	$(GO) run ./cmd/srv6sim -scenario serve -engine optimistic -shards 2 -obs-dump $(OBS_DUMP_DIR)
+	test -s $(OBS_DUMP_DIR)/metrics.prom
+	test -s $(OBS_DUMP_DIR)/stats.json
+	test -s $(OBS_DUMP_DIR)/trace.json
 
 race:
 	$(GO) test -race ./...

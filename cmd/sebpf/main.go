@@ -12,6 +12,10 @@
 //	sebpf run <program>           execute a bundled program on a
 //	                              synthetic SRv6 probe and show the
 //	                              packet before and after
+//	sebpf prog show [prog] [N]    run each program (or one) N times
+//	                              (default 10) and print bpftool-style
+//	                              statistics: run_cnt, instructions,
+//	                              helper histogram, verdicts, faults
 package main
 
 import (
@@ -109,6 +113,17 @@ func main() {
 		if err := runProgram(os.Args[2], e); err != nil {
 			fatal(err)
 		}
+	case "prog":
+		if len(os.Args) < 3 || os.Args[2] != "show" {
+			usage()
+		}
+		sel, runs, err := parseRuns(os.Args[3:])
+		if err != nil {
+			fatal(err)
+		}
+		if err := progShow(reg, sel, runs); err != nil {
+			fatal(err)
+		}
 	case "dump", "verify":
 		if len(os.Args) < 3 {
 			usage()
@@ -148,7 +163,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sebpf list | dump <prog> | verify <prog> | asm <file> [seg6local|lwt]")
+	fmt.Fprintln(os.Stderr, "usage: sebpf list | dump <prog> | verify <prog> | run <prog> | prog show [prog] [runs] | asm <file> [seg6local|lwt]")
 	os.Exit(2)
 }
 

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	srv6bench [-fig 2|3|4] [-tcp] [-jit] [-all] [-duration 200ms]
+//	srv6bench [-fig 2|3|4] [-tcp] [-jit] [-obs] [-all] [-duration 200ms]
 package main
 
 import (
@@ -28,6 +28,8 @@ func main() {
 	frr := flag.Bool("frr", false, "run the fast-reroute recovery experiment")
 	flapstorm := flag.Bool("flapstorm", false, "run the flap-storm damping experiment")
 	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
+	obsProf := flag.Bool("obs", false, "run the observability profile (behavior-cost and rollback-depth histograms)")
+	pr := flag.Int("pr", 0, "PR number to stamp into the bench report's host record")
 	shards := flag.Int("shards", 0,
 		"run the shard-scaling experiment up to this many shards (1,2,4,...) on a 208-node fat-tree")
 	engine := flag.String("engine", "conservative",
@@ -49,7 +51,11 @@ func main() {
 
 	if *benchJSON != "" {
 		ran = true
-		writeBenchJSON(*benchJSON, win)
+		writeBenchJSON(*benchJSON, win, *pr)
+	}
+	if *all || *obsProf {
+		ran = true
+		runObs(win)
 	}
 	if *all || *fig == 2 {
 		ran = true
@@ -251,6 +257,23 @@ func runAblations(win int64) {
 	fmt.Println()
 }
 
+func runObs(win int64) {
+	fmt.Println("== Observability profile: what the metrics plane saw ==")
+	fmt.Println("   behavior cost + queue delay from the §3.2 lab (Tag++ End.BPF),")
+	fmt.Println("   rollback depth from a 4-shard optimistic fat-tree (virtual ns)")
+	rows, err := experiments.ObsProfile(win)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("  %-22s %9s %9s %9s %9s %9s %10s\n",
+		"histogram", "count", "p50", "p90", "p99", "max", "mean")
+	for _, r := range rows {
+		fmt.Printf("  %-22s %9d %9d %9d %9d %9d %10.1f\n",
+			r.Name, r.Count, r.P50, r.P90, r.P99, r.Max, r.Mean)
+	}
+	fmt.Println()
+}
+
 // shardCountsUpTo returns 1, 2, 4, ... up to and including max.
 func shardCountsUpTo(max int) []int {
 	var counts []int
@@ -306,9 +329,13 @@ func runShards(eng netsim.Engine, max, k int, win int64) {
 // simulated figure rows plus the real (wall-clock) datapath numbers,
 // in the shape future PRs diff against (BENCH_*.json).
 type benchReport struct {
-	Schema       string                        `json:"schema"`
-	GoVersion    string                        `json:"go_version"`
-	GOMAXPROCS   int                           `json:"gomaxprocs"`
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Host fingerprints the machine and toolchain that produced the
+	// wall-clock numbers; the trajectory test only compares timings
+	// between reports whose fingerprints match.
+	Host         *benchHost                    `json:"host,omitempty"`
 	WindowNs     int64                         `json:"window_ns"`
 	Fig2         []experiments.Row             `json:"fig2"`
 	Fig3         []experiments.Row             `json:"fig3"`
@@ -322,14 +349,34 @@ type benchReport struct {
 	// scenario (same seed, counters verified identical to the
 	// conservative rows by the experiment itself).
 	ShardScalingOptimistic []experiments.ShardScalingRow `json:"shard_scaling_optimistic"`
+	// Obs is the observability profile (histogram quantiles, virtual ns).
+	Obs []experiments.ObsRow `json:"obs,omitempty"`
 }
 
-func writeBenchJSON(path string, win int64) {
+// benchHost records where a report's wall-clock numbers came from.
+type benchHost struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	PR         int    `json:"pr,omitempty"`
+}
+
+func writeBenchJSON(path string, win int64, pr int) {
 	rep := benchReport{
 		Schema:     "srv6bpf-bench/1",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		WindowNs:   win,
+		Host: &benchHost{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			PR:         pr,
+		},
+		WindowNs: win,
 	}
 	var err error
 	if rep.Fig2, err = experiments.Figure2(win); err != nil {
@@ -357,6 +404,9 @@ func writeBenchJSON(path string, win int64) {
 		fail(err)
 	}
 	if rep.ShardScalingOptimistic, err = experiments.ShardScaling(netsim.EngineOptimistic, shardCountsUpTo(4), 8, 20*netsim.Millisecond); err != nil {
+		fail(err)
+	}
+	if rep.Obs, err = experiments.ObsProfile(win); err != nil {
 		fail(err)
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")

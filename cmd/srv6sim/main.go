@@ -4,6 +4,15 @@
 // Usage:
 //
 //	srv6sim -scenario endbpf|delay|traceroute [-trace]
+//	srv6sim -scenario serve [-http addr] [-engine conservative|optimistic]
+//	        [-shards N] [-obs-dump dir]
+//
+// The serve scenario runs a continuous workload and exposes the
+// observability plane over HTTP: /metrics (Prometheus text),
+// /stats.json (metrics + bpftool-style program stats + engine time
+// series), /trace (Chrome trace_event dump of the packet flight
+// recorder) and /debug/pprof. With -obs-dump it instead writes those
+// artifacts to a directory and exits (see OBSERVABILITY.md).
 package main
 
 import (
@@ -32,8 +41,12 @@ var (
 func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
 
 func main() {
-	scenario := flag.String("scenario", "endbpf", "endbpf | delay | traceroute")
+	scenario := flag.String("scenario", "endbpf", "endbpf | delay | traceroute | serve")
 	trace := flag.Bool("trace", false, "log router events")
+	httpAddr := flag.String("http", "localhost:8080", "listen address for -scenario serve")
+	engine := flag.String("engine", "conservative", "shard engine for -scenario serve (conservative|optimistic)")
+	shards := flag.Int("shards", 1, "shard count for -scenario serve")
+	obsDump := flag.String("obs-dump", "", "write observability artifacts to this directory and exit (serve only)")
 	flag.Parse()
 
 	switch *scenario {
@@ -43,6 +56,8 @@ func main() {
 		runDelay(*trace)
 	case "traceroute":
 		runTraceroute(*trace)
+	case "serve":
+		runServe(*httpAddr, *engine, *shards, *obsDump)
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -29,8 +29,11 @@ var (
 // modify machine memory through m.Mem.
 type HelperFunc func(m *Machine, r1, r2, r3, r4, r5 uint64) (uint64, error)
 
-// maxHelperID bounds the dense helper dispatch table.
-const maxHelperID = 256
+// MaxHelperID bounds the dense helper dispatch table.
+const MaxHelperID = 256
+
+// maxHelperID is kept as an internal alias for the dispatch tables.
+const maxHelperID = MaxHelperID
 
 // HelperTable maps helper IDs to implementations.
 type HelperTable [maxHelperID]HelperFunc
@@ -263,6 +266,10 @@ type Machine struct {
 	// (the packet being processed, the owning node, etc.). Typed as
 	// any to keep the VM independent of upper layers.
 	HelperContext any
+	// HelperCounts, when non-nil, receives a per-helper-ID invocation
+	// count alongside the aggregate HelperCalls counter. Attachments
+	// point this at their own table to build helper histograms.
+	HelperCounts *[MaxHelperID]uint64
 
 	stack []byte
 	trap  error // fault raised inside compiled code
@@ -320,6 +327,9 @@ func (m *Machine) callHelper(id int64) error {
 		return fmt.Errorf("%w: id %d", ErrUnknownHelper, id)
 	}
 	m.HelperCalls++
+	if m.HelperCounts != nil {
+		m.HelperCounts[id]++
+	}
 	ret, err := m.Helpers[id](m, m.Regs[1], m.Regs[2], m.Regs[3], m.Regs[4], m.Regs[5])
 	if err != nil {
 		return fmt.Errorf("vm: helper %d: %w", id, err)

@@ -84,6 +84,7 @@ type EndBPF struct {
 	ctx    [CtxSize]byte
 	env    execEnv
 	faults progFaults
+	stats  progCounters
 }
 
 // AttachEndBPF instantiates prog (loaded against Seg6LocalHook) as a
@@ -151,10 +152,11 @@ func fillCtxLen(ctx []byte, pktLen int) {
 // allocations: one offset-only header walk, an in-place SRH advance,
 // and a reused execution environment.
 func (e *EndBPF) RunSeg6Local(n *netsim.Node, raw []byte, meta *netsim.PacketMeta) (seg6.Result, int64, error) {
-	// Fault-quarantine state checkpoints with the node (idempotent
-	// after the first packet; a rollback past the registration unhooks
-	// and re-registers it on re-execution).
+	// Fault-quarantine and run-statistics state checkpoint with the
+	// node (idempotent after the first packet; a rollback past the
+	// registration unhooks and re-registers them on re-execution).
 	n.RegisterState(&e.faults)
+	n.RegisterState(&e.stats)
 	if e.faults.quarantined {
 		n.Count("drop_prog_quarantined")
 		return seg6.Result{Verdict: seg6.VerdictDrop}, 0, nil
@@ -178,16 +180,19 @@ func (e *EndBPF) RunSeg6Local(n *netsim.Node, raw []byte, meta *netsim.PacketMet
 
 	machine := e.inst.Machine()
 	machine.HelperContext = env
+	machine.HelperCounts = &e.stats.helperCnt
 	fillCtx(e.ctx[:], len(raw), info.FlowLabel)
 	installPacket(e.inst, e.ctx[:], raw)
 
 	startInsns, startHelpers := machine.Executed, machine.HelperCalls
 	ret, runErr := e.inst.Run(vm.Pointer(vm.RegionCtx, 0))
-	cost := n.Cost.BPFCost(machine.Executed-startInsns, machine.HelperCalls-startHelpers, e.inst.JIT())
+	dInsns, dHelpers := machine.Executed-startInsns, machine.HelperCalls-startHelpers
+	cost := n.Cost.BPFCost(dInsns, dHelpers, e.inst.JIT())
 
 	if runErr != nil {
 		// A faulting program drops the packet, like a kernel-side
 		// bpf program error path; repeat offenders are quarantined.
+		e.stats.record(dInsns, dHelpers, verdictError)
 		if e.faults.recordFault() {
 			n.Count("prog_quarantined")
 		}
@@ -198,23 +203,29 @@ func (e *EndBPF) RunSeg6Local(n *netsim.Node, raw []byte, meta *netsim.PacketMet
 	// is still valid; otherwise the packet is dropped.
 	if env.srhModified {
 		if err := e.validateSRH(env); err != nil {
+			e.stats.record(dInsns, dHelpers, verdictError)
 			return seg6.Result{Verdict: seg6.VerdictDrop}, cost, err
 		}
 	}
 
 	switch ret {
 	case BPFOK:
+		e.stats.record(dInsns, dHelpers, verdictOK)
 		return seg6.Result{Verdict: seg6.VerdictForward, Pkt: env.pkt}, cost, nil
 	case BPFDrop:
+		e.stats.record(dInsns, dHelpers, verdictDrop)
 		return seg6.Result{Verdict: seg6.VerdictDrop}, cost, nil
 	case BPFRedirect:
 		if env.pending == nil {
+			e.stats.record(dInsns, dHelpers, verdictError)
 			return seg6.Result{Verdict: seg6.VerdictDrop}, cost, ErrNoPendingState
 		}
+		e.stats.record(dInsns, dHelpers, verdictRedirect)
 		res := *env.pending
 		res.Pkt = env.pkt
 		return res, cost, nil
 	default:
+		e.stats.record(dInsns, dHelpers, verdictError)
 		return seg6.Result{Verdict: seg6.VerdictDrop}, cost, fmt.Errorf("%w: %d", ErrBadReturn, ret)
 	}
 }
@@ -238,6 +249,7 @@ type LWT struct {
 	ctx    [CtxSize]byte
 	env    execEnv
 	faults progFaults
+	stats  progCounters
 }
 
 // AttachLWT instantiates prog (loaded against LWTOutHook) as a
@@ -278,6 +290,7 @@ func (l *LWT) FaultState() netsim.ShardState { return &l.faults }
 // and the execution environment is reused across packets.
 func (l *LWT) RunLWTOut(n *netsim.Node, raw []byte, meta *netsim.PacketMeta) ([]byte, netsim.LWTVerdict, int64, error) {
 	n.RegisterState(&l.faults)
+	n.RegisterState(&l.stats)
 	if l.faults.quarantined {
 		n.Count("drop_prog_quarantined")
 		return nil, netsim.LWTDrop, 0, nil
@@ -300,14 +313,17 @@ func (l *LWT) RunLWTOut(n *netsim.Node, raw []byte, meta *netsim.PacketMeta) ([]
 
 	machine := l.inst.Machine()
 	machine.HelperContext = env
+	machine.HelperCounts = &l.stats.helperCnt
 	fillCtx(l.ctx[:], len(raw), flowHash)
 	installPacket(l.inst, l.ctx[:], raw)
 
 	startInsns, startHelpers := machine.Executed, machine.HelperCalls
 	ret, runErr := l.inst.Run(vm.Pointer(vm.RegionCtx, 0))
-	cost := n.Cost.BPFCost(machine.Executed-startInsns, machine.HelperCalls-startHelpers, l.inst.JIT())
+	dInsns, dHelpers := machine.Executed-startInsns, machine.HelperCalls-startHelpers
+	cost := n.Cost.BPFCost(dInsns, dHelpers, l.inst.JIT())
 
 	if runErr != nil {
+		l.stats.record(dInsns, dHelpers, verdictError)
 		if l.faults.recordFault() {
 			n.Count("prog_quarantined")
 		}
@@ -315,10 +331,13 @@ func (l *LWT) RunLWTOut(n *netsim.Node, raw []byte, meta *netsim.PacketMeta) ([]
 	}
 	switch ret {
 	case BPFOK:
+		l.stats.record(dInsns, dHelpers, verdictOK)
 		return env.pkt, netsim.LWTOK, cost, nil
 	case BPFDrop:
+		l.stats.record(dInsns, dHelpers, verdictDrop)
 		return nil, netsim.LWTDrop, cost, nil
 	default:
+		l.stats.record(dInsns, dHelpers, verdictError)
 		return nil, netsim.LWTDrop, cost, fmt.Errorf("%w: %d", ErrBadReturn, ret)
 	}
 }

@@ -118,5 +118,83 @@ func DatapathBench() ([]DatapathRow, error) {
 			BytesPerOp:  res.AllocedBytesPerOp(),
 		})
 	}
+	for _, on := range []bool{false, true} {
+		row, err := simUDPRow(on)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
 	return rows, nil
+}
+
+// simUDPRow measures one SRv6 packet traversing the full simulated
+// datapath — source output, links, the router's End behaviour,
+// delivery — with the observability plane off vs on (flight recorder
+// sampling every flow: the worst case). The direct RunSeg6Local rows
+// above bypass the node's drain loop and so never see the obs hooks;
+// this pair is what the trajectory test compares to bound the
+// tracing-off overhead.
+func simUDPRow(obsOn bool) (DatapathRow, error) {
+	src := netip.MustParseAddr("2001:db8:1::1")
+	dst := netip.MustParseAddr("2001:db8:2::1")
+	sid := netip.MustParseAddr("fc00:1::b")
+
+	sim := netsim.New(1)
+	a := sim.AddNode("A", netsim.HostCostModel())
+	r := sim.AddNode("R", netsim.ServerCostModel())
+	c := sim.AddNode("C", netsim.HostCostModel())
+	a.AddAddress(src)
+	c.AddAddress(dst)
+	fast := netem.Config{RateBps: 1e12}
+	aIf, _ := netsim.ConnectSymmetric(a, r, fast)
+	rcIf, cIf := netsim.ConnectSymmetric(r, c, fast)
+	a.AddRoute(&netsim.Route{Prefix: netip.MustParsePrefix("::/0"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: aIf}}})
+	c.AddRoute(&netsim.Route{Prefix: netip.MustParsePrefix("::/0"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: cIf}}})
+	r.AddRoute(&netsim.Route{Prefix: netip.PrefixFrom(sid, 128), Kind: netsim.RouteSeg6Local, Behaviour: &seg6.Behaviour{Action: seg6.ActionEnd}})
+	r.AddRoute(&netsim.Route{Prefix: netip.MustParsePrefix("2001:db8:2::/48"), Kind: netsim.RouteForward, Nexthops: []netsim.Nexthop{{Iface: rcIf}}})
+	c.HandleUDP(2, func(*netsim.Node, *packet.Packet, *netsim.PacketMeta) {})
+
+	name := "SimUDP-obs-off"
+	if obsOn {
+		name = "SimUDP-obs-on"
+		sim.EnableObs(netsim.ObsOptions{Trace: true, SampleShift: 0})
+	}
+
+	srh := packet.NewSRH([]netip.Addr{sid, dst})
+	tmpl, err := packet.BuildPacket(src, sid, packet.WithSRH(srh),
+		packet.WithUDP(1, 2), packet.WithPayload(make([]byte, 64)))
+	if err != nil {
+		return DatapathRow{}, err
+	}
+
+	work := packet.Clone(tmpl)
+	bufs := sim.TraceBufs()
+	// Warm the event pools so the loop measures steady state.
+	for i := 0; i < 64; i++ {
+		copy(work, tmpl)
+		a.Output(work)
+		sim.Run()
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(work, tmpl)
+			a.Output(work)
+			sim.Run()
+			// Truncate the journals so the recorder's ring cannot grow
+			// without bound across iterations (same mechanism a rollback
+			// uses; a cheap slice-length reset).
+			for _, tb := range bufs {
+				tb.RestoreState(0)
+			}
+		}
+	})
+	return DatapathRow{
+		Name:        name,
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}, nil
 }

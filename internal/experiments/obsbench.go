@@ -1,0 +1,127 @@
+package experiments
+
+// The observability profile: instead of measuring forwarding rate, it
+// runs instrumented workloads and reports what the metrics plane saw —
+// per-behavior execution-cost quantiles and queue delay from the §3.2
+// lab, and the rollback-depth distribution of the optimistic engine
+// under a sharded fat-tree mix. srv6bench -obs prints these rows and
+// writeBenchJSON embeds them in the report.
+
+import (
+	"net/netip"
+	"sort"
+
+	"srv6bpf/internal/bpf"
+	"srv6bpf/internal/core"
+	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/netsim/topo"
+	"srv6bpf/internal/nf/progs"
+	"srv6bpf/internal/obs"
+	"srv6bpf/internal/trafgen"
+)
+
+// ObsRow summarises one histogram of the observability profile. All
+// values are virtual nanoseconds.
+type ObsRow struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	P50   uint64  `json:"p50_ns"`
+	P90   uint64  `json:"p90_ns"`
+	P99   uint64  `json:"p99_ns"`
+	Max   uint64  `json:"max_ns"`
+	Mean  float64 `json:"mean_ns"`
+}
+
+func obsRow(name string, h *obs.Histogram) ObsRow {
+	return ObsRow{
+		Name:  name,
+		Count: h.Count(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+	}
+}
+
+// ObsProfile runs the two instrumented scenarios and returns their
+// histogram rows: behavior:<name> and queue_delay from the lab run,
+// rollback_depth from the optimistic fat-tree run.
+func ObsProfile(durationNs int64) ([]ObsRow, error) {
+	l := newLab1(1)
+	l.sim.EnableObs(netsim.ObsOptions{Trace: true, SampleShift: 4})
+	jit := true
+	prog, err := bpf.LoadProgram(progs.TagIncrementSpec(), core.Seg6LocalHook(), nil, bpf.LoadOptions{JIT: &jit})
+	if err != nil {
+		return nil, err
+	}
+	end, err := core.AttachEndBPF(prog)
+	if err != nil {
+		return nil, err
+	}
+	l.r.AddRoute(&netsim.Route{Prefix: netip.PrefixFrom(rSID, 128), Kind: netsim.RouteSeg6Local, Behaviour: end.Behaviour()})
+	l.offer(rSID, durationNs)
+
+	hists := l.sim.BehaviorHists()
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var rows []ObsRow
+	for _, name := range names {
+		rows = append(rows, obsRow("behavior:"+name, hists[name]))
+	}
+	rows = append(rows, obsRow("queue_delay", l.sim.QueueDelayHist()))
+
+	rb, err := rollbackDepthRow(durationNs)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, rb)
+	return rows, nil
+}
+
+// rollbackDepthRow replays the shard-scaling mix on a k=4 fat-tree
+// under the optimistic engine with metrics on and reports how much
+// virtual time each rollback undid.
+func rollbackDepthRow(durationNs int64) (ObsRow, error) {
+	sim := netsim.New(shardScalingSeed)
+	nw, err := topo.FatTree(sim, 4, topo.Opts{
+		Link: topo.LinkSpec{RateBps: 10_000_000_000, DelayNs: 25 * netsim.Microsecond},
+	})
+	if err != nil {
+		return ObsRow{}, err
+	}
+	for _, h := range nw.Hosts {
+		trafgen.NewSink(h, 9)
+	}
+	sim.EnableObs(netsim.ObsOptions{})
+	pairs := nw.PermutationPairs(99)
+	gens := make([]*trafgen.UDPGen, len(pairs))
+	for i, pr := range pairs {
+		gens[i] = &trafgen.UDPGen{
+			Node: pr[0], Src: nw.HostAddr(pr[0]), Dst: nw.HostAddr(pr[1]),
+			SrcPort: 1000, DstPort: 9, PayloadLen: 64,
+			FlowLabel: func(n uint64) uint32 { return uint32(n % 16) },
+			RatePPS:   20_000,
+		}
+	}
+	if err := sim.SetShards(4, netsim.EngineOptimistic); err != nil {
+		return ObsRow{}, err
+	}
+	for i, g := range gens {
+		g := g
+		g.Node.Schedule(int64(i)*netsim.Microsecond, func() {
+			if err := g.Start(durationNs); err != nil {
+				panic(err)
+			}
+		})
+	}
+	sim.RunUntil(durationNs)
+	for _, g := range gens {
+		g.Stop()
+	}
+	sim.Run()
+	return obsRow("rollback_depth", sim.RollbackDepthHist()), nil
+}

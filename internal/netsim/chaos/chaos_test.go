@@ -1,13 +1,16 @@
 package chaos_test
 
 import (
+	"bytes"
 	"fmt"
 	"net/netip"
+	"strings"
 	"testing"
 
 	"srv6bpf/internal/netem"
 	"srv6bpf/internal/netsim"
 	"srv6bpf/internal/netsim/chaos"
+	"srv6bpf/internal/obs"
 	"srv6bpf/internal/packet"
 )
 
@@ -264,6 +267,37 @@ func TestCampaignEquivalenceSmoke(t *testing.T) {
 			if got[k] != v {
 				t.Errorf("%s: counter %s = %d, want %d", arm.name, k, got[k], v)
 			}
+		}
+	}
+}
+
+// TestPublishObs: the engine's planned-fault gauge reaches a registry
+// snapshot broken down by fault kind, matching the plan.
+func TestPublishObs(t *testing.T) {
+	s := netsim.New(1)
+	ringTopo(s, 6)
+	e := chaos.New(s, 42)
+	e.Apply(campaign(20*netsim.Millisecond), nil, nil)
+
+	counts := make(map[string]int)
+	for _, f := range e.Plan() {
+		counts[f.Kind.String()]++
+	}
+	if len(counts) == 0 {
+		t.Fatal("campaign planned no faults")
+	}
+
+	reg := obs.New()
+	e.PublishObs(reg)
+	var buf bytes.Buffer
+	if err := reg.Publish(0).WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for kind, n := range counts {
+		want := fmt.Sprintf("srv6sim_chaos_faults_planned{kind=%q} %d", kind, n)
+		if !strings.Contains(text, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, text)
 		}
 	}
 }

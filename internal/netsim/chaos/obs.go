@@ -1,0 +1,28 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"srv6bpf/internal/obs"
+)
+
+// PublishObs registers a collector exposing the engine's fault plan by
+// kind, so a dashboard can correlate traffic dips with injected
+// faults.
+func (e *Engine) PublishObs(reg *obs.Registry) {
+	reg.Collect(func(em *obs.Emitter) {
+		counts := make(map[string]int)
+		for _, f := range e.Plan() {
+			counts[f.Kind.String()]++
+		}
+		kinds := make([]string, 0, len(counts))
+		for k := range counts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			em.Gauge("srv6sim_chaos_faults_planned", fmt.Sprintf("kind=%q", k), float64(counts[k]))
+		}
+	})
+}

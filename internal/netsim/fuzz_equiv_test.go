@@ -127,6 +127,12 @@ func fuzzRun(t *testing.T, sc fuzzScenario, shards int, eng netsim.Engine) strin
 	sim := netsim.New(sc.seed)
 	nw := buildFuzzTopo(t, sim, sc)
 
+	// Flight recorder on in every arm, sampling half the flows: the
+	// committed span streams join the fingerprint below, so traces
+	// must replay bit-identically across engines and shard counts
+	// (the recorder is ShardState and rewinds with rollbacks).
+	sim.EnableObs(netsim.ObsOptions{Trace: true, SampleShift: 1})
+
 	journals := make([]*netsim.Journal, len(nw.Hosts))
 	for i, h := range nw.Hosts {
 		j := netsim.NewJournal(h)
@@ -263,6 +269,11 @@ func fuzzRun(t *testing.T, sc fuzzScenario, shards int, eng netsim.Engine) strin
 		fmt.Fprintf(&b, "tcp[%d] sent=%d rtx=%d fr=%d to=%d dsack=%d good=%d ooo=%d dup=%d\n",
 			i, a.snd.SegmentsSent, a.snd.Retransmits, a.snd.FastRecoveries, a.snd.Timeouts,
 			a.snd.DSACKs, a.rcv.GoodputBytes, a.rcv.OutOfOrderSegs, a.rcv.DupSegs)
+	}
+	for _, tb := range sim.TraceBufs() {
+		if tb.Len() > 0 {
+			fmt.Fprintf(&b, "spans[%s]=%s\n", tb.Node(), strings.Join(tb.Lines(), ","))
+		}
 	}
 	return fingerprint(sim, []string{b.String()})
 }

@@ -7,6 +7,7 @@ import (
 	"net/netip"
 	"sort"
 
+	"srv6bpf/internal/obs"
 	"srv6bpf/internal/packet"
 	"srv6bpf/internal/seg6"
 )
@@ -188,6 +189,16 @@ type Node struct {
 	// node (traffic generators, NF control loops, journals).
 	stateHooks []stateHook
 
+	// obs points at the sim's observability plane; nil keeps the hot
+	// path to a single pointer compare per hop. traceBuf is this
+	// node's flight-recorder journal (nil unless the recorder is on);
+	// spanIdx indexes the span of the hop currently being processed,
+	// -1 between hops and for unsampled packets — the datapath's
+	// verdict hooks test it, making them free when recording is off.
+	obs      *simObs
+	traceBuf *obs.TraceBuf
+	spanIdx  int
+
 	// Trace, when set, receives a line per interesting event.
 	Trace func(format string, args ...any)
 }
@@ -211,8 +222,12 @@ func (s *Sim) AddNode(name string, cost CostModel) *Node {
 		local:       make(map[netip.Addr]bool),
 		udpHandlers: make(map[uint16]UDPHandler),
 		counters:    make(map[string]*uint64),
+		spanIdx:     -1,
 	}
 	n.rng = rand.New(&n.rngSrc)
+	if s.obs != nil {
+		s.obs.attachNode(n)
+	}
 	n.hot = hotCounters{
 		rxRingFull:         n.CounterHandle("rx_ring_full"),
 		dropMalformed:      n.CounterHandle("drop_malformed"),
@@ -562,8 +577,14 @@ func (n *Node) drain() {
 	// meta escapes into handler and commit closures; keep the escape
 	// to the small PacketMeta value, not the whole ring item.
 	meta := item.meta
+	if n.obs != nil {
+		n.obsBeginHop(item.raw, n.Now()-meta.RxTimestamp)
+	}
 	commit, extra := n.routePacket(item.raw, &meta, 0)
 	cost += extra
+	if n.obs != nil {
+		n.obsEndHop(cost)
+	}
 
 	// A crash between now and processing completion discards the
 	// packet mid-flight and halts the CPU loop: the continuation
@@ -605,7 +626,13 @@ func (n *Node) outputFrom(era uint64, raw []byte) {
 	}
 	n.pktEra = era
 	meta := &PacketMeta{RxTimestamp: n.Now(), Local: true}
+	if n.obs != nil {
+		n.obsBeginHop(raw, 0)
+	}
 	commit, _ := n.routePacket(raw, meta, 0)
+	if n.obs != nil {
+		n.obsEndHop(0)
+	}
 	if commit != nil {
 		commit()
 	}
@@ -627,30 +654,56 @@ func (n *Node) routePacket(raw []byte, meta *PacketMeta, depth int) (func(), int
 func (n *Node) applyRoute(r *Route, raw []byte, meta *PacketMeta, depth int) (func(), int64) {
 	if depth > maxRouteDepth {
 		n.hot.dropRouteLoop.Inc()
+		if n.spanIdx >= 0 {
+			n.obsVerdict("drop")
+		}
 		return nil, 0
 	}
 	if r == nil {
 		n.hot.dropNoRoute.Inc()
+		if n.spanIdx >= 0 {
+			n.obsVerdict("drop")
+		}
 		return n.icmpError(raw, meta, packet.ICMPv6DstUnreachable, 0), n.Cost.ICMPGenNs
 	}
 
 	switch r.Kind {
 	case RouteLocal:
+		if n.spanIdx >= 0 {
+			n.obsRoute("local")
+			n.obsVerdict("local")
+		}
 		return func() { n.deliverLocal(raw, meta) }, n.Cost.LocalDeliverNs
 
 	case RouteForward:
+		if n.spanIdx >= 0 {
+			n.obsRoute("forward")
+		}
 		return n.forward(r, raw, meta)
 
 	case RouteSeg6Local:
+		if n.spanIdx >= 0 {
+			n.obsRoute("seg6local")
+		}
 		return n.applySeg6Local(r, raw, meta, depth)
 
 	case RouteSeg6Encap:
+		if n.spanIdx >= 0 {
+			n.obsRoute("seg6encap")
+		}
 		return n.applySeg6Encap(r, raw, meta, depth)
 
 	case RouteLWTBPF:
+		if n.spanIdx >= 0 {
+			n.obsRoute("lwt_bpf")
+			n.obsBehavior("LWT.BPF")
+		}
 		prog, ok := r.BPF.(LWTProgram)
 		if !ok {
 			n.Count("drop_bad_lwt_attachment")
+			if n.spanIdx >= 0 {
+				n.obsVerdict("drop")
+			}
 			return nil, 0
 		}
 		out, verdict, cost, err := prog.RunLWTOut(n, raw, meta)
@@ -659,10 +712,16 @@ func (n *Node) applyRoute(r *Route, raw []byte, meta *PacketMeta, depth int) (fu
 			if n.Trace != nil {
 				n.Trace("%s: lwt bpf error: %v", n.Name, err)
 			}
+			if n.spanIdx >= 0 {
+				n.obsVerdict("error")
+			}
 			return nil, cost
 		}
 		if verdict == LWTDrop {
 			n.hot.dropLWTBPF.Inc()
+			if n.spanIdx >= 0 {
+				n.obsVerdict("drop")
+			}
 			return nil, cost
 		}
 		if len(r.Nexthops) > 0 {
@@ -677,6 +736,9 @@ func (n *Node) applyRoute(r *Route, raw []byte, meta *PacketMeta, depth int) (fu
 
 	default:
 		n.Count("drop_bad_route")
+		if n.spanIdx >= 0 {
+			n.obsVerdict("drop")
+		}
 		return nil, 0
 	}
 }
@@ -689,11 +751,17 @@ func (n *Node) forward(r *Route, raw []byte, meta *PacketMeta) (func(), int64) {
 	hdr, err := packet.DecodeIPv6(raw)
 	if err != nil {
 		n.hot.dropMalformed.Inc()
+		if n.spanIdx >= 0 {
+			n.obsVerdict("drop")
+		}
 		return nil, 0
 	}
 	if !meta.Local {
 		if hdr.HopLimit <= 1 {
 			n.hot.dropHopLimit.Inc()
+			if n.spanIdx >= 0 {
+				n.obsVerdict("drop")
+			}
 			return n.icmpError(raw, meta, packet.ICMPv6TimeExceeded, 0), n.Cost.ICMPGenNs
 		}
 	}
@@ -714,6 +782,9 @@ func (n *Node) forward(r *Route, raw []byte, meta *PacketMeta) (func(), int64) {
 		} else {
 			n.hot.dropNoNexthop.Inc()
 		}
+		if n.spanIdx >= 0 {
+			n.obsVerdict("drop")
+		}
 		return nil, 0
 	}
 	out := raw
@@ -724,11 +795,17 @@ func (n *Node) forward(r *Route, raw []byte, meta *PacketMeta) (func(), int64) {
 			enc, err := seg6.Encap(raw, n.primary, r.Backup.SRH)
 			if err != nil {
 				n.Count("drop_backup_encap_error")
+				if n.spanIdx >= 0 {
+					n.obsVerdict("drop")
+				}
 				return nil, n.Cost.EncapNs
 			}
 			out = enc
 			extra = n.Cost.EncapNs
 		}
+	}
+	if n.spanIdx >= 0 {
+		n.obsVerdict("forward")
 	}
 	// The commit may run one event later (After(cost)); other events
 	// on this node (probe ticks, generator Outputs) can process other
@@ -750,6 +827,9 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 	b := r.Behaviour
 	if b == nil {
 		n.Count("drop_bad_route")
+		if n.spanIdx >= 0 {
+			n.obsVerdict("drop")
+		}
 		return nil, 0
 	}
 
@@ -761,6 +841,9 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 		prog, ok := b.BPF.(Seg6LocalProgram)
 		if !ok {
 			n.Count("drop_bad_seg6local_attachment")
+			if n.spanIdx >= 0 {
+				n.obsVerdict("drop")
+			}
 			return nil, 0
 		}
 		res, cost, err = prog.RunSeg6Local(n, raw, meta)
@@ -769,10 +852,19 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 		res, err = seg6.ApplyStatic(b, raw)
 		cost = n.Cost.Behaviour[b.Action]
 	}
+	if n.obs != nil {
+		n.obs.cells[n.shard.id].behavior[b.Action].Observe(cost)
+		if n.spanIdx >= 0 {
+			n.obsBehavior(b.Action.String())
+		}
+	}
 	if err != nil {
 		n.hot.dropSeg6LocalError.Inc()
 		if n.Trace != nil {
 			n.Trace("%s: seg6local %v error: %v", n.Name, b.Action, err)
+		}
+		if n.spanIdx >= 0 {
+			n.obsVerdict("error")
 		}
 		return nil, cost
 	}
@@ -780,6 +872,9 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 	switch res.Verdict {
 	case seg6.VerdictDrop:
 		n.hot.dropSeg6Local.Inc()
+		if n.spanIdx >= 0 {
+			n.obsVerdict("drop")
+		}
 		return nil, cost
 
 	case seg6.VerdictForward:
@@ -790,6 +885,9 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 		dst, err := packet.IPv6Dst(res.Pkt)
 		if err != nil {
 			n.hot.dropMalformed.Inc()
+			if n.spanIdx >= 0 {
+				n.obsVerdict("drop")
+			}
 			return nil, cost
 		}
 		route := n.Lookup(dst, res.Table)
@@ -800,17 +898,29 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 		iface := n.ResolveNexthop(res.Nexthop)
 		if iface == nil {
 			n.hot.dropNoNexthop.Inc()
+			if n.spanIdx >= 0 {
+				n.obsVerdict("drop")
+			}
 			return nil, cost
 		}
 		out := res.Pkt
 		hdr, err := packet.DecodeIPv6(out)
 		if err != nil {
 			n.hot.dropMalformed.Inc()
+			if n.spanIdx >= 0 {
+				n.obsVerdict("drop")
+			}
 			return nil, cost
 		}
 		if !meta.Local && hdr.HopLimit <= 1 {
 			n.hot.dropHopLimit.Inc()
+			if n.spanIdx >= 0 {
+				n.obsVerdict("drop")
+			}
 			return n.icmpError(out, meta, packet.ICMPv6TimeExceeded, 0), cost + n.Cost.ICMPGenNs
+		}
+		if n.spanIdx >= 0 {
+			n.obsVerdict("forward")
 		}
 		era := n.pktEra // see forward: the commit runs after interleaved events
 		return func() {
@@ -823,6 +933,9 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 
 	default:
 		n.Count("drop_bad_verdict")
+		if n.spanIdx >= 0 {
+			n.obsVerdict("drop")
+		}
 		return nil, cost
 	}
 }
@@ -831,6 +944,9 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 func (n *Node) applySeg6Encap(r *Route, raw []byte, meta *PacketMeta, depth int) (func(), int64) {
 	if r.SRH == nil {
 		n.Count("drop_bad_route")
+		if n.spanIdx >= 0 {
+			n.obsVerdict("drop")
+		}
 		return nil, 0
 	}
 	var out []byte
@@ -838,12 +954,21 @@ func (n *Node) applySeg6Encap(r *Route, raw []byte, meta *PacketMeta, depth int)
 	switch r.Mode {
 	case EncapModeInline:
 		out, err = seg6.InsertSRH(raw, r.SRH)
+		if n.spanIdx >= 0 {
+			n.obsBehavior("T.Insert")
+		}
 	default:
 		src := n.primary
 		out, err = seg6.Encap(raw, src, r.SRH)
+		if n.spanIdx >= 0 {
+			n.obsBehavior("T.Encaps")
+		}
 	}
 	if err != nil {
 		n.Count("drop_encap_error")
+		if n.spanIdx >= 0 {
+			n.obsVerdict("drop")
+		}
 		return nil, n.Cost.EncapNs
 	}
 	if len(r.Nexthops) > 0 {

@@ -1,0 +1,92 @@
+package netsim
+
+// Tests of the simulator side of the observability plane: the flight
+// recorder must replay committed spans bit-identically under the
+// optimistic engine (rollbacks truncate the speculative tail), and
+// enabling it must not add per-packet allocations to the datapath.
+// The full cross-engine matrix (chaos campaigns included) is locked by
+// the spans arm of the equivalence fuzzer in fuzz_equiv_test.go.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"srv6bpf/internal/netem"
+	"srv6bpf/internal/packet"
+)
+
+// TestObsTraceRollbackEquivalence replays the forced-straggler
+// scenario with the recorder on: the 2-shard optimistic run must
+// roll back (else the test tests nothing) and still commit exactly
+// the spans the sequential run records.
+func TestObsTraceRollbackEquivalence(t *testing.T) {
+	run := func(shards int) ([]string, EngineStats) {
+		s := New(1)
+		a, b, _ := twoHosts(s, netem.Config{RateBps: 1e10})
+		s.EnableObs(ObsOptions{Trace: true})
+		if shards > 1 {
+			if err := s.SetShards(shards, EngineOptimistic); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pingPong(t, a, b, 50, 3*Microsecond)
+		keepBusy(b, Microsecond, 200*Microsecond)
+		s.Run()
+		var lines []string
+		for _, tb := range s.TraceBufs() {
+			lines = append(lines, tb.Node()+"|"+strings.Join(tb.Lines(), ";"))
+		}
+		return lines, s.EngineStats()
+	}
+	seq, _ := run(1)
+	par, st := run(2)
+	if st.Rollbacks == 0 {
+		t.Fatal("adversarial schedule produced no rollbacks — the recorder's rewind path went untested")
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("committed spans diverged after %d rollbacks:\n  seq: %v\n  par: %v",
+			st.Rollbacks, seq, par)
+	}
+	if len(seq) == 0 || !strings.Contains(strings.Join(seq, "\n"), ":") {
+		t.Fatalf("recorder captured nothing: %v", seq)
+	}
+}
+
+// TestObsDatapathAllocParity pins the recorder's hot-path cost in
+// allocations: a packet traversing the simulated datapath must
+// allocate exactly as much with the full recorder on (every flow
+// sampled) as with observability off.
+func TestObsDatapathAllocParity(t *testing.T) {
+	run := func(on bool) float64 {
+		s := New(1)
+		a, b, _ := twoHosts(s, netem.Config{RateBps: 1e10})
+		b.HandleUDP(7, func(*Node, *packet.Packet, *PacketMeta) {})
+		if on {
+			s.EnableObs(ObsOptions{Trace: true, SampleShift: 0})
+		}
+		bufs := s.TraceBufs()
+		raw := udpTo(t, bAddr, 7, "ping")
+		work := make([]byte, len(raw))
+		send := func() {
+			copy(work, raw)
+			a.Output(work)
+			s.Run()
+			// Truncate the journals between packets so the ring cannot
+			// grow (growth would amortise to extra allocations).
+			for _, tb := range bufs {
+				tb.RestoreState(0)
+			}
+		}
+		for i := 0; i < 64; i++ {
+			send()
+		}
+		return testing.AllocsPerRun(500, send)
+	}
+	off := run(false)
+	on := run(true)
+	if on > off {
+		t.Fatalf("recorder-on datapath allocates %.2f objects/packet vs %.2f with observability off", on, off)
+	}
+	t.Logf("allocs/packet: obs-off %.2f, recorder-on %.2f", off, on)
+}

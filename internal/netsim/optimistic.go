@@ -548,10 +548,12 @@ func (s *Sim) runOptimistic(limit int64) {
 				// since. A shard with no retained checkpoint must take
 				// one before speculating — there would be nothing to
 				// roll back to.
-				if len(sh.ckpts) == 0 || sh.forceCkpt || round >= sh.lastCkptRound+stride {
-					sh.takeCheckpoint(round)
-				}
-				sh.runTo(end)
+				s.obsDo(sh, func() {
+					if len(sh.ckpts) == 0 || sh.forceCkpt || round >= sh.lastCkptRound+stride {
+						sh.takeCheckpoint(round)
+					}
+					sh.runTo(end)
+				})
 			}()
 		}
 		wg.Wait()
@@ -570,6 +572,9 @@ func (s *Sim) runOptimistic(limit int64) {
 			s.onBarrier(s.minNextAt())
 		}
 		s.trimCommitted()
+		if s.obs != nil {
+			s.obs.pushEnginePoint(s, int64(round), s.gvt)
+		}
 		if s.hc != nil {
 			// Feed this barrier's repair cost to the adaptive horizon
 			// controller; the next round speculates with its verdict.
@@ -723,6 +728,11 @@ func (s *Sim) annihilate(a sentRec) {
 // to the tentative list (re-execution usually reproduces them and the
 // receiver never notices), and still-pending ones die in place.
 func (s *Sim) rollbackShard(sh *shard, t int64) {
+	if s.obs != nil {
+		// Rollback depth = speculated virtual time undone. Runs on the
+		// single-threaded coordinator, so the histogram needs no cell.
+		s.obs.rollbackDepth.Observe(sh.execTo - t)
+	}
 	i := len(sh.ckpts) - 1
 	for i >= 0 && sh.ckpts[i].time > t {
 		i--

@@ -281,6 +281,11 @@ func (s *Sim) SetShards(n int, engine ...Engine) error {
 	if eng == EngineOptimistic && s.horizonReq == 0 {
 		s.hc = newHorizonCtl(s.horizon)
 	}
+	if s.obs != nil {
+		// Histogram cells are per shard; re-partitioning resets them
+		// the same way it resets the engine's Sharded counters.
+		s.obs.sizeCells(n)
+	}
 	s.now = now
 	return nil
 }
@@ -452,7 +457,7 @@ func (s *Sim) runWindows(limit int64) {
 			go func() {
 				defer wg.Done()
 				defer func() { sh.panicked = recover() }()
-				sh.runTo(end)
+				s.obsDo(sh, func() { sh.runTo(end) })
 			}()
 		}
 		wg.Wait()
@@ -466,6 +471,9 @@ func (s *Sim) runWindows(limit int64) {
 		}
 		s.engWindows.Inc(0)
 		s.flushOutboxes()
+		if s.obs != nil {
+			s.obs.pushEnginePoint(s, int64(s.engWindows.Total()), next)
+		}
 	}
 }
 

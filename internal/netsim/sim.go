@@ -205,6 +205,10 @@ type Sim struct {
 	hc         *horizonCtl
 	hcMsgsSeen uint64
 
+	// obs is the observability plane attached by EnableObs; nil (the
+	// default) keeps every hook to a single pointer compare.
+	obs *simObs
+
 	nodes []*Node
 }
 

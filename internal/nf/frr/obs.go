@@ -1,0 +1,31 @@
+package frr
+
+import (
+	"fmt"
+
+	"srv6bpf/internal/core"
+	"srv6bpf/internal/obs"
+)
+
+// PublishObs registers collectors exposing this detector instance in
+// reg: probes sent, detector transitions and the count of adjacencies
+// currently considered down. Values are read at Publish time, which
+// runs between simulation runs, so no synchronisation is needed.
+func (f *FRR) PublishObs(reg *obs.Registry) {
+	labels := fmt.Sprintf("node=%q", f.node.Name)
+	reg.Collect(func(e *obs.Emitter) {
+		e.Counter("srv6sim_frr_probes_sent_total", labels, float64(f.ProbesSent))
+		e.Counter("srv6sim_frr_transitions_total", labels, float64(len(f.Transitions)))
+		down := 0
+		for _, st := range f.neighbors {
+			if st.down {
+				down++
+			}
+		}
+		e.Gauge("srv6sim_frr_neighbors_down", labels, float64(down))
+	})
+}
+
+// TrackerStats returns the bpftool-style statistics of the detector's
+// tracker program attachment.
+func (f *FRR) TrackerStats() core.ProgStats { return f.track.ProgStats() }

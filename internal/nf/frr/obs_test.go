@@ -1,0 +1,52 @@
+package frr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/obs"
+)
+
+// TestPublishObs: after a run with a link cut, the registry snapshot
+// carries the detector's probe count, the down→up transition tally
+// and the live neighbours-down gauge, and the tracker attachment
+// reports bpftool-style run statistics.
+func TestPublishObs(t *testing.T) {
+	interval := netsim.Millisecond
+	tb := newTestbed(t, interval, 3)
+	reg := obs.New()
+	tb.frr.PublishObs(reg)
+
+	tb.frr.Start()
+	tb.sim.RunUntil(5 * interval)
+	tb.pdIf.Fail()
+	tb.sim.RunUntil(20 * interval)
+	tb.frr.Stop()
+	tb.sim.Run()
+
+	snap := reg.Publish(tb.sim.Now())
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`srv6sim_frr_probes_sent_total{node="P"}`,
+		`srv6sim_frr_transitions_total{node="P"} 1`,
+		`srv6sim_frr_neighbors_down{node="P"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, text)
+		}
+	}
+
+	st := tb.frr.TrackerStats()
+	if st.RunCnt == 0 {
+		t.Error("tracker ProgStats reports zero runs after probing")
+	}
+	if st.InsnExecuted == 0 {
+		t.Error("tracker ProgStats reports zero retired instructions")
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+// Log-linear histogram in the HdrHistogram family: values below
+// histSub land in exact width-1 buckets; above that, each power of two
+// is split into histSub linear sub-buckets, bounding the relative
+// quantile error at 1/histSub (6.25%). The bucket layout is a pure
+// function of the value, so two histograms recorded independently
+// (e.g. one per shard) merge exactly by adding counts — the property
+// the per-shard datapath cells rely on.
+
+import "math/bits"
+
+const (
+	histSub    = 16 // linear sub-buckets per power of two
+	histSubLog = 4  // log2(histSub)
+
+	// Largest index: values up to 1<<63 shift by 64-histSubLog-1.
+	histBuckets = histSub * (64 - histSubLog) // 960
+)
+
+// Histogram counts int64 observations (negative values clamp to 0).
+// It is not safe for concurrent use; keep one per shard and Merge at
+// scrape time.
+type Histogram struct {
+	counts   [histBuckets]uint64
+	count    uint64
+	sum      uint64
+	min, max uint64
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	shift := bits.Len64(v) - histSubLog - 1
+	return histSub*shift + int(v>>uint(shift))
+}
+
+// BucketLower returns the smallest value mapping to bucket i.
+func BucketLower(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	shift := i/histSub - 1
+	return uint64(i-histSub*shift) << uint(shift)
+}
+
+// BucketUpper returns the largest value mapping to bucket i.
+func BucketUpper(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	shift := i/histSub - 1
+	return BucketLower(i) + (1<<uint(shift) - 1)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	u := uint64(0)
+	if v > 0 {
+		u = uint64(v)
+	}
+	h.counts[bucketIndex(u)]++
+	h.count++
+	h.sum += u
+	if h.count == 1 || u < h.min {
+		h.min = u
+	}
+	if u > h.max {
+		h.max = u
+	}
+}
+
+// Merge adds o's observations into h. Exact: the shared bucket layout
+// means merging then querying equals observing everything into one
+// histogram.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1),
+// exact for values < histSub and within 1/histSub relatively above.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q*float64(h.count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			u := BucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observed values (after clamping).
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Min returns the smallest observed value (0 when empty).
+func (h *Histogram) Min() uint64 { return h.min }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Reset forgets all observations.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Clone returns an independent copy.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	return &c
+}
+
+// Buckets calls fn for every non-empty bucket in ascending value
+// order with the bucket's inclusive upper bound and its count.
+func (h *Histogram) Buckets(fn func(upper uint64, count uint64)) {
+	for i, c := range h.counts {
+		if c != 0 {
+			fn(BucketUpper(i), c)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package tcpsim
+
+import (
+	"fmt"
+
+	"srv6bpf/internal/obs"
+)
+
+// PublishObs registers collectors exposing this sender's congestion
+// state in reg, labelled by flow. Values are read at Publish time,
+// which runs between simulation runs.
+func (s *Sender) PublishObs(reg *obs.Registry, flow string) {
+	labels := fmt.Sprintf("flow=%q", flow)
+	reg.Collect(func(e *obs.Emitter) {
+		e.Gauge("srv6sim_tcp_srtt_ns", labels, float64(s.SRTT()))
+		e.Gauge("srv6sim_tcp_cwnd_segments", labels, s.Cwnd())
+		e.Gauge("srv6sim_tcp_inflight_bytes", labels, float64(s.inflight()))
+	})
+}
+
+// PublishObs registers a collector exposing this receiver's goodput.
+func (r *Receiver) PublishObs(reg *obs.Registry, flow string) {
+	labels := fmt.Sprintf("flow=%q", flow)
+	reg.Collect(func(e *obs.Emitter) {
+		e.Gauge("srv6sim_tcp_goodput_bps", labels, r.GoodputBps())
+	})
+}

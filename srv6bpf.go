@@ -25,10 +25,12 @@
 //
 // See the examples directory for runnable end-to-end scenarios,
 // EXPERIMENTS.md for the reproduction of every figure in the paper's
-// evaluation, and PERFORMANCE.md for the wall-clock cost of the
+// evaluation, PERFORMANCE.md for the wall-clock cost of the
 // library's own End.BPF datapath (zero allocations per packet in the
 // steady state) and how the cost model's JIT factor maps onto the
-// VM's dispatch design.
+// VM's dispatch design, and OBSERVABILITY.md for the metrics plane:
+// the registry, the rollback-aware packet flight recorder,
+// bpftool-style program statistics and the live stats endpoint.
 package srv6bpf
 
 import (
@@ -41,6 +43,7 @@ import (
 	"srv6bpf/internal/netsim/chaos"
 	"srv6bpf/internal/netsim/topo"
 	"srv6bpf/internal/nf/frr"
+	"srv6bpf/internal/obs"
 	"srv6bpf/internal/packet"
 	"srv6bpf/internal/seg6"
 )
@@ -355,3 +358,50 @@ type ChaosImpairment = chaos.Impairment
 // NewChaos creates a fault injector for a simulation. Plan faults
 // before Sim.Run; the same seed yields the same campaign.
 var NewChaos = chaos.New
+
+// --- Observability (internal/obs; see OBSERVABILITY.md) ---
+
+// ObsRegistry is the pull-model metrics registry: subsystems register
+// collectors, Publish runs them and swaps in an immutable snapshot
+// (Prometheus text or JSON). Attach one to a simulation with
+// Sim.EnableObs; frr.FRR, tcpsim senders/receivers and the chaos
+// engine publish into it via their PublishObs methods.
+type ObsRegistry = obs.Registry
+
+// ObsOptions configures Sim.EnableObs: metrics always, plus the
+// packet flight recorder (Trace, with deterministic 1-in-2^SampleShift
+// flow sampling — a flow-label hash, not an RNG draw, so the recorded
+// schedule is bit-identical to a recorder-off run), the engine
+// time-series ring and per-shard pprof labels.
+type ObsOptions = netsim.ObsOptions
+
+// ObsSnapshot is one published, immutable view of every metric;
+// render it with WritePrometheus or encoding/json.
+type ObsSnapshot = obs.Snapshot
+
+// ObsHistogram is the log-linear histogram the plane records into
+// (≤6.25% relative quantile error; per-shard instances merge exactly).
+type ObsHistogram = obs.Histogram
+
+// TraceBuf is one node's flight-recorder journal. It implements
+// ShardState, so the optimistic engine truncates speculative spans on
+// rollback: the committed stream is engine- and shard-count-invariant.
+type TraceBuf = obs.TraceBuf
+
+// EnginePoint is one per-round sample of the engine vitals
+// (Sim.EngineSeries).
+type EnginePoint = obs.EnginePoint
+
+// ProgStats is a bpftool-style per-attachment statistics snapshot
+// (run count, retired instructions, per-helper call counts, verdict
+// breakdown, fault/quarantine state); see EndBPF.ProgStats,
+// LWT.ProgStats and `sebpf prog show`.
+type ProgStats = core.ProgStats
+
+// NewObsRegistry creates a standalone registry (Sim.EnableObs creates
+// one implicitly when not given one).
+var NewObsRegistry = obs.New
+
+// WriteTraceEvents renders flight-recorder journals (Sim.TraceBufs)
+// as Chrome trace_event JSON for chrome://tracing or Perfetto.
+var WriteTraceEvents = obs.WriteTraceEvents
