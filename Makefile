@@ -24,13 +24,22 @@
 #                  variable, not the env var.
 #   make fuzz-deep-race — the same fuzzing under the race detector
 #                  (shallower FUZZ_SCENARIOS recommended; ~10x slower)
+#   make pdr-smoke — SRPerf-style PDR saturation harness, smoke
+#                  depth: a 2-step binary search of the End behavior
+#                  only, proving the offered-load generator, the
+#                  drop-rate accounting and the bisection converge
+#                  (the full per-behavior scan runs under bench-json)
 #   make bench   — wall-clock datapath + figure benchmarks (-benchmem)
 #   make bench-json [BENCH_JSON=path] — machine-readable perf report
+#                  including the full PDR scan and the SimUDP
+#                  burst=1/burst=N datapath pair (BURST sets N)
 #   make bench-ci — regenerate the perf report as BENCH_PR999.json and
 #                  diff it (plus every committed BENCH_PR*.json)
 #                  through TestBenchTrajectory: schema, row
-#                  continuity, zero-alloc datapath rows and the
-#                  speculation-overhead budget (the CI bench job)
+#                  continuity, zero-alloc datapath rows, the
+#                  speculation-overhead budget, the burst-pair
+#                  speedup floor and the PDR row contract (the CI
+#                  bench job)
 #   make fmt     — gofmt the tree
 
 GO ?= go
@@ -41,10 +50,11 @@ FUZZ_RACE_SCENARIOS ?= 60
 FUZZTIME ?= 5s
 BENCH_CI_JSON ?= BENCH_PR999.json
 OBS_DUMP_DIR ?= obs-artifacts
+BURST ?= 32
 
-.PHONY: check build vet test race race-smoke fuzz-smoke fuzz-native fuzz-deep fuzz-deep-race chaos-smoke obs-smoke bench bench-json bench-ci fmt
+.PHONY: check build vet test race race-smoke fuzz-smoke fuzz-native fuzz-deep fuzz-deep-race chaos-smoke obs-smoke pdr-smoke bench bench-json bench-ci fmt
 
-check: build vet test race-smoke fuzz-smoke fuzz-native obs-smoke
+check: build vet test race-smoke fuzz-smoke fuzz-native obs-smoke pdr-smoke
 
 build:
 	$(GO) build ./...
@@ -104,17 +114,23 @@ fuzz-deep:
 fuzz-deep-race:
 	SRV6BPF_FUZZ_SCENARIOS=$(FUZZ_RACE_SCENARIOS) $(GO) test -race -run 'TestShardEquivalenceFuzz' -timeout 30m ./internal/netsim
 
+# PDR harness smoke: a coarse (2-probe) saturation search of the End
+# behavior. Converging at all exercises the whole harness — generator,
+# full-drain drop accounting, bisection invariants — in under a second.
+pdr-smoke:
+	$(GO) run ./cmd/srv6bench -pdr-smoke
+
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkDatapath -benchmem .
 
 bench-json:
-	$(GO) run ./cmd/srv6bench -bench-json $(BENCH_JSON) -duration $(BENCH_WINDOW)
+	$(GO) run ./cmd/srv6bench -bench-json $(BENCH_JSON) -duration $(BENCH_WINDOW) -burst $(BURST)
 
 # The CI perf gate: write a fresh report under a PR number sorting
 # after every committed one, then let TestBenchTrajectory diff the
 # whole series (the fresh report included).
 bench-ci:
-	$(GO) run ./cmd/srv6bench -bench-json $(BENCH_CI_JSON) -duration $(BENCH_WINDOW)
+	$(GO) run ./cmd/srv6bench -bench-json $(BENCH_CI_JSON) -duration $(BENCH_WINDOW) -burst $(BURST)
 	$(GO) test -count 1 -run 'TestBenchTrajectory' -v .
 
 fmt:

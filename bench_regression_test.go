@@ -31,16 +31,18 @@ func TestDatapathAllocRegression(t *testing.T) {
 	if testing.Short() {
 		t.Skip("benchmark-backed regression test skipped in -short mode")
 	}
-	rows, err := experiments.DatapathBench()
+	rows, err := experiments.DatapathBench(32)
 	if err != nil {
 		t.Fatal(err)
 	}
 	zeroAlloc := map[string]bool{
-		"End-static-go": true,
-		"EndBPF-jit":    true,
-		"EndBPF-interp": true,
-		"TagInc-jit":    true,
-		"TagInc-interp": true,
+		"End-static-go":  true,
+		"EndBPF-jit":     true,
+		"EndBPF-interp":  true,
+		"TagInc-jit":     true,
+		"TagInc-interp":  true,
+		"SimUDP-burst1":  true,
+		"SimUDP-burst32": true,
 	}
 	seen := 0
 	for _, r := range rows {
@@ -68,6 +70,7 @@ type benchFile struct {
 	Datapath               []experiments.DatapathRow     `json:"datapath"`
 	ShardScaling           []experiments.ShardScalingRow `json:"shard_scaling"`
 	ShardScalingOptimistic []experiments.ShardScalingRow `json:"shard_scaling_optimistic"`
+	PDR                    []experiments.PDRRow          `json:"pdr"`
 }
 
 // benchHostFile mirrors the report's host record. Reports up to PR 6
@@ -78,14 +81,20 @@ type benchHostFile struct {
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
+	Burst      int    `json:"burst"`
 	PR         int    `json:"pr"`
 }
 
-// fingerprint identifies the machine/toolchain, ignoring the PR stamp:
-// timings are only comparable between reports with equal fingerprints.
+// fingerprint identifies the machine/toolchain and the measurement
+// configuration, ignoring the PR stamp: timings are only comparable
+// between reports with equal fingerprints. The burst knob is part of
+// it — numbers taken under different burst settings measure different
+// datapaths (reports predating the knob carry b0 and are never
+// wall-clock-compared against batched ones).
 func (h *benchHostFile) fingerprint() string {
 	return h.GOOS + "/" + h.GOARCH + "/" + h.GoVersion + "/p" +
-		strconv.Itoa(h.GOMAXPROCS) + "/c" + strconv.Itoa(h.NumCPU)
+		strconv.Itoa(h.GOMAXPROCS) + "/c" + strconv.Itoa(h.NumCPU) +
+		"/b" + strconv.Itoa(h.Burst)
 }
 
 // TestBenchTrajectory diffs the committed BENCH_PR*.json trajectory:
@@ -170,6 +179,14 @@ func TestBenchTrajectory(t *testing.T) {
 			}
 			checkObsRows(t, f, rows)
 		}
+		// Batched-datapath and PDR gates, effective from PR 8 (the PR
+		// that added both): the report must publish the SimUDP burst
+		// pair (allocation-free, batching visibly faster) and a PDR
+		// saturation row per behavior.
+		if f.pr >= 8 {
+			checkBurstRows(t, f, rows)
+			checkPDRRows(t, f)
+		}
 		if i == 0 {
 			continue
 		}
@@ -213,6 +230,7 @@ func checkTracingOffOverhead(t *testing.T, prev, cur benchFile) {
 	gated := map[string]bool{
 		"End-static-go": true, "EndBPF-jit": true, "EndBPF-interp": true,
 		"TagInc-jit": true, "TagInc-interp": true, "SimUDP-obs-off": true,
+		"SimUDP-burst1": true, "SimUDP-burst32": true,
 	}
 	base := make(map[string]float64, len(prev.Datapath))
 	for _, r := range prev.Datapath {
@@ -254,6 +272,73 @@ func checkObsRows(t *testing.T, f benchFile, rows map[string]experiments.Datapat
 	if off.NsPerOp > 0 && on.NsPerOp > off.NsPerOp*obsTracingOnMaxX {
 		t.Errorf("%s: full recorder costs %.2fx over obs-off (%.0f vs %.0f ns/op), budget %.2fx",
 			f.name, on.NsPerOp/off.NsPerOp, on.NsPerOp, off.NsPerOp, obsTracingOnMaxX)
+	}
+}
+
+// burstMinSpeedupX is the trajectory floor on the batched datapath:
+// the burst=N SimUDP row must beat the burst=1 row by at least this
+// factor in every committed report. The engineering target at
+// generation time is 1.25x; the enforced floor is looser because the
+// two rows are measured seconds apart on a shared runner and their
+// ratio wobbles several percent between identical runs.
+const burstMinSpeedupX = 1.05
+
+// checkBurstRows enforces the batched-datapath contract within one
+// report: the burst=1 baseline and a burst>1 row both exist, both are
+// allocation-free (the whole batch, not just one packet), and batching
+// actually pays.
+func checkBurstRows(t *testing.T, f benchFile, rows map[string]experiments.DatapathRow) {
+	base, okBase := rows["SimUDP-burst1"]
+	var batched []experiments.DatapathRow
+	for _, r := range f.Datapath {
+		if r.Burst > 1 {
+			batched = append(batched, r)
+		}
+	}
+	if !okBase || len(batched) == 0 {
+		t.Errorf("%s: missing SimUDP burst pair (burst1 %v, batched rows %d)", f.name, okBase, len(batched))
+		return
+	}
+	if base.AllocsPerOp != 0 {
+		t.Errorf("%s: SimUDP-burst1 allocates (%d allocs/op), want 0", f.name, base.AllocsPerOp)
+	}
+	for _, r := range batched {
+		if r.AllocsPerOp != 0 {
+			t.Errorf("%s: %s allocates (%d allocs/op), want 0", f.name, r.Name, r.AllocsPerOp)
+		}
+		if base.NsPerOp > 0 && r.NsPerOp > 0 {
+			if x := base.NsPerOp / r.NsPerOp; x < burstMinSpeedupX {
+				t.Errorf("%s: %s runs at %.2fx the burst=1 events/s (%.0f vs %.0f ns/op), floor %.2fx",
+					f.name, r.Name, x, r.NsPerOp, base.NsPerOp, burstMinSpeedupX)
+			}
+		}
+	}
+}
+
+// pdrRequired lists the behaviors every report from PR 8 on must
+// publish a PDR saturation row for — the SRPerf measurement matrix.
+var pdrRequired = []string{"End", "End.BPF-interp", "End.BPF-jit", "T.Encaps", "FRR-steer"}
+
+// checkPDRRows enforces the PDR contract: one converged saturation row
+// per required behavior, with a sane bracket and a drop rate at or
+// under the threshold it claims.
+func checkPDRRows(t *testing.T, f benchFile) {
+	byName := make(map[string]experiments.PDRRow, len(f.PDR))
+	for _, r := range f.PDR {
+		byName[r.Name] = r
+	}
+	for _, name := range pdrRequired {
+		r, ok := byName[name]
+		if !ok {
+			t.Errorf("%s: no PDR row for %s", f.name, name)
+			continue
+		}
+		if r.PDRKPPS <= 0 {
+			t.Errorf("%s: PDR(%s) = %.1f kpps, want > 0 (search never passed its lower bracket)", f.name, name, r.PDRKPPS)
+		}
+		if r.DropRate > r.Threshold {
+			t.Errorf("%s: PDR(%s) reports drop rate %.4f above its own threshold %.4f", f.name, name, r.DropRate, r.Threshold)
+		}
 	}
 }
 

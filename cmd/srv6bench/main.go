@@ -37,6 +37,11 @@ func main() {
 	topoK := flag.Int("topo-k", 8, "fat-tree arity for the shard-scaling experiment")
 	shardDuration := flag.Duration("shard-duration", 20*time.Millisecond,
 		"virtual window of the shard-scaling experiment")
+	pdr := flag.Bool("pdr", false, "run the SRPerf-style PDR saturation scan (all behaviors)")
+	pdrSmoke := flag.Bool("pdr-smoke", false,
+		"coarse PDR search (2 bisection steps, End only): the CI smoke gate")
+	burst := flag.Int("burst", 32,
+		"datapath burst setting for the SimUDP-burst bench rows and the PDR scan")
 	all := flag.Bool("all", false, "run everything")
 	benchJSON := flag.String("bench-json", "",
 		"write the figure rows plus the wall-clock datapath ns/op + allocs/op numbers as one JSON object to this path (standalone mode: combining it with -all/-fig recomputes the figures for stdout)")
@@ -51,7 +56,15 @@ func main() {
 
 	if *benchJSON != "" {
 		ran = true
-		writeBenchJSON(*benchJSON, win, *pr)
+		writeBenchJSON(*benchJSON, win, *pr, *burst)
+	}
+	if *all || *pdr {
+		ran = true
+		runPDR(experiments.DefaultPDRConfig(*burst))
+	}
+	if *pdrSmoke {
+		ran = true
+		runPDR(experiments.PDRSmokeConfig())
 	}
 	if *all || *obsProf {
 		ran = true
@@ -257,6 +270,21 @@ func runAblations(win int64) {
 	fmt.Println()
 }
 
+func runPDR(cfg experiments.PDRConfig) {
+	fmt.Println("== PDR saturation (SRPerf method): max offered load with drops <= 0.5% ==")
+	fmt.Printf("   %d bisection steps, %s window per probe, burst=%d\n",
+		cfg.Iterations, time.Duration(cfg.WindowNs), cfg.Burst)
+	rows, err := experiments.PDRScan(cfg)
+	if err != nil {
+		fail(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-16s PDR %9.1f kpps   drop %.3f%% (threshold %.1f%%)  bracket %.0f..%.0f kpps, %d probes\n",
+			r.Name, r.PDRKPPS, r.DropRate*100, r.Threshold*100, r.LoKPPS, r.HiKPPS, r.Iterations)
+	}
+	fmt.Println()
+}
+
 func runObs(win int64) {
 	fmt.Println("== Observability profile: what the metrics plane saw ==")
 	fmt.Println("   behavior cost + queue delay from the §3.2 lab (Tag++ End.BPF),")
@@ -351,6 +379,8 @@ type benchReport struct {
 	ShardScalingOptimistic []experiments.ShardScalingRow `json:"shard_scaling_optimistic"`
 	// Obs is the observability profile (histogram quantiles, virtual ns).
 	Obs []experiments.ObsRow `json:"obs,omitempty"`
+	// PDR is the SRPerf-style saturation table (from PR 8 on).
+	PDR []experiments.PDRRow `json:"pdr,omitempty"`
 }
 
 // benchHost records where a report's wall-clock numbers came from.
@@ -360,10 +390,14 @@ type benchHost struct {
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
-	PR         int    `json:"pr,omitempty"`
+	// Burst is the datapath burst setting the wall-clock rows ran
+	// under; it is part of the fingerprint, so reports measured at
+	// different burst settings are never timing-compared.
+	Burst int `json:"burst,omitempty"`
+	PR    int `json:"pr,omitempty"`
 }
 
-func writeBenchJSON(path string, win int64, pr int) {
+func writeBenchJSON(path string, win int64, pr, burst int) {
 	rep := benchReport{
 		Schema:     "srv6bpf-bench/1",
 		GoVersion:  runtime.Version(),
@@ -374,6 +408,7 @@ func writeBenchJSON(path string, win int64, pr int) {
 			GoVersion:  runtime.Version(),
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			NumCPU:     runtime.NumCPU(),
+			Burst:      burst,
 			PR:         pr,
 		},
 		WindowNs: win,
@@ -397,7 +432,7 @@ func writeBenchJSON(path string, win int64, pr int) {
 	if rep.FlapStorm, err = experiments.FRRFlapStorm(); err != nil {
 		fail(err)
 	}
-	if rep.Datapath, err = experiments.DatapathBench(); err != nil {
+	if rep.Datapath, err = experiments.DatapathBench(burst); err != nil {
 		fail(err)
 	}
 	if rep.ShardScaling, err = experiments.ShardScaling(netsim.EngineConservative, shardCountsUpTo(4), 8, 20*netsim.Millisecond); err != nil {
@@ -407,6 +442,9 @@ func writeBenchJSON(path string, win int64, pr int) {
 		fail(err)
 	}
 	if rep.Obs, err = experiments.ObsProfile(win); err != nil {
+		fail(err)
+	}
+	if rep.PDR, err = experiments.PDRScan(experiments.DefaultPDRConfig(burst)); err != nil {
 		fail(err)
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -85,6 +85,10 @@ type EndBPF struct {
 	env    execEnv
 	faults progFaults
 	stats  progCounters
+	// lastNode/lastSeq memoise the per-packet state registration
+	// within one burst-cache epoch (see bindState).
+	lastNode *netsim.Node
+	lastSeq  uint64
 }
 
 // AttachEndBPF instantiates prog (loaded against Seg6LocalHook) as a
@@ -155,16 +159,23 @@ func (e *EndBPF) RunSeg6Local(n *netsim.Node, raw []byte, meta *netsim.PacketMet
 	// Fault-quarantine and run-statistics state checkpoint with the
 	// node (idempotent after the first packet; a rollback past the
 	// registration unhooks and re-registers them on re-execution).
-	n.RegisterState(&e.faults)
-	n.RegisterState(&e.stats)
+	// Within one burst-cache epoch the registration scan is skipped:
+	// epochs advance on every crash and rollback restore, so a
+	// matching (node, epoch) pair proves the hooks are still in place.
+	if seq, ok := n.BurstCache(); !ok || e.lastNode != n || e.lastSeq != seq {
+		n.RegisterState(&e.faults)
+		n.RegisterState(&e.stats)
+		e.lastNode, e.lastSeq = n, seq
+	}
 	if e.faults.quarantined {
 		n.Count("drop_prog_quarantined")
 		return seg6.Result{Verdict: seg6.VerdictDrop}, 0, nil
 	}
 	// End.BPF behaves as an endpoint: it only accepts SRv6 packets
 	// with a current segment, and advances the SRH before the program
-	// runs (§3).
-	info, err := packet.ParseInfo(raw)
+	// runs (§3). The header walk is served from the node's burst flow
+	// cache when the bytes were already proven this epoch.
+	info, err := n.ParseInfoCached(raw)
 	if err != nil {
 		return seg6.Result{Verdict: seg6.VerdictDrop}, 0, err
 	}
@@ -250,6 +261,10 @@ type LWT struct {
 	env    execEnv
 	faults progFaults
 	stats  progCounters
+	// lastNode/lastSeq memoise the per-packet state registration
+	// within one burst-cache epoch (see EndBPF.RunSeg6Local).
+	lastNode *netsim.Node
+	lastSeq  uint64
 }
 
 // AttachLWT instantiates prog (loaded against LWTOutHook) as a
@@ -289,8 +304,11 @@ func (l *LWT) FaultState() netsim.ShardState { return &l.faults }
 // offset-only walk feeds both the SRH bookkeeping and the flow hash,
 // and the execution environment is reused across packets.
 func (l *LWT) RunLWTOut(n *netsim.Node, raw []byte, meta *netsim.PacketMeta) ([]byte, netsim.LWTVerdict, int64, error) {
-	n.RegisterState(&l.faults)
-	n.RegisterState(&l.stats)
+	if seq, ok := n.BurstCache(); !ok || l.lastNode != n || l.lastSeq != seq {
+		n.RegisterState(&l.faults)
+		n.RegisterState(&l.stats)
+		l.lastNode, l.lastSeq = n, seq
+	}
 	if l.faults.quarantined {
 		n.Count("drop_prog_quarantined")
 		return nil, netsim.LWTDrop, 0, nil
@@ -298,7 +316,7 @@ func (l *LWT) RunLWTOut(n *netsim.Node, raw []byte, meta *netsim.PacketMeta) ([]
 	env := &l.env
 	srhOff := -1
 	var flowHash uint32
-	if info, err := packet.ParseInfo(raw); err == nil {
+	if info, err := n.ParseInfoCached(raw); err == nil {
 		flowHash = info.FlowLabel
 		if info.HasSRH() {
 			srhOff = info.SRHOff

@@ -1,0 +1,320 @@
+package experiments
+
+// SRPerf-style PDR saturation: for each SRv6 behavior, find the
+// highest offered load whose drop rate stays within the Partial Drop
+// Rate threshold (SRPerf uses 0.5%), by bisecting the offered rate.
+// The simulator makes the measurement exact where hardware SRPerf has
+// to average: a probe offers a constant-rate flow for a virtual
+// window, then runs the simulation to full drain, so every offered
+// packet is either delivered or was dropped at the router's rx ring
+// (the only loss point below line rate) and the drop rate needs no
+// boundary correction beyond the ring's one-time absorption.
+//
+// Because the burst knob is schedule-invariant (bit-identical event
+// order at any burst size — the equivalence fuzzer enforces it), the
+// PDR numbers are independent of the burst setting; running the scan
+// at the report's burst only changes how fast the wall clock gets
+// there.
+
+import (
+	"fmt"
+	"net/netip"
+
+	"srv6bpf/internal/bpf"
+	"srv6bpf/internal/core"
+	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/nf/frr"
+	"srv6bpf/internal/nf/progs"
+	"srv6bpf/internal/packet"
+	"srv6bpf/internal/seg6"
+	"srv6bpf/internal/trafgen"
+)
+
+// PDRThreshold is the SRPerf Partial Drop Rate: the saturation point
+// is the highest offered load with at most this fraction dropped.
+const PDRThreshold = 0.005
+
+// tEncapsDecapSID is the End.DT6 SID the T.Encaps probe traffic is
+// encapsulated towards; it lives on S2 inside the fc00:2::/32 prefix
+// lab1's router already forwards there.
+var tEncapsDecapSID = netip.MustParseAddr("fc00:2::d6")
+
+// PDRRow is one behavior's saturation point.
+type PDRRow struct {
+	Name string `json:"name"`
+	// PDRKPPS is the highest offered load (kpps) whose measured drop
+	// rate stayed at or below Threshold.
+	PDRKPPS float64 `json:"pdr_kpps"`
+	// DropRate is the drop rate measured at PDRKPPS.
+	DropRate  float64 `json:"drop_rate"`
+	Threshold float64 `json:"threshold"`
+	// LoKPPS/HiKPPS is the initial search bracket.
+	LoKPPS float64 `json:"lo_kpps"`
+	HiKPPS float64 `json:"hi_kpps"`
+	// Iterations counts the probes spent (bracket check included).
+	Iterations int `json:"iterations"`
+	// Burst is the datapath burst setting the scan ran under.
+	Burst int `json:"burst"`
+}
+
+// PDRConfig controls the saturation search.
+type PDRConfig struct {
+	// WindowNs is the virtual length of one constant-rate probe.
+	WindowNs int64
+	// Iterations is the number of bisection steps after the bracket
+	// check; the rate resolution is (hi-lo) / 2^Iterations.
+	Iterations int
+	// Burst is the datapath burst setting (srv6bench -burst).
+	Burst int
+	// Behaviors selects a subset by name; nil means all.
+	Behaviors []string
+}
+
+// DefaultPDRConfig is the full scan srv6bench -bench-json publishes.
+func DefaultPDRConfig(burst int) PDRConfig {
+	return PDRConfig{WindowNs: 100 * netsim.Millisecond, Iterations: 9, Burst: burst}
+}
+
+// PDRSmokeConfig is the coarse CI gate: two bisection steps on one
+// behavior — enough to prove the harness converges onto a sane
+// saturation point without spending the full scan's budget.
+func PDRSmokeConfig() PDRConfig {
+	return PDRConfig{
+		WindowNs:   10 * netsim.Millisecond,
+		Iterations: 2,
+		Burst:      32,
+		Behaviors:  []string{"End"},
+	}
+}
+
+// pdrProbe offers ratePPS for windowNs of virtual time and reports
+// (offered, delivered) after the simulation fully drained.
+type pdrProbe func(ratePPS float64, windowNs int64, burst int) (offered, delivered uint64, err error)
+
+// pdrLabProbe measures a lab1 behavior: setup configures the router
+// (and sink host), then a constant-rate UDP flow is offered towards
+// dst (with an optional SRH) and counted at the S2 sink.
+func pdrLabProbe(setup func(l *lab1) error, dst netip.Addr, withSRH bool) pdrProbe {
+	return func(ratePPS float64, windowNs int64, burst int) (uint64, uint64, error) {
+		l := newLab1(8)
+		l.sim.SetBurst(burst)
+		if setup != nil {
+			if err := setup(l); err != nil {
+				return 0, 0, err
+			}
+		}
+		var srh *packet.SRH
+		if withSRH {
+			srh = packet.NewSRH([]netip.Addr{dst, s2Addr})
+		}
+		gen := &trafgen.UDPGen{
+			Node: l.s1, Src: s1Addr, Dst: dst,
+			SrcPort: 1000, DstPort: 9999,
+			PayloadLen: 64,
+			SRH:        srh,
+			RatePPS:    ratePPS,
+		}
+		if err := gen.Start(l.sim.Now() + windowNs); err != nil {
+			return 0, 0, err
+		}
+		l.sim.Run()
+		return gen.Sent(), l.sink.Packets, nil
+	}
+}
+
+// pdrEndBPFSetup loads the End program (JIT or interpreter) and hangs
+// it off R's SID.
+func pdrEndBPFSetup(jit bool) func(l *lab1) error {
+	return func(l *lab1) error {
+		prog, err := bpf.LoadProgram(progs.EndSpec(), core.Seg6LocalHook(), nil, bpf.LoadOptions{JIT: &jit})
+		if err != nil {
+			return err
+		}
+		end, err := core.AttachEndBPF(prog)
+		if err != nil {
+			return err
+		}
+		l.r.AddRoute(&netsim.Route{
+			Prefix: netip.PrefixFrom(rSID, 128), Kind: netsim.RouteSeg6Local,
+			Behaviour: end.Behaviour(),
+		})
+		return nil
+	}
+}
+
+// pdrFRRProbe measures the protected path of the FRR lab with the
+// eBPF steering in place and the primary healthy: S's plain traffic
+// is steered onto the primary SID at P, decapsulated at D and counted
+// at T. Probes keep running, so the window ends with RunUntil plus a
+// drain margin before the detector is stopped.
+func pdrFRRProbe(ratePPS float64, windowNs int64, burst int) (uint64, uint64, error) {
+	l := newFRRLab(8)
+	l.sim.SetBurst(burst)
+	f, err := frr.New(l.p, frr.Config{
+		TrackSID:      frrTrack,
+		ProbeInterval: 10 * netsim.Millisecond,
+		Misses:        3,
+		JIT:           true,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := f.AddNeighbor(frr.Neighbor{ID: 1, ProbeAddr: frrProbeTo, SID: frrNbrSID, Iface: l.pdIf}); err != nil {
+		return 0, 0, err
+	}
+	if err := f.Protect(frr.Protection{
+		Prefix:     pfx("2001:db8:2::/48"),
+		NeighborID: 1,
+		PrimarySID: frrPrim,
+		Backup:     []netip.Addr{frrDetour, frrBkDecap},
+	}); err != nil {
+		return 0, 0, err
+	}
+	f.Start()
+	gen := &trafgen.UDPGen{
+		Node: l.s, Src: frrSrc, Dst: frrDst,
+		SrcPort: 5000, DstPort: 9999,
+		PayloadLen: 64,
+		RatePPS:    ratePPS,
+	}
+	if err := gen.Start(l.sim.Now() + windowNs); err != nil {
+		return 0, 0, err
+	}
+	// Let the offered window plus a generous drain margin elapse, then
+	// silence the prober so the event queue can empty.
+	l.sim.RunUntil(l.sim.Now() + windowNs + 5*netsim.Millisecond)
+	f.Stop()
+	l.sim.Run()
+	return gen.Sent(), uint64(len(l.delivered)), nil
+}
+
+// pdrBehaviors is the scanned behavior set, in report order.
+func pdrBehaviors() []struct {
+	name  string
+	probe pdrProbe
+} {
+	return []struct {
+		name  string
+		probe pdrProbe
+	}{
+		{"End", pdrLabProbe(func(l *lab1) error {
+			l.r.AddRoute(&netsim.Route{
+				Prefix: netip.PrefixFrom(rSID, 128), Kind: netsim.RouteSeg6Local,
+				Behaviour: &seg6.Behaviour{Action: seg6.ActionEnd},
+			})
+			return nil
+		}, rSID, true)},
+		{"End.BPF-interp", pdrLabProbe(pdrEndBPFSetup(false), rSID, true)},
+		{"End.BPF-jit", pdrLabProbe(pdrEndBPFSetup(true), rSID, true)},
+		{"T.Encaps", pdrLabProbe(func(l *lab1) error {
+			// R encapsulates everything towards S2 with the decap SID;
+			// S2 runs End.DT6 and the inner packet reaches the sink.
+			l.r.AddRoute(&netsim.Route{
+				Prefix: pfx("2001:db8:2::/48"), Kind: netsim.RouteSeg6Encap,
+				SRH: packet.NewSRH([]netip.Addr{tEncapsDecapSID}),
+			})
+			l.s2.AddRoute(&netsim.Route{
+				Prefix: netip.PrefixFrom(tEncapsDecapSID, 128), Kind: netsim.RouteSeg6Local,
+				Behaviour: &seg6.Behaviour{Action: seg6.ActionEndDT6, Table: netsim.MainTable},
+			})
+			return nil
+		}, s2Addr, false)},
+		{"FRR-steer", pdrFRRProbe},
+	}
+}
+
+// PDRScan runs the saturation search for each selected behavior.
+func PDRScan(cfg PDRConfig) ([]PDRRow, error) {
+	if cfg.WindowNs <= 0 || cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("experiments: PDR scan needs a positive window and iteration count")
+	}
+	want := func(name string) bool {
+		if len(cfg.Behaviors) == 0 {
+			return true
+		}
+		for _, b := range cfg.Behaviors {
+			if b == name {
+				return true
+			}
+		}
+		return false
+	}
+	var rows []PDRRow
+	for _, b := range pdrBehaviors() {
+		if !want(b.name) {
+			continue
+		}
+		row, err := pdrSearch(b.name, b.probe, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: PDR %s: %w", b.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PDR search bracket: every behavior saturates well under 3 Mpps (the
+// §3.2 offered load) and well over 50 kpps on the calibrated router.
+const (
+	pdrBracketLoPPS = 50_000.0
+	pdrBracketHiPPS = 3_000_000.0
+)
+
+// pdrSearch bisects the offered rate. Invariant: lo passes the
+// threshold, hi fails it. The bracket edges are probed first so a
+// behavior outside the expected range is reported instead of
+// silently clamped.
+func pdrSearch(name string, probe pdrProbe, cfg PDRConfig) (PDRRow, error) {
+	row := PDRRow{
+		Name:      name,
+		Threshold: PDRThreshold,
+		LoKPPS:    pdrBracketLoPPS / 1e3,
+		HiKPPS:    pdrBracketHiPPS / 1e3,
+		Burst:     cfg.Burst,
+	}
+	measure := func(rate float64) (float64, error) {
+		row.Iterations++
+		offered, delivered, err := probe(rate, cfg.WindowNs, cfg.Burst)
+		if err != nil {
+			return 0, err
+		}
+		if offered == 0 {
+			return 0, fmt.Errorf("probe at %.0f pps offered nothing", rate)
+		}
+		if delivered > offered {
+			return 0, fmt.Errorf("probe at %.0f pps delivered %d of %d offered", rate, delivered, offered)
+		}
+		return 1 - float64(delivered)/float64(offered), nil
+	}
+	lo, hi := pdrBracketLoPPS, pdrBracketHiPPS
+	dropAtLo, err := measure(lo)
+	if err != nil {
+		return PDRRow{}, err
+	}
+	if dropAtLo > PDRThreshold {
+		return PDRRow{}, fmt.Errorf("drops %.2f%% already at the %.0f kpps bracket floor", dropAtLo*100, lo/1e3)
+	}
+	dropAtHi, err := measure(hi)
+	if err != nil {
+		return PDRRow{}, err
+	}
+	if dropAtHi <= PDRThreshold {
+		// Saturation is above the bracket; report the ceiling honestly.
+		row.PDRKPPS, row.DropRate = hi/1e3, dropAtHi
+		return row, nil
+	}
+	for i := 0; i < cfg.Iterations; i++ {
+		mid := (lo + hi) / 2
+		drop, err := measure(mid)
+		if err != nil {
+			return PDRRow{}, err
+		}
+		if drop <= PDRThreshold {
+			lo, dropAtLo = mid, drop
+		} else {
+			hi = mid
+		}
+	}
+	row.PDRKPPS, row.DropRate = lo/1e3, dropAtLo
+	return row, nil
+}

@@ -147,7 +147,12 @@ func (q *Qdisc) prune(now int64) {
 		i++
 	}
 	if i > 0 {
-		q.inFlight = q.inFlight[i:]
+		// Compact to the front of the backing array instead of
+		// reslicing past it: a front-reslice discards capacity, so a
+		// steady packet stream would make every later Admit's append
+		// reallocate (one heap object per packet on the datapath).
+		n := copy(q.inFlight, q.inFlight[i:])
+		q.inFlight = q.inFlight[:n]
 	}
 }
 

@@ -130,12 +130,16 @@ type Table struct {
 	byLen map[int]map[netip.Prefix]*Route
 	// lens lists the lengths present in byLen, descending.
 	lens []int
+	// version counts mutations; per-burst route memos key on it so a
+	// route change mid-burst invalidates them immediately.
+	version uint64
 }
 
 // Add inserts a route, keeping longest-prefix-first order in
 // Routes(). Adding a second route with an identical prefix replaces
 // the first.
 func (t *Table) Add(r *Route) {
+	t.version++
 	key := r.Prefix.Masked()
 	if t.byLen == nil {
 		t.byLen = make(map[int]map[netip.Prefix]*Route)

@@ -54,6 +54,11 @@ type fuzzScenario struct {
 	// on top of the scenario: fault events and impairment draws must
 	// replay bit-identically under every engine and shard count.
 	chaos bool
+	// burst is the packet-burst knob applied to the sharded arms plus
+	// one extra sequential arm: burst processing must be bit-identical
+	// to per-packet processing under every engine, including rollback
+	// of a partially-executed burst.
+	burst int
 }
 
 func deriveScenario(seed int64) fuzzScenario {
@@ -80,8 +85,10 @@ func deriveScenario(seed int64) fuzzScenario {
 	}
 	sc.adaptive = rng.Intn(2) == 0
 	sc.tcp = rng.Intn(3)
-	// Drawn last so earlier fields derive identically to older seeds.
+	// Drawn last so earlier fields derive identically to older seeds
+	// (and burst after chaos, for the same reason).
 	sc.chaos = rng.Intn(2) == 0
+	sc.burst = 1 << uint(rng.Intn(6)) // 1..32
 	return sc
 }
 
@@ -122,9 +129,10 @@ func buildFuzzTopo(t *testing.T, sim *netsim.Sim, sc fuzzScenario) *topo.Network
 // fuzzRun replays the scenario under one engine arm and fingerprints
 // the committed state: every node's counters, every host's delivery
 // trace, and the per-link failure accounting.
-func fuzzRun(t *testing.T, sc fuzzScenario, shards int, eng netsim.Engine) string {
+func fuzzRun(t *testing.T, sc fuzzScenario, shards int, eng netsim.Engine, burst int) string {
 	t.Helper()
 	sim := netsim.New(sc.seed)
+	sim.SetBurst(burst)
 	nw := buildFuzzTopo(t, sim, sc)
 
 	// Flight recorder on in every arm, sampling half the flows: the
@@ -397,10 +405,21 @@ func TestShardEquivalenceFuzz(t *testing.T) {
 			name += "-chaos"
 		}
 		t.Run(name, func(t *testing.T) {
-			base := fuzzRun(t, sc, 1, netsim.EngineConservative)
+			base := fuzzRun(t, sc, 1, netsim.EngineConservative, 1)
 			if !strings.Contains(base, "udp_delivered") {
 				t.Fatal("scenario delivered nothing")
 			}
+			if sc.burst > 1 {
+				// Burst arm: the same sequential scenario drained in
+				// bursts must fingerprint identically to per-packet.
+				if got := fuzzRun(t, sc, 1, netsim.EngineConservative, sc.burst); got != base {
+					diffReport(t, base, got, 1)
+				}
+			}
+			// The sharded arms all run at the scenario's burst size, so
+			// a match proves both engine equivalence and burst
+			// equivalence (including rollback through half-processed
+			// bursts under the optimistic engine).
 			if sc.zeroDelay {
 				// The conservative engine must refuse to split
 				// zero-delay links across shards...
@@ -413,13 +432,13 @@ func TestShardEquivalenceFuzz(t *testing.T) {
 				// ...and everywhere else the conservative arms must
 				// reproduce the sequential schedule.
 				for _, shards := range []int{2, 4} {
-					if got := fuzzRun(t, sc, shards, netsim.EngineConservative); got != base {
+					if got := fuzzRun(t, sc, shards, netsim.EngineConservative, sc.burst); got != base {
 						diffReport(t, base, got, shards)
 					}
 				}
 			}
 			for _, shards := range []int{2, 4, 8} {
-				got := fuzzRun(t, sc, shards, netsim.EngineOptimistic)
+				got := fuzzRun(t, sc, shards, netsim.EngineOptimistic, sc.burst)
 				if got != base {
 					diffReport(t, base, got, shards)
 				}

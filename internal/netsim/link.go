@@ -155,29 +155,24 @@ func (m *xmsg) same(o *xmsg) bool {
 // lost even if the link has since been restored. Both ends' epochs
 // advance at the same virtual instants, so the receiving end's epoch
 // stands in for the sender's, keeping the delivery event inside its
-// own shard's state.
-func (m *xmsg) event() event { return m.buildEvent(true, 0) }
+// own shard's state. The event is pure data (evDeliver) — no closure
+// allocation on the packet hot path.
+func (m *xmsg) event() event {
+	return event{
+		at: m.at, schedAt: m.schedAt, src: m.src, k: m.k,
+		kind: evDeliver, peer: m.peer, epoch: m.epoch, raw: m.raw,
+		cross: true,
+	}
+}
 
 // eventLocal builds the delivery event for a same-shard transmission,
 // stamping the shard's current checkpoint count so the receive path
 // can tell whether any retained checkpoint could share the bytes.
-func (m *xmsg) eventLocal(ckptSeq uint64) event { return m.buildEvent(false, ckptSeq) }
-
-func (m *xmsg) buildEvent(cross bool, ckptSeq uint64) event {
-	peer, epoch, raw := m.peer, m.epoch, m.raw
+func (m *xmsg) eventLocal(ckptSeq uint64) event {
 	return event{
 		at: m.at, schedAt: m.schedAt, src: m.src, k: m.k,
-		fn: func() {
-			// The event key's src is the sender; the state it mutates
-			// belongs to the receiving end, so mark that node dirty
-			// explicitly for the incremental checkpoints.
-			peer.Node.dirty = true
-			if peer.failEpoch != epoch {
-				peer.inFlightKills++
-				return
-			}
-			peer.Node.deliver(raw, peer, cross, ckptSeq)
-		},
+		kind: evDeliver, peer: m.peer, epoch: m.epoch, raw: m.raw,
+		ckptSeq: ckptSeq,
 	}
 }
 

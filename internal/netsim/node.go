@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"bytes"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -51,6 +52,75 @@ type LWTProgram interface {
 
 // UDPHandler receives locally-delivered UDP packets.
 type UDPHandler func(n *Node, p *packet.Packet, meta *PacketMeta)
+
+// commitOp selects the deferred effect of a processed packet. The
+// routing functions fill a pendingCommit instead of returning a
+// closure: the commit lives in a node field (checkpointed with the
+// node), so the steady-state packet path allocates nothing.
+type commitOp uint8
+
+const (
+	commitNone commitOp = iota
+	// commitTransmit sends raw out of iface, decrementing the hop
+	// limit first for transit packets.
+	commitTransmit
+	// commitLocal delivers raw to the node's local transport layer.
+	commitLocal
+	// commitFn runs fn (cold paths: ICMP error generation).
+	commitFn
+)
+
+// pendingCommit is the deferred effect of one routed packet plus the
+// packet's metadata. Node.pending carries it from a drain event to
+// the drain continuation and is checkpointed with the node — the raw
+// bytes it may share with heap events are guarded by the same pktEra
+// machinery that guards the events themselves. Node.outPending is the
+// intra-event twin for the Output path (routed and committed inside
+// one event, so never checkpointed).
+type pendingCommit struct {
+	op       commitOp
+	decHop   bool
+	hopLimit uint8
+	iface    *Iface
+	raw      []byte
+	era      uint64
+	meta     PacketMeta
+	fn       func()
+}
+
+// flowEntry caches one parsed flow inside a burst epoch. Validity is
+// proven per lookup — same epoch, same length, byte-equal headers up
+// to the L4 offset — so the cache is pure: Info is a function of the
+// compared bytes, and a stale or rolled-back entry can only miss,
+// never lie.
+type flowEntry struct {
+	rawLen int
+	hdr    []byte // copy of raw[:info.L4Off] at fill time
+	info   packet.Info
+	src    netip.Addr
+	dst    netip.Addr
+	// r memoises the main-table lookup for dst, valid while rVer still
+	// equals the table's version (routes cannot change during
+	// speculation, so a version match is also rollback-safe). Fills
+	// reset rVer to the sentinel so a recycled entry can never leak the
+	// previous flow's route.
+	r    *Route
+	rVer uint64
+}
+
+// flowRouteInvalid marks a flowEntry's route memo as unfilled; table
+// versions count up from zero and cannot reach it.
+const flowRouteInvalid = ^uint64(0)
+
+// routeMemoEntry caches one main-table FIB walk; valid while the
+// table version still matches. Versions only ever increase (routes
+// cannot change during speculation, so rollback cannot rewind one),
+// making (version, dst) → route a pure function.
+type routeMemoEntry struct {
+	dst netip.Addr
+	r   *Route
+	ver uint64
+}
 
 // rxItem is one packet waiting in the receive ring.
 type rxItem struct {
@@ -132,6 +202,12 @@ type Node struct {
 
 	ifaces []*Iface
 	tables map[int]*Table
+	// mainTbl hoists tables[MainTable] out of the per-packet map
+	// access. Table objects are created once and never replaced
+	// (Table() only ever inserts), so the pointer stays valid for the
+	// node's lifetime — including across optimistic rollbacks, which
+	// restore table *contents* in place.
+	mainTbl *Table
 	// tableOrder lists the table ids in sorted order (maintained on
 	// table creation), so checkpoint snapshots iterate the FIB
 	// deterministically without sorting per snapshot.
@@ -185,6 +261,62 @@ type Node struct {
 	// receiving drain to copy before mutating (see Node.drain).
 	pktEra uint64
 
+	// pending is the deferred effect of the packet currently being
+	// processed by the drain chain: filled at routing time, applied by
+	// the drain continuation at processing-completion time. It is part
+	// of the node's checkpointed state — a checkpoint taken between a
+	// drain and its continuation captures it by value (sharing the raw
+	// bytes, which the pktEra machinery already guards). outPending is
+	// the same storage for the Output path, which routes and commits
+	// inside one event and therefore never needs checkpointing.
+	pending    pendingCommit
+	outPending pendingCommit
+
+	// burst is the sim's packet-burst knob (Sim.SetBurst); 1 disables
+	// all burst caching. burstSeq is the current burst-cache epoch:
+	// bumped whenever a new burst starts and on every crash or
+	// rollback restore, it gates attachment bind-skipping (the one
+	// burst cache that is not self-validating). burstLeft counts
+	// packets remaining in the current epoch; burstNextAt is when
+	// processing of the last packet completes — the epoch extends only
+	// while the next drain lands exactly there (back-to-back CPU work
+	// at one virtual instant per the same-timestamp eligibility rule).
+	burst       int
+	burstLeft   int
+	burstNextAt int64
+	burstSeq    uint64
+
+	// flows is the burst-mode parse cache (two entries: SRH advance at
+	// an endpoint alternates pre/post-advance byte patterns), and
+	// routeMemo the FIB memo for the main table. Both are pure caches:
+	// validity is proven per lookup against a private header copy
+	// (byte equality + length) or the table version, both functions of
+	// nothing but the probed input. They therefore need no epoch
+	// gating and no snapshot — rollback cannot make a matching entry
+	// wrong, only unused — and survive idle gaps in the drain cadence
+	// (a sink whose packets arrive slower than it drains them still
+	// hits the cache).
+	flows     [2]flowEntry
+	flowClock uint8
+	routeMemo [4]routeMemoEntry
+	memoClock uint8
+
+	// scratchPkt/scratchSRH back deliverLocal's allocation-free parse.
+	// The *packet.Packet handed to local handlers aliases them and is
+	// valid only for the duration of the handler call.
+	scratchPkt packet.Packet
+	scratchSRH packet.SRH
+	// scratchHdr/scratchRawLen validate reusing scratchPkt without
+	// reparsing: every Packet field except Raw is a function of
+	// raw[:L4Off] (transport ports and payload are read from Raw by
+	// the handlers), so when a later same-length packet matches those
+	// bytes exactly, the previous parse is the correct parse and only
+	// Raw needs rebinding. scratchHdr is a private copy, so the check
+	// is pure — no epoch gating needed (see the flows comment). An
+	// empty scratchHdr means no valid parse is cached.
+	scratchHdr    []byte
+	scratchRawLen int
+
 	// stateHooks are the ShardState components checkpointed with this
 	// node (traffic generators, NF control loops, journals).
 	stateHooks []stateHook
@@ -223,6 +355,7 @@ func (s *Sim) AddNode(name string, cost CostModel) *Node {
 		udpHandlers: make(map[uint16]UDPHandler),
 		counters:    make(map[string]*uint64),
 		spanIdx:     -1,
+		burst:       s.burst,
 	}
 	n.rng = rand.New(&n.rngSrc)
 	if s.obs != nil {
@@ -304,6 +437,11 @@ func (n *Node) crashNow() {
 		}
 	}
 	n.busy = false
+	// The packet being processed dies with the box; any cached burst
+	// state belongs to the previous incarnation.
+	n.pending = pendingCommit{}
+	n.burstSeq++
+	n.burstLeft = 0
 	for _, i := range n.ifaces {
 		i.setOneEnd(false)
 	}
@@ -508,32 +646,36 @@ func (n *Node) deliver(raw []byte, in *Iface, cross bool, ckptSeq uint64) {
 	}
 	if !n.busy {
 		n.busy = true
-		n.Schedule(n.Now(), n.drain)
+		// Same event key Schedule(now, n.drain) would assign, but pure
+		// data: the continuation starts the CPU loop with no pending
+		// commit to apply.
+		n.scheduleDrainCont(0)
 	}
 }
 
 // rxPush appends to the receive ring, growing it geometrically up to
-// the NIC ring size. It reports false when the ring is full.
+// the NIC ring size. It reports false when the ring is full. Ring
+// capacity is always a power of two so push/pop index with a mask;
+// occupancy is still capped at exactly Cost.RxRingPackets, which need
+// not be a power of two itself.
 func (n *Node) rxPush(item rxItem) bool {
+	if n.rxCount >= n.Cost.RxRingPackets {
+		return false
+	}
 	if n.rxCount == len(n.rxq) {
-		if n.rxCount >= n.Cost.RxRingPackets {
-			return false
-		}
 		newCap := 2 * len(n.rxq)
 		if newCap < 64 {
 			newCap = 64
 		}
-		if newCap > n.Cost.RxRingPackets {
-			newCap = n.Cost.RxRingPackets
-		}
 		buf := make([]rxItem, newCap)
+		mask := len(n.rxq) - 1
 		for i := 0; i < n.rxCount; i++ {
-			buf[i] = n.rxq[(n.rxHead+i)%len(n.rxq)]
+			buf[i] = n.rxq[(n.rxHead+i)&mask]
 		}
 		n.rxq = buf
 		n.rxHead = 0
 	}
-	n.rxq[(n.rxHead+n.rxCount)%len(n.rxq)] = item
+	n.rxq[(n.rxHead+n.rxCount)&(len(n.rxq)-1)] = item
 	n.rxCount++
 	return true
 }
@@ -542,7 +684,7 @@ func (n *Node) rxPush(item rxItem) bool {
 func (n *Node) rxPop() rxItem {
 	item := n.rxq[n.rxHead]
 	n.rxq[n.rxHead] = rxItem{}
-	n.rxHead = (n.rxHead + 1) % len(n.rxq)
+	n.rxHead = (n.rxHead + 1) & (len(n.rxq) - 1)
 	n.rxCount--
 	return item
 }
@@ -573,32 +715,94 @@ func (n *Node) drain() {
 	// was just copied, or the stamp proved no checkpoint has seen it.
 	n.pktEra = n.shard.ckptSeq
 
-	cost := n.Cost.PacketCost(len(item.raw))
-	// meta escapes into handler and commit closures; keep the escape
-	// to the small PacketMeta value, not the whole ring item.
-	meta := item.meta
-	if n.obs != nil {
-		n.obsBeginHop(item.raw, n.Now()-meta.RxTimestamp)
+	// Burst accounting: a burst epoch covers the packets this CPU
+	// processes back to back — it extends exactly while the drain
+	// continuation lands at the instant processing of the previous
+	// packet finished (the CPU never went idle in between). Epochs
+	// gate attachment bind-skipping and nothing else (the flow and
+	// route caches self-validate): costs, the event schedule and
+	// every counter are identical at any burst size.
+	if n.burst > 1 {
+		if n.burstLeft <= 0 || n.shard.now != n.burstNextAt {
+			n.burstSeq++
+			n.burstLeft = n.burst
+		}
+		n.burstLeft--
 	}
-	commit, extra := n.routePacket(item.raw, &meta, 0)
-	cost += extra
+
+	cost := n.Cost.PacketCost(len(item.raw))
+	pc := &n.pending
+	*pc = pendingCommit{meta: item.meta}
+	if n.obs != nil {
+		n.obsBeginHop(item.raw, n.Now()-pc.meta.RxTimestamp)
+	}
+	cost += n.routePacket(item.raw, pc, 0)
 	if n.obs != nil {
 		n.obsEndHop(cost)
+	}
+	if n.burst > 1 {
+		n.burstNextAt = n.shard.now + cost
 	}
 
 	// A crash between now and processing completion discards the
 	// packet mid-flight and halts the CPU loop: the continuation
-	// belongs to this incarnation only.
-	epoch := n.crashEpoch
-	n.After(cost, func() {
-		if n.crashEpoch != epoch {
-			return
-		}
-		if commit != nil {
-			commit()
-		}
-		n.drain()
+	// belongs to this incarnation only (it carries the crash epoch).
+	n.scheduleDrainCont(cost)
+}
+
+// scheduleDrainCont schedules the drain continuation d ns from now:
+// the event that applies the pending packet effects and pops the next
+// packet. Same event key a Node.After closure would get, but pure
+// data — no allocation per processed packet.
+func (n *Node) scheduleDrainCont(d int64) {
+	sh := n.shard
+	n.dirty = true
+	n.schedK++
+	sh.push(event{
+		at: sh.now + d, schedAt: sh.now, src: n.idx, k: n.schedK,
+		kind: evDrainCont, epoch: n.crashEpoch,
 	})
+}
+
+// drainCont is the drain continuation: apply the previous packet's
+// deferred effects, then continue the CPU loop. A continuation
+// scheduled by a previous crash incarnation is dead.
+func (n *Node) drainCont(epoch uint64) {
+	if n.crashEpoch != epoch {
+		return
+	}
+	if n.pending.op != commitNone {
+		n.runCommit(&n.pending)
+	}
+	n.pending = pendingCommit{}
+	n.drain()
+}
+
+// runCommit applies a filled pendingCommit. Payload fields are copied
+// to locals and cleared before dispatch: commits can re-enter the
+// routing path (handlers calling Output), which reuses the same
+// storage.
+func (n *Node) runCommit(pc *pendingCommit) {
+	op := pc.op
+	pc.op = commitNone
+	switch op {
+	case commitTransmit:
+		raw, iface := pc.raw, pc.iface
+		pc.raw, pc.iface = nil, nil
+		if pc.decHop {
+			packet.SetIPv6HopLimit(raw, pc.hopLimit-1)
+		}
+		n.pktEra = pc.era
+		iface.Transmit(raw)
+	case commitLocal:
+		raw := pc.raw
+		pc.raw = nil
+		n.deliverLocal(raw, &pc.meta)
+	case commitFn:
+		fn := pc.fn
+		pc.fn = nil
+		fn()
+	}
 }
 
 // Output injects a locally-generated packet into the routing path.
@@ -625,46 +829,67 @@ func (n *Node) outputFrom(era uint64, raw []byte) {
 		return
 	}
 	n.pktEra = era
-	meta := &PacketMeta{RxTimestamp: n.Now(), Local: true}
+	pc := &n.outPending
+	*pc = pendingCommit{meta: PacketMeta{RxTimestamp: n.Now(), Local: true}}
 	if n.obs != nil {
 		n.obsBeginHop(raw, 0)
 	}
-	commit, _ := n.routePacket(raw, meta, 0)
+	n.routePacket(raw, pc, 0)
 	if n.obs != nil {
 		n.obsEndHop(0)
 	}
-	if commit != nil {
-		commit()
+	if pc.op != commitNone {
+		n.runCommit(pc)
 	}
 }
 
-// routePacket resolves raw against the main table and returns the
-// effect to apply at processing-completion time plus any extra cost
-// beyond the base packet cost.
-func (n *Node) routePacket(raw []byte, meta *PacketMeta, depth int) (func(), int64) {
-	dst, err := packet.IPv6Dst(raw)
-	if err != nil {
-		n.hot.dropMalformed.Inc()
-		return nil, 0
+// routePacket resolves raw against the main table, writing the effect
+// to apply at processing-completion time into pc and returning any
+// extra cost beyond the base packet cost.
+func (n *Node) routePacket(raw []byte, pc *pendingCommit, depth int) int64 {
+	fe := n.flowLookup(raw)
+	var r *Route
+	if fe != nil {
+		// Flow hit: serve the route straight from the flow entry when
+		// the main table hasn't changed since it was cached — one
+		// version compare instead of the route-memo probe loop.
+		if t := n.mainTable(); fe.rVer == t.version {
+			r = fe.r
+		} else {
+			r = t.Lookup(fe.dst)
+			fe.r, fe.rVer = r, t.version
+		}
+	} else {
+		dst, err := packet.IPv6Dst(raw)
+		if err != nil {
+			n.hot.dropMalformed.Inc()
+			return 0
+		}
+		r = n.lookupMain(dst)
 	}
-	r := n.Lookup(dst, MainTable)
-	return n.applyRoute(r, raw, meta, depth)
+	return n.applyRoute(r, raw, pc, fe, depth)
 }
 
-func (n *Node) applyRoute(r *Route, raw []byte, meta *PacketMeta, depth int) (func(), int64) {
+// applyRoute dispatches on the route kind. fe is the packet's flow
+// cache entry when routePacket had one for these exact bytes (nil
+// otherwise, and always nil for rewritten packets).
+func (n *Node) applyRoute(r *Route, raw []byte, pc *pendingCommit, fe *flowEntry, depth int) int64 {
 	if depth > maxRouteDepth {
 		n.hot.dropRouteLoop.Inc()
 		if n.spanIdx >= 0 {
 			n.obsVerdict("drop")
 		}
-		return nil, 0
+		return 0
 	}
 	if r == nil {
 		n.hot.dropNoRoute.Inc()
 		if n.spanIdx >= 0 {
 			n.obsVerdict("drop")
 		}
-		return n.icmpError(raw, meta, packet.ICMPv6DstUnreachable, 0), n.Cost.ICMPGenNs
+		if fn := n.icmpError(raw, &pc.meta, packet.ICMPv6DstUnreachable, 0); fn != nil {
+			pc.op, pc.fn = commitFn, fn
+		}
+		return n.Cost.ICMPGenNs
 	}
 
 	switch r.Kind {
@@ -673,25 +898,26 @@ func (n *Node) applyRoute(r *Route, raw []byte, meta *PacketMeta, depth int) (fu
 			n.obsRoute("local")
 			n.obsVerdict("local")
 		}
-		return func() { n.deliverLocal(raw, meta) }, n.Cost.LocalDeliverNs
+		pc.op, pc.raw = commitLocal, raw
+		return n.Cost.LocalDeliverNs
 
 	case RouteForward:
 		if n.spanIdx >= 0 {
 			n.obsRoute("forward")
 		}
-		return n.forward(r, raw, meta)
+		return n.forward(r, raw, pc, fe)
 
 	case RouteSeg6Local:
 		if n.spanIdx >= 0 {
 			n.obsRoute("seg6local")
 		}
-		return n.applySeg6Local(r, raw, meta, depth)
+		return n.applySeg6Local(r, raw, pc, fe, depth)
 
 	case RouteSeg6Encap:
 		if n.spanIdx >= 0 {
 			n.obsRoute("seg6encap")
 		}
-		return n.applySeg6Encap(r, raw, meta, depth)
+		return n.applySeg6Encap(r, raw, pc, depth)
 
 	case RouteLWTBPF:
 		if n.spanIdx >= 0 {
@@ -704,9 +930,9 @@ func (n *Node) applyRoute(r *Route, raw []byte, meta *PacketMeta, depth int) (fu
 			if n.spanIdx >= 0 {
 				n.obsVerdict("drop")
 			}
-			return nil, 0
+			return 0
 		}
-		out, verdict, cost, err := prog.RunLWTOut(n, raw, meta)
+		out, verdict, cost, err := prog.RunLWTOut(n, raw, &pc.meta)
 		if err != nil {
 			n.hot.dropLWTBPFError.Inc()
 			if n.Trace != nil {
@@ -715,57 +941,69 @@ func (n *Node) applyRoute(r *Route, raw []byte, meta *PacketMeta, depth int) (fu
 			if n.spanIdx >= 0 {
 				n.obsVerdict("error")
 			}
-			return nil, cost
+			return cost
 		}
 		if verdict == LWTDrop {
 			n.hot.dropLWTBPF.Inc()
 			if n.spanIdx >= 0 {
 				n.obsVerdict("drop")
 			}
-			return nil, cost
+			return cost
 		}
 		if len(r.Nexthops) > 0 {
 			// The route supplies the egress directly.
-			commit, fcost := n.forward(r, out, meta)
-			return commit, cost + fcost
+			return cost + n.forward(r, out, pc, nil)
 		}
 		// Otherwise the (possibly re-encapsulated) packet is routed
 		// again, e.g. towards the SID the program steered it to.
-		commit, rcost := n.routePacket(out, meta, depth+1)
-		return commit, cost + rcost
+		return cost + n.routePacket(out, pc, depth+1)
 
 	default:
 		n.Count("drop_bad_route")
 		if n.spanIdx >= 0 {
 			n.obsVerdict("drop")
 		}
-		return nil, 0
+		return 0
 	}
 }
 
 // forward handles hop limit, ECMP and backup-route protection,
 // committing the transmission.
-func (n *Node) forward(r *Route, raw []byte, meta *PacketMeta) (func(), int64) {
-	src, _ := packet.IPv6Src(raw)
-	dst, _ := packet.IPv6Dst(raw)
-	hdr, err := packet.DecodeIPv6(raw)
-	if err != nil {
-		n.hot.dropMalformed.Inc()
-		if n.spanIdx >= 0 {
-			n.obsVerdict("drop")
+func (n *Node) forward(r *Route, raw []byte, pc *pendingCommit, fe *flowEntry) int64 {
+	var src, dst netip.Addr
+	var hopLimit uint8
+	var flowLabel uint32
+	if fe != nil {
+		// The flow cache proved these bytes already: reuse the parsed
+		// header fields without touching the packet again.
+		src, dst = fe.src, fe.dst
+		hopLimit, flowLabel = fe.info.HopLimit, fe.info.FlowLabel
+	} else {
+		hdr, err := packet.DecodeIPv6(raw)
+		if err != nil {
+			n.hot.dropMalformed.Inc()
+			if n.spanIdx >= 0 {
+				n.obsVerdict("drop")
+			}
+			return 0
 		}
-		return nil, 0
+		src, _ = packet.IPv6Src(raw)
+		dst, _ = packet.IPv6Dst(raw)
+		hopLimit, flowLabel = hdr.HopLimit, hdr.FlowLabel
 	}
-	if !meta.Local {
-		if hdr.HopLimit <= 1 {
+	if !pc.meta.Local {
+		if hopLimit <= 1 {
 			n.hot.dropHopLimit.Inc()
 			if n.spanIdx >= 0 {
 				n.obsVerdict("drop")
 			}
-			return n.icmpError(raw, meta, packet.ICMPv6TimeExceeded, 0), n.Cost.ICMPGenNs
+			if fn := n.icmpError(raw, &pc.meta, packet.ICMPv6TimeExceeded, 0); fn != nil {
+				pc.op, pc.fn = commitFn, fn
+			}
+			return n.Cost.ICMPGenNs
 		}
 	}
-	nh, viaBackup := r.SelectPath(src, dst, hdr.FlowLabel)
+	nh, viaBackup := r.SelectPath(src, dst, flowLabel)
 	if nh == nil || nh.Iface == nil {
 		// Distinguish a failure (interfaces exist but are down, and no
 		// usable backup protects the route) from a route that was
@@ -785,7 +1023,7 @@ func (n *Node) forward(r *Route, raw []byte, meta *PacketMeta) (func(), int64) {
 		if n.spanIdx >= 0 {
 			n.obsVerdict("drop")
 		}
-		return nil, 0
+		return 0
 	}
 	out := raw
 	var extra int64
@@ -798,7 +1036,7 @@ func (n *Node) forward(r *Route, raw []byte, meta *PacketMeta) (func(), int64) {
 				if n.spanIdx >= 0 {
 					n.obsVerdict("drop")
 				}
-				return nil, n.Cost.EncapNs
+				return n.Cost.EncapNs
 			}
 			out = enc
 			extra = n.Cost.EncapNs
@@ -807,48 +1045,60 @@ func (n *Node) forward(r *Route, raw []byte, meta *PacketMeta) (func(), int64) {
 	if n.spanIdx >= 0 {
 		n.obsVerdict("forward")
 	}
-	// The commit may run one event later (After(cost)); other events
-	// on this node (probe ticks, generator Outputs) can process other
-	// packets in between and move pktEra. Capture this packet's era
-	// now and reinstate it for the transmit-time stamp.
-	era := n.pktEra
-	return func() {
-		if !meta.Local {
-			packet.SetIPv6HopLimit(out, hdr.HopLimit-1)
-		}
-		n.pktEra = era
-		nh.Iface.Transmit(out)
-	}, extra
+	// The commit may run one event later (the drain continuation);
+	// other events on this node (probe ticks, generator Outputs) can
+	// process other packets in between and move pktEra. Capture this
+	// packet's era now; runCommit reinstates it for the transmit-time
+	// stamp.
+	pc.op = commitTransmit
+	pc.decHop = !pc.meta.Local
+	pc.hopLimit = hopLimit
+	pc.iface = nh.Iface
+	pc.raw = out
+	pc.era = n.pktEra
+	return extra
 }
 
 // applySeg6Local runs a seg6local behaviour (static or End.BPF) and
 // acts on its verdict.
-func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int) (func(), int64) {
+func (n *Node) applySeg6Local(r *Route, raw []byte, pc *pendingCommit, fe *flowEntry, depth int) int64 {
 	b := r.Behaviour
 	if b == nil {
 		n.Count("drop_bad_route")
 		if n.spanIdx >= 0 {
 			n.obsVerdict("drop")
 		}
-		return nil, 0
+		return 0
 	}
 
 	var res seg6.Result
 	var cost int64
 	var err error
 
-	if b.Action == seg6.ActionEndBPF {
+	switch {
+	case b.Action == seg6.ActionEndBPF:
 		prog, ok := b.BPF.(Seg6LocalProgram)
 		if !ok {
 			n.Count("drop_bad_seg6local_attachment")
 			if n.spanIdx >= 0 {
 				n.obsVerdict("drop")
 			}
-			return nil, 0
+			return 0
 		}
-		res, cost, err = prog.RunSeg6Local(n, raw, meta)
+		res, cost, err = prog.RunSeg6Local(n, raw, &pc.meta)
 		cost += n.Cost.Behaviour[seg6.ActionEnd] // the endpoint part of End.BPF
-	} else {
+	case b.Action == seg6.ActionEnd && fe != nil:
+		// Burst fast path: the flow cache already walked these exact
+		// bytes, so End reduces to the bounds-revalidated in-place
+		// advance — seg6.ApplyStatic's applyEnd with ParseInfo reused.
+		if !fe.info.HasSRH() {
+			err = seg6.ErrNoSRH
+		} else {
+			err = seg6.AdvanceAt(raw, fe.info.SRHOff)
+		}
+		res = seg6.Result{Verdict: seg6.VerdictForward, Pkt: raw}
+		cost = n.Cost.Behaviour[b.Action]
+	default:
 		res, err = seg6.ApplyStatic(b, raw)
 		cost = n.Cost.Behaviour[b.Action]
 	}
@@ -866,7 +1116,7 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 		if n.spanIdx >= 0 {
 			n.obsVerdict("error")
 		}
-		return nil, cost
+		return cost
 	}
 
 	switch res.Verdict {
@@ -875,11 +1125,10 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 		if n.spanIdx >= 0 {
 			n.obsVerdict("drop")
 		}
-		return nil, cost
+		return cost
 
 	case seg6.VerdictForward:
-		commit, extra := n.routePacket(res.Pkt, meta, depth+1)
-		return commit, cost + extra
+		return cost + n.routePacket(res.Pkt, pc, depth+1)
 
 	case seg6.VerdictForwardTable:
 		dst, err := packet.IPv6Dst(res.Pkt)
@@ -888,11 +1137,10 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 			if n.spanIdx >= 0 {
 				n.obsVerdict("drop")
 			}
-			return nil, cost
+			return cost
 		}
 		route := n.Lookup(dst, res.Table)
-		commit, extra := n.applyRoute(route, res.Pkt, meta, depth+1)
-		return commit, cost + extra
+		return cost + n.applyRoute(route, res.Pkt, pc, nil, depth+1)
 
 	case seg6.VerdictForwardNexthop:
 		iface := n.ResolveNexthop(res.Nexthop)
@@ -901,7 +1149,7 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 			if n.spanIdx >= 0 {
 				n.obsVerdict("drop")
 			}
-			return nil, cost
+			return cost
 		}
 		out := res.Pkt
 		hdr, err := packet.DecodeIPv6(out)
@@ -910,44 +1158,47 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, meta *PacketMeta, depth int)
 			if n.spanIdx >= 0 {
 				n.obsVerdict("drop")
 			}
-			return nil, cost
+			return cost
 		}
-		if !meta.Local && hdr.HopLimit <= 1 {
+		if !pc.meta.Local && hdr.HopLimit <= 1 {
 			n.hot.dropHopLimit.Inc()
 			if n.spanIdx >= 0 {
 				n.obsVerdict("drop")
 			}
-			return n.icmpError(out, meta, packet.ICMPv6TimeExceeded, 0), cost + n.Cost.ICMPGenNs
+			if fn := n.icmpError(out, &pc.meta, packet.ICMPv6TimeExceeded, 0); fn != nil {
+				pc.op, pc.fn = commitFn, fn
+			}
+			return cost + n.Cost.ICMPGenNs
 		}
 		if n.spanIdx >= 0 {
 			n.obsVerdict("forward")
 		}
-		era := n.pktEra // see forward: the commit runs after interleaved events
-		return func() {
-			if !meta.Local {
-				packet.SetIPv6HopLimit(out, hdr.HopLimit-1)
-			}
-			n.pktEra = era
-			iface.Transmit(out)
-		}, cost
+		// See forward: the commit runs after interleaved events.
+		pc.op = commitTransmit
+		pc.decHop = !pc.meta.Local
+		pc.hopLimit = hdr.HopLimit
+		pc.iface = iface
+		pc.raw = out
+		pc.era = n.pktEra
+		return cost
 
 	default:
 		n.Count("drop_bad_verdict")
 		if n.spanIdx >= 0 {
 			n.obsVerdict("drop")
 		}
-		return nil, cost
+		return cost
 	}
 }
 
 // applySeg6Encap performs the static transit behaviours.
-func (n *Node) applySeg6Encap(r *Route, raw []byte, meta *PacketMeta, depth int) (func(), int64) {
+func (n *Node) applySeg6Encap(r *Route, raw []byte, pc *pendingCommit, depth int) int64 {
 	if r.SRH == nil {
 		n.Count("drop_bad_route")
 		if n.spanIdx >= 0 {
 			n.obsVerdict("drop")
 		}
-		return nil, 0
+		return 0
 	}
 	var out []byte
 	var err error
@@ -969,14 +1220,12 @@ func (n *Node) applySeg6Encap(r *Route, raw []byte, meta *PacketMeta, depth int)
 		if n.spanIdx >= 0 {
 			n.obsVerdict("drop")
 		}
-		return nil, n.Cost.EncapNs
+		return n.Cost.EncapNs
 	}
 	if len(r.Nexthops) > 0 {
-		commit, fcost := n.forward(r, out, meta)
-		return commit, n.Cost.EncapNs + fcost
+		return n.Cost.EncapNs + n.forward(r, out, pc, nil)
 	}
-	commit, extra := n.routePacket(out, meta, depth+1)
-	return commit, n.Cost.EncapNs + extra
+	return n.Cost.EncapNs + n.routePacket(out, pc, depth+1)
 }
 
 // ResolveNexthop finds the interface whose peer owns addr (the
@@ -991,12 +1240,109 @@ func (n *Node) ResolveNexthop(addr netip.Addr) *Iface {
 	return nil
 }
 
-// deliverLocal dispatches a packet addressed to this node.
-func (n *Node) deliverLocal(raw []byte, meta *PacketMeta) {
-	p, err := packet.Parse(raw)
+// flowLookup returns the flow cache entry for these exact bytes, or
+// nil when burst caching is off, the packet doesn't parse (callers
+// fall back to the legacy per-field path so malformed packets route
+// identically at any burst size), or on a plain miss that was just
+// filled (the freshly filled entry is returned).
+func (n *Node) flowLookup(raw []byte) *flowEntry {
+	if n.burst <= 1 {
+		return nil
+	}
+	for i := range n.flows {
+		e := &n.flows[i]
+		if len(e.hdr) > 0 && e.rawLen == len(raw) &&
+			len(e.hdr) <= len(raw) && bytes.Equal(e.hdr, raw[:len(e.hdr)]) {
+			return e
+		}
+	}
+	info, err := packet.ParseInfo(raw)
 	if err != nil {
-		n.hot.dropMalformedLocal.Inc()
-		return
+		// ParseInfo is stricter than the per-field decoders (it
+		// validates the SRH chain); a packet it rejects must still take
+		// the exact legacy path, which may route it by destination.
+		return nil
+	}
+	e := &n.flows[n.flowClock&1]
+	n.flowClock++
+	e.rawLen = len(raw)
+	e.hdr = append(e.hdr[:0], raw[:info.L4Off]...)
+	e.info = info
+	e.src, _ = packet.IPv6Src(raw)
+	e.dst, _ = packet.IPv6Dst(raw)
+	e.r, e.rVer = nil, flowRouteInvalid
+	return e
+}
+
+// mainTable returns the main routing table, caching the pointer so
+// the per-packet path skips the tables map access. A nil result (no
+// main table yet) is never cached, so a table created later is still
+// picked up.
+func (n *Node) mainTable() *Table {
+	if n.mainTbl == nil {
+		n.mainTbl = n.tables[MainTable]
+	}
+	return n.mainTbl
+}
+
+// lookupMain is the main-table FIB lookup, memoised per (burst epoch,
+// table version, destination). SelectPath is never memoised — ECMP
+// round-robin mutates per-route state.
+func (n *Node) lookupMain(dst netip.Addr) *Route {
+	t := n.mainTable()
+	if n.burst <= 1 {
+		return t.Lookup(dst)
+	}
+	for i := range n.routeMemo {
+		e := &n.routeMemo[i]
+		if e.dst == dst && e.ver == t.version && e.r != nil {
+			return e.r
+		}
+	}
+	r := t.Lookup(dst)
+	e := &n.routeMemo[n.memoClock&3]
+	n.memoClock++
+	*e = routeMemoEntry{dst: dst, r: r, ver: t.version}
+	return r
+}
+
+// ParseInfoCached is packet.ParseInfo served from the node's burst
+// flow cache when the bytes were already proven this epoch.
+// Attachment layers (internal/core) call it on their datapath entry.
+func (n *Node) ParseInfoCached(raw []byte) (packet.Info, error) {
+	if fe := n.flowLookup(raw); fe != nil {
+		return fe.info, nil
+	}
+	return packet.ParseInfo(raw)
+}
+
+// BurstCache reports the node's current burst-cache epoch and whether
+// burst caching is active. Attachment layers use it to skip re-binding
+// per-packet state within one epoch; epochs advance on every new
+// burst, crash and rollback restore, so a matching epoch guarantees
+// nothing relevant changed since the last bind.
+func (n *Node) BurstCache() (uint64, bool) { return n.burstSeq, n.burst > 1 }
+
+// deliverLocal dispatches a packet addressed to this node. The parsed
+// view handed to handlers is backed by node-owned scratch storage:
+// valid only for the duration of the handler call.
+func (n *Node) deliverLocal(raw []byte, meta *PacketMeta) {
+	p := &n.scratchPkt
+	if n.burst > 1 &&
+		len(n.scratchHdr) > 0 && n.scratchRawLen == len(raw) &&
+		len(n.scratchHdr) <= len(raw) && bytes.Equal(n.scratchHdr, raw[:len(n.scratchHdr)]) {
+		p.Raw = raw
+	} else {
+		p.SRH = &n.scratchSRH
+		if err := packet.ParseInto(p, raw); err != nil {
+			n.scratchHdr = n.scratchHdr[:0]
+			n.hot.dropMalformedLocal.Inc()
+			return
+		}
+		if n.burst > 1 {
+			n.scratchHdr = append(n.scratchHdr[:0], raw[:p.L4Off]...)
+			n.scratchRawLen = len(raw)
+		}
 	}
 	switch p.L4Proto {
 	case packet.ProtoUDP:

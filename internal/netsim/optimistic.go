@@ -194,7 +194,14 @@ type nodeSnap struct {
 	busy       bool
 	crashed    bool
 	crashEpoch uint64
-	rxq        []rxItem
+	// pending is the node's in-flight packet commit (a value copy
+	// sharing the raw bytes, which the pktEra machinery keeps safe): a
+	// checkpoint can land between a drain and its continuation, and a
+	// rollback must re-apply exactly the commit that was pending. The
+	// burst caches are deliberately NOT captured — they are pure, and
+	// restore bumps the burst epoch to retire them.
+	pending pendingCommit
+	rxq     []rxItem
 	// cvals holds the counter values in intern order (parallel to
 	// Node.counterCells). A flat value copy instead of a map rebuild:
 	// the per-checkpoint cost of a counter set is one slice copy.
@@ -208,15 +215,16 @@ type nodeSnap struct {
 // struct layouts; exactness is not required, stability across rounds
 // is).
 const (
-	eventBytes    = 40 // event value in the heap slice
-	rxItemBytes   = 48 // rxItem excluding the packet bytes
-	nodeSnapBytes = 96 // nodeSnap header: scalars + slice headers
-	ifaceSnapHdr  = 64 // ifaceSnap excluding the qdisc snapshot
+	eventBytes    = 96  // event value in the heap slice
+	rxItemBytes   = 48  // rxItem excluding the packet bytes
+	nodeSnapBytes = 176 // nodeSnap header: scalars + pendingCommit + slice headers
+	ifaceSnapHdr  = 64  // ifaceSnap excluding the qdisc snapshot
 )
 
 // sizeBytes estimates the deep memory footprint of the snapshot.
 func (s *nodeSnap) sizeBytes() uint64 {
 	b := uint64(nodeSnapBytes)
+	b += uint64(len(s.pending.raw))
 	for i := range s.rxq {
 		b += rxItemBytes + uint64(len(s.rxq[i].raw))
 	}
@@ -247,11 +255,13 @@ func (n *Node) snapshot() nodeSnap {
 		busy:       n.busy,
 		crashed:    n.crashed,
 		crashEpoch: n.crashEpoch,
+		pending:    n.pending,
 	}
 	if n.rxCount > 0 {
 		snap.rxq = make([]rxItem, n.rxCount)
+		mask := len(n.rxq) - 1
 		for i := 0; i < n.rxCount; i++ {
-			snap.rxq[i] = n.rxq[(n.rxHead+i)%len(n.rxq)]
+			snap.rxq[i] = n.rxq[(n.rxHead+i)&mask]
 		}
 	}
 	snap.cvals = make([]uint64, len(n.counterCells))
@@ -291,8 +301,21 @@ func (n *Node) restore(snap nodeSnap) {
 	n.busy = snap.busy
 	n.crashed = snap.crashed
 	n.crashEpoch = snap.crashEpoch
+	n.pending = snap.pending
+	// Retire the burst caches: rollback can rewind state (FIB
+	// round-robin cursors, stateHook registrations) the epoch-gated
+	// caches and bind-skips were computed against. The caches are pure
+	// so a bump is all it takes — they refill on the next burst.
+	n.burstSeq++
+	n.burstLeft = 0
 	if len(snap.rxq) > len(n.rxq) {
-		n.rxq = make([]rxItem, len(snap.rxq))
+		// Ring capacity must stay a power of two (push/pop index with a
+		// mask).
+		newCap := 64
+		for newCap < len(snap.rxq) {
+			newCap *= 2
+		}
+		n.rxq = make([]rxItem, newCap)
 	}
 	for i := range n.rxq {
 		n.rxq[i] = rxItem{}

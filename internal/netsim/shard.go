@@ -153,7 +153,7 @@ func (sh *shard) runTo(end int64) {
 			}
 		}
 		ev.Inc(sh.id)
-		e.fn()
+		sh.sim.exec(&e)
 	}
 }
 
@@ -247,14 +247,19 @@ func (s *Sim) SetShards(n int, engine ...Engine) error {
 
 	// Re-route events already scheduled: the key's src field names the
 	// scheduling node, whose shard also owns the state the callback
-	// touches (driver-level events, src -1, run on shard 0).
+	// touches (driver-level events, src -1, run on shard 0) — except a
+	// delivery event, which mutates the *receiving* end's state and
+	// must follow the receiver.
 	for _, sh := range old {
 		for _, e := range sh.heap {
-			if e.fn == nil {
+			if e.kind == evClosure && e.fn == nil {
 				continue
 			}
 			dst := shards[0]
-			if e.src >= 0 {
+			switch {
+			case e.kind == evDeliver:
+				dst = e.peer.Node.shard
+			case e.src >= 0:
 				dst = s.nodes[e.src].shard
 			}
 			dst.heap.push(e)

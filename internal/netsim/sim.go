@@ -59,9 +59,31 @@ import (
 	"srv6bpf/internal/stats"
 )
 
+// eventKind discriminates the event payload. The two hot event types
+// of the packet path — a link delivery and a node's drain continuation
+// — are stored in data form instead of closures, so the steady-state
+// schedule/execute cycle allocates nothing at all.
+type eventKind uint8
+
+const (
+	// evClosure runs fn; the general-purpose event (driver schedules,
+	// timers, NF callbacks).
+	evClosure eventKind = iota
+	// evDeliver delivers raw to peer (the materialised form of what
+	// used to be xmsg.buildEvent's closure).
+	evDeliver
+	// evDrainCont is a node's drain continuation: commit the pending
+	// packet side effects, then pop the next packet. epoch carries the
+	// node's crash epoch at scheduling time, so a continuation that
+	// outlives a crash/restart cycle dies instead of draining a fresh
+	// ring.
+	evDrainCont
+)
+
 // event is one scheduled callback. Events are stored by value in the
 // heap slice: scheduling one packet hop costs no heap object beyond
-// the callback closure itself (and amortised slice growth).
+// the callback closure itself (and amortised slice growth) — and the
+// packet-path kinds (evDeliver, evDrainCont) not even that.
 //
 // The (at, schedAt, src, k) tuple is the event's deterministic
 // ordering key. schedAt is the virtual time of the Schedule call, src
@@ -73,9 +95,40 @@ import (
 type event struct {
 	at      int64
 	schedAt int64
-	src     int32
 	k       uint64
+	// epoch is the iface fail epoch (evDeliver) or the node crash
+	// epoch (evDrainCont).
+	epoch uint64
+	// ckptSeq is the privatisation era of raw for same-shard
+	// deliveries (evDeliver with cross == false).
+	ckptSeq uint64
 	fn      func()
+	peer    *Iface // evDeliver: receiving link end
+	raw     []byte // evDeliver: packet bytes
+	src     int32
+	kind    eventKind
+	cross   bool // evDeliver: crossed a shard boundary
+}
+
+// exec dispatches one popped event.
+func (s *Sim) exec(e *event) {
+	switch e.kind {
+	case evDeliver:
+		peer := e.peer
+		// The event key's src is the sender; the state it mutates
+		// belongs to the receiving end, so mark that node dirty
+		// explicitly for the incremental checkpoints.
+		peer.Node.dirty = true
+		if peer.failEpoch != e.epoch {
+			peer.inFlightKills++
+			return
+		}
+		peer.Node.deliver(e.raw, peer, e.cross, e.ckptSeq)
+	case evDrainCont:
+		s.nodes[e.src].drainCont(e.epoch)
+	default:
+		e.fn()
+	}
 }
 
 // before reports the deterministic execution order between events.
@@ -209,6 +262,13 @@ type Sim struct {
 	// default) keeps every hook to a single pointer compare.
 	obs *simObs
 
+	// burst is the packet-burst knob set by SetBurst: the maximum
+	// number of back-to-back packets a node's drain loop treats as one
+	// batch for cache purposes. It never changes the event schedule —
+	// each drain still charges and commits exactly one packet — so any
+	// burst value is bit-identical to burst == 1.
+	burst int
+
 	nodes []*Node
 }
 
@@ -219,7 +279,7 @@ const driverSrc int32 = -1
 
 // New creates a simulation with the given random seed.
 func New(seed int64) *Sim {
-	s := &Sim{seed: seed, rng: rand.New(rand.NewSource(seed))}
+	s := &Sim{seed: seed, rng: rand.New(rand.NewSource(seed)), burst: 1}
 	s.shards = []*shard{newShard(s, 0)}
 	s.shards[0].out = make([][]xmsg, 1)
 	s.lookahead = math.MaxInt64 / 2
@@ -235,6 +295,26 @@ func New(seed int64) *Sim {
 
 // Seed returns the seed the simulation was created with.
 func (s *Sim) Seed() int64 { return s.seed }
+
+// SetBurst sets the packet-burst size b (clamped to >= 1): how many
+// back-to-back packets a node may process as one batch, amortising
+// FIB lookups, header parsing and attachment binding across the
+// burst. Burst processing is purely a caching regime — the event
+// schedule, every counter and every delivery is bit-identical to
+// per-packet processing (b == 1, the default) under all engines; the
+// equivalence fuzzer locks this with a randomized burst arm.
+func (s *Sim) SetBurst(b int) {
+	if b < 1 {
+		b = 1
+	}
+	s.burst = b
+	for _, n := range s.nodes {
+		n.burst = b
+	}
+}
+
+// Burst returns the current packet-burst size.
+func (s *Sim) Burst() int { return s.burst }
 
 // Now returns the current virtual time in nanoseconds. In sharded
 // mode this is the last committed barrier; code running inside an
@@ -292,7 +372,7 @@ func (s *Sim) Step() bool {
 			sh.execTo = e.at + 1
 		}
 		s.engEvents.Inc(0)
-		e.fn()
+		s.exec(&e)
 		return true
 	}
 	best := -1
@@ -314,7 +394,7 @@ func (s *Sim) Step() bool {
 		sh.execTo = e.at + 1
 	}
 	s.engEvents.Inc(sh.id)
-	e.fn()
+	s.exec(&e)
 	s.flushOutboxes()
 	if e.at > s.now {
 		s.now = e.at

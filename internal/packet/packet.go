@@ -149,23 +149,41 @@ type Packet struct {
 // Parse walks the header chain of an IPv6 packet. Unknown extension
 // headers stop the walk (L4Proto reports what was found).
 func Parse(raw []byte) (*Packet, error) {
-	p := &Packet{Raw: raw}
-	h, err := DecodeIPv6(raw)
-	if err != nil {
+	p := &Packet{}
+	if err := ParseInto(p, raw); err != nil {
 		return nil, err
 	}
-	p.IPv6 = h
+	return p, nil
+}
+
+// ParseInto is Parse into caller-owned storage: it resets and fills p
+// without allocating, reusing a pre-seeded p.SRH (including its
+// Segments/TLVs backing arrays) when the packet carries an SRH. When
+// it does not, p.SRH is nil after the call — callers that pool the
+// spare SRH must re-seed it before each parse. The filled view
+// aliases raw and the reused storage; it is only valid until the next
+// ParseInto with the same p.
+func ParseInto(p *Packet, raw []byte) error {
+	h, err := DecodeIPv6(raw)
+	if err != nil {
+		return err
+	}
+	srh := p.SRH
+	*p = Packet{Raw: raw, IPv6: h}
 
 	off := IPv6HeaderLen
 	proto := h.NextHeader
 	for {
 		switch proto {
 		case ProtoRouting:
-			srh, n, err := DecodeSRH(raw[off:])
-			if err != nil {
-				return nil, err
+			if srh == nil {
+				srh = &SRH{}
 			}
-			p.SRH = &srh
+			n, err := decodeSRHInto(srh, raw[off:])
+			if err != nil {
+				return err
+			}
+			p.SRH = srh
 			p.SRHOff = off
 			proto = srh.NextHeader
 			off += n
@@ -173,11 +191,11 @@ func Parse(raw []byte) (*Packet, error) {
 			p.InnerOff = off
 			p.L4Proto = proto
 			p.L4Off = off
-			return p, nil
+			return nil
 		default:
 			p.L4Proto = proto
 			p.L4Off = off
-			return p, nil
+			return nil
 		}
 	}
 }

@@ -144,9 +144,17 @@ func srhStructure(b []byte) (total int, segsLeft, lastEntry uint8, err error) {
 // wire length.
 func DecodeSRH(b []byte) (SRH, int, error) {
 	var s SRH
+	n, err := decodeSRHInto(&s, b)
+	return s, n, err
+}
+
+// decodeSRHInto is DecodeSRH into caller-owned storage: s is reset
+// and refilled, reusing its Segments and TLVs backing arrays. It is
+// the allocation-free decode behind packet.ParseInto.
+func decodeSRHInto(s *SRH, b []byte) (int, error) {
 	total, segsLeft, lastEntry, err := srhStructure(b)
 	if err != nil {
-		return s, 0, err
+		return 0, err
 	}
 	s.NextHeader = b[SRHOffNextHeader]
 	s.SegmentsLeft = segsLeft
@@ -154,18 +162,19 @@ func DecodeSRH(b []byte) (SRH, int, error) {
 	s.Flags = b[SRHOffFlags]
 	s.Tag = binary.BigEndian.Uint16(b[SRHOffTag:])
 
-	nSegs := int(s.LastEntry) + 1
+	nSegs := int(lastEntry) + 1
 	segBytes := 16 * nSegs
+	s.Segments = s.Segments[:0]
 	for i := 0; i < nSegs; i++ {
 		off := SRHFixedLen + 16*i
 		s.Segments = append(s.Segments, netip.AddrFrom16([16]byte(b[off:off+16])))
 	}
-	tlvs, err := decodeTLVs(b[SRHFixedLen+segBytes : total])
+	tlvs, err := decodeTLVsInto(s.TLVs[:0], b[SRHFixedLen+segBytes:total])
 	if err != nil {
-		return s, 0, err
+		return 0, err
 	}
 	s.TLVs = tlvs
-	return s, total, nil
+	return total, nil
 }
 
 // Summary renders the SRH compactly.

@@ -182,9 +182,10 @@ func (o OpaqueTLV) summary() string {
 	return fmt.Sprintf("tlv(%#x,%d)", o.Type, len(o.Data))
 }
 
-// decodeTLVs parses the TLV area of an SRH.
-func decodeTLVs(b []byte) ([]TLV, error) {
-	var out []TLV
+// decodeTLVsInto parses the TLV area of an SRH, appending to out
+// (pass a reusable slice truncated to zero for allocation-free
+// re-decodes; an empty TLV area appends nothing).
+func decodeTLVsInto(out []TLV, b []byte) ([]TLV, error) {
 	for len(b) > 0 {
 		t := b[0]
 		if t == TLVTypePad1 {
