@@ -24,6 +24,10 @@
 #                  variable, not the env var.
 #   make fuzz-deep-race — the same fuzzing under the race detector
 #                  (shallower FUZZ_SCENARIOS recommended; ~10x slower)
+#   make matrix-smoke — behaviour-matrix engine-equivalence gate: the
+#                  committed L3VPN / SFC-proxy / TI-LFA scenarios run
+#                  under the sequential, conservative and optimistic
+#                  engines and must produce bit-identical fingerprints
 #   make pdr-smoke — SRPerf-style PDR saturation harness, smoke
 #                  depth: a 2-step binary search of the End behavior
 #                  only, proving the offered-load generator, the
@@ -52,9 +56,9 @@ BENCH_CI_JSON ?= BENCH_PR999.json
 OBS_DUMP_DIR ?= obs-artifacts
 BURST ?= 32
 
-.PHONY: check build vet test race race-smoke fuzz-smoke fuzz-native fuzz-deep fuzz-deep-race chaos-smoke obs-smoke pdr-smoke bench bench-json bench-ci fmt
+.PHONY: check build vet test race race-smoke fuzz-smoke fuzz-native fuzz-deep fuzz-deep-race chaos-smoke obs-smoke pdr-smoke matrix-smoke bench bench-json bench-ci fmt
 
-check: build vet test race-smoke fuzz-smoke fuzz-native obs-smoke pdr-smoke
+check: build vet test race-smoke fuzz-smoke fuzz-native obs-smoke pdr-smoke matrix-smoke
 
 build:
 	$(GO) build ./...
@@ -119,6 +123,13 @@ fuzz-deep-race:
 # full-drain drop accounting, bisection invariants — in under a second.
 pdr-smoke:
 	$(GO) run ./cmd/srv6bench -pdr-smoke
+
+# Behaviour-matrix gate: the three committed scenarios (multi-tenant
+# L3VPN over a fat-tree, SFC through End.AS/End.AM proxies, TI-LFA
+# protection behind a binding SID) must be bit-identical under the
+# sequential, conservative and optimistic engines.
+matrix-smoke:
+	$(GO) run ./cmd/srv6bench -matrix
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkDatapath -benchmem .

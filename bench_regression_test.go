@@ -319,6 +319,11 @@ func checkBurstRows(t *testing.T, f benchFile, rows map[string]experiments.Datap
 // publish a PDR saturation row for — the SRPerf measurement matrix.
 var pdrRequired = []string{"End", "End.BPF-interp", "End.BPF-jit", "T.Encaps", "FRR-steer"}
 
+// pdrRequiredPR9 extends the matrix from PR 9 on (the PR that added
+// the registry-dispatched behaviors): the cross-connect and the
+// router-side decap join the scan.
+var pdrRequiredPR9 = []string{"End.X", "End.DT6"}
+
 // checkPDRRows enforces the PDR contract: one converged saturation row
 // per required behavior, with a sane bracket and a drop rate at or
 // under the threshold it claims.
@@ -327,7 +332,11 @@ func checkPDRRows(t *testing.T, f benchFile) {
 	for _, r := range f.PDR {
 		byName[r.Name] = r
 	}
-	for _, name := range pdrRequired {
+	required := pdrRequired
+	if f.pr >= 9 {
+		required = append(append([]string{}, pdrRequired...), pdrRequiredPR9...)
+	}
+	for _, name := range required {
 		r, ok := byName[name]
 		if !ok {
 			t.Errorf("%s: no PDR row for %s", f.name, name)

@@ -40,6 +40,8 @@ func main() {
 	pdr := flag.Bool("pdr", false, "run the SRPerf-style PDR saturation scan (all behaviors)")
 	pdrSmoke := flag.Bool("pdr-smoke", false,
 		"coarse PDR search (2 bisection steps, End only): the CI smoke gate")
+	matrix := flag.Bool("matrix", false,
+		"run the behaviour-matrix scenarios under all three engines and compare fingerprints")
 	burst := flag.Int("burst", 32,
 		"datapath burst setting for the SimUDP-burst bench rows and the PDR scan")
 	all := flag.Bool("all", false, "run everything")
@@ -65,6 +67,10 @@ func main() {
 	if *pdrSmoke {
 		ran = true
 		runPDR(experiments.PDRSmokeConfig())
+	}
+	if *all || *matrix {
+		ran = true
+		runMatrix()
 	}
 	if *all || *obsProf {
 		ran = true
@@ -283,6 +289,30 @@ func runPDR(cfg experiments.PDRConfig) {
 			r.Name, r.PDRKPPS, r.DropRate*100, r.Threshold*100, r.LoKPPS, r.HiKPPS, r.Iterations)
 	}
 	fmt.Println()
+}
+
+func runMatrix() {
+	fmt.Println("== Behaviour matrix: committed scenarios x engines (must be bit-identical) ==")
+	fmt.Println("   L3VPN (End.DT4/DT6/DT46), SFC proxies (End.AS/End.AM), TI-LFA binding SID")
+	rows, err := experiments.MatrixScan()
+	if err != nil {
+		fail(err)
+	}
+	bad := false
+	for _, r := range rows {
+		verdict := "MATCH"
+		if !r.Match {
+			verdict, bad = "MISMATCH", true
+		}
+		fmt.Printf("  %-16s delivered %5d  %s\n", r.Scenario, r.Delivered, verdict)
+		for _, run := range r.Runs {
+			fmt.Printf("    %-16s %s\n", run.Engine, run.Fingerprint)
+		}
+	}
+	fmt.Println()
+	if bad {
+		fail(fmt.Errorf("behaviour matrix: engines disagree"))
+	}
 }
 
 func runObs(win int64) {

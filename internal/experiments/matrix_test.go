@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+// TestMatrixScan is the engine-equivalence gate for the committed
+// behaviour-matrix scenarios: every scenario must deliver its full
+// offered load and produce bit-identical counter fingerprints under
+// the sequential, conservative and optimistic engines.
+func TestMatrixScan(t *testing.T) {
+	rows, err := MatrixScan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 scenarios, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Delivered == 0 {
+			t.Errorf("%s: delivered no packets", r.Scenario)
+		}
+		if !r.Match {
+			t.Errorf("%s: engines disagree: %+v", r.Scenario, r.Runs)
+		}
+		for _, run := range r.Runs {
+			t.Logf("%s/%s: %s delivered=%d", r.Scenario, run.Engine, run.Fingerprint, run.Delivered)
+		}
+	}
+}

@@ -39,6 +39,12 @@ const PDRThreshold = 0.005
 // lab1's router already forwards there.
 var tEncapsDecapSID = netip.MustParseAddr("fc00:2::d6")
 
+// rDT6SID is the decap SID the End.DT6 probe installs on the router
+// itself: S1 encapsulates toward it, R decapsulates and table-forwards
+// the inner packet, so the saturation point measures R's decap cost
+// (T.Encaps measures the encap side with the decap at the host).
+var rDT6SID = netip.MustParseAddr("fc00:1::d6")
+
 // PDRRow is one behavior's saturation point.
 type PDRRow struct {
 	Name string `json:"name"`
@@ -206,6 +212,30 @@ func pdrBehaviors() []struct {
 		}, rSID, true)},
 		{"End.BPF-interp", pdrLabProbe(pdrEndBPFSetup(false), rSID, true)},
 		{"End.BPF-jit", pdrLabProbe(pdrEndBPFSetup(true), rSID, true)},
+		{"End.X", pdrLabProbe(func(l *lab1) error {
+			// Cross-connect: R advances the SRH and forwards straight
+			// out the resolved nexthop, skipping the FIB lookup the
+			// plain End verdict pays.
+			return l.r.AddRoute(&netsim.Route{
+				Prefix: netip.PrefixFrom(rSID, 128), Kind: netsim.RouteSeg6Local,
+				Behaviour: &seg6.Behaviour{Action: seg6.ActionEndX, Nexthop: s2Addr},
+			})
+		}, rSID, true)},
+		{"End.DT6", pdrLabProbe(func(l *lab1) error {
+			// S1 pre-encapsulates toward R's decap SID; R decapsulates
+			// and forwards the inner packet to the sink via the main
+			// table, so R's DT6 processing is the measured bottleneck.
+			if err := l.s1.AddRoute(&netsim.Route{
+				Prefix: netip.PrefixFrom(s2Addr, 128), Kind: netsim.RouteSeg6Encap,
+				SRH: packet.NewSRH([]netip.Addr{rDT6SID}),
+			}); err != nil {
+				return err
+			}
+			return l.r.AddRoute(&netsim.Route{
+				Prefix: netip.PrefixFrom(rDT6SID, 128), Kind: netsim.RouteSeg6Local,
+				Behaviour: &seg6.Behaviour{Action: seg6.ActionEndDT6, Table: netsim.MainTable},
+			})
+		}, s2Addr, false)},
 		{"T.Encaps", pdrLabProbe(func(l *lab1) error {
 			// R encapsulates everything towards S2 with the decap SID;
 			// S2 runs End.DT6 and the inner packet reaches the sink.

@@ -1,0 +1,248 @@
+package netsim
+
+// Forwarding-engine tests for the registry-driven behaviour dispatch:
+// install-time validation through AddRoute, the tunnel-ingress hop
+// limit contract at encap nodes, the mid-path decap drop, and the
+// per-interface table binding the L3VPN scenario builds on.
+
+import (
+	"net/netip"
+	"testing"
+
+	"srv6bpf/internal/netem"
+	"srv6bpf/internal/packet"
+	"srv6bpf/internal/seg6"
+)
+
+// TestAddRouteValidatesBehaviour pins the install-time half of the
+// registry contract: a misconfigured behaviour is rejected when the
+// route is installed, not discovered packet by packet.
+func TestAddRouteValidatesBehaviour(t *testing.T) {
+	s := New(1)
+	_, r, _ := lineTopo(s)
+	before := len(r.Table(MainTable).Routes())
+
+	bad := []*Route{
+		// seg6local without a behaviour.
+		{Prefix: pfx("fc00:1::/64"), Kind: RouteSeg6Local},
+		// End.X without a nexthop.
+		{Prefix: pfx("fc00:1::/64"), Kind: RouteSeg6Local,
+			Behaviour: &seg6.Behaviour{Action: seg6.ActionEndX}},
+		// A decap behaviour with a flavor it does not support.
+		{Prefix: pfx("fc00:1::/64"), Kind: RouteSeg6Local,
+			Behaviour: &seg6.Behaviour{Action: seg6.ActionEndDT6, Flavors: seg6.FlavorPSP}},
+		// End.B6.Encaps without its policy SRH.
+		{Prefix: pfx("fc00:1::/64"), Kind: RouteSeg6Local,
+			Behaviour: &seg6.Behaviour{Action: seg6.ActionEndB6Encap}},
+		// An action number nothing is registered for.
+		{Prefix: pfx("fc00:1::/64"), Kind: RouteSeg6Local,
+			Behaviour: &seg6.Behaviour{Action: seg6.Action(11)}},
+		// seg6 encap without an SRH.
+		{Prefix: pfx("fc00:1::/64"), Kind: RouteSeg6Encap},
+	}
+	for i, route := range bad {
+		if err := r.AddRoute(route); err == nil {
+			t.Errorf("bad route %d installed without error", i)
+		}
+	}
+	// The route table was not touched by the rejected installs.
+	if got := len(r.Table(MainTable).Routes()); got != before {
+		t.Errorf("%d routes after rejected installs, want %d", got, before)
+	}
+
+	good := []*Route{
+		{Prefix: pfx("fc00:1::/128"), Kind: RouteSeg6Local,
+			Behaviour: &seg6.Behaviour{Action: seg6.ActionEnd, Flavors: seg6.FlavorPSP}},
+		{Prefix: pfx("fc00:2::/128"), Kind: RouteSeg6Local,
+			Behaviour: &seg6.Behaviour{Action: seg6.ActionEndDT46, Table: 9, Flavors: seg6.FlavorUSD}},
+	}
+	for i, route := range good {
+		if err := r.AddRoute(route); err != nil {
+			t.Errorf("good route %d rejected: %v", i, err)
+		}
+	}
+}
+
+// TestBindProxyReturnValidation: the proxy return-path binding checks
+// its interface and that the behaviour has an inbound half.
+func TestBindProxyReturnValidation(t *testing.T) {
+	s := New(1)
+	a, r, _ := lineTopo(s)
+	rIf := r.Ifaces()[0]
+	aIf := a.Ifaces()[0]
+
+	am := &seg6.Behaviour{Action: seg6.ActionEndAM, OIF: rIf}
+	if err := r.BindProxyReturn(rIf, am); err != nil {
+		t.Errorf("valid binding rejected: %v", err)
+	}
+	if err := r.BindProxyReturn(aIf, am); err == nil {
+		t.Error("foreign interface accepted")
+	}
+	// End has no inbound half.
+	if err := r.BindProxyReturn(rIf, &seg6.Behaviour{Action: seg6.ActionEnd}); err == nil {
+		t.Error("behaviour without a return path accepted")
+	}
+	if err := r.BindIfaceTable(aIf, 7); err == nil {
+		t.Error("foreign interface table binding accepted")
+	}
+}
+
+// TestEncapHopLimitContract pins the kernel's tunnel-ingress TTL
+// behaviour end to end: when a transit node encapsulates, the *inner*
+// hop limit is decremented for the forwarding hop and the outer
+// inherits the decremented value; the packet then leaves as local
+// output with no second decrement. The receiver must see exactly one
+// decrement for the encap hop.
+func TestEncapHopLimitContract(t *testing.T) {
+	s := New(1)
+	a, r, b := lineTopo(s)
+	// The decap SID lives outside the encapped prefix so the encap
+	// route never matches its own output.
+	dt6 := netip.MustParseAddr("fc00:b::d6")
+	b.AddAddress(dt6)
+
+	// R encapsulates A->B traffic toward B's decap SID.
+	if err := r.AddRoute(&Route{Prefix: pfx("2001:db8:b::/48"), Kind: RouteSeg6Encap,
+		SRH: packet.NewSRH([]netip.Addr{dt6})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddRoute(&Route{Prefix: pfx("fc00:b::/48"), Kind: RouteForward,
+		Nexthops: []Nexthop{{Iface: r.Ifaces()[1]}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRoute(&Route{Prefix: netip.PrefixFrom(dt6, 128), Kind: RouteSeg6Local,
+		Behaviour: &seg6.Behaviour{Action: seg6.ActionEndDT6}}); err != nil {
+		t.Fatal(err)
+	}
+
+	var gotHL uint8
+	b.HandleUDP(7, func(n *Node, p *packet.Packet, meta *PacketMeta) { gotHL = p.IPv6.HopLimit })
+	raw, _ := packet.BuildPacket(aAddr, bAddr, packet.WithUDP(1, 7), packet.WithHopLimit(64))
+	a.Output(raw)
+	s.Run()
+	// A originates (64), R's encap hop decrements the inner once (63),
+	// B decapsulates. 64 would mean the decrement leaked onto the
+	// discarded outer header; 62 a double decrement.
+	if gotHL != 63 {
+		t.Errorf("inner hop limit after encap hop = %d, want 63", gotHL)
+	}
+}
+
+// TestDecapMidPathDrops is the forwarding-engine half of the
+// SegmentsLeft regression: a decap SID reached while the SRH still
+// has segments to visit counts a seg6local error drop — unless the
+// behaviour opts in with USD.
+func TestDecapMidPathDrops(t *testing.T) {
+	for _, usd := range []bool{false, true} {
+		s := New(1)
+		a, r, b := lineTopo(s)
+		sid := netip.MustParseAddr("2001:db8:aa::d6")
+		b2 := &seg6.Behaviour{Action: seg6.ActionEndDT6}
+		if usd {
+			b2.Flavors = seg6.FlavorUSD
+		}
+		if err := r.AddRoute(&Route{Prefix: netip.PrefixFrom(sid, 128), Kind: RouteSeg6Local, Behaviour: b2}); err != nil {
+			t.Fatal(err)
+		}
+
+		delivered := 0
+		b.HandleUDP(7, func(n *Node, p *packet.Packet, meta *PacketMeta) { delivered++ })
+
+		// A pre-encapsulated packet addressed to R's decap SID with one
+		// segment still to visit.
+		inner, _ := packet.BuildPacket(aAddr, bAddr, packet.WithUDP(1, 7))
+		outer, err := seg6.Encap(inner, aAddr, packet.NewSRH([]netip.Addr{sid, bAddr}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Output(outer)
+		s.Run()
+
+		if usd {
+			if delivered != 1 || r.Counters()["drop_seg6local_error"] != 0 {
+				t.Errorf("USD: delivered=%d drops=%d", delivered, r.Counters()["drop_seg6local_error"])
+			}
+		} else {
+			if delivered != 0 || r.Counters()["drop_seg6local_error"] != 1 {
+				t.Errorf("mid-path decap: delivered=%d drops=%d, want a counted drop",
+					delivered, r.Counters()["drop_seg6local_error"])
+			}
+		}
+	}
+}
+
+// TestIfaceTableBinding: traffic entering a bound interface is looked
+// up in the bound table instead of main (the L3VPN ingress VRF).
+func TestIfaceTableBinding(t *testing.T) {
+	s := New(1)
+	a, r, b := lineTopo(s)
+	cAddr := netip.MustParseAddr("2001:db8:c::1")
+	b.AddAddress(cAddr)
+
+	// R's main table has no route for 2001:db8:c::/48; table 50 does.
+	raIf := r.Ifaces()[0]
+	rbIf := r.Ifaces()[1]
+	if err := r.BindIfaceTable(raIf, 50); err != nil {
+		t.Fatal(err)
+	}
+	r.Table(50).Add(&Route{Prefix: pfx("2001:db8:c::/48"), Kind: RouteForward,
+		Nexthops: []Nexthop{{Iface: rbIf}}})
+
+	delivered := 0
+	b.HandleUDP(7, func(n *Node, p *packet.Packet, meta *PacketMeta) { delivered++ })
+	raw, _ := packet.BuildPacket(aAddr, cAddr, packet.WithUDP(1, 7))
+	a.Output(raw)
+	s.Run()
+	if delivered != 1 {
+		t.Errorf("delivered=%d: bound-table lookup did not fire", delivered)
+	}
+}
+
+// TestProxyChainEndToEnd drives the End.AS proxy cycle through the
+// forwarding engine on a minimal topology: R proxies to a VNF node
+// that bounces packets back, and the re-encapsulated traffic reaches
+// B's decap SID.
+func TestProxyChainEndToEnd(t *testing.T) {
+	s := New(1)
+	a, r, b := lineTopo(s)
+	vnf := s.AddNode("VNF", HostCostModel())
+	vnf.AddAddress(netip.MustParseAddr("2001:db8:f::1"))
+	vnfIf, rvIf := ConnectSymmetric(vnf, r, netem.Config{RateBps: 10_000_000_000, DelayNs: 10 * Microsecond})
+	if err := vnf.AddRoute(&Route{Prefix: pfx("::/0"), Kind: RouteForward, Nexthops: []Nexthop{{Iface: vnfIf}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	asSID := netip.MustParseAddr("2001:db8:aa::a5")
+	dt6 := netip.MustParseAddr("2001:db8:b::d6")
+	asB := &seg6.Behaviour{
+		Action: seg6.ActionEndAS,
+		SRH:    packet.NewSRH([]netip.Addr{dt6}),
+		Src:    netip.MustParseAddr("2001:db8:aa::1"),
+		OIF:    rvIf,
+	}
+	if err := r.AddRoute(&Route{Prefix: netip.PrefixFrom(asSID, 128), Kind: RouteSeg6Local, Behaviour: asB}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BindProxyReturn(rvIf, asB); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRoute(&Route{Prefix: netip.PrefixFrom(dt6, 128), Kind: RouteSeg6Local,
+		Behaviour: &seg6.Behaviour{Action: seg6.ActionEndDT6}}); err != nil {
+		t.Fatal(err)
+	}
+	// A steers B-bound traffic through the proxy SID.
+	if err := a.AddRoute(&Route{Prefix: pfx("2001:db8:b::/48"), Kind: RouteSeg6Encap,
+		SRH: packet.NewSRH([]netip.Addr{asSID, dt6})}); err != nil {
+		t.Fatal(err)
+	}
+
+	delivered := 0
+	b.HandleUDP(7, func(n *Node, p *packet.Packet, meta *PacketMeta) { delivered++ })
+	raw, _ := packet.BuildPacket(aAddr, bAddr, packet.WithUDP(1, 7))
+	a.Output(raw)
+	s.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered=%d: proxy chain broken (VNF rx=%v, R drops=%v)",
+			delivered, vnf.Counters(), r.Counters())
+	}
+}

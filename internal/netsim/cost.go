@@ -82,10 +82,18 @@ func ServerCostModel() CostModel {
 			seg6.ActionEnd:        50,
 			seg6.ActionEndX:       60,
 			seg6.ActionEndT:       85,
+			seg6.ActionEndDX2:     520,
 			seg6.ActionEndDX6:     600,
+			seg6.ActionEndDX4:     600,
 			seg6.ActionEndDT6:     700,
+			seg6.ActionEndDT4:     700,
+			seg6.ActionEndDT46:    730,
 			seg6.ActionEndB6:      300,
 			seg6.ActionEndB6Encap: 800,
+			// Proxies: End.AS pays a full decap + later re-encap;
+			// End.AM only rewrites the destination address.
+			seg6.ActionEndAS: 950,
+			seg6.ActionEndAM: 120,
 		},
 		EncapNs:       260,
 		ICMPGenNs:     2000,
@@ -111,13 +119,19 @@ func CPECostModel() CostModel {
 			seg6.ActionEnd:    200,
 			seg6.ActionEndX:   240,
 			seg6.ActionEndT:   340,
+			seg6.ActionEndDX2: 450,
 			seg6.ActionEndDX6: 500,
+			seg6.ActionEndDX4: 500,
 			// Decap costs ~9% of the CPE's per-packet budget: the
 			// "Kernel decap." curve of Figure 4 sits ~10% under plain
 			// forwarding at CPU-bound payload sizes.
 			seg6.ActionEndDT6:     550,
+			seg6.ActionEndDT4:     550,
+			seg6.ActionEndDT46:    580,
 			seg6.ActionEndB6:      1200,
 			seg6.ActionEndB6Encap: 2400,
+			seg6.ActionEndAS:      2800,
+			seg6.ActionEndAM:      400,
 		},
 		// Kernel decapsulation of SRv6 traffic costs ~10% of the
 		// baseline per-packet time (Figure 4, "Kernel decap.").

@@ -56,6 +56,10 @@ type EncapMode int
 const (
 	EncapModeEncap  EncapMode = iota // outer IPv6 + SRH
 	EncapModeInline                  // SRH spliced into the packet
+	// EncapModeEncapRed is the reduced encapsulation (H.Encaps.Red,
+	// RFC 8986 §5.2): the first segment travels only in the outer
+	// destination address.
+	EncapModeEncapRed
 )
 
 // Nexthop is one forwarding target: the egress interface, plus an

@@ -18,6 +18,7 @@ package netsim_test
 import (
 	"fmt"
 	"math/rand"
+	"net/netip"
 	"os"
 	"strconv"
 	"strings"
@@ -27,6 +28,7 @@ import (
 	"srv6bpf/internal/netsim/chaos"
 	"srv6bpf/internal/netsim/topo"
 	"srv6bpf/internal/packet"
+	"srv6bpf/internal/seg6"
 	"srv6bpf/internal/tcpsim"
 	"srv6bpf/internal/trafgen"
 )
@@ -59,6 +61,12 @@ type fuzzScenario struct {
 	// to per-packet processing under every engine, including rollback
 	// of a partially-executed burst.
 	burst int
+	// srv6 overlays a segment-routed detour on one traffic pair: a
+	// reduced encap at the source, a (possibly PSP-flavored) End SID
+	// on a transit host and a DT6/DT46 decap SID at the destination,
+	// so the registry-dispatched behaviours run under every engine and
+	// must survive optimistic rollback like plain forwarding.
+	srv6 bool
 }
 
 func deriveScenario(seed int64) fuzzScenario {
@@ -89,6 +97,7 @@ func deriveScenario(seed int64) fuzzScenario {
 	// (and burst after chaos, for the same reason).
 	sc.chaos = rng.Intn(2) == 0
 	sc.burst = 1 << uint(rng.Intn(6)) // 1..32
+	sc.srv6 = rng.Intn(2) == 0
 	return sc
 }
 
@@ -157,6 +166,62 @@ func fuzzRun(t *testing.T, sc fuzzScenario, shards int, eng netsim.Engine, burst
 			SrcPort: 1000, DstPort: 9, PayloadLen: 64,
 			FlowLabel: func(k uint64) uint32 { return uint32(k % sc.flowMod) },
 			RatePPS:   sc.rate,
+		}
+	}
+
+	// SRv6 overlay: pick three distinct hosts S, T, D and steer S's
+	// generated flow through a segment list. S applies a reduced encap
+	// toward an End SID on T (half the scenarios flavor it PSP, so the
+	// SRH pops mid-path) and on to a DT6 or DT46 decap SID on D; the
+	// flow targets an auxiliary address inside D's /48 so delivery
+	// proves the whole behaviour chain ran. Every address lives inside
+	// an existing host /48, so the topology's BFS routes carry the
+	// detour without extra routing state.
+	var srv6Src netip.Addr
+	var srv6Dst *netsim.Node
+	if sc.srv6 && len(nw.Hosts) >= 3 {
+		srng := rand.New(rand.NewSource(sc.seed ^ 0x73727636)) // "srv6"
+		perm := srng.Perm(len(nw.Hosts))
+		src, transit, dst := nw.Hosts[perm[0]], nw.Hosts[perm[1]], nw.Hosts[perm[2]]
+		srv6Src, srv6Dst = nw.HostAddr(src), dst
+
+		sidIn := func(h *netsim.Node, tail byte) netip.Addr {
+			b := nw.HostAddr(h).As16()
+			b[15] = tail
+			return netip.AddrFrom16(b)
+		}
+		aux := sidIn(dst, 0x02)
+		dst.AddAddress(aux)
+
+		endB := &seg6.Behaviour{Action: seg6.ActionEnd}
+		if srng.Intn(2) == 0 {
+			endB.Flavors = seg6.FlavorPSP
+		}
+		tSID := sidIn(transit, 0xe5)
+		if err := transit.AddRoute(&netsim.Route{Prefix: netip.PrefixFrom(tSID, 128),
+			Kind: netsim.RouteSeg6Local, Behaviour: endB}); err != nil {
+			t.Fatal(err)
+		}
+
+		decapAction := seg6.ActionEndDT6
+		if srng.Intn(2) == 0 {
+			decapAction = seg6.ActionEndDT46
+		}
+		dSID := sidIn(dst, 0xd6)
+		if err := dst.AddRoute(&netsim.Route{Prefix: netip.PrefixFrom(dSID, 128),
+			Kind: netsim.RouteSeg6Local, Behaviour: &seg6.Behaviour{Action: decapAction}}); err != nil {
+			t.Fatal(err)
+		}
+
+		if err := src.AddRoute(&netsim.Route{Prefix: netip.PrefixFrom(aux, 128),
+			Kind: netsim.RouteSeg6Encap, Mode: netsim.EncapModeEncapRed,
+			SRH: packet.NewSRH([]netip.Addr{tSID, dSID})}); err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range gens {
+			if g.Node == src {
+				g.Dst = aux
+			}
 		}
 	}
 
@@ -267,6 +332,28 @@ func fuzzRun(t *testing.T, sc fuzzScenario, shards int, eng netsim.Engine, burst
 	var b strings.Builder
 	for i, j := range journals {
 		fmt.Fprintf(&b, "trace[%s]=%s\n", nw.Hosts[i].Name, strings.Join(j.Lines(), ","))
+	}
+	// The srv6-detoured flow's deliveries join the fingerprint by
+	// name: a vacuous overlay (broken steering dropping every packet)
+	// would still fingerprint identically across engines, so pin the
+	// count explicitly. Chaos campaigns and link failures may
+	// legitimately push it to zero in some scenarios; the point is
+	// every arm must agree on the number.
+	if srv6Dst != nil {
+		srv6N := 0
+		for i, j := range journals {
+			if nw.Hosts[i] != srv6Dst {
+				continue
+			}
+			needle := ":" + srv6Src.String() + ":"
+			for _, ln := range j.Lines() {
+				if strings.Contains(ln, needle) {
+					srv6N++
+				}
+			}
+		}
+		fmt.Fprintf(&b, "srv6_delivered=%d\n", srv6N)
+		t.Logf("srv6 overlay: %d detoured deliveries", srv6N)
 	}
 	for _, n := range nw.Nodes {
 		for _, ifc := range n.Ifaces() {
@@ -403,6 +490,9 @@ func TestShardEquivalenceFuzz(t *testing.T) {
 		name := fmt.Sprintf("s%02d-%s", i, sc.kind)
 		if sc.chaos {
 			name += "-chaos"
+		}
+		if sc.srv6 {
+			name += "-srv6"
 		}
 		t.Run(name, func(t *testing.T) {
 			base := fuzzRun(t, sc, 1, netsim.EngineConservative, 1)

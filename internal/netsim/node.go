@@ -219,6 +219,17 @@ type Node struct {
 	udpHandlers map[uint16]UDPHandler
 	tcpHandler  func(n *Node, p *packet.Packet, meta *PacketMeta)
 	icmpHandler func(n *Node, p *packet.Packet, meta *PacketMeta)
+	// l2Handler receives Ethernet frames decapsulated by End.DX2.
+	l2Handler func(n *Node, frame []byte, meta *PacketMeta)
+
+	// ifaceInputs binds an interface to the return leg of an SR proxy
+	// (End.AS / End.AM): packets arriving on it run the behaviour's
+	// Inbound step instead of a FIB lookup. ifaceTables binds an
+	// interface to a routing table (VRF-style per-tenant lookup for
+	// the End.DT* scenarios). Both are configuration, like
+	// udpHandlers: set at topology-build time, not checkpointed.
+	ifaceInputs map[*Iface]*seg6.Behaviour
+	ifaceTables map[*Iface]int
 
 	// rxq is a ring buffer: rxCount items starting at rxHead. It
 	// grows geometrically up to Cost.RxRingPackets, so draining one
@@ -577,7 +588,7 @@ func (n *Node) AddAddress(addr netip.Addr) {
 		n.primary = addr
 	}
 	n.Table(MainTable).Add(&Route{
-		Prefix: netip.PrefixFrom(addr, 128),
+		Prefix: netip.PrefixFrom(addr, addr.BitLen()),
 		Kind:   RouteLocal,
 	})
 }
@@ -601,8 +612,37 @@ func (n *Node) Table(id int) *Table {
 	return t
 }
 
-// AddRoute inserts r into the main table.
-func (n *Node) AddRoute(r *Route) { n.Table(MainTable).Add(r) }
+// AddRoute validates r and inserts it into the main table. Like the
+// kernel's build_state for lightweight tunnels, behaviour parameters
+// are checked at install time: a seg6local route whose behaviour the
+// registry rejects (missing nexthop, unsupported flavor, no SRH) never
+// makes it into the FIB, instead of silently eating packets later.
+func (n *Node) AddRoute(r *Route) error {
+	if err := validateRoute(r); err != nil {
+		return err
+	}
+	n.Table(MainTable).Add(r)
+	return nil
+}
+
+// validateRoute applies the install-time checks of AddRoute.
+func validateRoute(r *Route) error {
+	switch r.Kind {
+	case RouteSeg6Local:
+		if r.Behaviour == nil {
+			return fmt.Errorf("netsim: seg6local route %s has no behaviour", r.Prefix)
+		}
+		return seg6.Validate(r.Behaviour)
+	case RouteSeg6Encap:
+		if r.SRH == nil {
+			return fmt.Errorf("netsim: seg6 encap route %s has no SRH", r.Prefix)
+		}
+		if _, err := r.SRH.ActiveSegment(); err != nil {
+			return fmt.Errorf("netsim: seg6 encap route %s: %w", r.Prefix, err)
+		}
+	}
+	return nil
+}
 
 // Lookup performs a FIB lookup in the given table.
 func (n *Node) Lookup(dst netip.Addr, table int) *Route {
@@ -620,6 +660,48 @@ func (n *Node) HandleTCP(h func(n *Node, p *packet.Packet, meta *PacketMeta)) {
 // HandleICMP registers the node's ICMPv6 input (traceroute clients).
 func (n *Node) HandleICMP(h func(n *Node, p *packet.Packet, meta *PacketMeta)) {
 	n.icmpHandler = h
+}
+
+// HandleL2 registers the node's Ethernet input: End.DX2 without an
+// OIF hands decapsulated frames here.
+func (n *Node) HandleL2(h func(n *Node, frame []byte, meta *PacketMeta)) {
+	n.l2Handler = h
+}
+
+// BindProxyReturn wires the return leg of an SR proxy: packets
+// arriving on in run b's Inbound step (End.AS re-encapsulation,
+// End.AM de-masquerading) instead of a FIB lookup. b is normally the
+// same Behaviour installed under the proxy's SID.
+func (n *Node) BindProxyReturn(in *Iface, b *seg6.Behaviour) error {
+	if in == nil || in.Node != n {
+		return fmt.Errorf("netsim: BindProxyReturn: interface does not belong to %s", n.Name)
+	}
+	sp := seg6.Lookup(b.Action)
+	if sp == nil || sp.Inbound == nil {
+		return fmt.Errorf("netsim: BindProxyReturn: %v has no inbound step", b.Action)
+	}
+	if err := seg6.Validate(b); err != nil {
+		return err
+	}
+	if n.ifaceInputs == nil {
+		n.ifaceInputs = make(map[*Iface]*seg6.Behaviour)
+	}
+	n.ifaceInputs[in] = b
+	return nil
+}
+
+// BindIfaceTable routes packets arriving on in through table instead
+// of the main table — the VRF binding of an L3VPN PE's CE-facing
+// interface (ip route ... vrf / table semantics).
+func (n *Node) BindIfaceTable(in *Iface, table int) error {
+	if in == nil || in.Node != n {
+		return fmt.Errorf("netsim: BindIfaceTable: interface does not belong to %s", n.Name)
+	}
+	if n.ifaceTables == nil {
+		n.ifaceTables = make(map[*Iface]int)
+	}
+	n.ifaceTables[in] = table
+	return nil
 }
 
 // deliver is called by the link layer when a packet arrives. It
@@ -790,7 +872,7 @@ func (n *Node) runCommit(pc *pendingCommit) {
 		raw, iface := pc.raw, pc.iface
 		pc.raw, pc.iface = nil, nil
 		if pc.decHop {
-			packet.SetIPv6HopLimit(raw, pc.hopLimit-1)
+			packet.SetHopLimit(raw, pc.hopLimit-1)
 		}
 		n.pktEra = pc.era
 		iface.Transmit(raw)
@@ -847,6 +929,23 @@ func (n *Node) outputFrom(era uint64, raw []byte) {
 // to apply at processing-completion time into pc and returning any
 // extra cost beyond the base packet cost.
 func (n *Node) routePacket(raw []byte, pc *pendingCommit, depth int) int64 {
+	// Interface-bound dispatch runs before the FIB: the return leg of
+	// an SR proxy and VRF table bindings key on the arrival interface.
+	// Unconfigured nodes pay two nil compares.
+	if depth == 0 && pc.meta.InIface != nil &&
+		(n.ifaceInputs != nil || n.ifaceTables != nil) {
+		if b, ok := n.ifaceInputs[pc.meta.InIface]; ok {
+			return n.proxyReturn(b, raw, pc, depth)
+		}
+		if t, ok := n.ifaceTables[pc.meta.InIface]; ok {
+			dst, err := packet.DstAddr(raw)
+			if err != nil {
+				n.hot.dropMalformed.Inc()
+				return 0
+			}
+			return n.applyRoute(n.Lookup(dst, t), raw, pc, nil, depth)
+		}
+	}
 	fe := n.flowLookup(raw)
 	var r *Route
 	if fe != nil {
@@ -860,7 +959,9 @@ func (n *Node) routePacket(raw []byte, pc *pendingCommit, depth int) int64 {
 			fe.r, fe.rVer = r, t.version
 		}
 	} else {
-		dst, err := packet.IPv6Dst(raw)
+		// DstAddr is version-dispatching: a decapsulated IPv4 packet
+		// (End.DT4/DT46) routes through the same tables.
+		dst, err := packet.DstAddr(raw)
 		if err != nil {
 			n.hot.dropMalformed.Inc()
 			return 0
@@ -978,6 +1079,19 @@ func (n *Node) forward(r *Route, raw []byte, pc *pendingCommit, fe *flowEntry) i
 		// header fields without touching the packet again.
 		src, dst = fe.src, fe.dst
 		hopLimit, flowLabel = fe.info.HopLimit, fe.info.FlowLabel
+	} else if packet.IPVersion(raw) == 4 {
+		// Decapsulated IPv4 (End.DT4/DT46 towards a CE): same ECMP and
+		// TTL handling, no flow label.
+		hdr, err := packet.DecodeIPv4(raw)
+		if err != nil {
+			n.hot.dropMalformed.Inc()
+			if n.spanIdx >= 0 {
+				n.obsVerdict("drop")
+			}
+			return 0
+		}
+		src, dst = hdr.Src, hdr.Dst
+		hopLimit, flowLabel = hdr.TTL, 0
 	} else {
 		hdr, err := packet.DecodeIPv6(raw)
 		if err != nil {
@@ -1030,6 +1144,15 @@ func (n *Node) forward(r *Route, raw []byte, pc *pendingCommit, fe *flowEntry) i
 	if viaBackup {
 		n.hot.backupTx.Inc()
 		if r.Backup.SRH != nil {
+			if !pc.meta.Local {
+				// Forwarding decrements before the tunnel ingress
+				// (ip6_forward runs before the lwtunnel output), the
+				// outer header copies the decremented value, and the
+				// encapsulated packet leaves as local output — no second
+				// decrement at transmit.
+				packet.SetHopLimit(raw, hopLimit-1)
+				pc.meta.Local = true
+			}
 			enc, err := seg6.Encap(raw, n.primary, r.Backup.SRH)
 			if err != nil {
 				n.Count("drop_backup_encap_error")
@@ -1059,11 +1182,19 @@ func (n *Node) forward(r *Route, raw []byte, pc *pendingCommit, fe *flowEntry) i
 	return extra
 }
 
-// applySeg6Local runs a seg6local behaviour (static or End.BPF) and
-// acts on its verdict.
+// applySeg6Local runs a seg6local behaviour (static or End.BPF)
+// through the dispatch registry and acts on its verdict.
 func (n *Node) applySeg6Local(r *Route, raw []byte, pc *pendingCommit, fe *flowEntry, depth int) int64 {
 	b := r.Behaviour
 	if b == nil {
+		n.Count("drop_bad_route")
+		if n.spanIdx >= 0 {
+			n.obsVerdict("drop")
+		}
+		return 0
+	}
+	sp := seg6.Lookup(b.Action)
+	if sp == nil {
 		n.Count("drop_bad_route")
 		if n.spanIdx >= 0 {
 			n.obsVerdict("drop")
@@ -1076,7 +1207,7 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, pc *pendingCommit, fe *flowE
 	var err error
 
 	switch {
-	case b.Action == seg6.ActionEndBPF:
+	case sp.Prog:
 		prog, ok := b.BPF.(Seg6LocalProgram)
 		if !ok {
 			n.Count("drop_bad_seg6local_attachment")
@@ -1087,25 +1218,33 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, pc *pendingCommit, fe *flowE
 		}
 		res, cost, err = prog.RunSeg6Local(n, raw, &pc.meta)
 		cost += n.Cost.Behaviour[seg6.ActionEnd] // the endpoint part of End.BPF
-	case b.Action == seg6.ActionEnd && fe != nil:
+	case sp.Advancing && b.Flavors == 0 && fe != nil &&
+		(b.Action != seg6.ActionEndX || b.Nexthop.IsValid()):
 		// Burst fast path: the flow cache already walked these exact
-		// bytes, so End reduces to the bounds-revalidated in-place
-		// advance — seg6.ApplyStatic's applyEnd with ParseInfo reused.
+		// bytes, so an unflavored advancing endpoint (End, End.X,
+		// End.T) reduces to the bounds-revalidated in-place advance
+		// plus the spec's verdict — no reparse, no allocation.
 		if !fe.info.HasSRH() {
 			err = seg6.ErrNoSRH
 		} else {
 			err = seg6.AdvanceAt(raw, fe.info.SRHOff)
 		}
-		res = seg6.Result{Verdict: seg6.VerdictForward, Pkt: raw}
+		res = seg6.Result{Verdict: sp.Verdict, Pkt: raw, Nexthop: b.Nexthop, Table: b.Table}
 		cost = n.Cost.Behaviour[b.Action]
 	default:
-		res, err = seg6.ApplyStatic(b, raw)
+		if sp.Encapsulates && !n.tunnelHopLimit(raw, pc) {
+			if n.spanIdx >= 0 {
+				n.obsBehavior(sp.Name)
+			}
+			return n.Cost.ICMPGenNs
+		}
+		res, err = seg6.Apply(b, raw)
 		cost = n.Cost.Behaviour[b.Action]
 	}
 	if n.obs != nil {
 		n.obs.cells[n.shard.id].behavior[b.Action].Observe(cost)
 		if n.spanIdx >= 0 {
-			n.obsBehavior(b.Action.String())
+			n.obsBehavior(sp.Name)
 		}
 	}
 	if err != nil {
@@ -1118,7 +1257,78 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, pc *pendingCommit, fe *flowE
 		}
 		return cost
 	}
+	return n.seg6Act(b, res, cost, pc, depth)
+}
 
+// tunnelHopLimit performs the forwarding-plane hop-limit step at a
+// tunnel ingress for transit packets: the kernel's ip6_forward
+// decrements BEFORE the lwtunnel output builds the outer header, so
+// the inner hop limit is decremented here, the outer copies the
+// decremented value, and the encapsulated packet continues as local
+// output (no second decrement at transmit). Reports false when the
+// packet's hop limit is exhausted (dropped, ICMP queued).
+func (n *Node) tunnelHopLimit(raw []byte, pc *pendingCommit) bool {
+	if pc.meta.Local {
+		return true
+	}
+	hl, err := packet.HopLimit(raw)
+	if err != nil {
+		n.hot.dropMalformed.Inc()
+		if n.spanIdx >= 0 {
+			n.obsVerdict("drop")
+		}
+		return false
+	}
+	if hl <= 1 {
+		n.hot.dropHopLimit.Inc()
+		if n.spanIdx >= 0 {
+			n.obsVerdict("drop")
+		}
+		if fn := n.icmpError(raw, &pc.meta, packet.ICMPv6TimeExceeded, 0); fn != nil {
+			pc.op, pc.fn = commitFn, fn
+		}
+		return false
+	}
+	packet.SetHopLimit(raw, hl-1)
+	pc.meta.Local = true
+	return true
+}
+
+// proxyReturn runs the inbound half of an SR proxy for a packet
+// arriving on a bound interface (see BindProxyReturn).
+func (n *Node) proxyReturn(b *seg6.Behaviour, raw []byte, pc *pendingCommit, depth int) int64 {
+	sp := seg6.Lookup(b.Action)
+	if sp == nil || sp.Inbound == nil {
+		n.Count("drop_bad_proxy_return")
+		if n.spanIdx >= 0 {
+			n.obsVerdict("drop")
+		}
+		return 0
+	}
+	res, err := sp.Inbound(b, raw)
+	cost := n.Cost.Behaviour[b.Action]
+	if n.obs != nil {
+		n.obs.cells[n.shard.id].behavior[b.Action].Observe(cost)
+		if n.spanIdx >= 0 {
+			n.obsBehavior(sp.Name + "-in")
+		}
+	}
+	if err != nil {
+		n.hot.dropSeg6LocalError.Inc()
+		if n.Trace != nil {
+			n.Trace("%s: proxy return %v error: %v", n.Name, b.Action, err)
+		}
+		if n.spanIdx >= 0 {
+			n.obsVerdict("error")
+		}
+		return cost
+	}
+	return n.seg6Act(b, res, cost, pc, depth)
+}
+
+// seg6Act acts on a behaviour's verdict: the shared tail of
+// applySeg6Local and proxyReturn.
+func (n *Node) seg6Act(b *seg6.Behaviour, res seg6.Result, cost int64, pc *pendingCommit, depth int) int64 {
 	switch res.Verdict {
 	case seg6.VerdictDrop:
 		n.hot.dropSeg6Local.Inc()
@@ -1131,7 +1341,7 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, pc *pendingCommit, fe *flowE
 		return cost + n.routePacket(res.Pkt, pc, depth+1)
 
 	case seg6.VerdictForwardTable:
-		dst, err := packet.IPv6Dst(res.Pkt)
+		dst, err := packet.DstAddr(res.Pkt)
 		if err != nil {
 			n.hot.dropMalformed.Inc()
 			if n.spanIdx >= 0 {
@@ -1151,36 +1361,42 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, pc *pendingCommit, fe *flowE
 			}
 			return cost
 		}
-		out := res.Pkt
-		hdr, err := packet.DecodeIPv6(out)
-		if err != nil {
-			n.hot.dropMalformed.Inc()
+		return cost + n.transmitVerdict(res.Pkt, iface, pc)
+
+	case seg6.VerdictForwardOIF:
+		iface, ok := b.OIF.(*Iface)
+		if !ok || iface == nil || iface.Node != n {
+			n.Count("drop_bad_oif")
 			if n.spanIdx >= 0 {
 				n.obsVerdict("drop")
 			}
 			return cost
 		}
-		if !pc.meta.Local && hdr.HopLimit <= 1 {
-			n.hot.dropHopLimit.Inc()
+		if !iface.Up() {
+			n.hot.dropLinkDown.Inc()
 			if n.spanIdx >= 0 {
 				n.obsVerdict("drop")
 			}
-			if fn := n.icmpError(out, &pc.meta, packet.ICMPv6TimeExceeded, 0); fn != nil {
-				pc.op, pc.fn = commitFn, fn
+			return cost
+		}
+		return cost + n.transmitVerdict(res.Pkt, iface, pc)
+
+	case seg6.VerdictDeliverL2:
+		if n.l2Handler == nil {
+			n.Count("l2_no_handler")
+			if n.spanIdx >= 0 {
+				n.obsVerdict("drop")
 			}
-			return cost + n.Cost.ICMPGenNs
+			return cost
 		}
+		n.Count("l2_delivered")
 		if n.spanIdx >= 0 {
-			n.obsVerdict("forward")
+			n.obsVerdict("local")
 		}
-		// See forward: the commit runs after interleaved events.
-		pc.op = commitTransmit
-		pc.decHop = !pc.meta.Local
-		pc.hopLimit = hdr.HopLimit
-		pc.iface = iface
-		pc.raw = out
-		pc.era = n.pktEra
-		return cost
+		frame, h, meta := res.Pkt, n.l2Handler, pc.meta
+		pc.op = commitFn
+		pc.fn = func() { h(n, frame, &meta) }
+		return cost + n.Cost.LocalDeliverNs
 
 	default:
 		n.Count("drop_bad_verdict")
@@ -1189,6 +1405,48 @@ func (n *Node) applySeg6Local(r *Route, raw []byte, pc *pendingCommit, fe *flowE
 		}
 		return cost
 	}
+}
+
+// transmitVerdict commits transmission of out on iface with the
+// forwarding plane's hop-limit contract; Ethernet frames (End.DX2
+// cross-connect) carry no hop limit and leave untouched.
+func (n *Node) transmitVerdict(out []byte, iface *Iface, pc *pendingCommit) int64 {
+	ver := packet.IPVersion(out)
+	var hopLimit uint8
+	decHop := false
+	if ver == 4 || ver == 6 {
+		hl, err := packet.HopLimit(out)
+		if err != nil {
+			n.hot.dropMalformed.Inc()
+			if n.spanIdx >= 0 {
+				n.obsVerdict("drop")
+			}
+			return 0
+		}
+		if !pc.meta.Local && hl <= 1 {
+			n.hot.dropHopLimit.Inc()
+			if n.spanIdx >= 0 {
+				n.obsVerdict("drop")
+			}
+			if fn := n.icmpError(out, &pc.meta, packet.ICMPv6TimeExceeded, 0); fn != nil {
+				pc.op, pc.fn = commitFn, fn
+			}
+			return n.Cost.ICMPGenNs
+		}
+		hopLimit = hl
+		decHop = !pc.meta.Local
+	}
+	if n.spanIdx >= 0 {
+		n.obsVerdict("forward")
+	}
+	// See forward: the commit runs after interleaved events.
+	pc.op = commitTransmit
+	pc.decHop = decHop
+	pc.hopLimit = hopLimit
+	pc.iface = iface
+	pc.raw = out
+	pc.era = n.pktEra
+	return 0
 }
 
 // applySeg6Encap performs the static transit behaviours.
@@ -1204,13 +1462,25 @@ func (n *Node) applySeg6Encap(r *Route, raw []byte, pc *pendingCommit, depth int
 	var err error
 	switch r.Mode {
 	case EncapModeInline:
+		// Inline insertion adds no outer header: the packet stays a
+		// transit packet and the transmit-time decrement applies.
 		out, err = seg6.InsertSRH(raw, r.SRH)
 		if n.spanIdx >= 0 {
 			n.obsBehavior("T.Insert")
 		}
+	case EncapModeEncapRed:
+		if !n.tunnelHopLimit(raw, pc) {
+			return n.Cost.ICMPGenNs
+		}
+		out, err = seg6.EncapRed(raw, n.primary, r.SRH)
+		if n.spanIdx >= 0 {
+			n.obsBehavior("H.Encaps.Red")
+		}
 	default:
-		src := n.primary
-		out, err = seg6.Encap(raw, src, r.SRH)
+		if !n.tunnelHopLimit(raw, pc) {
+			return n.Cost.ICMPGenNs
+		}
+		out, err = seg6.Encap(raw, n.primary, r.SRH)
 		if n.spanIdx >= 0 {
 			n.obsBehavior("T.Encaps")
 		}
@@ -1327,6 +1597,10 @@ func (n *Node) BurstCache() (uint64, bool) { return n.burstSeq, n.burst > 1 }
 // view handed to handlers is backed by node-owned scratch storage:
 // valid only for the duration of the handler call.
 func (n *Node) deliverLocal(raw []byte, meta *PacketMeta) {
+	if packet.IPVersion(raw) == 4 {
+		n.deliverLocal4(raw, meta)
+		return
+	}
 	p := &n.scratchPkt
 	if n.burst > 1 &&
 		len(n.scratchHdr) > 0 && n.scratchRawLen == len(raw) &&
@@ -1381,12 +1655,51 @@ func (n *Node) deliverLocal(raw []byte, meta *PacketMeta) {
 	}
 }
 
+// deliverLocal4 dispatches an IPv4 packet addressed to this node
+// (traffic decapsulated by End.DT4/DT46 at a tenant's egress). Only
+// UDP listeners are modeled; the handler sees a minimal Packet view
+// (Raw, L4Proto, L4Off) — enough for sinks and port demultiplexing.
+func (n *Node) deliverLocal4(raw []byte, meta *PacketMeta) {
+	h, err := packet.DecodeIPv4(raw)
+	if err != nil {
+		n.hot.dropMalformedLocal.Inc()
+		return
+	}
+	if h.Protocol != packet.ProtoUDP {
+		n.Count("local_unknown_proto")
+		return
+	}
+	if len(raw) < h.HdrLen {
+		n.hot.dropMalformedLocal.Inc()
+		return
+	}
+	udp, err := packet.DecodeUDP(raw[h.HdrLen:])
+	if err != nil {
+		n.hot.dropMalformedLocal.Inc()
+		return
+	}
+	handler, ok := n.udpHandlers[udp.DstPort]
+	if !ok {
+		n.Count("udp_no_listener")
+		return
+	}
+	n.hot.udpDelivered.Inc()
+	var p packet.Packet
+	p.Raw = raw
+	p.L4Proto = h.Protocol
+	p.L4Off = h.HdrLen
+	handler(n, &p, meta)
+}
+
 // icmpError builds the commit that sends an ICMPv6 error about raw
 // back to its source. Errors about ICMPv6 errors are suppressed
 // (RFC 4443 §2.4) to avoid storms.
 func (n *Node) icmpError(raw []byte, meta *PacketMeta, icmpType, code uint8) func() {
 	if meta.Local {
 		return nil // local senders learn through counters
+	}
+	if packet.IPVersion(raw) != 6 {
+		return nil // ICMPv4 generation is not modeled
 	}
 	if p, err := packet.Parse(raw); err == nil && p.L4Proto == packet.ProtoICMPv6 {
 		if m, err := packet.DecodeICMPv6(raw[p.L4Off:]); err == nil && m.Type < 128 {

@@ -49,7 +49,7 @@ type ObsOptions struct {
 // time (exact, by log-linear bucket construction).
 type obsCell struct {
 	queueDelay obs.Histogram
-	behavior   [int(seg6.ActionEndBPF) + 1]obs.Histogram
+	behavior   [seg6.NumActions]obs.Histogram
 }
 
 // simObs is the per-sim observability state; Sim.obs and every

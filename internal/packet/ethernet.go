@@ -1,0 +1,38 @@
+package packet
+
+// Minimal Ethernet framing for the L2 tunnel behaviors (End.DX2 /
+// H.Encaps.L2): the simulator treats a frame as opaque bytes behind a
+// 14-byte header, enough to carry L2 payloads through an SRv6 tunnel
+// and hand them to a node's L2 handler at the egress.
+
+import "fmt"
+
+// EthernetHeaderLen is the untagged Ethernet header size.
+const EthernetHeaderLen = 14
+
+// Ethernet is the decoded Ethernet header.
+type Ethernet struct {
+	Dst, Src  [6]byte
+	EtherType uint16
+}
+
+// DecodeEthernet parses the header of frame.
+func DecodeEthernet(frame []byte) (Ethernet, error) {
+	var e Ethernet
+	if len(frame) < EthernetHeaderLen {
+		return e, fmt.Errorf("%w: Ethernet header needs 14 bytes, have %d", ErrTruncated, len(frame))
+	}
+	copy(e.Dst[:], frame[0:6])
+	copy(e.Src[:], frame[6:12])
+	e.EtherType = uint16(frame[12])<<8 | uint16(frame[13])
+	return e, nil
+}
+
+// BuildEthernet assembles a frame from its header and payload.
+func BuildEthernet(dst, src [6]byte, etherType uint16, payload []byte) []byte {
+	out := make([]byte, 0, EthernetHeaderLen+len(payload))
+	out = append(out, dst[:]...)
+	out = append(out, src[:]...)
+	out = append(out, uint8(etherType>>8), uint8(etherType))
+	return append(out, payload...)
+}

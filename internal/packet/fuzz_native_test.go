@@ -45,6 +45,19 @@ func fuzzSeedPackets(tb testing.TB) [][]byte {
 		tb.Fatal(err)
 	}
 	add(BuildPacket(src, dst, WithSRH(NewSRH(segs3[:1])), WithInnerPacket(inner)))
+	// The mid-path decap shape: an inner packet behind an SRH whose
+	// SegmentsLeft is still > 0 — the input the decap behaviours must
+	// refuse (RFC 8986 upper-layer check) — plus IPv4 and Ethernet
+	// payloads behind the SRH.
+	add(BuildPacket(src, dst, WithSRH(NewSRH(segs3)), WithInnerPacket(inner)))
+	v4, err := BuildIPv4UDP(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"),
+		9, 9, []byte("in4"), 64)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	add(BuildPacket(src, dst, WithSRH(NewSRH(segs3[:2])), WithInnerPacket(v4)))
+	add(BuildPacket(src, dst, WithSRH(NewSRH(segs3[:1])),
+		WithInnerL2(BuildEthernet([6]byte{2, 0, 0, 0, 0, 2}, [6]byte{2, 0, 0, 0, 0, 1}, 0x86dd, inner))))
 	return out
 }
 

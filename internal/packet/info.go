@@ -60,7 +60,7 @@ func ParseInfo(raw []byte) (Info, error) {
 			}
 			proto = raw[off+SRHOffNextHeader]
 			off += n
-		case ProtoIPv6:
+		case ProtoIPv6, ProtoIPv4:
 			info.InnerOff = off
 			info.L4Proto = proto
 			info.L4Off = off

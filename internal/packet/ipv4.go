@@ -1,0 +1,174 @@
+package packet
+
+// Minimal IPv4 support for the decap family End.DX4 / End.DT4 /
+// End.DT46: the simulator only ever sees IPv4 as the inner packet of
+// an SRv6 tunnel (or on the PE–CE access legs of an L3VPN scenario),
+// so this is a deliberately small codec — fixed 20-byte headers on
+// the build side, arbitrary IHL on the decode side, and the
+// header-checksum discipline the TTL rewrite needs.
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// IPv4HeaderLen is the option-less IPv4 header size (IHL=5).
+const IPv4HeaderLen = 20
+
+// IPv4 is the decoded IPv4 header.
+type IPv4 struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src, Dst netip.Addr
+	// HdrLen is the decoded header length in bytes (IHL * 4).
+	HdrLen int
+}
+
+// DecodeIPv4 parses the IPv4 header from b.
+func DecodeIPv4(b []byte) (IPv4, error) {
+	var h IPv4
+	if len(b) < IPv4HeaderLen {
+		return h, fmt.Errorf("%w: IPv4 header needs 20 bytes, have %d", ErrTruncated, len(b))
+	}
+	if b[0]>>4 != 4 {
+		return h, fmt.Errorf("%w: version %d", ErrBadVersion, b[0]>>4)
+	}
+	h.HdrLen = int(b[0]&0x0f) * 4
+	if h.HdrLen < IPv4HeaderLen || len(b) < h.HdrLen {
+		return h, fmt.Errorf("%w: IPv4 IHL %d bytes, have %d", ErrTruncated, h.HdrLen, len(b))
+	}
+	h.TOS = b[1]
+	h.TotalLen = uint16(b[2])<<8 | uint16(b[3])
+	h.ID = uint16(b[4])<<8 | uint16(b[5])
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.Checksum = uint16(b[10])<<8 | uint16(b[11])
+	h.Src = netip.AddrFrom4([4]byte(b[12:16]))
+	h.Dst = netip.AddrFrom4([4]byte(b[16:20]))
+	return h, nil
+}
+
+// ipv4HeaderChecksum computes the ones-complement header checksum of
+// hdr with its checksum field treated as zero.
+func ipv4HeaderChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // the checksum field itself
+		}
+		sum += uint32(hdr[i])<<8 | uint32(hdr[i+1])
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// SetIPv4TTL rewrites the TTL of the IPv4 packet in b and recomputes
+// the header checksum.
+func SetIPv4TTL(b []byte, ttl uint8) error {
+	h, err := DecodeIPv4(b)
+	if err != nil {
+		return err
+	}
+	b[8] = ttl
+	ck := ipv4HeaderChecksum(b[:h.HdrLen])
+	b[10], b[11] = uint8(ck>>8), uint8(ck)
+	return nil
+}
+
+// BuildIPv4UDP assembles a UDP-in-IPv4 packet with an option-less
+// header. The UDP checksum is left zero (legal over IPv4).
+func BuildIPv4UDP(src, dst netip.Addr, srcPort, dstPort uint16, payload []byte, ttl uint8) ([]byte, error) {
+	if !src.Is4() || !dst.Is4() {
+		return nil, fmt.Errorf("%w: BuildIPv4UDP needs IPv4 addresses", ErrBadVersion)
+	}
+	total := IPv4HeaderLen + UDPHeaderLen + len(payload)
+	if total > 0xffff {
+		return nil, fmt.Errorf("packet: IPv4 total length %d overflows", total)
+	}
+	out := make([]byte, 0, total)
+	var hdr [IPv4HeaderLen]byte
+	hdr[0] = 4<<4 | 5
+	hdr[2], hdr[3] = uint8(total>>8), uint8(total)
+	hdr[8] = ttl
+	hdr[9] = ProtoUDP
+	s, d := src.As4(), dst.As4()
+	copy(hdr[12:16], s[:])
+	copy(hdr[16:20], d[:])
+	ck := ipv4HeaderChecksum(hdr[:])
+	hdr[10], hdr[11] = uint8(ck>>8), uint8(ck)
+	out = append(out, hdr[:]...)
+	udp := UDP{SrcPort: srcPort, DstPort: dstPort, Length: uint16(UDPHeaderLen + len(payload))}
+	out = udp.Encode(out)
+	return append(out, payload...), nil
+}
+
+// IPVersion reports the IP version nibble of b (0 when empty).
+func IPVersion(b []byte) int {
+	if len(b) == 0 {
+		return 0
+	}
+	return int(b[0] >> 4)
+}
+
+// DstAddr reads the destination address of an IPv4 or IPv6 packet.
+func DstAddr(b []byte) (netip.Addr, error) {
+	switch IPVersion(b) {
+	case 6:
+		return IPv6Dst(b)
+	case 4:
+		if len(b) < IPv4HeaderLen {
+			return netip.Addr{}, ErrTruncated
+		}
+		return netip.AddrFrom4([4]byte(b[16:20])), nil
+	}
+	return netip.Addr{}, ErrBadVersion
+}
+
+// SrcAddr reads the source address of an IPv4 or IPv6 packet.
+func SrcAddr(b []byte) (netip.Addr, error) {
+	switch IPVersion(b) {
+	case 6:
+		return IPv6Src(b)
+	case 4:
+		if len(b) < IPv4HeaderLen {
+			return netip.Addr{}, ErrTruncated
+		}
+		return netip.AddrFrom4([4]byte(b[12:16])), nil
+	}
+	return netip.Addr{}, ErrBadVersion
+}
+
+// HopLimit reads the IPv6 hop limit or IPv4 TTL of b.
+func HopLimit(b []byte) (uint8, error) {
+	switch IPVersion(b) {
+	case 6:
+		if len(b) < IPv6HeaderLen {
+			return 0, ErrTruncated
+		}
+		return b[7], nil
+	case 4:
+		if len(b) < IPv4HeaderLen {
+			return 0, ErrTruncated
+		}
+		return b[8], nil
+	}
+	return 0, ErrBadVersion
+}
+
+// SetHopLimit rewrites the IPv6 hop limit or IPv4 TTL of b (fixing
+// the IPv4 header checksum).
+func SetHopLimit(b []byte, hl uint8) error {
+	switch IPVersion(b) {
+	case 6:
+		return SetIPv6HopLimit(b, hl)
+	case 4:
+		return SetIPv4TTL(b, hl)
+	}
+	return ErrBadVersion
+}

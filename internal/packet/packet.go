@@ -17,12 +17,14 @@ import (
 
 // IPv6 next-header protocol numbers used in this repository.
 const (
-	ProtoTCP     = 6
-	ProtoUDP     = 17
-	ProtoIPv6    = 41 // IPv6-in-IPv6 encapsulation
-	ProtoRouting = 43 // routing extension header (the SRH)
-	ProtoICMPv6  = 58
-	ProtoNoNext  = 59
+	ProtoIPv4     = 4 // IPv4-in-IPv6 encapsulation (RFC 2473)
+	ProtoTCP      = 6
+	ProtoUDP      = 17
+	ProtoIPv6     = 41 // IPv6-in-IPv6 encapsulation
+	ProtoRouting  = 43 // routing extension header (the SRH)
+	ProtoICMPv6   = 58
+	ProtoNoNext   = 59
+	ProtoEthernet = 143 // Ethernet frame payload (RFC 8986 End.DX2 / H.Encaps.L2)
 )
 
 // Decoding errors.
@@ -187,7 +189,7 @@ func ParseInto(p *Packet, raw []byte) error {
 			p.SRHOff = off
 			proto = srh.NextHeader
 			off += n
-		case ProtoIPv6:
+		case ProtoIPv6, ProtoIPv4:
 			p.InnerOff = off
 			p.L4Proto = proto
 			p.L4Off = off
@@ -220,6 +222,10 @@ func (p *Packet) Summary() string {
 		s += " ICMPv6"
 	case ProtoIPv6:
 		s += " IPv6-in-IPv6"
+	case ProtoIPv4:
+		s += " IPv4-in-IPv6"
+	case ProtoEthernet:
+		s += " Ethernet-in-IPv6"
 	}
 	return s
 }

@@ -134,8 +134,13 @@ func srhStructure(b []byte) (total int, segsLeft, lastEntry uint8, err error) {
 	if SRHFixedLen+16*nSegs > total {
 		return 0, 0, 0, fmt.Errorf("%w: %d segments exceed header length", ErrBadSRH, nSegs)
 	}
-	if segsLeft > lastEntry {
-		return 0, 0, 0, fmt.Errorf("%w: segments_left %d > last_entry %d", ErrBadSRH, segsLeft, lastEntry)
+	// segments_left == last_entry + 1 is the reduced encapsulation of
+	// RFC 8986 §5.2 (H.Encaps.Red / End.B6.Encaps.Red): the first
+	// segment rides in the destination address only and is omitted
+	// from the list, so the active index points one past it. Linux's
+	// seg6_validate_srh accepts the same transient shape.
+	if int(segsLeft) > int(lastEntry)+1 {
+		return 0, 0, 0, fmt.Errorf("%w: segments_left %d > last_entry %d + 1", ErrBadSRH, segsLeft, lastEntry)
 	}
 	return total, segsLeft, lastEntry, nil
 }

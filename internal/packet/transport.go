@@ -219,6 +219,7 @@ type buildSpec struct {
 	tcp      *TCP
 	icmp     *ICMPv6
 	innerPkt []byte
+	innerL2  []byte
 	payload  []byte
 }
 
@@ -239,9 +240,16 @@ func WithTCP(t TCP) BuildOption { return func(b *buildSpec) { b.tcp = &t } }
 // WithICMPv6 attaches an ICMPv6 message (checksum is computed).
 func WithICMPv6(m ICMPv6) BuildOption { return func(b *buildSpec) { b.icmp = &m } }
 
-// WithInnerPacket nests a full IPv6 packet (IPv6-in-IPv6 encap).
+// WithInnerPacket nests a full IP packet; the next-header value comes
+// from its version nibble (IPv6-in-IPv6 or IPv4-in-IPv6 encap).
 func WithInnerPacket(raw []byte) BuildOption {
 	return func(b *buildSpec) { b.innerPkt = raw }
+}
+
+// WithInnerL2 nests an Ethernet frame (next-header 143, the L2 tunnel
+// payload of End.DX2 / H.Encaps.L2).
+func WithInnerL2(frame []byte) BuildOption {
+	return func(b *buildSpec) { b.innerL2 = frame }
 }
 
 // WithPayload sets the application payload.
@@ -301,6 +309,11 @@ func BuildPacket(src, dst netip.Addr, opts ...BuildOption) ([]byte, error) {
 		upper, upperProto = raw, ProtoICMPv6
 	case spec.innerPkt != nil:
 		upper, upperProto = spec.innerPkt, ProtoIPv6
+		if IPVersion(spec.innerPkt) == 4 {
+			upperProto = ProtoIPv4
+		}
+	case spec.innerL2 != nil:
+		upper, upperProto = spec.innerL2, ProtoEthernet
 	default:
 		upper, upperProto = spec.payload, ProtoNoNext
 	}

@@ -1,9 +1,16 @@
 // Package seg6 implements the SRv6 data-plane operations of the Linux
 // kernel's seg6 and seg6local lightweight tunnels: advancing the SRH,
-// IPv6-in-IPv6 encapsulation and decapsulation, inline SRH insertion,
-// and the static endpoint behaviours (End, End.X, End.T, End.DX6,
-// End.DT6, End.B6, End.B6.Encaps) that the paper's Figure 2 uses as
-// baselines for the eBPF variants.
+// IP-in-IPv6 encapsulation and decapsulation, inline SRH insertion,
+// and the RFC 8986 endpoint behaviours (End, End.X, End.T, the
+// End.DX2/DX4/DX6 and End.DT4/DT6/DT46 decap families, the binding
+// SIDs End.B6 / End.B6.Encaps(.Red), and the SR-proxy pair
+// End.AS / End.AM) that the paper's Figure 2 uses as baselines for
+// the eBPF variants.
+//
+// Behaviours are dispatched through a registry (see registry.go): each
+// action registers a Spec with an install-time validator and a
+// per-packet apply function, and the PSP/USP/USD flavor modifiers are
+// applied uniformly by the shared endpoint step.
 //
 // All operations work on raw packet bytes, exactly as the kernel does
 // on skbs; the routing decision that follows a behaviour is expressed
@@ -15,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"strings"
 
 	"srv6bpf/internal/packet"
 )
@@ -30,34 +38,65 @@ const (
 	ActionEnd        Action = 1
 	ActionEndX       Action = 2
 	ActionEndT       Action = 3
+	ActionEndDX2     Action = 4
 	ActionEndDX6     Action = 5
+	ActionEndDX4     Action = 6
 	ActionEndDT6     Action = 7
+	ActionEndDT4     Action = 8
 	ActionEndB6      Action = 9
 	ActionEndB6Encap Action = 10
+	ActionEndAS      Action = 13
+	ActionEndAM      Action = 14
 	ActionEndBPF     Action = 15
+	ActionEndDT46    Action = 16
 )
 
+// NumActions bounds the action space (the highest UAPI value plus
+// one); per-action tables — the dispatch registry, the observability
+// plane's behavior histograms — are sized by it.
+const NumActions = int(ActionEndDT46) + 1
+
 func (a Action) String() string {
-	switch a {
-	case ActionEnd:
-		return "End"
-	case ActionEndX:
-		return "End.X"
-	case ActionEndT:
-		return "End.T"
-	case ActionEndDX6:
-		return "End.DX6"
-	case ActionEndDT6:
-		return "End.DT6"
-	case ActionEndB6:
-		return "End.B6"
-	case ActionEndB6Encap:
-		return "End.B6.Encaps"
-	case ActionEndBPF:
-		return "End.BPF"
-	default:
-		return fmt.Sprintf("seg6local(%d)", int(a))
+	if sp := Lookup(a); sp != nil {
+		return sp.Name
 	}
+	return fmt.Sprintf("seg6local(%d)", int(a))
+}
+
+// Flavor is a bitmask of the RFC 8986 §4.16 flavor modifiers a
+// behaviour is configured with.
+type Flavor uint8
+
+// Flavors.
+const (
+	// FlavorPSP (Penultimate Segment Pop) removes the SRH when the
+	// endpoint's advance lands on SegmentsLeft == 0.
+	FlavorPSP Flavor = 1 << iota
+	// FlavorUSP (Ultimate Segment Pop) removes the exhausted SRH of a
+	// packet arriving with SegmentsLeft == 0 and continues processing.
+	FlavorUSP
+	// FlavorUSD (Ultimate Segment Decapsulation) decapsulates the
+	// inner packet on arrival at the last segment; on the decap
+	// behaviours it is the explicit opt-in to decap with
+	// SegmentsLeft > 0.
+	FlavorUSD
+)
+
+func (f Flavor) String() string {
+	if f == 0 {
+		return "none"
+	}
+	var parts []string
+	if f&FlavorPSP != 0 {
+		parts = append(parts, "PSP")
+	}
+	if f&FlavorUSP != 0 {
+		parts = append(parts, "USP")
+	}
+	if f&FlavorUSD != 0 {
+		parts = append(parts, "USD")
+	}
+	return strings.Join(parts, "+")
 }
 
 // Verdict tells the forwarding engine what to do after a behaviour.
@@ -74,6 +113,13 @@ const (
 	VerdictForwardTable
 	// VerdictDrop discards the packet.
 	VerdictDrop
+	// VerdictForwardOIF transmits the packet on the behaviour's
+	// configured outgoing interface (SR-proxy steering towards a VNF,
+	// End.DX2 towards an L2 port).
+	VerdictForwardOIF
+	// VerdictDeliverL2 hands the decapsulated Ethernet frame to the
+	// node's L2 handler (End.DX2 without an OIF).
+	VerdictDeliverL2
 )
 
 func (v Verdict) String() string {
@@ -86,6 +132,10 @@ func (v Verdict) String() string {
 		return "forward-table"
 	case VerdictDrop:
 		return "drop"
+	case VerdictForwardOIF:
+		return "forward-oif"
+	case VerdictDeliverL2:
+		return "deliver-l2"
 	default:
 		return fmt.Sprintf("verdict(%d)", int(v))
 	}
@@ -97,13 +147,25 @@ func (v Verdict) String() string {
 // any so this package does not depend on the hook layer.
 type Behaviour struct {
 	Action  Action
-	Nexthop netip.Addr  // End.X, End.DX6
-	Table   int         // End.T, End.DT6
-	SRH     *packet.SRH // End.B6, End.B6.Encaps
+	Nexthop netip.Addr  // End.X, End.DX6, End.DX4
+	Table   int         // End.T, End.DT4, End.DT6, End.DT46
+	SRH     *packet.SRH // End.B6, End.B6.Encaps, End.AS (re-encap)
 	BPF     any         // End.BPF: managed by internal/core
 	// Src is the outer source address for behaviours that encapsulate
-	// (End.B6.Encaps).
+	// (End.B6.Encaps, End.AS re-encapsulation).
 	Src netip.Addr
+	// Flavors are the PSP/USP/USD modifiers; Register's Spec.Flavors
+	// mask limits which ones each action accepts.
+	Flavors Flavor
+	// Reduced selects the reduced encapsulation of RFC 8986 §5.2 for
+	// End.B6.Encaps (End.B6.Encaps.Red): the first policy segment
+	// rides only in the outer destination address.
+	Reduced bool
+	// OIF is the outgoing interface for proxy/cross-connect
+	// behaviours (End.AS, End.AM, End.DX2). It is typed any so this
+	// package does not depend on the simulator; the forwarding engine
+	// asserts its own interface type.
+	OIF any
 }
 
 // Result of applying a behaviour.
@@ -120,7 +182,8 @@ type Result struct {
 var (
 	ErrNoSRH           = errors.New("seg6: packet has no SRH")
 	ErrZeroSegsLeft    = errors.New("seg6: segments_left is zero")
-	ErrNotEncapsulated = errors.New("seg6: no inner IPv6 packet to decapsulate")
+	ErrSegmentsLeft    = errors.New("seg6: segments_left > 0 at decap (RFC 8986 requires USD)")
+	ErrNotEncapsulated = errors.New("seg6: no inner packet to decapsulate")
 	ErrBadBehaviour    = errors.New("seg6: invalid behaviour parameters")
 )
 
@@ -170,8 +233,9 @@ func AdvanceAt(raw []byte, srhOff int) error {
 }
 
 // DecapInner strips the outer IPv6 header and all its extension
-// headers, returning the inner IPv6 packet (End.DT6 / End.DX6 /
-// "SRv6 decapsulation is natively performed by the kernel", §4.2).
+// headers, returning the inner IPv6 packet ("SRv6 decapsulation is
+// natively performed by the kernel", §4.2). It is the raw splice; the
+// decap behaviours add the RFC 8986 SegmentsLeft gate on top.
 func DecapInner(raw []byte) ([]byte, error) {
 	p, err := packet.Parse(raw)
 	if err != nil {
@@ -185,6 +249,40 @@ func DecapInner(raw []byte) ([]byte, error) {
 		return nil, err
 	}
 	return inner, nil
+}
+
+// stripSRH removes the SRH at srhOff from raw, rewiring the next-
+// header field of the preceding header — the pop step of the PSP and
+// USP flavors.
+func stripSRH(raw []byte, srhOff, srhLen int) ([]byte, error) {
+	if srhOff < packet.IPv6HeaderLen || srhOff+srhLen > len(raw) {
+		return nil, packet.ErrTruncated
+	}
+	// Find the next-header byte pointing at the SRH: the base header's
+	// (offset 6) or, in a chain, the preceding routing header's.
+	nhPos := 6
+	off := packet.IPv6HeaderLen
+	proto := raw[6]
+	for off < srhOff {
+		if proto != packet.ProtoRouting || off+packet.SRHFixedLen > len(raw) {
+			return nil, packet.ErrBadSRH
+		}
+		nhPos = off + packet.SRHOffNextHeader
+		proto = raw[nhPos]
+		off += (int(raw[off+packet.SRHOffHdrExtLen]) + 1) * 8
+	}
+	if off != srhOff || proto != packet.ProtoRouting {
+		return nil, packet.ErrBadSRH
+	}
+	next := raw[srhOff+packet.SRHOffNextHeader]
+	out := make([]byte, 0, len(raw)-srhLen)
+	out = append(out, raw[:srhOff]...)
+	out = append(out, raw[srhOff+srhLen:]...)
+	out[nhPos] = next
+	if err := packet.SetIPv6PayloadLen(out, len(out)-packet.IPv6HeaderLen); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // InsertSRH splices an SRH between the IPv6 header and the rest of
@@ -223,12 +321,36 @@ func InsertSRH(raw []byte, srh *packet.SRH) ([]byte, error) {
 	return out, nil
 }
 
-// Encap wraps raw in a new outer IPv6 header carrying srh (the seg6
-// "encap" transit behaviour, T.Encaps). The outer destination is the
-// SRH's active segment; hop limit is copied from the inner packet as
-// the kernel does.
+// innerMeta reads the fields the encapsulators copy from the packet
+// being wrapped: the hop limit (IPv4 TTL for an IPv4 inner) and the
+// flow label (zero for IPv4).
+func innerMeta(raw []byte) (hl uint8, fl uint32, err error) {
+	switch packet.IPVersion(raw) {
+	case 6:
+		h, err := packet.DecodeIPv6(raw)
+		if err != nil {
+			return 0, 0, err
+		}
+		return h.HopLimit, h.FlowLabel, nil
+	case 4:
+		h, err := packet.DecodeIPv4(raw)
+		if err != nil {
+			return 0, 0, err
+		}
+		return h.TTL, 0, nil
+	}
+	return 0, 0, packet.ErrBadVersion
+}
+
+// Encap wraps raw (IPv6 or IPv4) in a new outer IPv6 header carrying
+// srh (the seg6 "encap" transit behaviour, H.Encaps / T.Encaps). The
+// outer destination is the SRH's active segment; the hop limit is
+// copied from the inner packet as the kernel does — the forwarding
+// engine decrements the inner hop limit before encapsulating a
+// transit packet, mirroring ip6_forward running before the lwtunnel
+// output.
 func Encap(raw []byte, outerSrc netip.Addr, srh *packet.SRH) ([]byte, error) {
-	inner, err := packet.DecodeIPv6(raw)
+	hl, fl, err := innerMeta(raw)
 	if err != nil {
 		return nil, err
 	}
@@ -239,84 +361,77 @@ func Encap(raw []byte, outerSrc netip.Addr, srh *packet.SRH) ([]byte, error) {
 	return packet.BuildPacket(outerSrc, active,
 		packet.WithSRH(srh),
 		packet.WithInnerPacket(raw),
-		packet.WithHopLimit(inner.HopLimit),
-		packet.WithFlowLabel(inner.FlowLabel),
+		packet.WithHopLimit(hl),
+		packet.WithFlowLabel(fl),
 	)
 }
 
-// ApplyStatic executes a non-BPF behaviour on raw. End.BPF must be
-// handled by the hook layer (internal/core); passing it here returns
-// an error.
-func ApplyStatic(b *Behaviour, raw []byte) (Result, error) {
-	switch b.Action {
-	case ActionEnd:
-		return applyEnd(raw, VerdictForward, netip.Addr{}, 0)
-	case ActionEndX:
-		if !b.Nexthop.IsValid() {
-			return drop(), fmt.Errorf("%w: End.X needs a nexthop", ErrBadBehaviour)
-		}
-		return applyEnd(raw, VerdictForwardNexthop, b.Nexthop, 0)
-	case ActionEndT:
-		return applyEnd(raw, VerdictForwardTable, netip.Addr{}, b.Table)
-
-	case ActionEndDX6:
-		inner, err := DecapInner(raw)
-		if err != nil {
-			return drop(), err
-		}
-		if !b.Nexthop.IsValid() {
-			return drop(), fmt.Errorf("%w: End.DX6 needs a nexthop", ErrBadBehaviour)
-		}
-		return Result{Verdict: VerdictForwardNexthop, Pkt: inner, Nexthop: b.Nexthop}, nil
-
-	case ActionEndDT6:
-		inner, err := DecapInner(raw)
-		if err != nil {
-			return drop(), err
-		}
-		return Result{Verdict: VerdictForwardTable, Pkt: inner, Table: b.Table}, nil
-
-	case ActionEndB6:
-		if b.SRH == nil {
-			return drop(), fmt.Errorf("%w: End.B6 needs an SRH", ErrBadBehaviour)
-		}
-		// End.B6 inserts a new SRH on top of the existing one without
-		// consuming a segment of the original.
-		out, err := InsertSRH(raw, b.SRH)
-		if err != nil {
-			return drop(), err
-		}
-		return Result{Verdict: VerdictForward, Pkt: out}, nil
-
-	case ActionEndB6Encap:
-		if b.SRH == nil || !b.Src.IsValid() {
-			return drop(), fmt.Errorf("%w: End.B6.Encaps needs an SRH and source", ErrBadBehaviour)
-		}
-		// Advance the inner SRH first, then encapsulate.
-		work := packet.Clone(raw)
-		if err := Advance(work); err != nil {
-			return drop(), err
-		}
-		out, err := Encap(work, b.Src, b.SRH)
-		if err != nil {
-			return drop(), err
-		}
-		return Result{Verdict: VerdictForward, Pkt: out}, nil
-
-	case ActionEndBPF:
-		return drop(), fmt.Errorf("%w: End.BPF is handled by the hook layer", ErrBadBehaviour)
-
-	default:
-		return drop(), fmt.Errorf("%w: %v", ErrBadBehaviour, b.Action)
+// EncapRed is Encap in the reduced form of RFC 8986 §5.2 (H.Encaps.Red
+// / End.B6.Encaps.Red): the first segment travels only in the outer
+// destination address and is omitted from the SRH, whose SegmentsLeft
+// then points one past LastEntry. A single-segment policy degenerates
+// to plain IP-in-IPv6 with no SRH at all.
+func EncapRed(raw []byte, outerSrc netip.Addr, srh *packet.SRH) ([]byte, error) {
+	hl, fl, err := innerMeta(raw)
+	if err != nil {
+		return nil, err
 	}
+	first, err := srh.ActiveSegment()
+	if err != nil {
+		return nil, err
+	}
+	if len(srh.Segments) <= 1 {
+		return packet.BuildPacket(outerSrc, first,
+			packet.WithInnerPacket(raw),
+			packet.WithHopLimit(hl),
+			packet.WithFlowLabel(fl),
+		)
+	}
+	red := *srh
+	// Wire order is reversed, so the first-travel segment is the last
+	// list entry; dropping 16 bytes keeps the 8-byte TLV alignment.
+	red.Segments = srh.Segments[:len(srh.Segments)-1]
+	red.LastEntry = uint8(len(red.Segments) - 1)
+	return packet.BuildPacket(outerSrc, first,
+		packet.WithSRH(&red),
+		packet.WithInnerPacket(raw),
+		packet.WithHopLimit(hl),
+		packet.WithFlowLabel(fl),
+	)
 }
 
-// applyEnd advances the SRH and emits the requested verdict. Packets
-// whose SRH is exhausted (SegmentsLeft == 0) are dropped, as the
-// kernel's End behaviours do.
-func applyEnd(raw []byte, v Verdict, nh netip.Addr, table int) (Result, error) {
-	if err := Advance(raw); err != nil {
+// EncapL2 wraps an Ethernet frame in an outer IPv6 header carrying
+// srh (the H.Encaps.L2 headend); the egress End.DX2 unwraps it.
+func EncapL2(frame []byte, outerSrc netip.Addr, srh *packet.SRH) ([]byte, error) {
+	if srh == nil {
+		return nil, fmt.Errorf("%w: H.Encaps.L2 needs an SRH", ErrBadBehaviour)
+	}
+	if _, err := packet.DecodeEthernet(frame); err != nil {
+		return nil, err
+	}
+	active, err := srh.ActiveSegment()
+	if err != nil {
+		return nil, err
+	}
+	return packet.BuildPacket(outerSrc, active,
+		packet.WithSRH(srh),
+		packet.WithInnerL2(frame),
+	)
+}
+
+// ApplyStatic executes a non-BPF behaviour on raw through the dispatch
+// registry, validating its parameters first. End.BPF must be handled
+// by the hook layer (internal/core); passing it here returns an error.
+func ApplyStatic(b *Behaviour, raw []byte) (Result, error) {
+	sp := Lookup(b.Action)
+	if sp == nil {
+		return drop(), fmt.Errorf("%w: %v", ErrBadBehaviour, b.Action)
+	}
+	if sp.Prog {
+		return drop(), fmt.Errorf("%w: %s is handled by the hook layer", ErrBadBehaviour, sp.Name)
+	}
+	if err := Validate(b); err != nil {
 		return drop(), err
 	}
-	return Result{Verdict: v, Pkt: raw, Nexthop: nh, Table: table}, nil
+	return sp.Apply(b, raw)
 }

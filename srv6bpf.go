@@ -136,6 +136,19 @@ const (
 // Main routing table ID.
 const MainTable = netsim.MainTable
 
+// EncapMode selects how a RouteSeg6Encap route applies its policy:
+// full encapsulation (H.Encaps), inline SRH insertion, or the reduced
+// encapsulation (H.Encaps.Red — the first segment rides only in the
+// outer destination and is elided from the SRH).
+type EncapMode = netsim.EncapMode
+
+// Encap modes.
+const (
+	EncapModeEncap    = netsim.EncapModeEncap
+	EncapModeInline   = netsim.EncapModeInline
+	EncapModeEncapRed = netsim.EncapModeEncapRed
+)
+
 // Virtual time units.
 const (
 	Microsecond = netsim.Microsecond
@@ -215,19 +228,69 @@ var ParsePacket = packet.Parse
 // handlers receive.
 type ParsedPacket = packet.Packet
 
-// Behaviour is one seg6local entry (End, End.X, ..., End.BPF).
+// Behaviour is one seg6local entry (End, End.X, ..., End.BPF). Every
+// behaviour is validated against its registry spec when the route is
+// installed: Node.AddRoute rejects a misconfigured behaviour (missing
+// nexthop, missing policy SRH, unsupported flavor) instead of leaving
+// it to drop packets one by one.
 type Behaviour = seg6.Behaviour
 
-// seg6local actions.
+// seg6local actions (RFC 8986; kernel seg6_local numbering).
 const (
 	ActionEnd        = seg6.ActionEnd
 	ActionEndX       = seg6.ActionEndX
 	ActionEndT       = seg6.ActionEndT
+	ActionEndDX2     = seg6.ActionEndDX2
 	ActionEndDX6     = seg6.ActionEndDX6
+	ActionEndDX4     = seg6.ActionEndDX4
 	ActionEndDT6     = seg6.ActionEndDT6
+	ActionEndDT4     = seg6.ActionEndDT4
+	ActionEndDT46    = seg6.ActionEndDT46
 	ActionEndB6      = seg6.ActionEndB6
 	ActionEndB6Encap = seg6.ActionEndB6Encap
+	ActionEndAS      = seg6.ActionEndAS
+	ActionEndAM      = seg6.ActionEndAM
 	ActionEndBPF     = seg6.ActionEndBPF
+)
+
+// Flavor is the RFC 8986 flavor bitmask a Behaviour carries. PSP pops
+// the SRH at the penultimate segment, USP at the ultimate one; USD
+// lets the End family decapsulate on the last segment — and is the
+// explicit opt-in the decap family (End.DX*/DT*) requires before
+// accepting a packet whose SRH still has segments left.
+type Flavor = seg6.Flavor
+
+// Flavors.
+const (
+	FlavorPSP = seg6.FlavorPSP
+	FlavorUSP = seg6.FlavorUSP
+	FlavorUSD = seg6.FlavorUSD
+)
+
+// BehaviourSpec is one entry of the behaviour-dispatch registry: its
+// install-time validation, its per-packet apply step and, for SR
+// proxies, the inbound step rebuilding the SR encapsulation on the
+// return leg. RegisterBehaviour adds one (internal/seg6 pre-registers
+// the full RFC 8986 set); LookupBehaviour inspects the table.
+type BehaviourSpec = seg6.Spec
+
+// RegisterBehaviour installs a behaviour spec in the dispatch table.
+var RegisterBehaviour = seg6.Register
+
+// LookupBehaviour returns the spec registered for an action (nil if
+// none).
+var LookupBehaviour = seg6.Lookup
+
+// Seg6Encap wraps a packet in outer IPv6 + SRH (H.Encaps); EncapRed
+// applies the reduced variant (first segment only in the outer
+// destination, single-segment lists elide the SRH entirely); EncapL2
+// carries an Ethernet frame (H.Encaps.L2). All three follow the
+// kernel's tunnel-ingress hop-limit contract: the inner TTL is
+// decremented at the encap node and the outer inherits it.
+var (
+	Seg6Encap    = seg6.Encap
+	Seg6EncapRed = seg6.EncapRed
+	Seg6EncapL2  = seg6.EncapL2
 )
 
 // --- The eBPF toolchain ---
