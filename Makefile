@@ -44,6 +44,15 @@
 #                  speculation-overhead budget, the burst-pair
 #                  speedup floor and the PDR row contract (the CI
 #                  bench job)
+#   make bench-multicore [MULTICORE_JSON=path MULTICORE_WINDOW=20ms] —
+#                  the multi-core shard-scaling matrix (both engines,
+#                  1/2/4/8 shards, contiguous vs min-cut on the seeded
+#                  256-node Waxman) at the current GOMAXPROCS; writes
+#                  the report JSON and fails if min-cut does not cut
+#                  cross-shard Messages >= 30% at 4 shards, or (on a
+#                  >= 4-core machine) if no multi-shard min-cut row
+#                  beats the 1-shard baseline (the CI bench-multicore
+#                  job)
 #   make fmt     — gofmt the tree
 
 GO ?= go
@@ -55,8 +64,10 @@ FUZZTIME ?= 5s
 BENCH_CI_JSON ?= BENCH_PR999.json
 OBS_DUMP_DIR ?= obs-artifacts
 BURST ?= 32
+MULTICORE_JSON ?= MULTICORE.json
+MULTICORE_WINDOW ?= 20ms
 
-.PHONY: check build vet test race race-smoke fuzz-smoke fuzz-native fuzz-deep fuzz-deep-race chaos-smoke obs-smoke pdr-smoke matrix-smoke bench bench-json bench-ci fmt
+.PHONY: check build vet test race race-smoke fuzz-smoke fuzz-native fuzz-deep fuzz-deep-race chaos-smoke obs-smoke pdr-smoke matrix-smoke bench bench-json bench-ci bench-multicore fmt
 
 check: build vet test race-smoke fuzz-smoke fuzz-native obs-smoke pdr-smoke matrix-smoke
 
@@ -143,6 +154,14 @@ bench-json:
 bench-ci:
 	$(GO) run ./cmd/srv6bench -bench-json $(BENCH_CI_JSON) -duration $(BENCH_WINDOW) -burst $(BURST)
 	$(GO) test -count 1 -run 'TestBenchTrajectory' -v .
+
+# The multi-core scaling matrix: both engines, 1/2/4/8 shards,
+# contiguous vs min-cut on the seeded 256-node Waxman scenario, at
+# whatever GOMAXPROCS the machine grants. srv6bench itself enforces
+# the partition gates (Messages cut >= 30% at 4 shards; with >= 4
+# cores, speedup_vs_1shard > 1 on some multi-shard min-cut row).
+bench-multicore:
+	$(GO) run ./cmd/srv6bench -multicore-json $(MULTICORE_JSON) -shard-duration $(MULTICORE_WINDOW)
 
 fmt:
 	gofmt -w .

@@ -82,6 +82,7 @@ type benchHostFile struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
 	Burst      int    `json:"burst"`
+	Partition  string `json:"partition"`
 	PR         int    `json:"pr"`
 }
 
@@ -90,11 +91,19 @@ type benchHostFile struct {
 // between reports with equal fingerprints. The burst knob is part of
 // it — numbers taken under different burst settings measure different
 // datapaths (reports predating the knob carry b0 and are never
-// wall-clock-compared against batched ones).
+// wall-clock-compared against batched ones). The shard partition is
+// part of it too: together with GOMAXPROCS it keeps the single-core
+// trajectory reports and the multi-core min-cut scaling reports in
+// separate timing lineages (reports predating the partitioner ran
+// contiguous and say so implicitly).
 func (h *benchHostFile) fingerprint() string {
+	part := h.Partition
+	if part == "" {
+		part = "contiguous"
+	}
 	return h.GOOS + "/" + h.GOARCH + "/" + h.GoVersion + "/p" +
 		strconv.Itoa(h.GOMAXPROCS) + "/c" + strconv.Itoa(h.NumCPU) +
-		"/b" + strconv.Itoa(h.Burst)
+		"/b" + strconv.Itoa(h.Burst) + "/" + part
 }
 
 // TestBenchTrajectory diffs the committed BENCH_PR*.json trajectory:
@@ -186,6 +195,26 @@ func TestBenchTrajectory(t *testing.T) {
 		if f.pr >= 8 {
 			checkBurstRows(t, f, rows)
 			checkPDRRows(t, f)
+		}
+		// Partition-aware gate, effective from PR 10 (the PR that added
+		// the topology-aware partitioner): the report must name the shard
+		// placement in its host record — the partition joins GOMAXPROCS
+		// in the fingerprint, so a single-core contiguous trajectory
+		// report and a multi-core min-cut report never timing-compare —
+		// and every scaling row must say which placement produced its
+		// cross-shard message count.
+		if f.pr >= 10 {
+			if f.Host != nil && f.Host.Partition == "" {
+				t.Errorf("%s: PR %d report does not name its shard partition", f.name, f.pr)
+			}
+			for _, rs := range [][]experiments.ShardScalingRow{f.ShardScaling, f.ShardScalingOptimistic} {
+				for _, r := range rs {
+					if r.Partition == "" {
+						t.Errorf("%s: shard-scaling row (engine %s, %d shards) does not name its partition",
+							f.name, r.Engine, r.Shards)
+					}
+				}
+			}
 		}
 		if i == 0 {
 			continue

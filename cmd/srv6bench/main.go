@@ -35,8 +35,14 @@ func main() {
 	engine := flag.String("engine", "conservative",
 		"parallel engine for the shard-scaling experiment: conservative, optimistic or both")
 	topoK := flag.Int("topo-k", 8, "fat-tree arity for the shard-scaling experiment")
+	topology := flag.String("topo", "fattree",
+		"shard-scaling topology: fattree or waxman (the seeded 256-node graph)")
+	partitionName := flag.String("partition", "contiguous",
+		"shard-scaling node placement: contiguous (creation-order blocks) or mincut (topology-aware)")
 	shardDuration := flag.Duration("shard-duration", 20*time.Millisecond,
 		"virtual window of the shard-scaling experiment")
+	multicoreJSON := flag.String("multicore-json", "",
+		"run the multi-core scaling matrix (both engines, 1..8 shards, contiguous vs mincut on the Waxman scenario) at the current GOMAXPROCS, write the report JSON to this path, and exit non-zero if min-cut fails to cut the cross-shard message bill")
 	pdr := flag.Bool("pdr", false, "run the SRPerf-style PDR saturation scan (all behaviors)")
 	pdrSmoke := flag.Bool("pdr-smoke", false,
 		"coarse PDR search (2 bisection steps, End only): the CI smoke gate")
@@ -59,6 +65,10 @@ func main() {
 	if *benchJSON != "" {
 		ran = true
 		writeBenchJSON(*benchJSON, win, *pr, *burst)
+	}
+	if *multicoreJSON != "" {
+		ran = true
+		runMulticore(*multicoreJSON, *pr, shardDuration.Nanoseconds())
 	}
 	if *all || *pdr {
 		ran = true
@@ -114,7 +124,7 @@ func main() {
 	if *shards > 0 {
 		ran = true
 		for _, eng := range enginesFor(*engine) {
-			runShards(eng, *shards, *topoK, shardDuration.Nanoseconds())
+			runShards(eng, *shards, *topoK, *topology, *partitionName, shardDuration.Nanoseconds())
 		}
 	}
 	if !ran {
@@ -356,17 +366,29 @@ func enginesFor(name string) []netsim.Engine {
 	}
 }
 
-func runShards(eng netsim.Engine, max, k int, win int64) {
-	fmt.Printf("== Shard scaling (%s): k=%d fat-tree permutation mix, %s virtual (GOMAXPROCS=%d) ==\n",
-		eng, k, time.Duration(win), runtime.GOMAXPROCS(0))
+func runShards(eng netsim.Engine, max, k int, topology, partitionName string, win int64) {
+	label := fmt.Sprintf("k=%d fat-tree", k)
+	if topology == "waxman" {
+		label = fmt.Sprintf("%d-node Waxman", experiments.WaxmanScalingNodes)
+	}
+	fmt.Printf("== Shard scaling (%s): %s permutation mix, %s partition, %s virtual (GOMAXPROCS=%d) ==\n",
+		eng, label, partitionName, time.Duration(win), runtime.GOMAXPROCS(0))
 	fmt.Println("   identical per-node counters are re-verified across shard counts")
-	rows, err := experiments.ShardScaling(eng, shardCountsUpTo(max), k, win)
+	rows, err := experiments.ShardScalingRun(experiments.ShardScalingSpec{
+		Engine: eng, Shards: shardCountsUpTo(max), Topology: topology, K: k,
+		Partition: partitionName, DurationNs: win,
+	})
 	if err != nil {
 		fail(err)
 	}
+	printShardRows(rows)
+	fmt.Println()
+}
+
+func printShardRows(rows []experiments.ShardScalingRow) {
 	for _, r := range rows {
-		fmt.Printf("  shards=%d  %8.1f ms wall  %10.0f events/s  speedup %.2fx  (%d events, %d windows, %d msgs, %d delivered",
-			r.Shards, r.WallMs, r.EventsPerSec, r.Speedup, r.Events, r.Windows, r.Messages, r.Delivered)
+		fmt.Printf("  shards=%d  %8.1f ms wall  %10.0f events/s  speedup %.2fx  (%d events, %d windows, cut %d links, %d msgs, %d delivered",
+			r.Shards, r.WallMs, r.EventsPerSec, r.Speedup, r.Events, r.Windows, r.CutLinks, r.Messages, r.Delivered)
 		if r.Engine == "optimistic" {
 			fmt.Printf(", %d ckpts, %d rollbacks, %d antis", r.Checkpoints, r.Rollbacks, r.AntiMessages)
 			if r.CkptNodesCopied+r.CkptNodesAliased > 0 {
@@ -380,7 +402,91 @@ func runShards(eng netsim.Engine, max, k int, win int64) {
 		}
 		fmt.Println(")")
 	}
-	fmt.Println()
+}
+
+// multicoreReport is the bench-multicore CI artifact: both engines,
+// shard counts 1..8, contiguous vs min-cut on the seeded Waxman
+// scenario, at whatever GOMAXPROCS the runner granted.
+type multicoreReport struct {
+	Schema     string                        `json:"schema"`
+	Host       *benchHost                    `json:"host"`
+	Topology   string                        `json:"topology"`
+	Nodes      int                           `json:"nodes"`
+	DurationNs int64                         `json:"duration_ns"`
+	Rows       []experiments.ShardScalingRow `json:"rows"`
+}
+
+// runMulticore sweeps the multi-core scaling matrix and writes the
+// report. It fails (exit 1) if the min-cut partition does not cut
+// cross-shard Messages by >= 30% vs contiguous at 4 shards under the
+// conservative engine, or — when the runner actually has >= 4 cores —
+// if no multi-shard conservative min-cut row beats the 1-shard
+// baseline.
+func runMulticore(path string, pr int, win int64) {
+	procs := runtime.GOMAXPROCS(0)
+	fmt.Printf("== Multi-core shard scaling: %d-node Waxman, %s virtual, GOMAXPROCS=%d ==\n",
+		experiments.WaxmanScalingNodes, time.Duration(win), procs)
+	rep := multicoreReport{
+		Schema: "srv6bpf-multicore/1",
+		Host: &benchHost{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: procs,
+			NumCPU:     runtime.NumCPU(),
+			PR:         pr,
+		},
+		Topology:   "waxman",
+		Nodes:      experiments.WaxmanScalingNodes,
+		DurationNs: win,
+	}
+	msgs := map[string]uint64{} // "partition@shards" -> Messages (conservative)
+	bestSpeedup := 0.0
+	for _, eng := range []netsim.Engine{netsim.EngineConservative, netsim.EngineOptimistic} {
+		for _, part := range []string{"contiguous", "mincut"} {
+			fmt.Printf("-- engine=%s partition=%s\n", eng, part)
+			rows, err := experiments.ShardScalingRun(experiments.ShardScalingSpec{
+				Engine: eng, Shards: shardCountsUpTo(8), Topology: "waxman",
+				Partition: part, DurationNs: win,
+			})
+			if err != nil {
+				fail(err)
+			}
+			printShardRows(rows)
+			rep.Rows = append(rep.Rows, rows...)
+			for _, r := range rows {
+				if eng == netsim.EngineConservative {
+					msgs[fmt.Sprintf("%s@%d", part, r.Shards)] = r.Messages
+					if part == "mincut" && r.Shards > 1 && r.Speedup > bestSpeedup {
+						bestSpeedup = r.Speedup
+					}
+				}
+			}
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote multi-core report to %s\n", path)
+
+	cont, minc := msgs["contiguous@4"], msgs["mincut@4"]
+	fmt.Printf("gate: conservative Messages at 4 shards: contiguous=%d mincut=%d\n", cont, minc)
+	if cont == 0 || 10*minc > 7*cont {
+		fail(fmt.Errorf("min-cut did not cut cross-shard messages by >= 30%% at 4 shards (%d vs %d)", minc, cont))
+	}
+	if procs >= 4 {
+		fmt.Printf("gate: best conservative min-cut speedup_vs_1shard = %.2f (GOMAXPROCS=%d)\n", bestSpeedup, procs)
+		if bestSpeedup <= 1 {
+			fail(fmt.Errorf("no multi-shard speedup on a %d-core runner (best %.2fx)", procs, bestSpeedup))
+		}
+	} else {
+		fmt.Printf("note: GOMAXPROCS=%d < 4, skipping the speedup gate (single-core runner)\n", procs)
+	}
 }
 
 // benchReport is the machine-readable performance trajectory: the
@@ -424,7 +530,12 @@ type benchHost struct {
 	// under; it is part of the fingerprint, so reports measured at
 	// different burst settings are never timing-compared.
 	Burst int `json:"burst,omitempty"`
-	PR    int `json:"pr,omitempty"`
+	// Partition names the shard placement the report's scaling rows
+	// used; together with GOMAXPROCS it keeps single-core trajectory
+	// reports and multi-core scaling reports in separate timing
+	// lineages (empty means contiguous, the pre-PR-10 default).
+	Partition string `json:"partition,omitempty"`
+	PR        int    `json:"pr,omitempty"`
 }
 
 func writeBenchJSON(path string, win int64, pr, burst int) {
@@ -439,6 +550,7 @@ func writeBenchJSON(path string, win int64, pr, burst int) {
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			NumCPU:     runtime.NumCPU(),
 			Burst:      burst,
+			Partition:  "contiguous",
 			PR:         pr,
 		},
 		WindowNs: win,

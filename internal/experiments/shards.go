@@ -7,23 +7,35 @@ import (
 	"time"
 
 	"srv6bpf/internal/netsim"
+	"srv6bpf/internal/netsim/partition"
 	"srv6bpf/internal/netsim/topo"
 	"srv6bpf/internal/trafgen"
 )
 
 // The shard-scaling experiment measures what the paper's lab could
 // not: how simulation throughput scales when the event loop is
-// partitioned across cores. A k=8 fat-tree (208 nodes — the scale
-// SRPerf argues SRv6 evaluations need) carries an all-hosts
-// permutation traffic mix; the same seed runs under 1..N shards and
-// must produce identical per-node counters (the determinism guarantee
-// is re-verified here, in the benchmark itself, not only in tests),
-// while wall-clock time and events/second record the scaling.
+// partitioned across cores. Two committed scenarios exist. The k=8
+// fat-tree (208 nodes — the scale SRPerf argues SRv6 evaluations
+// need) is creation-contiguous, so the block partition already keeps
+// most links shard-internal. The seeded 256-node Waxman graph is the
+// adversarial case: creation order carries no locality, so the block
+// partition cuts most links and the topology-aware min-cut partition
+// (internal/netsim/partition) is what keeps the cross-shard message
+// bill — EngineStats.Messages, the barrier cost both engines pay —
+// from swallowing the parallel speedup. Each scenario carries an
+// all-hosts permutation traffic mix; the same seed runs under every
+// shard count and partition and must produce identical per-node
+// counters (the determinism guarantee is re-verified here, in the
+// benchmark itself, not only in tests), while wall-clock time and
+// events/second record the scaling.
 
 // ShardScalingRow is one shard-count measurement.
 type ShardScalingRow struct {
-	Engine       string  `json:"engine"`
-	Shards       int     `json:"shards"`
+	Engine string `json:"engine"`
+	Shards int    `json:"shards"`
+	// Partition names the node→shard assignment strategy
+	// ("contiguous" or "mincut").
+	Partition    string  `json:"partition,omitempty"`
 	Nodes        int     `json:"nodes"`
 	Hosts        int     `json:"hosts"`
 	WallMs       float64 `json:"wall_ms"`
@@ -34,6 +46,12 @@ type ShardScalingRow struct {
 	Delivered uint64  `json:"delivered_pkts"`
 	Windows   uint64  `json:"windows"`
 	Messages  uint64  `json:"cross_shard_msgs"`
+	// CutLinks is the partition's static cross-shard link count (each
+	// unordered pair once); Messages is the dynamic price paid for it.
+	CutLinks int `json:"cut_links,omitempty"`
+	// LookaheadNs is the conservative window length the partition
+	// yields (the minimum cross-shard link delay).
+	LookaheadNs int64 `json:"lookahead_ns,omitempty"`
 	// Time-Warp accounting (zero under the conservative engine).
 	Checkpoints  uint64 `json:"checkpoints,omitempty"`
 	Rollbacks    uint64 `json:"rollbacks,omitempty"`
@@ -52,18 +70,67 @@ type ShardScalingRow struct {
 // shardScalingSeed fixes the scenario; every shard count replays it.
 const shardScalingSeed = 7
 
+// The seeded Waxman scaling scenario: 256 nodes, density tuned to an
+// average degree around 5-6 (sparse enough that a good partition
+// exists, dense enough that shortest paths cross the graph). The
+// parameters are part of the committed benchmark surface — changing
+// them invalidates Messages comparisons across reports.
+const (
+	WaxmanScalingNodes = 256
+	waxmanScalingAlpha = 0.25
+	waxmanScalingBeta  = 0.15
+	waxmanScalingSeed  = 20
+)
+
+// minCutSeed fixes the partitioner's refinement order so a given
+// topology always shards the same way (the determinism the
+// equivalence fuzzer and cross-report Messages comparisons rely on).
+const minCutSeed = 1
+
+// ShardScalingSpec parameterises one shard-scaling sweep.
+type ShardScalingSpec struct {
+	Engine netsim.Engine
+	// Shards lists the shard counts to sweep (the 1-shard row is the
+	// speedup baseline).
+	Shards []int
+	// Topology selects the scenario: "fattree" (K sets the arity) or
+	// "waxman" (the seeded WaxmanScalingNodes-node graph).
+	Topology string
+	K        int
+	// Partition selects the node→shard assignment: "contiguous"
+	// (creation-order blocks, the default) or "mincut" (topology-aware
+	// multi-level KL/FM).
+	Partition  string
+	DurationNs int64
+}
+
 // ShardScaling runs the fat-tree mix once per requested shard count
-// under the given engine and reports scaling rows. k is the fat-tree
-// arity (k=8 gives 208 nodes); durationNs is the virtual measurement
-// window. The determinism check spans engines too: every row's
-// counters must match the first row's, whatever synchronisation
-// protocol produced them.
+// under the given engine and reports scaling rows — the historical
+// entry point, equivalent to ShardScalingRun with Topology "fattree"
+// and the contiguous partition.
 func ShardScaling(engine netsim.Engine, shardCounts []int, k int, durationNs int64) ([]ShardScalingRow, error) {
+	return ShardScalingRun(ShardScalingSpec{
+		Engine: engine, Shards: shardCounts, Topology: "fattree", K: k,
+		Partition: "contiguous", DurationNs: durationNs,
+	})
+}
+
+// ShardScalingRun sweeps the spec's shard counts and reports scaling
+// rows. The determinism check spans engines and partitions: every
+// row's counters must match the first row's, whatever synchronisation
+// protocol or node placement produced them.
+func ShardScalingRun(spec ShardScalingSpec) ([]ShardScalingRow, error) {
+	if spec.Partition == "" {
+		spec.Partition = "contiguous"
+	}
+	if spec.Partition != "contiguous" && spec.Partition != "mincut" {
+		return nil, fmt.Errorf("experiments: unknown partition %q (contiguous or mincut)", spec.Partition)
+	}
 	var rows []ShardScalingRow
 	baseline := 0.0
 	fingerprint := ""
-	for _, n := range shardCounts {
-		row, fp, err := shardScalingRun(engine, n, k, durationNs)
+	for _, n := range spec.Shards {
+		row, fp, err := shardScalingRun(spec, n)
 		if err != nil {
 			return nil, err
 		}
@@ -71,7 +138,7 @@ func ShardScaling(engine netsim.Engine, shardCounts []int, k int, durationNs int
 			fingerprint = fp
 		} else if fp != fingerprint {
 			return nil, fmt.Errorf("experiments: %d-shard run diverged from the %d-shard schedule (determinism violation)",
-				n, shardCounts[0])
+				n, spec.Shards[0])
 		}
 		if row.Shards == 1 {
 			baseline = row.EventsPerSec
@@ -84,11 +151,30 @@ func ShardScaling(engine netsim.Engine, shardCounts []int, k int, durationNs int
 	return rows, nil
 }
 
-func shardScalingRun(engine netsim.Engine, shards, k int, durationNs int64) (ShardScalingRow, string, error) {
+// buildScalingTopo constructs the spec's network into sim.
+func buildScalingTopo(sim *netsim.Sim, spec ShardScalingSpec) (*topo.Network, error) {
+	link := topo.LinkSpec{RateBps: 10_000_000_000, DelayNs: 25 * netsim.Microsecond}
+	switch spec.Topology {
+	case "", "fattree":
+		k := spec.K
+		if k == 0 {
+			k = 8
+		}
+		return topo.FatTree(sim, k, topo.Opts{Link: link})
+	case "waxman":
+		return topo.Waxman(sim, WaxmanScalingNodes, topo.WaxmanParams{
+			Alpha: waxmanScalingAlpha,
+			Beta:  waxmanScalingBeta,
+			Seed:  waxmanScalingSeed,
+		}, topo.Opts{Link: link})
+	default:
+		return nil, fmt.Errorf("experiments: unknown topology %q (fattree or waxman)", spec.Topology)
+	}
+}
+
+func shardScalingRun(spec ShardScalingSpec, shards int) (ShardScalingRow, string, error) {
 	sim := netsim.New(shardScalingSeed)
-	nw, err := topo.FatTree(sim, k, topo.Opts{
-		Link: topo.LinkSpec{RateBps: 10_000_000_000, DelayNs: 25 * netsim.Microsecond},
-	})
+	nw, err := buildScalingTopo(sim, spec)
 	if err != nil {
 		return ShardScalingRow{}, "", err
 	}
@@ -105,7 +191,15 @@ func shardScalingRun(engine netsim.Engine, shards, k int, durationNs int64) (Sha
 			RatePPS:   20_000,
 		}
 	}
-	if err := sim.SetShards(shards, engine); err != nil {
+	if spec.Partition == "mincut" && shards > 1 {
+		assign, err := partition.MinCut(partition.FromSim(sim), shards, minCutSeed)
+		if err != nil {
+			return ShardScalingRow{}, "", err
+		}
+		if err := sim.SetShardsPartitioned(shards, assign, spec.Engine); err != nil {
+			return ShardScalingRow{}, "", err
+		}
+	} else if err := sim.SetShards(shards, spec.Engine); err != nil {
 		return ShardScalingRow{}, "", err
 	}
 
@@ -113,7 +207,7 @@ func shardScalingRun(engine netsim.Engine, shards, k int, durationNs int64) (Sha
 	for i, g := range gens {
 		g := g
 		g.Node.Schedule(int64(i)*netsim.Microsecond, func() {
-			if err := g.Start(durationNs); err != nil {
+			if err := g.Start(spec.DurationNs); err != nil {
 				panic(err)
 			}
 		})
@@ -124,10 +218,10 @@ func shardScalingRun(engine netsim.Engine, shards, k int, durationNs int64) (Sha
 	poll := make(map[string]uint64, 32)
 	var delivered uint64
 	const chunk = netsim.Millisecond
-	for now := int64(0); now < durationNs; now += chunk {
+	for now := int64(0); now < spec.DurationNs; now += chunk {
 		end := now + chunk
-		if end > durationNs {
-			end = durationNs
+		if end > spec.DurationNs {
+			end = spec.DurationNs
 		}
 		sim.RunUntil(end)
 		delivered = 0
@@ -149,8 +243,9 @@ func shardScalingRun(engine netsim.Engine, shards, k int, durationNs int64) (Sha
 	}
 	st := sim.EngineStats()
 	row := ShardScalingRow{
-		Engine:           engine.String(),
+		Engine:           spec.Engine.String(),
 		Shards:           shards,
+		Partition:        spec.Partition,
 		Nodes:            len(nw.Nodes),
 		Hosts:            len(nw.Hosts),
 		WallMs:           float64(wall.Nanoseconds()) / 1e6,
@@ -159,12 +254,16 @@ func shardScalingRun(engine netsim.Engine, shards, k int, durationNs int64) (Sha
 		Delivered:        delivered,
 		Windows:          st.Windows,
 		Messages:         st.Messages,
+		CutLinks:         st.CutLinks,
 		Checkpoints:      st.Checkpoints,
 		Rollbacks:        st.Rollbacks,
 		AntiMessages:     st.AntiMessages,
 		CkptNodesCopied:  st.CkptNodesCopied,
 		CkptNodesAliased: st.CkptNodesAliased,
 		CkptBytes:        st.CkptBytes,
+	}
+	if shards > 1 {
+		row.LookaheadNs = st.Lookahead
 	}
 	if st.HorizonAdaptive && shards > 1 {
 		row.HorizonNs = st.Horizon

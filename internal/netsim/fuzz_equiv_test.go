@@ -26,6 +26,7 @@ import (
 
 	"srv6bpf/internal/netsim"
 	"srv6bpf/internal/netsim/chaos"
+	"srv6bpf/internal/netsim/partition"
 	"srv6bpf/internal/netsim/topo"
 	"srv6bpf/internal/packet"
 	"srv6bpf/internal/seg6"
@@ -67,6 +68,10 @@ type fuzzScenario struct {
 	// so the registry-dispatched behaviours run under every engine and
 	// must survive optimistic rollback like plain forwarding.
 	srv6 bool
+	// mincut shards the scenario with the topology-aware min-cut
+	// partitioner instead of the contiguous block: the bit-identical
+	// replay guarantee must hold under any node placement.
+	mincut bool
 }
 
 func deriveScenario(seed int64) fuzzScenario {
@@ -98,6 +103,7 @@ func deriveScenario(seed int64) fuzzScenario {
 	sc.chaos = rng.Intn(2) == 0
 	sc.burst = 1 << uint(rng.Intn(6)) // 1..32
 	sc.srv6 = rng.Intn(2) == 0
+	sc.mincut = rng.Intn(2) == 0
 	return sc
 }
 
@@ -264,7 +270,15 @@ func fuzzRun(t *testing.T, sc fuzzScenario, shards int, eng netsim.Engine, burst
 	}
 
 	if shards > 1 {
-		if err := sim.SetShards(shards, eng); err != nil {
+		if sc.mincut {
+			assign, err := partition.MinCut(partition.FromSim(sim), shards, sc.seed)
+			if err != nil {
+				t.Fatalf("MinCut(%d): %v", shards, err)
+			}
+			if err := sim.SetShardsPartitioned(shards, assign, eng); err != nil {
+				t.Fatalf("SetShardsPartitioned(%d, %v): %v", shards, eng, err)
+			}
+		} else if err := sim.SetShards(shards, eng); err != nil {
 			t.Fatalf("SetShards(%d, %v): %v", shards, eng, err)
 		}
 		if eng == netsim.EngineOptimistic && !sc.adaptive {
@@ -493,6 +507,9 @@ func TestShardEquivalenceFuzz(t *testing.T) {
 		}
 		if sc.srv6 {
 			name += "-srv6"
+		}
+		if sc.mincut {
+			name += "-mincut"
 		}
 		t.Run(name, func(t *testing.T) {
 			base := fuzzRun(t, sc, 1, netsim.EngineConservative, 1)

@@ -641,6 +641,7 @@ func (s *Sim) exchangeOptimistic() {
 			if j := sender.findTentative(pm.m.key()); j >= 0 {
 				t := sender.tentative[j]
 				sender.tentative = append(sender.tentative[:j], sender.tentative[j+1:]...)
+				sender.tentRemoved(t.m.schedAt)
 				if t.m.same(&pm.m) {
 					// Reproduced identically: the original delivery (and
 					// whatever the receiver already did with it) stands.
@@ -676,22 +677,78 @@ func (s *Sim) exchangeOptimistic() {
 		// finds no tentative record and simply delivers anew.
 		stale := false
 		for _, sh := range s.shards {
+			if len(sh.tentative) == 0 {
+				continue
+			}
+			// Skip the scan when no entry can be stale: every emission
+			// time is ≥ the cached minimum, so if the frontier has not
+			// passed the minimum and the heap still holds an event at
+			// or below it, all three staleness conditions fail for
+			// every entry.
+			if tm := sh.tentMinSchedAt(); sh.execTo <= tm &&
+				len(sh.heap) > 0 && sh.heap[0].at <= tm {
+				continue
+			}
 			keep := sh.tentative[:0]
+			newMin := int64(math.MaxInt64)
 			for _, t := range sh.tentative {
 				if t.m.schedAt < sh.execTo || len(sh.heap) == 0 || sh.heap[0].at > t.m.schedAt {
 					s.antiq = append(s.antiq, t)
 					stale = true
 				} else {
 					keep = append(keep, t)
+					if t.m.schedAt < newMin {
+						newMin = t.m.schedAt
+					}
 				}
 			}
 			sh.tentative = keep
+			sh.tentMin, sh.tentMinStale = newMin, false
 		}
 		if !stale && len(s.antiq) == 0 {
 			break
 		}
 	}
 	s.pending = s.pending[:0]
+}
+
+// tentAppend adds one record to the tentative list, keeping the
+// cached minimum emission time current.
+func (sh *shard) tentAppend(r sentRec) {
+	if len(sh.tentative) == 0 {
+		sh.tentMin, sh.tentMinStale = r.m.schedAt, false
+	} else if !sh.tentMinStale && r.m.schedAt < sh.tentMin {
+		sh.tentMin = r.m.schedAt
+	}
+	sh.tentative = append(sh.tentative, r)
+}
+
+// tentRemoved records that an entry with the given emission time left
+// the tentative list: if it carried the cached minimum, the cache
+// recomputes lazily on the next read.
+func (sh *shard) tentRemoved(schedAt int64) {
+	if !sh.tentMinStale && schedAt == sh.tentMin {
+		sh.tentMinStale = true
+	}
+}
+
+// tentMinSchedAt returns the minimum emission time across the
+// tentative list (MaxInt64 when empty), recomputing the cache only
+// when a removal invalidated it.
+func (sh *shard) tentMinSchedAt() int64 {
+	if len(sh.tentative) == 0 {
+		return math.MaxInt64
+	}
+	if sh.tentMinStale {
+		min := int64(math.MaxInt64)
+		for i := range sh.tentative {
+			if sh.tentative[i].m.schedAt < min {
+				min = sh.tentative[i].m.schedAt
+			}
+		}
+		sh.tentMin, sh.tentMinStale = min, false
+	}
+	return sh.tentMin
 }
 
 // findTentative locates a tentative record by message key.
@@ -735,14 +792,19 @@ func (s *Sim) annihilate(a sentRec) {
 	// afresh, which the receiver simply re-receives) but is always
 	// sound.
 	keep := sh.tentative[:0]
+	newMin := int64(math.MaxInt64)
 	for _, t := range sh.tentative {
 		if t.m.schedAt == key.at {
 			s.antiq = append(s.antiq, t)
 		} else {
 			keep = append(keep, t)
+			if t.m.schedAt < newMin {
+				newMin = t.m.schedAt
+			}
 		}
 	}
 	sh.tentative = keep
+	sh.tentMin, sh.tentMinStale = newMin, false
 }
 
 // rollbackShard rewinds sh to its latest checkpoint at or before t
@@ -784,7 +846,7 @@ func (s *Sim) rollbackShard(sh *shard, t int64) {
 	keep := sh.sentLog[:0]
 	for _, sr := range sh.sentLog {
 		if sr.m.schedAt >= c.time {
-			sh.tentative = append(sh.tentative, sr)
+			sh.tentAppend(sr)
 		} else {
 			keep = append(keep, sr)
 		}
@@ -808,10 +870,11 @@ func (s *Sim) rollbackShard(sh *shard, t int64) {
 func (s *Sim) trimCommitted() {
 	gvt := s.minNextAt()
 	for _, sh := range s.shards {
-		for i := range sh.tentative {
-			if sh.tentative[i].m.schedAt < gvt {
-				gvt = sh.tentative[i].m.schedAt
-			}
+		// O(1) per shard: the incrementally maintained tentative
+		// minimum replaces the per-entry scan that made every barrier
+		// cost O(shards·tentative).
+		if m := sh.tentMinSchedAt(); m < gvt {
+			gvt = m
 		}
 	}
 	s.gvt = gvt

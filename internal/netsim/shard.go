@@ -60,6 +60,17 @@ type shard struct {
 	sentLog   []sentRec
 	tentative []sentRec
 
+	// tentMin caches the minimum emission time (schedAt) across the
+	// tentative list; tentMinStale marks it for lazy recomputation
+	// after a removal hit the cached minimum. The cache turns the
+	// per-barrier GVT contribution (and the stale-sweep skip test)
+	// from an O(tentative) scan per shard into O(1) reads — the
+	// O(shards·tentative) bill that dominated barriers at 16+ shards.
+	// Meaningful only while len(tentative) > 0; mutate tentative only
+	// through tentAppend/tentRemoved or recompute the cache in place.
+	tentMin      int64
+	tentMinStale bool
+
 	// lastCkptRound is the round of this shard's newest checkpoint;
 	// the coordinator's checkpoint stride (see horizonCtl) decides how
 	// many rounds may pass before the next one. forceCkpt makes the
@@ -160,7 +171,10 @@ func (sh *shard) runTo(end int64) {
 // SetShards partitions the simulation's nodes into n shards for
 // parallel execution. n == 1 restores the sequential engine. The
 // partition is deterministic (contiguous blocks of node creation
-// order), so a given topology always shards the same way.
+// order), so a given topology always shards the same way; topologies
+// whose creation order carries no locality (random graphs) should
+// hand SetShardsPartitioned a topology-aware assignment instead (see
+// internal/netsim/partition).
 //
 // The optional engine argument selects the synchronisation protocol
 // (default EngineConservative). Under the conservative engine every
@@ -177,6 +191,18 @@ func (sh *shard) runTo(end int64) {
 // quiescent (not from inside an event). Events already scheduled are
 // re-routed to the shard of the node that scheduled them.
 func (s *Sim) SetShards(n int, engine ...Engine) error {
+	return s.SetShardsPartitioned(n, nil, engine...)
+}
+
+// SetShardsPartitioned is SetShards with an explicit node→shard
+// assignment: assign[i] names the shard owning the i-th node in
+// creation order (Sim.Nodes order). A nil assign falls back to the
+// contiguous block partition. Every shard must own at least one node.
+// The assignment only relocates state ownership — the committed
+// schedule, every counter and every delivery trace stay bit-identical
+// to a sequential run under any assignment (the equivalence fuzzer
+// runs arms with both partitioners).
+func (s *Sim) SetShardsPartitioned(n int, assign []int, engine ...Engine) error {
 	if s.running {
 		return fmt.Errorf("netsim: SetShards while a parallel window is running")
 	}
@@ -185,6 +211,9 @@ func (s *Sim) SetShards(n int, engine ...Engine) error {
 	}
 	if n > len(s.nodes) && n > 1 {
 		return fmt.Errorf("netsim: %d shards for %d nodes", n, len(s.nodes))
+	}
+	if assign != nil && len(assign) != len(s.nodes) {
+		return fmt.Errorf("netsim: partition assigns %d nodes, sim has %d", len(assign), len(s.nodes))
 	}
 	eng := EngineConservative
 	switch len(engine) {
@@ -198,7 +227,13 @@ func (s *Sim) SetShards(n int, engine ...Engine) error {
 		return fmt.Errorf("netsim: SetShards takes at most one engine")
 	}
 
+	// Capture the previous node→shard pointers so a failed validation
+	// can restore them exactly, whatever partition produced them.
 	old := s.shards
+	oldAssign := make([]*shard, len(s.nodes))
+	for i, node := range s.nodes {
+		oldAssign[i] = node.shard
+	}
 	shards := make([]*shard, n)
 	now := s.Now()
 	for i := range shards {
@@ -207,33 +242,49 @@ func (s *Sim) SetShards(n int, engine ...Engine) error {
 		shards[i].execTo = now
 		shards[i].out = make([][]xmsg, n)
 	}
-	// Contiguous block partition over creation order: topology
-	// generators lay out locality-heavy regions (pods, ring arcs)
-	// contiguously, which keeps most links shard-internal.
 	for i, node := range s.nodes {
-		node.shard = shards[i*n/len(s.nodes)]
+		sid := i * n / len(s.nodes) // contiguous creation-order blocks
+		if assign != nil {
+			sid = assign[i]
+			if sid < 0 || sid >= n {
+				s.resetShardAssignment(oldAssign)
+				return fmt.Errorf("netsim: partition assigns node %d to shard %d of %d", i, sid, n)
+			}
+		}
+		node.shard = shards[sid]
 		node.shard.nodes = append(node.shard.nodes, node)
 	}
+	for _, sh := range shards {
+		if len(sh.nodes) == 0 {
+			s.resetShardAssignment(oldAssign)
+			return fmt.Errorf("netsim: partition leaves shard %d empty", sh.id)
+		}
+	}
 
-	// Validate cross-shard links (conservative engine only) and derive
+	// Validate cross-shard links (conservative engine only), derive
 	// the lookahead — the minimum positive cross-shard delay, which
-	// also seeds the optimistic engine's default horizon.
+	// also seeds the optimistic engine's default horizon — and count
+	// the cut (cross-shard links, each unordered pair once).
 	lookahead := int64(math.MaxInt64 / 2)
+	cutLinks := 0
 	if n > 1 {
 		for _, node := range s.nodes {
 			for _, ifc := range node.ifaces {
 				if ifc.peer == nil || ifc.peer.Node.shard == node.shard {
 					continue
 				}
+				if node.idx < ifc.peer.Node.idx {
+					cutLinks++
+				}
 				cfg := ifc.q.Config()
 				if eng == EngineConservative {
 					if cfg.DelayNs <= 0 {
-						s.resetShardAssignment(old)
+						s.resetShardAssignment(oldAssign)
 						return fmt.Errorf("netsim: link %s has zero propagation delay but crosses shards %d/%d (use EngineOptimistic)",
 							ifc, node.shard.id, ifc.peer.Node.shard.id)
 					}
 					if cfg.JitterNs > 0 {
-						s.resetShardAssignment(old)
+						s.resetShardAssignment(oldAssign)
 						return fmt.Errorf("netsim: link %s has delay jitter but crosses shards %d/%d (jitter can undercut the lookahead; use EngineOptimistic)",
 							ifc, node.shard.id, ifc.peer.Node.shard.id)
 					}
@@ -269,6 +320,7 @@ func (s *Sim) SetShards(n int, engine ...Engine) error {
 	s.shards = shards
 	s.engine = eng
 	s.lookahead = lookahead
+	s.cutLinks = cutLinks
 	s.horizon = s.deriveHorizon(lookahead)
 	s.round = 0
 	s.rollbacks = 0
@@ -339,11 +391,12 @@ func (s *Sim) Horizon() int64 { return s.horizon }
 // Engine reports the synchronisation protocol selected by SetShards.
 func (s *Sim) Engine() Engine { return s.engine }
 
-// resetShardAssignment restores node->shard pointers after a failed
-// SetShards so the sim keeps running on its previous partition.
-func (s *Sim) resetShardAssignment(old []*shard) {
+// resetShardAssignment restores the captured node->shard pointers
+// after a failed SetShards so the sim keeps running on its previous
+// partition — whatever assignment produced it.
+func (s *Sim) resetShardAssignment(oldAssign []*shard) {
 	for i, node := range s.nodes {
-		node.shard = old[i*len(old)/len(s.nodes)]
+		node.shard = oldAssign[i]
 	}
 }
 
@@ -360,6 +413,10 @@ type EngineStats struct {
 	Engine    Engine
 	Shards    int
 	Lookahead int64
+	// CutLinks counts the links whose two ends landed in different
+	// shards (each unordered pair once) — the static cut the partition
+	// chose; Messages is the dynamic price actually paid for it.
+	CutLinks int
 	// Horizon is the optimistic speculation window (meaningful only
 	// under EngineOptimistic).
 	Horizon int64
@@ -401,6 +458,7 @@ func (s *Sim) EngineStats() EngineStats {
 		Engine:           s.engine,
 		Shards:           len(s.shards),
 		Lookahead:        s.lookahead,
+		CutLinks:         s.cutLinks,
 		Horizon:          s.horizon,
 		Windows:          s.engWindows.Total(),
 		Events:           s.engEvents.Total(),

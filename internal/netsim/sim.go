@@ -208,6 +208,9 @@ type Sim struct {
 	// sequential mode every existing scenario runs in.
 	shards    []*shard
 	lookahead int64
+	// cutLinks is the cross-shard link count of the current partition
+	// (each unordered pair once), set by SetShardsPartitioned.
+	cutLinks int
 
 	// engine selects the parallel synchronisation protocol set by
 	// SetShards; irrelevant while len(shards) == 1.
